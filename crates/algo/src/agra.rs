@@ -1,0 +1,624 @@
+//! The *Adaptive Genetic Replication Algorithm* (Section 5).
+//!
+//! When an object's read/write pattern shifts past a threshold, AGRA runs a
+//! per-object micro-GA over `M`-bit chromosomes (one bit per site) against
+//! the *unconstrained* per-object NTC `V_k`, then *transcribes* its
+//! solutions into the last known GRA population: the best replica set lands
+//! in half of the chromosomes (including the one mirroring the current
+//! network distribution), the rest are scattered over the other half.
+//! Capacity violations introduced by transcription are repaired greedily by
+//! deallocating the object with the lowest Eq. 6 replica-value estimate.
+//! Optionally, a short "mini-GRA" (5–10 generations) polishes the
+//! transcribed population.
+
+use drp_core::{CoreError, ObjectId, Problem, ReplicationScheme, Result, SiteId};
+use drp_ga::{ops, BitString, Engine, GaConfig, GaSpec, SamplingSpace, SelectionScheme};
+use rand::{Rng, RngCore};
+
+use crate::encoding::{chromosome_cost, decode_scheme, encode_scheme};
+use crate::gra::{Gra, GraConfig};
+use crate::RngAdapter;
+
+/// Configuration of AGRA. Defaults follow the paper: `A_p = 10`,
+/// `A_g = 50`, single-point crossover at 0.8, mutation 0.01, regular
+/// sampling space, elitism, and a 5-generation mini-GRA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgraConfig {
+    /// Micro-GA population size `A_p`.
+    pub population_size: usize,
+    /// Micro-GA generations `A_g`.
+    pub generations: usize,
+    /// Crossover rate of the micro-GA.
+    pub crossover_rate: f64,
+    /// Per-bit mutation rate of the micro-GA.
+    pub mutation_rate: f64,
+    /// Elite re-imposition period of the micro-GA.
+    pub elite_period: usize,
+    /// Generations of mini-GRA applied to the transcribed population
+    /// (0 = stand-alone AGRA, the paper evaluates 0, 5 and 10).
+    pub mini_gra_generations: usize,
+    /// Operator settings for the mini-GRA phase.
+    pub gra: GraConfig,
+}
+
+impl Default for AgraConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 10,
+            generations: 50,
+            crossover_rate: 0.8,
+            mutation_rate: 0.01,
+            elite_period: 5,
+            mini_gra_generations: 5,
+            gra: GraConfig::default(),
+        }
+    }
+}
+
+/// Result of one adaptation step.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// The new replication scheme to realize on the network.
+    pub scheme: ReplicationScheme,
+    /// Its fitness `(D_prime − D) / D_prime` under the *new* pattern.
+    pub fitness: f64,
+    /// The transcribed (and possibly mini-GRA-evolved) population, to be
+    /// carried into the next adaptation step.
+    pub population: Vec<BitString>,
+    /// Fitness evaluations spent in the micro-GAs.
+    pub micro_evaluations: u64,
+    /// Fitness evaluations spent in the mini-GRA.
+    pub mini_evaluations: u64,
+}
+
+/// The adaptive algorithm itself.
+///
+/// # Examples
+///
+/// ```
+/// use drp_algo::{Agra, AgraConfig, Gra, GraConfig};
+/// use drp_core::ReplicationAlgorithm;
+/// use drp_workload::{PatternChange, WorkloadSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let problem = WorkloadSpec::paper(8, 10, 5.0, 20.0).generate(&mut rng)?;
+/// let gra = Gra::with_config(GraConfig { population_size: 8, generations: 8,
+///                                        ..GraConfig::default() });
+/// let run = gra.solve_detailed(&problem, &mut rng)?;
+///
+/// // The pattern shifts...
+/// let change = PatternChange { change_percent: 300.0, objects_percent: 20.0, read_share: 1.0 };
+/// let shift = change.apply(&problem, &mut rng)?;
+/// let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+///
+/// // ...and AGRA re-tunes the scheme without a full GRA run.
+/// let population: Vec<_> =
+///     run.outcome.final_population.iter().map(|(c, _)| c.clone()).collect();
+/// let outcome = Agra::new().adapt(&shift.problem, &run.scheme, &population, &changed, &mut rng)?;
+/// assert!(outcome.fitness >= 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Agra {
+    config: AgraConfig,
+}
+
+impl Agra {
+    /// AGRA with the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// AGRA with an explicit configuration.
+    pub fn with_config(config: AgraConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AgraConfig {
+        &self.config
+    }
+
+    /// Adapts to a pattern change.
+    ///
+    /// * `problem` — the instance with the **new** read/write pattern;
+    /// * `current` — the scheme presently realized on the network;
+    /// * `gra_population` — the last GRA population (may be empty: the
+    ///   current scheme is then cloned into a fresh population);
+    /// * `changed` — the objects whose pattern shifted past the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInstance`] for dimension mismatches.
+    pub fn adapt(
+        &self,
+        problem: &Problem,
+        current: &ReplicationScheme,
+        gra_population: &[BitString],
+        changed: &[ObjectId],
+        rng: &mut dyn RngCore,
+    ) -> Result<AdaptiveOutcome> {
+        let m = problem.num_sites();
+        let n = problem.num_objects();
+        let len = m * n;
+        let current_bits = encode_scheme(problem, current);
+
+        // Assemble the working population; slot 0 mirrors the network.
+        let mut population: Vec<BitString> = if gra_population.is_empty() {
+            vec![current_bits.clone(); self.config.gra.population_size.max(2)]
+        } else {
+            gra_population.to_vec()
+        };
+        if population.iter().any(|c| c.len() != len) {
+            return Err(CoreError::InvalidInstance {
+                reason: "population chromosome length mismatches the instance".into(),
+            });
+        }
+        population[0] = current_bits.clone();
+
+        let weights = link_weights(problem);
+        let mut micro_evaluations = 0u64;
+
+        for &object in changed {
+            problem.check_object(object)?;
+            // 1. Micro-GA over the object's replica set.
+            let micro = self.run_micro_ga(problem, current, &population, object, rng)?;
+            micro_evaluations += micro.evaluations;
+
+            // 2. Transcription into the GRA population.
+            let half = population.len().div_ceil(2);
+            for (index, chromosome) in population.iter_mut().enumerate() {
+                let source = if index < half {
+                    // Best replica set → first half (elite slot 0 included).
+                    &micro.final_population[0].0
+                } else {
+                    // The remaining sets are scattered randomly.
+                    let pick = rng.random_range(0..micro.final_population.len());
+                    &micro.final_population[pick].0
+                };
+                write_column(chromosome, n, object, source);
+                ensure_primary_bits(problem, chromosome);
+                repair_capacity(problem, chromosome, &weights);
+            }
+        }
+
+        // Keep the untouched current distribution in the pool: transcription
+        // plus capacity repair can regress *other* objects' replicas, and
+        // the monitor must never adopt a scheme worse than the one already
+        // running on the network.
+        if population.len() > 1 {
+            let last = population.len() - 1;
+            population[last] = current_bits.clone();
+        }
+        let dp = problem.d_prime().max(1);
+        let fitness_of =
+            |bits: &BitString| (dp as f64 - chromosome_cost(problem, bits) as f64) / dp as f64;
+        let current_fitness = fitness_of(&current_bits);
+
+        // 3. Stand-alone pick or mini-GRA polish.
+        let mut outcome = if self.config.mini_gra_generations > 0 {
+            let gra = Gra::with_config(GraConfig {
+                population_size: population.len(),
+                ..self.config.gra.clone()
+            });
+            let run = gra.evolve(problem, population, self.config.mini_gra_generations, rng)?;
+            AdaptiveOutcome {
+                scheme: run.scheme,
+                fitness: run.fitness,
+                population: run
+                    .outcome
+                    .final_population
+                    .iter()
+                    .map(|(c, _)| c.clone())
+                    .collect(),
+                micro_evaluations,
+                mini_evaluations: run.outcome.evaluations,
+            }
+        } else {
+            let (best, fitness) = population
+                .iter()
+                .map(|c| (c, fitness_of(c)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("population is non-empty");
+            let scheme = decode_scheme(problem, best)?;
+            let fitness = fitness.max(0.0);
+            AdaptiveOutcome {
+                scheme,
+                fitness,
+                population,
+                micro_evaluations,
+                mini_evaluations: 0,
+            }
+        };
+
+        // Adopt-only-if-better guard.
+        if outcome.fitness < current_fitness {
+            outcome.scheme = current.clone();
+            outcome.fitness = current_fitness;
+        }
+        Ok(outcome)
+    }
+
+    fn run_micro_ga(
+        &self,
+        problem: &Problem,
+        current: &ReplicationScheme,
+        population: &[BitString],
+        object: ObjectId,
+        rng: &mut dyn RngCore,
+    ) -> Result<drp_ga::GaOutcome> {
+        let m = problem.num_sites();
+        let n = problem.num_objects();
+        let ap = self.config.population_size.max(2);
+
+        // Half random, half projected from the GRA population; slot 0 is the
+        // object's current replica set.
+        let mut initial = Vec::with_capacity(ap);
+        initial.push(BitString::from_fn(m, |i| {
+            current.holds(SiteId::new(i), object)
+        }));
+        for source in population.iter().take(ap / 2) {
+            initial.push(BitString::from_fn(m, |i| {
+                source.get(i * n + object.index())
+            }));
+        }
+        while initial.len() < ap {
+            initial.push(BitString::random(m, rng));
+        }
+
+        let spec = MicroSpec::new(problem, object);
+        for chromosome in &mut initial {
+            chromosome.set(spec.primary_bit, true);
+        }
+
+        let config = GaConfig::new(ap, self.config.generations)
+            .crossover_rate(self.config.crossover_rate)
+            .mutation_rate(self.config.mutation_rate)
+            .selection(SelectionScheme::StochasticRemainder)
+            .sampling(SamplingSpace::Regular)
+            .elite_period(self.config.elite_period);
+        Engine::new(config)
+            .run(&spec, initial, &mut RngAdapter(rng))
+            .map_err(|e| CoreError::InvalidInstance {
+                reason: e.to_string(),
+            })
+    }
+}
+
+/// Detects objects whose total reads or writes moved by more than
+/// `threshold_percent` between two instances over the same network — the
+/// paper's trigger for running AGRA.
+///
+/// # Panics
+///
+/// Panics if the instances have different numbers of objects.
+pub fn detect_changed_objects(
+    old: &Problem,
+    new: &Problem,
+    threshold_percent: f64,
+) -> Vec<ObjectId> {
+    assert_eq!(
+        old.num_objects(),
+        new.num_objects(),
+        "instances must describe the same objects"
+    );
+    let moved = |a: u64, b: u64| -> bool {
+        let base = a.max(1) as f64;
+        (b as f64 - a as f64).abs() / base * 100.0 > threshold_percent
+    };
+    new.objects()
+        .filter(|&k| {
+            moved(old.total_reads(k), new.total_reads(k))
+                || moved(old.total_writes(k), new.total_writes(k))
+        })
+        .collect()
+}
+
+/// Per-site proportional link weights of Eq. 6, precomputed once.
+fn link_weights(problem: &Problem) -> Vec<f64> {
+    let mean = problem.costs().mean_row_sum();
+    (0..problem.num_sites())
+        .map(|i| {
+            if mean > 0.0 {
+                (problem.costs().row_sum(i) as f64 / mean).max(f64::MIN_POSITIVE)
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Overwrites object `k`'s column with an M-bit replica set.
+fn write_column(chromosome: &mut BitString, n: usize, object: ObjectId, replica_set: &BitString) {
+    for i in 0..replica_set.len() {
+        chromosome.set(i * n + object.index(), replica_set.get(i));
+    }
+}
+
+fn ensure_primary_bits(problem: &Problem, chromosome: &mut BitString) {
+    let n = problem.num_objects();
+    for k in problem.objects() {
+        chromosome.set(problem.primary(k).index() * n + k.index(), true);
+    }
+}
+
+/// Greedy capacity repair: at every over-full site, deallocate the held
+/// object with the lowest Eq. 6 estimate until the site fits. Primaries are
+/// never deallocated (and every site fits its primaries by instance
+/// validation, so repair always terminates).
+fn repair_capacity(problem: &Problem, chromosome: &mut BitString, weights: &[f64]) {
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+    // Usage per site and replica degree per object.
+    let mut used = vec![0u64; m];
+    let mut degree = vec![0usize; n];
+    for one in chromosome.iter_ones() {
+        let (i, k) = (one / n, one % n);
+        used[i] += problem.object_size(ObjectId::new(k));
+        degree[k] += 1;
+    }
+    for i in 0..m {
+        let site = SiteId::new(i);
+        let capacity = problem.capacity(site);
+        // Eq. 6 with the precomputed link weight (the generic accessor
+        // recomputes the O(M²) mean row sum on every call, far too slow in
+        // this loop).
+        let estimate = |k: usize, degree: usize| -> f64 {
+            let object = ObjectId::new(k);
+            let numerator = problem.total_reads(object) as f64
+                + problem.writes(site, object) as f64
+                - problem.total_writes(object) as f64
+                + problem.reads(site, object) as f64 * problem.capacity(site) as f64
+                    / problem.object_size(object) as f64;
+            numerator / (weights[i] * degree as f64)
+        };
+        while used[i] > capacity {
+            let victim = (0..n)
+                .filter(|&k| chromosome.get(i * n + k) && problem.primary(ObjectId::new(k)) != site)
+                .min_by(|&a, &b| {
+                    estimate(a, degree[a])
+                        .partial_cmp(&estimate(b, degree[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("an over-full site must hold a non-primary object");
+            chromosome.set(i * n + victim, false);
+            used[i] -= problem.object_size(ObjectId::new(victim));
+            degree[victim] -= 1;
+        }
+    }
+}
+
+/// [`GaSpec`] of the per-object micro-GA: `M`-bit chromosomes scored by the
+/// unconstrained per-object NTC `V_k`.
+struct MicroSpec<'a> {
+    problem: &'a Problem,
+    object: ObjectId,
+    primary_bit: usize,
+    v_prime: u64,
+}
+
+impl<'a> MicroSpec<'a> {
+    fn new(problem: &'a Problem, object: ObjectId) -> Self {
+        Self {
+            problem,
+            object,
+            primary_bit: problem.primary(object).index(),
+            v_prime: problem.v_prime(object),
+        }
+    }
+
+    /// `V_k` of a replica set given as an M-bit string (capacity ignored —
+    /// AGRA solves the unconstrained problem and repairs later).
+    fn replica_set_cost(&self, bits: &BitString) -> u64 {
+        let problem = self.problem;
+        let object = self.object;
+        let m = problem.num_sites();
+        let o = problem.object_size(object);
+        let sp = self.primary_bit;
+        let w_tot = problem.total_writes(object);
+        let sp_row = problem.costs().row(sp);
+
+        let mut broadcast = 0u64;
+        let mut nearest = vec![u64::MAX; m];
+        for j in bits.iter_ones() {
+            broadcast += sp_row[j];
+            let row = problem.costs().row(j);
+            for (i, slot) in nearest.iter_mut().enumerate() {
+                if row[i] < *slot {
+                    *slot = row[i];
+                }
+            }
+        }
+        let mut cost = w_tot * o * broadcast;
+        for i in 0..m {
+            if bits.get(i) {
+                continue;
+            }
+            let site = SiteId::new(i);
+            cost += o
+                * (problem.reads(site, object) * nearest[i]
+                    + problem.writes(site, object) * sp_row[i]);
+        }
+        cost
+    }
+}
+
+impl GaSpec for MicroSpec<'_> {
+    fn evaluate(&self, chromosome: &mut BitString) -> f64 {
+        chromosome.set(self.primary_bit, true);
+        if self.v_prime == 0 {
+            return 0.0;
+        }
+        let v = self.replica_set_cost(chromosome);
+        let fitness = (self.v_prime as f64 - v as f64) / self.v_prime as f64;
+        if fitness < 0.0 {
+            // Reset to the primary-only replica set, as in GRA.
+            *chromosome = BitString::from_fn(chromosome.len(), |i| i == self.primary_bit);
+            return 0.0;
+        }
+        fitness
+    }
+
+    fn crossover(
+        &self,
+        a: &BitString,
+        b: &BitString,
+        rng: &mut dyn RngCore,
+    ) -> (BitString, BitString) {
+        ops::one_point_crossover(a, b, rng)
+    }
+
+    fn mutate(&self, chromosome: &mut BitString, rate: f64, rng: &mut dyn RngCore) {
+        for bit in ops::bit_flip_mutation(chromosome, rate, rng) {
+            if bit == self.primary_bit && !chromosome.get(bit) {
+                chromosome.set(bit, true); // primary constraint
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use drp_workload::{PatternChange, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Problem, ReplicationScheme, Vec<BitString>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = WorkloadSpec::paper(8, 10, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let gra = Gra::with_config(GraConfig {
+            population_size: 8,
+            generations: 6,
+            ..GraConfig::default()
+        });
+        let run = gra.solve_detailed(&problem, &mut rng).unwrap();
+        let population = run
+            .outcome
+            .final_population
+            .iter()
+            .map(|(c, _)| c.clone())
+            .collect();
+        (problem, run.scheme, population)
+    }
+
+    #[test]
+    fn adapt_produces_valid_scheme() {
+        let (problem, scheme, population) = setup(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let change = PatternChange {
+            change_percent: 400.0,
+            objects_percent: 30.0,
+            read_share: 0.5,
+        };
+        let shift = change.apply(&problem, &mut rng).unwrap();
+        let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+        let outcome = Agra::new()
+            .adapt(&shift.problem, &scheme, &population, &changed, &mut rng)
+            .unwrap();
+        outcome.scheme.validate(&shift.problem).unwrap();
+        assert!(outcome.fitness >= 0.0);
+        assert!(outcome.micro_evaluations > 0);
+        assert!(outcome.mini_evaluations > 0);
+    }
+
+    #[test]
+    fn standalone_agra_skips_mini_gra() {
+        let (problem, scheme, population) = setup(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let changed = vec![ObjectId::new(0), ObjectId::new(3)];
+        let config = AgraConfig {
+            mini_gra_generations: 0,
+            ..AgraConfig::default()
+        };
+        let outcome = Agra::with_config(config)
+            .adapt(&problem, &scheme, &population, &changed, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.mini_evaluations, 0);
+        outcome.scheme.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn adapt_beats_stale_scheme_on_read_surge() {
+        let (problem, scheme, population) = setup(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let change = PatternChange {
+            change_percent: 600.0,
+            objects_percent: 40.0,
+            read_share: 1.0,
+        };
+        let shift = change.apply(&problem, &mut rng).unwrap();
+        let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+        let stale = shift.problem.savings_percent(&scheme);
+        let outcome = Agra::new()
+            .adapt(&shift.problem, &scheme, &population, &changed, &mut rng)
+            .unwrap();
+        let adapted = shift.problem.savings_percent(&outcome.scheme);
+        assert!(
+            adapted >= stale - 1e-9,
+            "AGRA ({adapted:.2}%) must not lose to the stale scheme ({stale:.2}%)"
+        );
+    }
+
+    #[test]
+    fn empty_population_falls_back_to_current() {
+        let (problem, scheme, _) = setup(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let outcome = Agra::new()
+            .adapt(&problem, &scheme, &[], &[ObjectId::new(1)], &mut rng)
+            .unwrap();
+        outcome.scheme.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn detect_changed_objects_finds_surges() {
+        let (problem, _, _) = setup(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let change = PatternChange {
+            change_percent: 500.0,
+            objects_percent: 20.0,
+            read_share: 1.0,
+        };
+        let shift = change.apply(&problem, &mut rng).unwrap();
+        let detected = detect_changed_objects(&problem, &shift.problem, 50.0);
+        let expected: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+        for k in &expected {
+            assert!(detected.contains(k), "object {k} should be detected");
+        }
+        assert_eq!(detected.len(), expected.len());
+    }
+
+    #[test]
+    fn micro_spec_fitness_improves_with_good_replicas() {
+        let (problem, _, _) = setup(11);
+        // Pick an object with nonzero remote reads.
+        let object = problem
+            .objects()
+            .max_by_key(|&k| problem.total_reads(k))
+            .unwrap();
+        let spec = MicroSpec::new(&problem, object);
+        let m = problem.num_sites();
+        let mut primary_only = BitString::from_fn(m, |i| i == spec.primary_bit);
+        assert_eq!(spec.evaluate(&mut primary_only), 0.0);
+        // Replicating everywhere eliminates read cost; fitness may be
+        // positive or clamp to 0 under heavy writes, but never negative.
+        let mut everywhere = BitString::from_fn(m, |_| true);
+        assert!(spec.evaluate(&mut everywhere) >= 0.0);
+    }
+
+    #[test]
+    fn repair_capacity_respects_constraints() {
+        let (problem, _, _) = setup(12);
+        let n = problem.num_objects();
+        // Start from an everything-everywhere chromosome (over capacity).
+        let mut chromosome = BitString::from_fn(problem.num_sites() * n, |_| true);
+        let weights = link_weights(&problem);
+        repair_capacity(&problem, &mut chromosome, &weights);
+        ensure_primary_bits(&problem, &mut chromosome);
+        decode_scheme(&problem, &chromosome).expect("repair must restore validity");
+    }
+}

@@ -1,0 +1,427 @@
+//! The distributed variant of SRA (Section 3).
+//!
+//! The paper sketches it as: candidate lists `L(i)` live on their sites, the
+//! list-of-sites `LS` on a network leader; site selection is done by the
+//! leader, followed by a token-passing mechanism; each replication is
+//! broadcast so every site can update its nearest-site (`SN`) field.
+//!
+//! This module runs the protocol on the `drp-net` discrete-event simulator:
+//!
+//! 1. the leader passes the **token** to the next site of `LS` (round
+//!    robin);
+//! 2. the token holder evaluates its candidates *locally* (it only needs its
+//!    own nearest-replica distances and the instance constants), replicates
+//!    the best positive-benefit object and reports the **decision** — or
+//!    returns the token if it has no candidate left;
+//! 3. the leader broadcasts the decision; every site updates its `SN` table
+//!    and **acks**; the new replicator also *fetches the object data* from
+//!    its previously nearest holder (the only non-control traffic);
+//! 4. once all acks arrive the leader advances the token. When `LS` empties
+//!    the protocol terminates.
+//!
+//! The ack barrier makes the decision sequence identical to the centralized
+//! round-robin [`Sra`](crate::Sra), which the tests assert; the price is
+//! protocol latency, which the returned [`TrafficStats`] quantifies.
+
+use std::sync::{Arc, Mutex};
+
+use drp_core::{ObjectId, Problem, ReplicationScheme, Result, SiteId};
+use drp_net::sim::{Context, Message, Node, Simulator, TrafficStats};
+
+/// Protocol messages. All are control (size 0) except `ObjectData`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SraMsg {
+    /// Leader → site: your turn to replicate.
+    Token,
+    /// Site → leader: nothing (left) to replicate; drop me from LS if
+    /// `exhausted`.
+    TokenBack { exhausted: bool },
+    /// Site → leader: I replicate `object`; drop me from LS if `exhausted`.
+    Decision { object: usize, exhausted: bool },
+    /// Leader → everyone else: `site` now replicates `object`.
+    Update { site: usize, object: usize },
+    /// Site → leader: update applied.
+    Ack,
+    /// New replicator → previous nearest holder: send me the object.
+    Fetch { object: usize },
+    /// Holder → new replicator: the object data (size `o_k`).
+    ObjectData { object: usize },
+}
+
+struct SharedState {
+    problem: Problem,
+    /// Decisions in commit order, recorded by the leader.
+    decisions: Mutex<Vec<(usize, usize)>>,
+}
+
+/// Leader bookkeeping (only populated on site 0).
+struct LeaderState {
+    /// Sites still holding candidates, in round-robin order.
+    ls: Vec<usize>,
+    cursor: usize,
+    token_at: usize,
+    awaiting_acks: usize,
+    pending_removal: bool,
+}
+
+struct SraNode {
+    shared: Arc<SharedState>,
+    /// C(self, SN_k(self)) per object.
+    nearest: Vec<u64>,
+    /// Objects this site holds.
+    holds: Vec<bool>,
+    /// Candidate objects (paper's `L(i)`).
+    candidates: Vec<usize>,
+    free: u64,
+    leader: Option<LeaderState>,
+}
+
+impl SraNode {
+    fn new(shared: Arc<SharedState>, id: usize, is_leader: bool) -> Self {
+        let problem = &shared.problem;
+        let site = SiteId::new(id);
+        let n = problem.num_objects();
+        let scheme = ReplicationScheme::primary_only(problem);
+        let nearest: Vec<u64> = (0..n)
+            .map(|k| {
+                problem
+                    .costs()
+                    .cost(id, problem.primary(ObjectId::new(k)).index())
+            })
+            .collect();
+        let holds: Vec<bool> = (0..n)
+            .map(|k| problem.primary(ObjectId::new(k)) == site)
+            .collect();
+        let candidates: Vec<usize> = (0..n).filter(|&k| !holds[k]).collect();
+        let free = scheme.free_capacity(problem, site);
+        let leader = is_leader.then(|| LeaderState {
+            ls: (0..problem.num_sites())
+                .filter(|&i| {
+                    // A site starts in LS iff it has any non-primary object.
+                    (0..n).any(|k| problem.primary(ObjectId::new(k)).index() != i)
+                })
+                .collect(),
+            cursor: 0,
+            token_at: 0,
+            awaiting_acks: 0,
+            pending_removal: false,
+        });
+        Self {
+            shared: Arc::clone(&shared),
+            nearest,
+            holds,
+            candidates,
+            free,
+            leader,
+        }
+    }
+
+    /// Leader only: hand the token to the next site in LS.
+    fn advance_token(&mut self, ctx: &mut Context<'_, SraMsg>) {
+        let Some(leader) = self.leader.as_mut() else {
+            return;
+        };
+        if leader.pending_removal {
+            let slot = leader
+                .ls
+                .iter()
+                .position(|&s| s == leader.token_at)
+                .expect("token holder must be in LS");
+            leader.ls.remove(slot);
+            if leader.cursor > slot {
+                leader.cursor -= 1;
+            }
+            leader.pending_removal = false;
+        }
+        if leader.ls.is_empty() {
+            return; // protocol complete; the event queue drains
+        }
+        let slot = leader.cursor % leader.ls.len();
+        leader.cursor = slot + 1;
+        leader.token_at = leader.ls[slot];
+        let target = leader.token_at;
+        ctx.send(target, 0, SraMsg::Token);
+    }
+
+    /// Evaluate candidates exactly like centralized SRA's inner loop.
+    fn local_step(&mut self, ctx: &mut Context<'_, SraMsg>) {
+        let problem = &self.shared.problem;
+        let me = ctx.node_id();
+        let site = SiteId::new(me);
+        let free = self.free;
+        let nearest = &self.nearest;
+
+        let mut best: Option<(i64, usize)> = None;
+        self.candidates.retain(|&k| {
+            let object = ObjectId::new(k);
+            if problem.object_size(object) > free {
+                return false;
+            }
+            let c_sp = problem.costs().cost(me, problem.primary(object).index());
+            let benefit = problem.reads(site, object) as i64 * nearest[k] as i64
+                + (problem.writes(site, object) as i64 - problem.total_writes(object) as i64)
+                    * c_sp as i64;
+            if benefit <= 0 {
+                return false;
+            }
+            if best.is_none_or(|(b, _)| benefit > b) {
+                best = Some((benefit, k));
+            }
+            true
+        });
+
+        match best {
+            Some((_, k)) => {
+                let object = ObjectId::new(k);
+                // Fetch the data from the (pre-update) nearest holder.
+                let (sn, c) = self.nearest_holder(me, k);
+                if c > 0 {
+                    ctx.send(sn, 0, SraMsg::Fetch { object: k });
+                }
+                // Apply locally.
+                self.holds[k] = true;
+                self.free -= self.shared.problem.object_size(object);
+                self.nearest[k] = 0;
+                self.candidates.retain(|&x| x != k);
+                let exhausted = self.candidates.is_empty();
+                ctx.send(
+                    0,
+                    0,
+                    SraMsg::Decision {
+                        object: k,
+                        exhausted,
+                    },
+                );
+            }
+            None => {
+                ctx.send(
+                    0,
+                    0,
+                    SraMsg::TokenBack {
+                        exhausted: self.candidates.is_empty(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The site this node would read `object` from (its `SN` field). Only
+    /// the distance is tracked; the identity is reconstructed from the
+    /// decision log plus primaries, which the leader's barrier keeps
+    /// consistent.
+    fn nearest_holder(&self, me: usize, object: usize) -> (usize, u64) {
+        let problem = &self.shared.problem;
+        let k = ObjectId::new(object);
+        let mut best = (problem.primary(k).index(), u64::MAX);
+        // Primary plus every committed replicator.
+        let decisions = self.shared.decisions.lock().expect("decision log poisoned");
+        let holders = std::iter::once(problem.primary(k).index()).chain(
+            decisions
+                .iter()
+                .filter(|(_, obj)| *obj == object)
+                .map(|(s, _)| *s),
+        );
+        for holder in holders {
+            let c = problem.costs().cost(me, holder);
+            if c < best.1 {
+                best = (holder, c);
+            }
+        }
+        best
+    }
+}
+
+impl Node<SraMsg> for SraNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, SraMsg>) {
+        if self.leader.is_some() {
+            self.advance_token(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, SraMsg>, msg: Message<SraMsg>) {
+        let me = ctx.node_id();
+        match msg.payload {
+            SraMsg::Token => self.local_step(ctx),
+            SraMsg::TokenBack { exhausted } => {
+                let leader = self.leader.as_mut().expect("token returned to non-leader");
+                leader.pending_removal = exhausted;
+                self.advance_token(ctx);
+            }
+            SraMsg::Decision { object, exhausted } => {
+                let problem = &self.shared.problem;
+                let m = problem.num_sites();
+                self.shared
+                    .decisions
+                    .lock()
+                    .expect("decision log poisoned")
+                    .push((msg.src, object));
+                {
+                    let leader = self.leader.as_mut().expect("decision sent to non-leader");
+                    leader.pending_removal = exhausted;
+                    leader.awaiting_acks = m - 1;
+                }
+                // Broadcast to everyone but the decider (the leader includes
+                // itself via a self-message so all updates flow uniformly).
+                for site in (0..m).filter(|&s| s != msg.src) {
+                    ctx.send(
+                        site,
+                        0,
+                        SraMsg::Update {
+                            site: msg.src,
+                            object,
+                        },
+                    );
+                }
+                if self.leader.as_ref().is_some_and(|l| l.awaiting_acks == 0) {
+                    self.advance_token(ctx);
+                }
+            }
+            SraMsg::Update { site, object } => {
+                let c = self.shared.problem.costs().cost(me, site);
+                if c < self.nearest[object] {
+                    self.nearest[object] = c;
+                }
+                ctx.send(0, 0, SraMsg::Ack);
+            }
+            SraMsg::Ack => {
+                let leader = self.leader.as_mut().expect("ack sent to non-leader");
+                leader.awaiting_acks -= 1;
+                if leader.awaiting_acks == 0 {
+                    self.advance_token(ctx);
+                }
+            }
+            SraMsg::Fetch { object } => {
+                let size = self.shared.problem.object_size(ObjectId::new(object));
+                ctx.send(msg.src, size, SraMsg::ObjectData { object });
+            }
+            SraMsg::ObjectData { .. } => {}
+        }
+    }
+}
+
+/// Outcome of the distributed protocol.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// The scheme the network converged to.
+    pub scheme: ReplicationScheme,
+    /// Traffic accounting: `transfer_cost` is the object-migration NTC, and
+    /// `messages` counts the control traffic (tokens, decisions, updates,
+    /// acks) the centralized algorithm does not pay.
+    pub stats: TrafficStats,
+    /// Simulated time at which the protocol finished.
+    pub completion_time: u64,
+}
+
+/// Runs distributed SRA with site 0 as the leader.
+///
+/// # Errors
+///
+/// Propagates simulator errors (an exceeded event budget would indicate a
+/// protocol bug).
+///
+/// # Examples
+///
+/// ```
+/// use drp_algo::distributed::distributed_sra;
+/// use drp_workload::WorkloadSpec;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(6);
+/// let problem = WorkloadSpec::paper(6, 8, 5.0, 20.0).generate(&mut rng)?;
+/// let run = distributed_sra(&problem)?;
+/// assert!(problem.total_cost(&run.scheme) <= problem.d_prime());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn distributed_sra(problem: &Problem) -> Result<DistributedRun> {
+    let shared = Arc::new(SharedState {
+        problem: problem.clone(),
+        decisions: Mutex::new(Vec::new()),
+    });
+    let nodes: Vec<Box<dyn Node<SraMsg>>> = (0..problem.num_sites())
+        .map(|id| Box::new(SraNode::new(Arc::clone(&shared), id, id == 0)) as Box<dyn Node<SraMsg>>)
+        .collect();
+    let mut sim = Simulator::new(problem.costs().clone(), nodes)?;
+    sim.run_to_completion()?;
+
+    let decisions = shared
+        .decisions
+        .lock()
+        .expect("decision log poisoned")
+        .clone();
+    let mut scheme = ReplicationScheme::primary_only(problem);
+    for (site, object) in decisions {
+        scheme.add_replica(problem, SiteId::new(site), ObjectId::new(object))?;
+    }
+    Ok(DistributedRun {
+        scheme,
+        stats: sim.stats(),
+        completion_time: sim.now(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sra;
+    use drp_core::ReplicationAlgorithm;
+    use drp_workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_centralized_round_robin_sra() {
+        for seed in 0..6 {
+            let p = WorkloadSpec::paper(8, 12, 5.0, 20.0)
+                .generate(&mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let centralized = Sra::new().solve(&p, &mut rng).unwrap();
+            let run = distributed_sra(&p).unwrap();
+            assert_eq!(
+                run.scheme, centralized,
+                "seed {seed}: distributed and centralized SRA diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_traffic_matches_replica_fetches() {
+        let p = WorkloadSpec::paper(6, 8, 2.0, 20.0)
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let run = distributed_sra(&p).unwrap();
+        // Every created replica was fetched once; data traffic is the only
+        // non-zero-size flow, so it must be positive iff replicas exist.
+        if run.scheme.extra_replica_count() > 0 {
+            assert!(run.stats.transfer_cost > 0);
+        }
+        assert!(run.stats.messages > 0);
+        assert!(run.completion_time > 0);
+    }
+
+    #[test]
+    fn protocol_terminates_on_update_heavy_instances() {
+        // Nothing is worth replicating: the token must still cycle through
+        // every site exactly once and stop.
+        let p = WorkloadSpec::paper(5, 5, 500.0, 50.0)
+            .generate(&mut StdRng::seed_from_u64(10))
+            .unwrap();
+        let run = distributed_sra(&p).unwrap();
+        assert_eq!(run.scheme.extra_replica_count(), 0);
+        assert_eq!(run.stats.transfer_cost, 0);
+    }
+
+    #[test]
+    fn single_site_network_is_a_noop() {
+        use drp_core::Problem;
+        use drp_net::CostMatrix;
+        let costs = CostMatrix::from_rows(1, vec![0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![100])
+            .object(5, SiteId::new(0))
+            .build()
+            .unwrap();
+        let run = distributed_sra(&p).unwrap();
+        assert_eq!(run.scheme.extra_replica_count(), 0);
+    }
+}

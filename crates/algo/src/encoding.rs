@@ -1,0 +1,189 @@
+//! Chromosome encoding shared by GRA and AGRA.
+//!
+//! A chromosome has `M` genes of `N` bits each (the paper's layout): bit
+//! `i·N + k` is `X_ik`. Keeping genes contiguous makes the crossover
+//! validity repair (per-gene capacity check) a local slice operation.
+
+use drp_core::{CoreError, ObjectId, Problem, ReplicationScheme, Result, SiteId};
+use drp_ga::BitString;
+
+/// Encodes a replication scheme into the site-major chromosome layout.
+pub fn encode_scheme(problem: &Problem, scheme: &ReplicationScheme) -> BitString {
+    let n = problem.num_objects();
+    BitString::from_fn(problem.num_sites() * n, |bit| {
+        scheme.holds(SiteId::new(bit / n), ObjectId::new(bit % n))
+    })
+}
+
+/// Decodes a chromosome into a [`ReplicationScheme`], validating the
+/// capacity constraint and re-adding primary copies regardless of their bit.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InsufficientCapacity`] if a gene overfills its site,
+/// or [`CoreError::InvalidInstance`] on a length mismatch.
+pub fn decode_scheme(problem: &Problem, chromosome: &BitString) -> Result<ReplicationScheme> {
+    let n = problem.num_objects();
+    if chromosome.len() != problem.num_sites() * n {
+        return Err(CoreError::InvalidInstance {
+            reason: format!(
+                "chromosome of {} bits for a {}x{} instance",
+                chromosome.len(),
+                problem.num_sites(),
+                n
+            ),
+        });
+    }
+    ReplicationScheme::from_fn(problem, |site, object| {
+        chromosome.get(site.index() * n + object.index())
+    })
+}
+
+/// The Eq. 4 total NTC of a chromosome, computed directly from the bits
+/// without materializing a scheme (GRA's hot path).
+///
+/// Objects whose replica set is exactly their primary fall back to the
+/// precomputed `V_prime`, which is the common case in sparse chromosomes.
+///
+/// # Panics
+///
+/// Panics if the chromosome length mismatches the instance.
+pub fn chromosome_cost(problem: &Problem, chromosome: &BitString) -> u64 {
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+    assert_eq!(chromosome.len(), m * n, "chromosome length mismatch");
+
+    let mut total = 0u64;
+    let mut replicas: Vec<usize> = Vec::with_capacity(m);
+    let mut nearest: Vec<u64> = vec![0; m];
+    for k in 0..n {
+        let object = ObjectId::new(k);
+        let sp = problem.primary(object).index();
+        replicas.clear();
+        for i in 0..m {
+            if chromosome.get(i * n + k) {
+                replicas.push(i);
+            }
+        }
+        // Primary copies are undeletable; tolerate chromosomes that lost the
+        // bit by treating the primary as always present.
+        if !replicas.contains(&sp) {
+            replicas.push(sp);
+        }
+        if replicas.len() == 1 {
+            total += problem.v_prime(object);
+            continue;
+        }
+
+        let o = problem.object_size(object);
+        let w_tot = problem.total_writes(object);
+        let sp_row = problem.costs().row(sp);
+
+        nearest.iter_mut().for_each(|c| *c = u64::MAX);
+        let mut broadcast = 0u64;
+        for &j in &replicas {
+            broadcast += sp_row[j];
+            let row = problem.costs().row(j);
+            for (i, slot) in nearest.iter_mut().enumerate() {
+                if row[i] < *slot {
+                    *slot = row[i];
+                }
+            }
+        }
+        let mut cost = w_tot * o * broadcast;
+        for i in 0..m {
+            // Replicators (primary included) pay only the broadcast above.
+            if i == sp || chromosome.get(i * n + k) {
+                continue;
+            }
+            let site = SiteId::new(i);
+            cost += o
+                * (problem.reads(site, object) * nearest[i]
+                    + problem.writes(site, object) * sp_row[i]);
+        }
+        total += cost;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(seed: u64) -> Problem {
+        WorkloadSpec::paper(8, 10, 5.0, 25.0)
+            .generate(&mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let p = problem(1);
+        let mut scheme = ReplicationScheme::primary_only(&p);
+        // Any feasible non-primary placement works for the round trip.
+        let object = ObjectId::new(2);
+        let site = p
+            .sites()
+            .find(|&i| {
+                !scheme.holds(i, object) && p.object_size(object) <= scheme.free_capacity(&p, i)
+            })
+            .expect("some site has room");
+        scheme.add_replica(&p, site, object).unwrap();
+        let bits = encode_scheme(&p, &scheme);
+        let back = decode_scheme(&p, &bits).unwrap();
+        assert_eq!(back, scheme);
+    }
+
+    #[test]
+    fn decode_restores_missing_primaries() {
+        let p = problem(2);
+        let bits = BitString::zeros(p.num_sites() * p.num_objects());
+        let scheme = decode_scheme(&p, &bits).unwrap();
+        assert_eq!(scheme, ReplicationScheme::primary_only(&p));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let p = problem(3);
+        assert!(decode_scheme(&p, &BitString::zeros(7)).is_err());
+    }
+
+    #[test]
+    fn chromosome_cost_matches_scheme_cost() {
+        let p = problem(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Build several random valid schemes and compare both cost paths.
+        for round in 0..10 {
+            let scheme = random_scheme(&p, &mut rng);
+            let bits = encode_scheme(&p, &scheme);
+            assert_eq!(
+                chromosome_cost(&p, &bits),
+                p.total_cost(&scheme),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn chromosome_cost_primary_only_is_d_prime() {
+        let p = problem(6);
+        let bits = encode_scheme(&p, &ReplicationScheme::primary_only(&p));
+        assert_eq!(chromosome_cost(&p, &bits), p.d_prime());
+    }
+
+    fn random_scheme(p: &Problem, rng: &mut StdRng) -> ReplicationScheme {
+        use rand::Rng;
+        let mut s = ReplicationScheme::primary_only(p);
+        for _ in 0..p.num_sites() * p.num_objects() / 3 {
+            let site = SiteId::new(rng.random_range(0..p.num_sites()));
+            let object = ObjectId::new(rng.random_range(0..p.num_objects()));
+            if !s.holds(site, object) {
+                let _ = s.add_replica(p, site, object);
+            }
+        }
+        s
+    }
+}

@@ -1,0 +1,305 @@
+//! Exact branch-and-bound solver for small instances.
+//!
+//! The DRP is NP-complete, but tiny instances (`M ≤ ~10`, `N ≤ ~10`) can be
+//! solved exactly: for each object we enumerate all `2^(M−1)` replica sets
+//! once, order them by unconstrained cost, and depth-first search object by
+//! object with two prunes:
+//!
+//! * **bound** — the running cost plus the sum of the remaining objects'
+//!   unconstrained minima (admissible: capacities only ever increase cost)
+//!   must stay below the incumbent;
+//! * **capacity** — partial assignments that overfill a site are cut.
+//!
+//! This gives the optimality-gap measurements in the test suite and the
+//! EXPERIMENTS.md appendix: how far SRA/GRA land from the true optimum where
+//! the optimum is computable at all.
+
+use drp_core::{
+    CoreError, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId,
+};
+use rand::RngCore;
+
+/// Exact solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchBound {
+    /// Refuse instances with more sites than this (default 12) — the
+    /// per-object enumeration is `2^(M−1)`.
+    pub max_sites: usize,
+    /// Refuse instances where `N · 2^(M−1)` exceeds this (default 10⁶).
+    pub max_table: u64,
+}
+
+impl Default for BranchBound {
+    fn default() -> Self {
+        Self {
+            max_sites: 12,
+            max_table: 1_000_000,
+        }
+    }
+}
+
+struct Candidate {
+    /// Bitmask over sites (always includes the primary).
+    mask: u32,
+    /// Unconstrained per-object cost of this replica set.
+    cost: u64,
+}
+
+#[allow(clippy::needless_range_loop)] // bitmask/site co-indexing
+impl BranchBound {
+    /// Per-object candidate replica sets, sorted by cost ascending.
+    fn candidates(problem: &Problem, object: ObjectId) -> Vec<Candidate> {
+        let m = problem.num_sites();
+        let sp = problem.primary(object).index();
+        let others: Vec<usize> = (0..m).filter(|&i| i != sp).collect();
+        let o = problem.object_size(object);
+        let w_tot = problem.total_writes(object);
+        let sp_row = problem.costs().row(sp);
+
+        let mut out = Vec::with_capacity(1 << others.len());
+        for subset in 0u32..(1 << others.len()) {
+            let mut mask = 1u32 << sp;
+            let mut replicas = vec![sp];
+            for (bit, &site) in others.iter().enumerate() {
+                if subset & (1 << bit) != 0 {
+                    mask |= 1 << site;
+                    replicas.push(site);
+                }
+            }
+            let mut broadcast = 0u64;
+            let mut nearest = vec![u64::MAX; m];
+            for &j in &replicas {
+                broadcast += sp_row[j];
+                let row = problem.costs().row(j);
+                for (i, slot) in nearest.iter_mut().enumerate() {
+                    if row[i] < *slot {
+                        *slot = row[i];
+                    }
+                }
+            }
+            let mut cost = w_tot * o * broadcast;
+            for i in 0..m {
+                if mask & (1 << i) != 0 {
+                    continue;
+                }
+                let site = SiteId::new(i);
+                cost += o
+                    * (problem.reads(site, object) * nearest[i]
+                        + problem.writes(site, object) * sp_row[i]);
+            }
+            out.push(Candidate { mask, cost });
+        }
+        out.sort_by_key(|c| c.cost);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)] // explicit DFS state beats a context struct here
+    fn dfs(
+        problem: &Problem,
+        tables: &[Vec<Candidate>],
+        suffix_lb: &[u64],
+        k: usize,
+        free: &mut Vec<u64>,
+        cost_so_far: u64,
+        chosen: &mut Vec<u32>,
+        best_cost: &mut u64,
+        best_choice: &mut Vec<u32>,
+    ) {
+        if cost_so_far + suffix_lb[k] >= *best_cost {
+            return;
+        }
+        if k == tables.len() {
+            *best_cost = cost_so_far;
+            best_choice.clone_from(chosen);
+            return;
+        }
+        let object = ObjectId::new(k);
+        let size = problem.object_size(object);
+        let sp = problem.primary(object).index();
+        for candidate in &tables[k] {
+            // Candidates are cost-sorted; once even this object's cost
+            // breaks the bound, later candidates cannot help.
+            if cost_so_far + candidate.cost + suffix_lb[k + 1] >= *best_cost {
+                break;
+            }
+            // Capacity check.
+            let mut feasible = true;
+            for i in 0..problem.num_sites() {
+                if i != sp && candidate.mask & (1 << i) != 0 && free[i] < size {
+                    feasible = false;
+                    break;
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            for i in 0..problem.num_sites() {
+                if i != sp && candidate.mask & (1 << i) != 0 {
+                    free[i] -= size;
+                }
+            }
+            chosen.push(candidate.mask);
+            Self::dfs(
+                problem,
+                tables,
+                suffix_lb,
+                k + 1,
+                free,
+                cost_so_far + candidate.cost,
+                chosen,
+                best_cost,
+                best_choice,
+            );
+            chosen.pop();
+            for i in 0..problem.num_sites() {
+                if i != sp && candidate.mask & (1 << i) != 0 {
+                    free[i] += size;
+                }
+            }
+        }
+    }
+}
+
+impl ReplicationAlgorithm for BranchBound {
+    fn name(&self) -> &str {
+        "BranchBound"
+    }
+
+    fn solve(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
+        let m = problem.num_sites();
+        let n = problem.num_objects();
+        if m > self.max_sites
+            || (n as u64).saturating_mul(1u64 << (m.saturating_sub(1))) > self.max_table
+        {
+            return Err(CoreError::InvalidInstance {
+                reason: format!(
+                    "instance {m}x{n} too large for exact search (limits: {} sites, {} table)",
+                    self.max_sites, self.max_table
+                ),
+            });
+        }
+
+        let tables: Vec<Vec<Candidate>> = (0..n)
+            .map(|k| Self::candidates(problem, ObjectId::new(k)))
+            .collect();
+        // suffix_lb[k] = Σ_{j ≥ k} min cost of object j (unconstrained).
+        let mut suffix_lb = vec![0u64; n + 1];
+        for k in (0..n).rev() {
+            suffix_lb[k] = suffix_lb[k + 1] + tables[k][0].cost;
+        }
+
+        // Capacity left after the mandatory primaries.
+        let primaries = ReplicationScheme::primary_only(problem);
+        let mut free: Vec<u64> = (0..m)
+            .map(|i| primaries.free_capacity(problem, SiteId::new(i)))
+            .collect();
+
+        let mut best_cost = problem.d_prime() + 1; // beaten by primary-only at worst
+        let mut best_choice = Vec::new();
+        let mut chosen = Vec::with_capacity(n);
+        Self::dfs(
+            problem,
+            &tables,
+            &suffix_lb,
+            0,
+            &mut free,
+            0,
+            &mut chosen,
+            &mut best_cost,
+            &mut best_choice,
+        );
+        debug_assert_eq!(best_choice.len(), n, "primary-only is always feasible");
+
+        ReplicationScheme::from_fn(problem, |site, object| {
+            best_choice[object.index()] & (1 << site.index()) != 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::HillClimb;
+    use crate::{Gra, GraConfig, Sra};
+    use drp_workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(seed: u64) -> Problem {
+        WorkloadSpec::paper(5, 5, 10.0, 30.0)
+            .generate(&mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    #[test]
+    fn optimum_bounds_every_heuristic() {
+        for seed in 0..6 {
+            let p = problem(seed);
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let optimal = BranchBound::default().solve(&p, &mut rng).unwrap();
+            optimal.validate(&p).unwrap();
+            let opt_cost = p.total_cost(&optimal);
+
+            let sra = Sra::new().solve(&p, &mut rng).unwrap();
+            assert!(
+                opt_cost <= p.total_cost(&sra),
+                "seed {seed}: SRA beat the optimum"
+            );
+
+            let gra = Gra::with_config(GraConfig {
+                population_size: 8,
+                generations: 10,
+                ..GraConfig::default()
+            })
+            .solve(&p, &mut rng)
+            .unwrap();
+            assert!(
+                opt_cost <= p.total_cost(&gra),
+                "seed {seed}: GRA beat the optimum"
+            );
+
+            let hc = HillClimb::default().solve(&p, &mut rng).unwrap();
+            assert!(
+                opt_cost <= p.total_cost(&hc),
+                "seed {seed}: hill climb beat the optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_never_exceeds_primary_only() {
+        let p = problem(42);
+        let mut rng = StdRng::seed_from_u64(1);
+        let optimal = BranchBound::default().solve(&p, &mut rng).unwrap();
+        assert!(p.total_cost(&optimal) <= p.d_prime());
+    }
+
+    #[test]
+    fn matches_exhaustive_check_on_tiny_instance() {
+        // 3 sites × 2 objects: exhaustively enumerate all valid schemes.
+        let p = WorkloadSpec::paper(3, 2, 20.0, 50.0)
+            .generate(&mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let optimal = BranchBound::default().solve(&p, &mut rng).unwrap();
+        let mut best = u64::MAX;
+        for bits in 0u32..(1 << 6) {
+            let scheme = ReplicationScheme::from_fn(&p, |site, object| {
+                bits & (1 << (site.index() * 2 + object.index())) != 0
+            });
+            if let Ok(s) = scheme {
+                best = best.min(p.total_cost(&s));
+            }
+        }
+        assert_eq!(p.total_cost(&optimal), best);
+    }
+
+    #[test]
+    fn refuses_oversized_instances() {
+        let p = WorkloadSpec::paper(20, 10, 5.0, 20.0)
+            .generate(&mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(BranchBound::default().solve(&p, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,526 @@
+use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId};
+use drp_ga::{ops, BitString, Engine, GaConfig, GaOutcome, GaSpec, SamplingSpace, SelectionScheme};
+use rand::{Rng, RngCore};
+
+use crate::encoding::{chromosome_cost, decode_scheme, encode_scheme};
+use crate::sra::{SiteOrder, Sra};
+use crate::RngAdapter;
+
+/// Which crossover operator GRA uses. The paper uses two-point; the others
+/// are reproduction ablations. All variants restore gene validity by
+/// completing the swap of any split gene (both parents' genes are valid, so
+/// a fully-donated gene is valid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrossoverOp {
+    /// Single cut point.
+    OnePoint,
+    /// The paper's operator: two cut points, swapping either the middle
+    /// segment or the two outer segments by a fair coin.
+    #[default]
+    TwoPoint,
+    /// Per-bit mixing (ablation); invalid genes are repaired by full
+    /// donation from a random parent.
+    Uniform,
+}
+
+/// Configuration of the *Genetic Replication Algorithm* (Section 4).
+///
+/// Defaults are the paper's: `N_p = 50`, `N_g = 80`, `μ_c = 0.9`,
+/// `μ_m = 0.01`, stochastic-remainder selection over the enlarged `(μ+λ)`
+/// sampling space, elite re-imposition every 5 generations, and a seed
+/// population of randomized SRA runs with ¼ of the bits perturbed on half of
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraConfig {
+    /// Population size `N_p`.
+    pub population_size: usize,
+    /// Generations `N_g`.
+    pub generations: usize,
+    /// Crossover rate `μ_c`.
+    pub crossover_rate: f64,
+    /// Per-bit mutation rate `μ_m`.
+    pub mutation_rate: f64,
+    /// Offspring allocation scheme.
+    pub selection: SelectionScheme,
+    /// Sampling space for selection.
+    pub sampling: SamplingSpace,
+    /// Elite re-imposition period (0 disables elitism).
+    pub elite_period: usize,
+    /// Fraction of bits randomly perturbed in half of the seed population.
+    pub seed_perturbation: f64,
+    /// Crossover operator.
+    pub crossover_op: CrossoverOp,
+}
+
+impl Default for GraConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 50,
+            generations: 80,
+            crossover_rate: 0.9,
+            mutation_rate: 0.01,
+            selection: SelectionScheme::StochasticRemainder,
+            sampling: SamplingSpace::Enlarged,
+            elite_period: 5,
+            seed_perturbation: 0.25,
+            crossover_op: CrossoverOp::TwoPoint,
+        }
+    }
+}
+
+impl GraConfig {
+    fn to_ga_config(&self) -> GaConfig {
+        GaConfig::new(self.population_size, self.generations)
+            .crossover_rate(self.crossover_rate)
+            .mutation_rate(self.mutation_rate)
+            .selection(self.selection)
+            .sampling(self.sampling)
+            .elite_period(self.elite_period)
+    }
+}
+
+/// Result of a detailed GRA run: the decoded best scheme plus the raw GA
+/// outcome (fitness history, evaluations, final population). AGRA consumes
+/// the final population for its transcription step.
+#[derive(Debug, Clone)]
+pub struct GraRun {
+    /// The best replication scheme found.
+    pub scheme: ReplicationScheme,
+    /// Its fitness `(D_prime − D) / D_prime`.
+    pub fitness: f64,
+    /// Engine-level details.
+    pub outcome: GaOutcome,
+}
+
+/// The *Genetic Replication Algorithm* (Section 4).
+///
+/// # Examples
+///
+/// ```
+/// use drp_algo::{Gra, GraConfig};
+/// use drp_core::ReplicationAlgorithm;
+/// use drp_workload::WorkloadSpec;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let problem = WorkloadSpec::paper(8, 10, 5.0, 20.0).generate(&mut rng)?;
+/// let config = GraConfig { population_size: 10, generations: 15, ..GraConfig::default() };
+/// let scheme = Gra::with_config(config).solve(&problem, &mut rng)?;
+/// assert!(problem.savings_percent(&scheme) >= 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gra {
+    config: GraConfig,
+}
+
+impl Gra {
+    /// GRA with the paper's default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// GRA with an explicit configuration.
+    pub fn with_config(config: GraConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GraConfig {
+        &self.config
+    }
+
+    /// Builds the seed population: `N_p` randomized-order SRA runs, with ¼
+    /// of the bits of the second half randomly perturbed (validly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SRA failures (which indicate an invalid instance).
+    pub fn seed_population(
+        &self,
+        problem: &Problem,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<BitString>> {
+        let np = self.config.population_size.max(1);
+        let sra = Sra::with_order(SiteOrder::Random);
+        let mut population = Vec::with_capacity(np);
+        for index in 0..np {
+            let scheme = sra.solve(problem, rng)?;
+            let mut bits = encode_scheme(problem, &scheme);
+            if index >= np / 2 {
+                perturb_validly(problem, &mut bits, self.config.seed_perturbation, rng);
+            }
+            population.push(bits);
+        }
+        Ok(population)
+    }
+
+    /// Full run: seed with SRA, evolve for the configured generations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates seeding and engine errors.
+    pub fn solve_detailed(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<GraRun> {
+        let initial = self.seed_population(problem, rng)?;
+        self.evolve(problem, initial, self.config.generations, rng)
+    }
+
+    /// Warm-start run: evolve a given population for `generations`. This is
+    /// the paper's "mini-GRA" used after AGRA transcription and the
+    /// `Current + N GRA` policies of the adaptive experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty population or one whose chromosomes do
+    /// not match the instance dimensions.
+    pub fn evolve(
+        &self,
+        problem: &Problem,
+        initial: Vec<BitString>,
+        generations: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<GraRun> {
+        let spec = GraSpec::new(problem, self.config.crossover_op);
+        let ga_config = GaConfig {
+            generations,
+            ..self.config.to_ga_config()
+        };
+        let outcome = Engine::new(ga_config)
+            .run(&spec, initial, &mut RngAdapter(rng))
+            .map_err(|e| drp_core::CoreError::InvalidInstance {
+                reason: e.to_string(),
+            })?;
+        let scheme = decode_scheme(problem, &outcome.best)?;
+        Ok(GraRun {
+            scheme,
+            fitness: outcome.best_fitness,
+            outcome,
+        })
+    }
+}
+
+impl ReplicationAlgorithm for Gra {
+    fn name(&self) -> &str {
+        "GRA"
+    }
+
+    fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
+        Ok(self.solve_detailed(problem, rng)?.scheme)
+    }
+}
+
+/// Flips up to `fraction` of the bits at random positions, reverting any
+/// flip that would violate the storage or primary constraint.
+fn perturb_validly(problem: &Problem, bits: &mut BitString, fraction: f64, rng: &mut dyn RngCore) {
+    let n = problem.num_objects();
+    let mut used = used_per_site(problem, bits);
+    let flips = (bits.len() as f64 * fraction.clamp(0.0, 1.0)) as usize;
+    for _ in 0..flips {
+        let bit = rng.random_range(0..bits.len());
+        try_flip(problem, bits, &mut used, bit, n);
+    }
+}
+
+/// Storage used per site under a chromosome.
+fn used_per_site(problem: &Problem, bits: &BitString) -> Vec<u64> {
+    let n = problem.num_objects();
+    let mut used = vec![0u64; problem.num_sites()];
+    for one in bits.iter_ones() {
+        used[one / n] += problem.object_size(drp_core::ObjectId::new(one % n));
+    }
+    used
+}
+
+/// Flips `bit` if the result satisfies both constraints; returns whether the
+/// flip stuck.
+fn try_flip(
+    problem: &Problem,
+    bits: &mut BitString,
+    used: &mut [u64],
+    bit: usize,
+    n: usize,
+) -> bool {
+    let (i, k) = (bit / n, bit % n);
+    let object = drp_core::ObjectId::new(k);
+    let size = problem.object_size(object);
+    if bits.get(bit) {
+        // 1 → 0: never drop the primary copy.
+        if problem.primary(object) == SiteId::new(i) {
+            return false;
+        }
+        bits.set(bit, false);
+        used[i] -= size;
+        true
+    } else {
+        // 0 → 1: respect the capacity.
+        if used[i] + size > problem.capacity(SiteId::new(i)) {
+            return false;
+        }
+        bits.set(bit, true);
+        used[i] += size;
+        true
+    }
+}
+
+/// [`GaSpec`] binding of the DRP for GRA.
+pub(crate) struct GraSpec<'a> {
+    problem: &'a Problem,
+    crossover_op: CrossoverOp,
+    primary_only: BitString,
+}
+
+impl<'a> GraSpec<'a> {
+    pub(crate) fn new(problem: &'a Problem, crossover_op: CrossoverOp) -> Self {
+        let primary_only = encode_scheme(problem, &ReplicationScheme::primary_only(problem));
+        Self {
+            problem,
+            crossover_op,
+            primary_only,
+        }
+    }
+
+    fn gene_is_valid(&self, bits: &BitString, gene: usize) -> bool {
+        let n = self.problem.num_objects();
+        let mut used = 0u64;
+        for k in 0..n {
+            if bits.get(gene * n + k) {
+                used += self.problem.object_size(drp_core::ObjectId::new(k));
+            }
+        }
+        used <= self.problem.capacity(SiteId::new(gene))
+    }
+
+    fn donate_gene(&self, child: &mut BitString, donor: &BitString, gene: usize) {
+        let n = self.problem.num_objects();
+        child.copy_range_from(donor, gene * n, (gene + 1) * n);
+    }
+
+    /// Completes the gene swap for every split gene that came out invalid.
+    fn repair_boundary(&self, child: &mut BitString, donor: &BitString, cuts: &[usize]) {
+        let n = self.problem.num_objects();
+        for &cut in cuts {
+            let gene = cut / n;
+            // A cut on a gene boundary splits nothing.
+            if cut % n == 0 {
+                continue;
+            }
+            if !self.gene_is_valid(child, gene) {
+                self.donate_gene(child, donor, gene);
+            }
+        }
+    }
+}
+
+impl GaSpec for GraSpec<'_> {
+    fn evaluate(&self, chromosome: &mut BitString) -> f64 {
+        let d = chromosome_cost(self.problem, chromosome);
+        let dp = self.problem.d_prime();
+        if dp == 0 {
+            return 0.0;
+        }
+        let fitness = (dp as f64 - d as f64) / dp as f64;
+        if fitness < 0.0 {
+            // The paper's rule: reset the chromosome to the initial
+            // (primary-only) allocation and score it 0.
+            *chromosome = self.primary_only.clone();
+            return 0.0;
+        }
+        fitness
+    }
+
+    fn crossover(
+        &self,
+        a: &BitString,
+        b: &BitString,
+        rng: &mut dyn RngCore,
+    ) -> (BitString, BitString) {
+        match self.crossover_op {
+            CrossoverOp::OnePoint => {
+                let len = a.len();
+                if len < 2 {
+                    return (a.clone(), b.clone());
+                }
+                let cut = rng.random_range(1..len);
+                let mut ca = a.clone();
+                let mut cb = b.clone();
+                ca.copy_range_from(b, cut, len);
+                cb.copy_range_from(a, cut, len);
+                self.repair_boundary(&mut ca, b, &[cut]);
+                self.repair_boundary(&mut cb, a, &[cut]);
+                (ca, cb)
+            }
+            CrossoverOp::TwoPoint => {
+                let Some((lo, hi)) = ops::random_cut_pair(a, b, rng) else {
+                    return (a.clone(), b.clone());
+                };
+                let mut ca = a.clone();
+                let mut cb = b.clone();
+                if rng.random_bool(0.5) {
+                    ca.copy_range_from(b, lo, hi);
+                    cb.copy_range_from(a, lo, hi);
+                } else {
+                    ca.copy_range_from(b, 0, lo);
+                    ca.copy_range_from(b, hi, a.len());
+                    cb.copy_range_from(a, 0, lo);
+                    cb.copy_range_from(a, hi, a.len());
+                }
+                self.repair_boundary(&mut ca, b, &[lo, hi]);
+                self.repair_boundary(&mut cb, a, &[lo, hi]);
+                (ca, cb)
+            }
+            CrossoverOp::Uniform => {
+                let (mut ca, mut cb) = ops::uniform_crossover(a, b, rng);
+                for gene in 0..self.problem.num_sites() {
+                    if !self.gene_is_valid(&ca, gene) {
+                        let donor = if rng.random_bool(0.5) { a } else { b };
+                        self.donate_gene(&mut ca, donor, gene);
+                    }
+                    if !self.gene_is_valid(&cb, gene) {
+                        let donor = if rng.random_bool(0.5) { a } else { b };
+                        self.donate_gene(&mut cb, donor, gene);
+                    }
+                }
+                (ca, cb)
+            }
+        }
+    }
+
+    fn mutate(&self, chromosome: &mut BitString, rate: f64, rng: &mut dyn RngCore) {
+        let n = self.problem.num_objects();
+        let mut used = used_per_site(self.problem, chromosome);
+        for bit in 0..chromosome.len() {
+            if rng.random_bool(rate) {
+                // The paper "flips the mutated bit again" on violation —
+                // try_flip simply refuses invalid flips.
+                try_flip(self.problem, chromosome, &mut used, bit, n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(seed: u64) -> Problem {
+        WorkloadSpec::paper(8, 10, 5.0, 20.0)
+            .generate(&mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    fn small_config() -> GraConfig {
+        GraConfig {
+            population_size: 10,
+            generations: 12,
+            ..GraConfig::default()
+        }
+    }
+
+    fn assert_valid_bits(p: &Problem, bits: &BitString) {
+        decode_scheme(p, bits).expect("chromosome must satisfy both constraints");
+        // Primaries present:
+        for k in p.objects() {
+            assert!(bits.get(p.primary(k).index() * p.num_objects() + k.index()));
+        }
+    }
+
+    #[test]
+    fn seed_population_is_valid_and_diverse() {
+        let p = problem(1);
+        let gra = Gra::with_config(small_config());
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = gra.seed_population(&p, &mut rng).unwrap();
+        assert_eq!(pop.len(), 10);
+        for bits in &pop {
+            assert_valid_bits(&p, bits);
+        }
+        // Perturbation makes the halves differ.
+        assert!(pop.iter().any(|c| c != &pop[0]));
+    }
+
+    #[test]
+    fn crossover_children_are_valid() {
+        let p = problem(3);
+        let gra = Gra::with_config(small_config());
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = gra.seed_population(&p, &mut rng).unwrap();
+        for op in [
+            CrossoverOp::OnePoint,
+            CrossoverOp::TwoPoint,
+            CrossoverOp::Uniform,
+        ] {
+            let spec = GraSpec::new(&p, op);
+            for i in 0..pop.len() - 1 {
+                let (ca, cb) = spec.crossover(&pop[i], &pop[i + 1], &mut rng);
+                assert_valid_bits(&p, &ca);
+                assert_valid_bits(&p, &cb);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let p = problem(5);
+        let spec = GraSpec::new(&p, CrossoverOp::TwoPoint);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut bits = encode_scheme(&p, &ReplicationScheme::primary_only(&p));
+        for _ in 0..20 {
+            spec.mutate(&mut bits, 0.2, &mut rng);
+            assert_valid_bits(&p, &bits);
+        }
+    }
+
+    #[test]
+    fn evaluate_resets_negative_fitness_chromosomes() {
+        // Update-heavy instance (capacity ample enough that everything fits
+        // everywhere): full replication is worse than nothing.
+        let p = WorkloadSpec::paper(6, 6, 200.0, 300.0)
+            .generate(&mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let spec = GraSpec::new(&p, CrossoverOp::TwoPoint);
+        let full = ReplicationScheme::from_fn(&p, |_, _| true).unwrap();
+        let mut bits = encode_scheme(&p, &full);
+        if p.total_cost(&full) > p.d_prime() {
+            let f = spec.evaluate(&mut bits);
+            assert_eq!(f, 0.0);
+            assert_eq!(bits, spec.primary_only);
+        }
+    }
+
+    #[test]
+    fn gra_beats_or_matches_sra() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = problem(9);
+        let sra_scheme = Sra::new().solve(&p, &mut rng).unwrap();
+        let gra_scheme = Gra::with_config(small_config())
+            .solve(&p, &mut rng)
+            .unwrap();
+        // GRA's population is seeded by SRA and selection is elitist, so it
+        // can only match or improve.
+        assert!(p.total_cost(&gra_scheme) <= p.total_cost(&sra_scheme));
+        gra_scheme.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn evolve_warm_start_improves_population() {
+        let p = problem(10);
+        let gra = Gra::with_config(small_config());
+        let mut rng = StdRng::seed_from_u64(11);
+        let initial = gra.seed_population(&p, &mut rng).unwrap();
+        let run = gra.evolve(&p, initial, 5, &mut rng).unwrap();
+        assert!(run.fitness >= 0.0);
+        assert_eq!(run.outcome.history.len(), 6);
+        run.scheme.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn name_and_config_access() {
+        let gra = Gra::new();
+        assert_eq!(gra.name(), "GRA");
+        assert_eq!(gra.config().population_size, 50);
+        assert_eq!(gra.config().generations, 80);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's replica-placement algorithms and the baselines they are
+//! measured against.
+//!
+//! * [`Sra`] — the greedy *Simple Replication Algorithm* (Section 3): sites
+//!   take turns replicating the object with the highest positive benefit
+//!   value until no candidate remains.
+//! * [`distributed`] — the paper's distributed SRA variant: a leader passes
+//!   a token around; each site decides locally and broadcasts its
+//!   replication so everyone updates their nearest-site tables. Runs on the
+//!   `drp-net` discrete-event simulator and produces the same scheme as the
+//!   centralized round-robin SRA.
+//! * [`Gra`] — the *Genetic Replication Algorithm* (Section 4): an
+//!   `M·N`-bit GA seeded by randomized SRA runs, with two-point crossover
+//!   plus gene repair, constraint-checked mutation, stochastic-remainder
+//!   selection over the enlarged `(μ+λ)` space, and periodic elitism.
+//! * [`Agra`] — the *Adaptive* GRA (Section 5): per-object micro-GAs react
+//!   to read/write pattern shifts, transcribe their solutions into the GRA
+//!   population (repairing capacity with the Eq. 6 estimator) and optionally
+//!   polish with a short "mini-GRA".
+//! * [`baselines`] — primary-only, random placement and hill climbing;
+//!   [`exact`] — a branch-and-bound optimum for small instances, used to
+//!   measure heuristic optimality gaps.
+//!
+//! # Examples
+//!
+//! ```
+//! use drp_algo::{Gra, Sra};
+//! use drp_core::ReplicationAlgorithm;
+//! use drp_workload::WorkloadSpec;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let problem = WorkloadSpec::paper(8, 12, 2.0, 20.0).generate(&mut rng)?;
+//! let greedy = Sra::new().solve(&problem, &mut rng)?;
+//! assert!(problem.savings_percent(&greedy) >= 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod adr;
+mod agra;
+pub mod annealing;
+pub mod baselines;
+pub mod distributed;
+mod encoding;
+pub mod exact;
+pub mod fault_tolerance;
+mod gra;
+pub mod monitor;
+mod sra;
+
+/// Newtype making `&mut dyn RngCore` usable where a sized `RngCore` is
+/// required (the GA engine is generic over a sized rng).
+pub(crate) struct RngAdapter<'a>(pub &'a mut dyn rand::RngCore);
+
+impl rand::RngCore for RngAdapter<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+pub use agra::{detect_changed_objects, AdaptiveOutcome, Agra, AgraConfig};
+pub use encoding::{chromosome_cost, decode_scheme, encode_scheme};
+pub use gra::{CrossoverOp, Gra, GraConfig, GraRun};
+pub use sra::{SiteOrder, Sra};

@@ -1,0 +1,306 @@
+//! The *monitor site* of Section 5, as a reusable component.
+//!
+//! The paper's deployment story: a monitor collects per-site read/write
+//! statistics. At night it rebuilds the replication scheme with a full GRA
+//! run; during the day it compares fresh statistics against the ones the
+//! scheme was built for and, when objects drift past a threshold, lets AGRA
+//! re-tune the scheme in seconds instead of re-running GRA.
+//!
+//! [`ReplicationMonitor`] packages that loop: it owns the current scheme,
+//! the instance it was tuned for and the last GA population, and exposes
+//! [`nightly_rebuild`](ReplicationMonitor::nightly_rebuild) and
+//! [`ingest_statistics`](ReplicationMonitor::ingest_statistics).
+
+use drp_core::{CoreError, Problem, ReplicationScheme, Result};
+use drp_ga::BitString;
+use rand::RngCore;
+
+use crate::agra::{detect_changed_objects, Agra, AgraConfig};
+use crate::encoding::encode_scheme;
+use crate::gra::{Gra, GraConfig};
+
+/// Configuration of the monitor loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// GRA settings for nightly rebuilds.
+    pub gra: GraConfig,
+    /// AGRA settings for daytime adaptation.
+    pub agra: AgraConfig,
+    /// An object adapts when its total reads or writes move by more than
+    /// this percentage since the last (re)build.
+    pub change_threshold_percent: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            gra: GraConfig::default(),
+            agra: AgraConfig::default(),
+            change_threshold_percent: 100.0,
+        }
+    }
+}
+
+/// What [`ReplicationMonitor::ingest_statistics`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorAction {
+    /// No object drifted past the threshold; the scheme was kept.
+    NoChange,
+    /// AGRA re-tuned the scheme for this many drifted objects.
+    Adapted {
+        /// Number of objects past the threshold.
+        changed_objects: usize,
+        /// Replica creations + deallocations needed to realize the new
+        /// scheme (Section 5's "object migration and deallocation").
+        migration_moves: usize,
+        /// One-off NTC of fetching the new replicas.
+        migration_cost: u64,
+    },
+}
+
+/// The Section 5 monitor: owns the scheme, its reference statistics and the
+/// carried-over GA population.
+///
+/// # Examples
+///
+/// ```
+/// use drp_algo::monitor::{MonitorConfig, ReplicationMonitor};
+/// use drp_algo::GraConfig;
+/// use drp_workload::{PatternChange, WorkloadSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let problem = WorkloadSpec::paper(10, 15, 5.0, 20.0).generate(&mut rng)?;
+/// let config = MonitorConfig {
+///     gra: GraConfig { population_size: 8, generations: 8, ..GraConfig::default() },
+///     ..MonitorConfig::default()
+/// };
+/// let mut monitor = ReplicationMonitor::bootstrap(problem.clone(), config, &mut rng)?;
+///
+/// // Daytime: the pattern shifts, the monitor adapts.
+/// let change = PatternChange { change_percent: 500.0, objects_percent: 30.0, read_share: 1.0 };
+/// let shifted = change.apply(&problem, &mut rng)?.problem;
+/// monitor.ingest_statistics(shifted, &mut rng)?;
+/// assert!(monitor.problem().savings_percent(monitor.scheme()) >= 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicationMonitor {
+    config: MonitorConfig,
+    problem: Problem,
+    scheme: ReplicationScheme,
+    population: Vec<BitString>,
+}
+
+impl ReplicationMonitor {
+    /// Creates a monitor by running the first nightly GRA build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GRA failures (invalid instance).
+    pub fn bootstrap(
+        problem: Problem,
+        config: MonitorConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self> {
+        let run = Gra::with_config(config.gra.clone()).solve_detailed(&problem, rng)?;
+        Ok(Self {
+            config,
+            problem,
+            scheme: run.scheme,
+            population: run
+                .outcome
+                .final_population
+                .iter()
+                .map(|(c, _)| c.clone())
+                .collect(),
+        })
+    }
+
+    /// The statistics the current scheme was tuned for.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The scheme currently realized on the network.
+    pub fn scheme(&self) -> &ReplicationScheme {
+        &self.scheme
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Nightly maintenance: re-runs the full GRA against the latest
+    /// statistics and replaces the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GRA failures.
+    pub fn nightly_rebuild(&mut self, rng: &mut dyn RngCore) -> Result<()> {
+        let run = Gra::with_config(self.config.gra.clone()).solve_detailed(&self.problem, rng)?;
+        self.scheme = run.scheme;
+        self.population = run
+            .outcome
+            .final_population
+            .iter()
+            .map(|(c, _)| c.clone())
+            .collect();
+        Ok(())
+    }
+
+    /// Daytime path: compares `fresh` statistics with the reference ones
+    /// and adapts with AGRA when objects drifted past the threshold. The
+    /// fresh statistics become the new reference either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInstance`] when `fresh` has a different
+    /// shape than the reference instance.
+    pub fn ingest_statistics(
+        &mut self,
+        fresh: Problem,
+        rng: &mut dyn RngCore,
+    ) -> Result<MonitorAction> {
+        if fresh.num_sites() != self.problem.num_sites()
+            || fresh.num_objects() != self.problem.num_objects()
+        {
+            return Err(CoreError::InvalidInstance {
+                reason: "statistics shape differs from the monitored instance".into(),
+            });
+        }
+        let changed =
+            detect_changed_objects(&self.problem, &fresh, self.config.change_threshold_percent);
+        if changed.is_empty() {
+            self.problem = fresh;
+            return Ok(MonitorAction::NoChange);
+        }
+        let agra = Agra::with_config(self.config.agra.clone());
+        if self.population.is_empty() {
+            self.population = vec![encode_scheme(&self.problem, &self.scheme)];
+        }
+        let outcome = agra.adapt(&fresh, &self.scheme, &self.population, &changed, rng)?;
+        let plan = drp_core::migration::plan_migration(&fresh, &self.scheme, &outcome.scheme)?;
+        self.scheme = outcome.scheme;
+        self.population = outcome.population;
+        self.problem = fresh;
+        Ok(MonitorAction::Adapted {
+            changed_objects: changed.len(),
+            migration_moves: plan.moves(),
+            migration_cost: plan.transfer_cost(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_workload::{PatternChange, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> MonitorConfig {
+        MonitorConfig {
+            gra: GraConfig {
+                population_size: 8,
+                generations: 8,
+                ..GraConfig::default()
+            },
+            agra: AgraConfig {
+                gra: GraConfig {
+                    population_size: 8,
+                    generations: 8,
+                    ..GraConfig::default()
+                },
+                ..AgraConfig::default()
+            },
+            change_threshold_percent: 100.0,
+        }
+    }
+
+    #[test]
+    fn bootstrap_produces_tuned_scheme() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let monitor = ReplicationMonitor::bootstrap(problem.clone(), config(), &mut rng).unwrap();
+        monitor.scheme().validate(&problem).unwrap();
+        assert!(problem.savings_percent(monitor.scheme()) >= 0.0);
+    }
+
+    #[test]
+    fn small_drift_is_ignored_large_drift_adapts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut monitor =
+            ReplicationMonitor::bootstrap(problem.clone(), config(), &mut rng).unwrap();
+
+        // Identical statistics: nothing happens.
+        let action = monitor
+            .ingest_statistics(problem.clone(), &mut rng)
+            .unwrap();
+        assert_eq!(action, MonitorAction::NoChange);
+
+        // A large surge triggers adaptation.
+        let change = PatternChange {
+            change_percent: 600.0,
+            objects_percent: 30.0,
+            read_share: 1.0,
+        };
+        let shifted = change.apply(&problem, &mut rng).unwrap().problem;
+        let stale = shifted.savings_percent(monitor.scheme());
+        let action = monitor
+            .ingest_statistics(shifted.clone(), &mut rng)
+            .unwrap();
+        assert!(
+            matches!(action, MonitorAction::Adapted { changed_objects, .. } if changed_objects > 0)
+        );
+        assert!(shifted.savings_percent(monitor.scheme()) >= stale - 1e-9);
+        assert_eq!(monitor.problem(), &shifted);
+    }
+
+    #[test]
+    fn nightly_rebuild_refreshes_against_current_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut monitor =
+            ReplicationMonitor::bootstrap(problem.clone(), config(), &mut rng).unwrap();
+        let change = PatternChange {
+            change_percent: 600.0,
+            objects_percent: 50.0,
+            read_share: 0.0,
+        };
+        let shifted = change.apply(&problem, &mut rng).unwrap().problem;
+        monitor
+            .ingest_statistics(shifted.clone(), &mut rng)
+            .unwrap();
+        let adapted = shifted.savings_percent(monitor.scheme());
+        monitor.nightly_rebuild(&mut rng).unwrap();
+        let rebuilt = shifted.savings_percent(monitor.scheme());
+        // The full rebuild is at least in the same league as the quick
+        // adaptation (usually better; tiny GA budgets add noise).
+        assert!(
+            rebuilt >= adapted - 5.0,
+            "rebuild {rebuilt} vs adapted {adapted}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let other = WorkloadSpec::paper(8, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut monitor = ReplicationMonitor::bootstrap(problem, config(), &mut rng).unwrap();
+        assert!(monitor.ingest_statistics(other, &mut rng).is_err());
+    }
+}

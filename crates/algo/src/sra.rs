@@ -1,0 +1,281 @@
+use drp_core::{ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId};
+use rand::{Rng, RngCore};
+
+/// How SRA picks the next site from the candidate list `LS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiteOrder {
+    /// The paper's algorithm: cycle through the remaining sites in index
+    /// order.
+    #[default]
+    RoundRobin,
+    /// Pick uniformly at random — used to diversify GRA's seed population
+    /// (Section 4, "instead of picking up the start-up sites in a
+    /// round-robin way, we do it randomly").
+    Random,
+}
+
+/// The greedy *Simple Replication Algorithm* of Section 3.
+///
+/// Sites take turns; each computes the Eq. 5 benefit `B_k(i)` of every
+/// candidate object, replicates the best strictly-positive one, and drops
+/// candidates that turned non-beneficial or no longer fit. Benefits only
+/// decrease as replicas appear (the nearest-replica distance is monotone
+/// non-increasing and the update burden is constant), so dropped candidates
+/// never need revisiting — this is what bounds the run at `O(M²N + MN²)`.
+///
+/// # Examples
+///
+/// ```
+/// use drp_algo::{SiteOrder, Sra};
+/// use drp_core::ReplicationAlgorithm;
+/// use drp_workload::WorkloadSpec;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let problem = WorkloadSpec::paper(10, 15, 2.0, 20.0).generate(&mut rng)?;
+/// let scheme = Sra::with_order(SiteOrder::RoundRobin).solve(&problem, &mut rng)?;
+/// assert!(problem.total_cost(&scheme) <= problem.d_prime());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sra {
+    order: SiteOrder,
+}
+
+impl Sra {
+    /// SRA with the paper's round-robin site order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// SRA with an explicit site order.
+    pub fn with_order(order: SiteOrder) -> Self {
+        Self { order }
+    }
+
+    /// The configured site order.
+    pub fn order(&self) -> SiteOrder {
+        self.order
+    }
+}
+
+impl ReplicationAlgorithm for Sra {
+    fn name(&self) -> &str {
+        "SRA"
+    }
+
+    fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
+        let m = problem.num_sites();
+        let n = problem.num_objects();
+        let mut scheme = ReplicationScheme::primary_only(problem);
+
+        // nearest[k][i] = C(i, SN_k(i)) under the current scheme.
+        let mut nearest: Vec<Vec<u64>> = (0..n)
+            .map(|k| problem.nearest_costs(&scheme, ObjectId::new(k)))
+            .collect();
+
+        // L(i): candidate objects per site (everything but own primaries).
+        let mut lists: Vec<Vec<usize>> = (0..m)
+            .map(|i| {
+                (0..n)
+                    .filter(|&k| !scheme.holds(SiteId::new(i), ObjectId::new(k)))
+                    .collect()
+            })
+            .collect();
+        // LS: sites with a non-empty candidate list.
+        let mut ls: Vec<usize> = (0..m).filter(|&i| !lists[i].is_empty()).collect();
+
+        let mut cursor = 0usize;
+        while !ls.is_empty() {
+            let slot = match self.order {
+                SiteOrder::RoundRobin => {
+                    let s = cursor % ls.len();
+                    cursor = s + 1;
+                    s
+                }
+                SiteOrder::Random => rng.random_range(0..ls.len()),
+            };
+            let i = ls[slot];
+            let site = SiteId::new(i);
+            let free = scheme.free_capacity(problem, site);
+
+            // One pass: find the best positive benefit that fits and prune
+            // candidates that are dead (non-positive benefit or oversize).
+            let mut best: Option<(i64, usize)> = None;
+            lists[i].retain(|&k| {
+                let object = ObjectId::new(k);
+                let size = problem.object_size(object);
+                if size > free {
+                    return false;
+                }
+                let c_sp = problem.costs().cost(i, problem.primary(object).index());
+                let benefit = problem.reads(site, object) as i64 * nearest[k][i] as i64
+                    + (problem.writes(site, object) as i64 - problem.total_writes(object) as i64)
+                        * c_sp as i64;
+                if benefit <= 0 {
+                    return false;
+                }
+                if best.is_none_or(|(b, _)| benefit > b) {
+                    best = Some((benefit, k));
+                }
+                true
+            });
+
+            if let Some((_, k)) = best {
+                let object = ObjectId::new(k);
+                scheme.add_replica(problem, site, object)?;
+                // The new replica is everyone's potential nearest site now.
+                let row = problem.costs().row(i);
+                for (j, slot) in nearest[k].iter_mut().enumerate() {
+                    if row[j] < *slot {
+                        *slot = row[j];
+                    }
+                }
+                lists[i].retain(|&x| x != k);
+            }
+            if lists[i].is_empty() {
+                // Keep the round-robin cursor aligned after removal.
+                let removed_before = cursor > slot;
+                ls.remove(slot);
+                if removed_before && cursor > 0 {
+                    cursor -= 1;
+                }
+            }
+        }
+        Ok(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_net::CostMatrix;
+    use drp_workload::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn never_worse_than_primary_only() {
+        let mut r = rng();
+        for seed in 0..5 {
+            let p = WorkloadSpec::paper(12, 20, 5.0, 15.0)
+                .generate(&mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let s = Sra::new().solve(&p, &mut r).unwrap();
+            assert!(p.total_cost(&s) <= p.d_prime(), "seed {seed}");
+            s.validate(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn replicates_the_obviously_beneficial_object() {
+        // Site 1 reads object 0 heavily, no writes anywhere: SRA must
+        // replicate it there.
+        let costs = CostMatrix::from_rows(2, vec![0, 5, 5, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![50, 50])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 30])
+            .build()
+            .unwrap();
+        let s = Sra::new().solve(&p, &mut rng()).unwrap();
+        assert!(s.holds(SiteId::new(1), ObjectId::new(0)));
+        assert_eq!(p.total_cost(&s), 0);
+    }
+
+    #[test]
+    fn skips_update_dominated_objects() {
+        // Updates dwarf reads: benefit is negative everywhere, no replicas.
+        let costs = CostMatrix::from_rows(2, vec![0, 5, 5, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![100, 100])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 2])
+            .writes(vec![20, 20])
+            .build()
+            .unwrap();
+        let s = Sra::new().solve(&p, &mut rng()).unwrap();
+        assert_eq!(s.extra_replica_count(), 0);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        // Site 1 can hold only one of the two attractive objects.
+        let costs = CostMatrix::from_rows(2, vec![0, 5, 5, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![50, 10])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 30])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 10])
+            .build()
+            .unwrap();
+        let s = Sra::new().solve(&p, &mut rng()).unwrap();
+        // The higher-benefit object 0 wins the single slot.
+        assert!(s.holds(SiteId::new(1), ObjectId::new(0)));
+        assert!(!s.holds(SiteId::new(1), ObjectId::new(1)));
+    }
+
+    #[test]
+    fn greedy_picks_highest_benefit_first() {
+        // Two objects fit, but the order of replication is by benefit; both
+        // end up replicated when capacity allows.
+        let costs = CostMatrix::from_rows(2, vec![0, 5, 5, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![50, 20])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 30])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 10])
+            .build()
+            .unwrap();
+        let s = Sra::new().solve(&p, &mut rng()).unwrap();
+        assert_eq!(s.extra_replica_count(), 2);
+        assert_eq!(p.total_cost(&s), 0);
+    }
+
+    #[test]
+    fn round_robin_is_deterministic() {
+        let p = WorkloadSpec::paper(10, 15, 5.0, 15.0)
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let a = Sra::new().solve(&p, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = Sra::new().solve(&p, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_eq!(a, b, "round-robin SRA must not consume randomness");
+    }
+
+    #[test]
+    fn random_order_varies_but_stays_valid() {
+        let p = WorkloadSpec::paper(10, 15, 5.0, 15.0)
+            .generate(&mut StdRng::seed_from_u64(10))
+            .unwrap();
+        let mut r = rng();
+        for _ in 0..5 {
+            let s = Sra::with_order(SiteOrder::Random)
+                .solve(&p, &mut r)
+                .unwrap();
+            s.validate(&p).unwrap();
+            assert!(p.total_cost(&s) <= p.d_prime());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_slack_yields_primary_only() {
+        // Capacities exactly fit the primaries: no replica can be added.
+        let costs = CostMatrix::from_rows(2, vec![0, 5, 5, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![10, 10])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 30])
+            .object(10, SiteId::new(1))
+            .reads(vec![30, 0])
+            .build()
+            .unwrap();
+        let s = Sra::new().solve(&p, &mut rng()).unwrap();
+        assert_eq!(s.extra_replica_count(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 4(d): cost of adapting to a pattern change — AGRA variants
+//! versus warm-started and fresh GRA.
+//!
+//! Expected shape (matching the paper): AGRA (with or without a short
+//! mini-GRA) runs 1.5–2 orders of magnitude faster than a fresh
+//! many-generation GRA, and its cost barely moves with the share of
+//! changed objects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drp_algo::{Agra, AgraConfig, Gra, GraConfig};
+use drp_bench::{instance, rng};
+use drp_core::ObjectId;
+use drp_ga::BitString;
+use drp_workload::PatternChange;
+use std::hint::black_box;
+
+struct Fixture {
+    new_problem: drp_core::Problem,
+    scheme: drp_core::ReplicationScheme,
+    population: Vec<BitString>,
+    changed: Vec<ObjectId>,
+}
+
+fn fixture(och: f64) -> Fixture {
+    let problem = instance(25, 80, 5.0);
+    let gra = Gra::with_config(GraConfig {
+        population_size: 20,
+        generations: 20,
+        ..GraConfig::default()
+    });
+    let run = gra.solve_detailed(&problem, &mut rng()).unwrap();
+    let change = PatternChange {
+        change_percent: 600.0,
+        objects_percent: och,
+        read_share: 0.5,
+    };
+    let shift = change.apply(&problem, &mut rng()).unwrap();
+    Fixture {
+        new_problem: shift.problem,
+        scheme: run.scheme,
+        population: run
+            .outcome
+            .final_population
+            .iter()
+            .map(|(c, _)| c.clone())
+            .collect(),
+        changed: shift.changed.iter().map(|(k, _)| *k).collect(),
+    }
+}
+
+fn bench_adaptation_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4d_adaptation_cost");
+    group.sample_size(10);
+    let f = fixture(30.0);
+
+    for mini in [0usize, 5, 10] {
+        let agra = Agra::with_config(AgraConfig {
+            mini_gra_generations: mini,
+            gra: GraConfig {
+                population_size: 20,
+                generations: 20,
+                ..GraConfig::default()
+            },
+            ..AgraConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("agra_mini", mini), &mini, |b, _| {
+            b.iter(|| {
+                black_box(
+                    agra.adapt(
+                        &f.new_problem,
+                        &f.scheme,
+                        &f.population,
+                        &f.changed,
+                        &mut rng(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+
+    for generations in [20usize, 40] {
+        let gra = Gra::with_config(GraConfig {
+            population_size: 20,
+            generations,
+            ..GraConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fresh_gra", generations),
+            &generations,
+            |b, _| b.iter(|| black_box(gra.solve_detailed(&f.new_problem, &mut rng()).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_agra_vs_och(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agra_vs_changed_share");
+    group.sample_size(10);
+    for och in [10.0f64, 30.0, 50.0] {
+        let f = fixture(och);
+        let agra = Agra::with_config(AgraConfig {
+            mini_gra_generations: 5,
+            gra: GraConfig {
+                population_size: 20,
+                generations: 20,
+                ..GraConfig::default()
+            },
+            ..AgraConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{och}pct")),
+            &och,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        agra.adapt(
+                            &f.new_problem,
+                            &f.scheme,
+                            &f.population,
+                            &f.changed,
+                            &mut rng(),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptation_policies, bench_agra_vs_och);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmarks of the Eq. 4 cost model: full evaluation, the
+//! chromosome fast path, and incremental deltas. Quantifies the
+//! "incremental cost maintenance" design decision — a delta is O(M·|R_k|)
+//! where the full recomputation is O(Σ_k M·|R_k|).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drp_algo::{chromosome_cost, encode_scheme, Sra};
+use drp_bench::{instance, rng};
+use drp_core::{ObjectId, ReplicationAlgorithm, SiteId};
+use std::hint::black_box;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    for (m, n) in [(20, 50), (50, 100), (100, 200)] {
+        let problem = instance(m, n, 5.0);
+        let scheme = Sra::new().solve(&problem, &mut rng()).unwrap();
+        let bits = encode_scheme(&problem, &scheme);
+
+        group.bench_with_input(
+            BenchmarkId::new("full_total_cost", format!("{m}x{n}")),
+            &(),
+            |b, ()| b.iter(|| black_box(problem.total_cost(black_box(&scheme)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chromosome_cost", format!("{m}x{n}")),
+            &(),
+            |b, ()| b.iter(|| black_box(chromosome_cost(&problem, black_box(&bits)))),
+        );
+
+        // A representative incremental delta: first feasible addition.
+        let (site, object) = problem
+            .sites()
+            .flat_map(|i| problem.objects().map(move |k| (i, k)))
+            .find(|&(i, k)| {
+                !scheme.holds(i, k) && problem.object_size(k) <= scheme.free_capacity(&problem, i)
+            })
+            .unwrap_or((SiteId::new(0), ObjectId::new(0)));
+        if !scheme.holds(site, object) {
+            group.bench_with_input(
+                BenchmarkId::new("delta_add", format!("{m}x{n}")),
+                &(),
+                |b, ()| b.iter(|| black_box(problem.delta_add_replica(&scheme, site, object))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_replay");
+    group.sample_size(20);
+    let problem = instance(15, 30, 5.0);
+    let scheme = Sra::new().solve(&problem, &mut rng()).unwrap();
+    group.bench_function("replay_15x30", |b| {
+        b.iter(|| drp_core::replay::replay_total_cost(&problem, &scheme).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_replay);
+criterion_main!(benches);

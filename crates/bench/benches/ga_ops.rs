@@ -1,0 +1,61 @@
+//! Microbenchmarks of the GA building blocks: selection schemes, crossover
+//! operators and mutation, over GRA-sized chromosomes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drp_ga::{ops, BitString, SelectionScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    let mut rng = StdRng::seed_from_u64(1);
+    let fitness: Vec<f64> = (0..150).map(|i| (i % 17) as f64 / 17.0).collect();
+    for (name, scheme) in [
+        ("roulette", SelectionScheme::Roulette),
+        ("stochastic_remainder", SelectionScheme::StochasticRemainder),
+        ("tournament3", SelectionScheme::Tournament { size: 3 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, s| {
+            b.iter(|| black_box(s.allocate(&fitness, 50, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossover");
+    let mut rng = StdRng::seed_from_u64(2);
+    // A GRA-sized chromosome: 50 sites × 200 objects.
+    let a = BitString::random(10_000, &mut rng);
+    let b2 = BitString::random(10_000, &mut rng);
+    group.bench_function("one_point_10k", |b| {
+        b.iter(|| black_box(ops::one_point_crossover(&a, &b2, &mut rng)))
+    });
+    group.bench_function("two_point_10k", |b| {
+        b.iter(|| black_box(ops::two_point_crossover(&a, &b2, &mut rng)))
+    });
+    group.bench_function("uniform_10k", |b| {
+        b.iter(|| black_box(ops::uniform_crossover(&a, &b2, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutation");
+    let mut rng = StdRng::seed_from_u64(3);
+    let template = BitString::random(10_000, &mut rng);
+    for rate in [0.001f64, 0.01, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &r| {
+            b.iter(|| {
+                let mut c = template.clone();
+                ops::bit_flip_mutation(&mut c, r, &mut rng);
+                black_box(c)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_crossover, bench_mutation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figures 2(a)/2(b): SRA and GRA execution time versus network size.
+//!
+//! Expected shape (matching the paper): both grow ≈ quadratically with the
+//! number of sites, and GRA sits orders of magnitude above SRA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drp_algo::{Gra, GraConfig, Sra};
+use drp_bench::{instance, rng};
+use drp_core::ReplicationAlgorithm;
+use std::hint::black_box;
+
+fn bench_sra_sites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a_sra_vs_sites");
+    for m in [20usize, 40, 80] {
+        let problem = instance(m, 100, 5.0);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(Sra::new().solve(&problem, &mut rng()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gra_sites(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_gra_vs_sites");
+    group.sample_size(10);
+    let config = GraConfig {
+        population_size: 20,
+        generations: 20,
+        ..GraConfig::default()
+    };
+    for m in [20usize, 40, 80] {
+        let problem = instance(m, 100, 5.0);
+        let gra = Gra::with_config(config.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(gra.solve(&problem, &mut rng()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sra_objects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sra_vs_objects");
+    for n in [50usize, 100, 200] {
+        let problem = instance(30, n, 5.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Sra::new().solve(&problem, &mut rng()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sra_sites, bench_gra_sites, bench_sra_objects);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches quantify the paper's timing claims on today's hardware:
+//!
+//! * `cost_model` — full vs incremental NTC evaluation (the ablation behind
+//!   the "incremental cost maintenance" design decision in DESIGN.md);
+//! * `scaling` — SRA and GRA wall-clock versus the number of sites and
+//!   objects (Figures 2(a)/2(b));
+//! * `adaptive` — AGRA variants versus warm/fresh GRA (Figure 4(d));
+//! * `ga_ops` — the genetic operators and selection schemes in isolation.
+
+use drp_core::Problem;
+use drp_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic paper-style instance for benchmarking.
+pub fn instance(sites: usize, objects: usize, update_percent: f64) -> Problem {
+    WorkloadSpec::paper(sites, objects, update_percent, 15.0)
+        .generate(&mut StdRng::seed_from_u64(0xbe4c))
+        .expect("benchmark instance generates")
+}
+
+/// A deterministic rng for solver runs.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(0xfeed)
+}

@@ -1,0 +1,421 @@
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+use drp_workload::TopologyKind;
+
+/// CLI-level errors with human-readable messages.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing failed.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A file failed to parse.
+    Format(drp_core::format::FormatError),
+    /// A solver or generator failed.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            CliError::Format(e) => write!(f, "parse error: {e}"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<drp_core::format::FormatError> for CliError {
+    fn from(e: drp_core::format::FormatError) -> Self {
+        CliError::Format(e)
+    }
+}
+
+/// Which solver `drp solve` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Greedy SRA.
+    Sra,
+    /// Genetic GRA.
+    Gra,
+    /// Steepest-ascent hill climbing.
+    Hill,
+    /// Random valid placement.
+    Random,
+    /// Exact branch and bound (small instances only).
+    Optimal,
+    /// Primary-only baseline.
+    Primary,
+}
+
+/// A parsed command.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic instance.
+    Generate {
+        /// Number of sites.
+        sites: usize,
+        /// Number of objects.
+        objects: usize,
+        /// Update ratio, percent.
+        update: f64,
+        /// Capacity percentage.
+        capacity: f64,
+        /// Topology.
+        topology: TopologyKind,
+        /// Optional Zipf read skew.
+        zipf: Option<f64>,
+        /// Seed.
+        seed: u64,
+        /// Output file (stdout when absent).
+        output: Option<PathBuf>,
+    },
+    /// Solve an instance.
+    Solve {
+        /// Instance file.
+        instance: PathBuf,
+        /// Which solver.
+        solver: SolverKind,
+        /// Seed.
+        seed: u64,
+        /// GRA population size.
+        population: usize,
+        /// GRA generations.
+        generations: usize,
+        /// Scheme output file (omitted = report only).
+        output: Option<PathBuf>,
+    },
+    /// Evaluate a scheme against an instance.
+    Evaluate {
+        /// Instance file.
+        instance: PathBuf,
+        /// Scheme file.
+        scheme: PathBuf,
+    },
+    /// Summarize an instance.
+    Inspect {
+        /// Instance file.
+        instance: PathBuf,
+    },
+    /// Run the distributed token-passing SRA and report protocol costs.
+    Distributed {
+        /// Instance file.
+        instance: PathBuf,
+        /// Scheme output file.
+        output: Option<PathBuf>,
+    },
+    /// Adapt a scheme to a shifted instance with AGRA.
+    Adapt {
+        /// Old instance file.
+        instance: PathBuf,
+        /// New (shifted) instance file.
+        new_instance: PathBuf,
+        /// Current scheme file.
+        scheme: PathBuf,
+        /// Mini-GRA generations.
+        mini: usize,
+        /// Change-detection threshold, percent.
+        threshold: f64,
+        /// Seed.
+        seed: u64,
+        /// Output scheme file.
+        output: Option<PathBuf>,
+    },
+}
+
+struct ArgStream<'a> {
+    args: &'a [String],
+    index: usize,
+}
+
+impl<'a> ArgStream<'a> {
+    fn next_value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.index += 1;
+        self.args
+            .get(self.index)
+            .map(|s| {
+                self.index += 1;
+                s.as_str()
+            })
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad value `{value}` for {flag}")))
+}
+
+fn parse_topology(value: &str) -> Result<TopologyKind, CliError> {
+    Ok(match value {
+        "complete" => TopologyKind::Complete,
+        "ring" => TopologyKind::Ring,
+        "tree" => TopologyKind::Tree { arity: 2 },
+        "grid" => TopologyKind::Grid,
+        "er" => TopologyKind::ErdosRenyi { p: 0.3 },
+        "waxman" => TopologyKind::Waxman {
+            alpha: 0.8,
+            beta: 0.4,
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown topology `{other}` (complete|ring|tree|grid|er|waxman)"
+            )))
+        }
+    })
+}
+
+fn parse_solver(value: &str) -> Result<SolverKind, CliError> {
+    Ok(match value {
+        "sra" => SolverKind::Sra,
+        "gra" => SolverKind::Gra,
+        "hill" => SolverKind::Hill,
+        "random" => SolverKind::Random,
+        "optimal" => SolverKind::Optimal,
+        "primary" => SolverKind::Primary,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm `{other}` (sra|gra|hill|random|optimal|primary)"
+            )))
+        }
+    })
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] describing the first problem.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(verb) = args.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    let mut stream = ArgStream { args, index: 0 };
+    match verb.as_str() {
+        "generate" => {
+            let (mut sites, mut objects) = (None, None);
+            let (mut update, mut capacity) = (5.0f64, 15.0f64);
+            let mut topology = TopologyKind::Complete;
+            let mut zipf = None;
+            let mut seed = 0u64;
+            let mut output = None;
+            stream.index = 1;
+            while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
+                match flag {
+                    "--sites" => sites = Some(parse_num(stream.next_value(flag)?, flag)?),
+                    "--objects" => objects = Some(parse_num(stream.next_value(flag)?, flag)?),
+                    "--update" => update = parse_num(stream.next_value(flag)?, flag)?,
+                    "--capacity" => capacity = parse_num(stream.next_value(flag)?, flag)?,
+                    "--topology" => topology = parse_topology(stream.next_value(flag)?)?,
+                    "--zipf" => zipf = Some(parse_num(stream.next_value(flag)?, flag)?),
+                    "--seed" => seed = parse_num(stream.next_value(flag)?, flag)?,
+                    "-o" | "--output" => {
+                        output = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Generate {
+                sites: sites.ok_or_else(|| CliError::Usage("--sites is required".into()))?,
+                objects: objects.ok_or_else(|| CliError::Usage("--objects is required".into()))?,
+                update,
+                capacity,
+                topology,
+                zipf,
+                seed,
+                output,
+            })
+        }
+        "solve" => {
+            let mut instance = None;
+            let mut solver = None;
+            let mut seed = 0u64;
+            let mut population = 50usize;
+            let mut generations = 80usize;
+            let mut output = None;
+            stream.index = 1;
+            while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
+                match flag {
+                    "--instance" => instance = Some(PathBuf::from(stream.next_value(flag)?)),
+                    "--algorithm" => solver = Some(parse_solver(stream.next_value(flag)?)?),
+                    "--seed" => seed = parse_num(stream.next_value(flag)?, flag)?,
+                    "--pop" => population = parse_num(stream.next_value(flag)?, flag)?,
+                    "--gens" => generations = parse_num(stream.next_value(flag)?, flag)?,
+                    "-o" | "--output" => {
+                        output = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Solve {
+                instance: instance
+                    .ok_or_else(|| CliError::Usage("--instance is required".into()))?,
+                solver: solver.ok_or_else(|| CliError::Usage("--algorithm is required".into()))?,
+                seed,
+                population,
+                generations,
+                output,
+            })
+        }
+        "evaluate" | "inspect" | "adapt" | "distributed" => {
+            let mut instance = None;
+            let mut new_instance = None;
+            let mut scheme = None;
+            let mut mini = 5usize;
+            let mut threshold = 100.0f64;
+            let mut seed = 0u64;
+            let mut output = None;
+            stream.index = 1;
+            while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
+                match flag {
+                    "--instance" => instance = Some(PathBuf::from(stream.next_value(flag)?)),
+                    "--new-instance" => {
+                        new_instance = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
+                    "--scheme" => scheme = Some(PathBuf::from(stream.next_value(flag)?)),
+                    "--mini" => mini = parse_num(stream.next_value(flag)?, flag)?,
+                    "--threshold" => threshold = parse_num(stream.next_value(flag)?, flag)?,
+                    "--seed" => seed = parse_num(stream.next_value(flag)?, flag)?,
+                    "-o" | "--output" => {
+                        output = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            let instance =
+                instance.ok_or_else(|| CliError::Usage("--instance is required".into()))?;
+            match verb.as_str() {
+                "evaluate" => Ok(Command::Evaluate {
+                    instance,
+                    scheme: scheme.ok_or_else(|| CliError::Usage("--scheme is required".into()))?,
+                }),
+                "inspect" => Ok(Command::Inspect { instance }),
+                "distributed" => Ok(Command::Distributed { instance, output }),
+                _ => Ok(Command::Adapt {
+                    instance,
+                    new_instance: new_instance
+                        .ok_or_else(|| CliError::Usage("--new-instance is required".into()))?,
+                    scheme: scheme.ok_or_else(|| CliError::Usage("--scheme is required".into()))?,
+                    mini,
+                    threshold,
+                    seed,
+                    output,
+                }),
+            }
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_defaults() {
+        let cmd = parse(&argv("generate --sites 5 --objects 7")).unwrap();
+        match cmd {
+            Command::Generate {
+                sites,
+                objects,
+                update,
+                capacity,
+                topology,
+                zipf,
+                seed,
+                output,
+            } => {
+                assert_eq!((sites, objects), (5, 7));
+                assert_eq!((update, capacity), (5.0, 15.0));
+                assert_eq!(topology, TopologyKind::Complete);
+                assert_eq!(zipf, None);
+                assert_eq!(seed, 0);
+                assert_eq!(output, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_solve_with_gra_options() {
+        let cmd = parse(&argv(
+            "solve --instance net.drp --algorithm gra --pop 10 --gens 20 -o s.drp",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Solve {
+                solver,
+                population,
+                generations,
+                output,
+                ..
+            } => {
+                assert_eq!(solver, SolverKind::Gra);
+                assert_eq!((population, generations), (10, 20));
+                assert_eq!(output, Some(PathBuf::from("s.drp")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_adapt() {
+        let cmd = parse(&argv(
+            "adapt --instance a.drp --new-instance b.drp --scheme s.drp --mini 10 --threshold 50",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Adapt {
+                mini, threshold, ..
+            } => {
+                assert_eq!(mini, 10);
+                assert_eq!(threshold, 50.0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("generate --objects 5")).is_err());
+        assert!(parse(&argv("generate --sites x --objects 5")).is_err());
+        assert!(parse(&argv("solve --instance a.drp --algorithm warp")).is_err());
+        assert!(parse(&argv("generate --sites 5 --objects 5 --topology donut")).is_err());
+        assert!(parse(&argv("evaluate --instance a.drp")).is_err());
+        assert!(parse(&argv("adapt --instance a.drp --scheme s.drp")).is_err());
+        assert!(parse(&argv("generate --sites")).is_err());
+    }
+
+    #[test]
+    fn all_topologies_parse() {
+        for topo in ["complete", "ring", "tree", "grid", "er", "waxman"] {
+            let line = format!("generate --sites 5 --objects 5 --topology {topo}");
+            assert!(parse(&argv(&line)).is_ok(), "{topo}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Command-line front end for the DRP reproduction.
+//!
+//! All logic lives here (the `drp` binary is a thin shell) so the test
+//! suite can drive commands in-process. Instances and schemes travel in the
+//! plain-text formats of [`drp_core::format`].
+//!
+//! ```text
+//! drp generate --sites 20 --objects 50 --update 5 --capacity 15 -o net.drp
+//! drp solve    --instance net.drp --algorithm gra -o scheme.drp
+//! drp evaluate --instance net.drp --scheme scheme.drp
+//! drp adapt    --instance net.drp --new-instance shifted.drp --scheme scheme.drp
+//! drp inspect  --instance net.drp
+//! ```
+
+mod args;
+mod commands;
+
+pub use args::{parse, CliError, Command};
+pub use commands::run_command;
+
+/// Usage banner printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  drp generate --sites M --objects N [--update U%] [--capacity C%]
+               [--topology complete|ring|tree|grid|er|waxman] [--zipf S]
+               [--seed N] [-o FILE]
+  drp solve    --instance FILE --algorithm sra|gra|hill|random|optimal|primary
+               [--seed N] [--pop N] [--gens N] [-o FILE]
+  drp evaluate --instance FILE --scheme FILE
+  drp inspect  --instance FILE
+  drp distributed --instance FILE [-o FILE]
+  drp adapt    --instance FILE --new-instance FILE --scheme FILE
+               [--mini N] [--threshold PCT] [--seed N] [-o FILE]";
+
+/// Parses and executes one command line, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad arguments, unreadable files or solver
+/// failures, with a message suitable for the terminal.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let command = parse(args)?;
+    run_command(command)
+}

@@ -1,0 +1,16 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match drp_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("drp: {e}");
+            eprintln!("{}", drp_cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

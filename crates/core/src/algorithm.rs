@@ -1,0 +1,88 @@
+use std::time::Instant;
+
+use rand::RngCore;
+
+use crate::{Problem, ReplicationScheme, Result, SolutionReport};
+
+/// A replica-placement solver for the Data Replication Problem.
+///
+/// Implementations must return a scheme that satisfies both DRP constraints
+/// (primary copies present, capacities respected) — [`ReplicationScheme`]
+/// enforces them structurally, so any scheme assembled through its API
+/// qualifies.
+///
+/// The trait is object-safe: experiment harnesses drive heterogeneous
+/// collections of `Box<dyn ReplicationAlgorithm>`.
+pub trait ReplicationAlgorithm {
+    /// Short human-readable name, e.g. `"SRA"` or `"GRA"`.
+    fn name(&self) -> &str;
+
+    /// Solves `problem`, drawing any randomness from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report instance-shape problems or internal invariant
+    /// violations; a valid instance should always yield a scheme (at worst
+    /// the primary-only allocation).
+    fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme>;
+
+    /// Runs [`solve`](Self::solve) and wraps the outcome in a timed
+    /// [`SolutionReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`solve`](Self::solve).
+    fn solve_report(
+        &self,
+        problem: &Problem,
+        rng: &mut dyn RngCore,
+    ) -> Result<(ReplicationScheme, SolutionReport)> {
+        let start = Instant::now();
+        let scheme = self.solve(problem, rng)?;
+        let elapsed = start.elapsed();
+        let report = SolutionReport::evaluate(self.name(), problem, &scheme, elapsed);
+        Ok((scheme, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiteId;
+    use drp_net::CostMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A do-nothing solver returning the primary-only allocation.
+    struct Noop;
+
+    impl ReplicationAlgorithm for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn solve(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
+            Ok(ReplicationScheme::primary_only(problem))
+        }
+    }
+
+    #[test]
+    fn solve_report_times_and_evaluates() {
+        let costs = CostMatrix::from_rows(2, vec![0, 2, 2, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![10, 10])
+            .object(4, SiteId::new(0))
+            .reads(vec![0, 5])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (scheme, report) = Noop.solve_report(&p, &mut rng).unwrap();
+        assert_eq!(report.algorithm, "noop");
+        assert_eq!(report.cost, p.total_cost(&scheme));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let solvers: Vec<Box<dyn ReplicationAlgorithm>> = vec![Box::new(Noop)];
+        assert_eq!(solvers[0].name(), "noop");
+    }
+}

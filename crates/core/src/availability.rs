@@ -1,0 +1,175 @@
+//! Availability analysis of replication schemes — a reproduction extension.
+//!
+//! The paper's conclusion lists consistency and fault tolerance as future
+//! work. This module quantifies the fault-tolerance *side effect* of the
+//! NTC-driven placements: assuming sites fail independently with
+//! probability `p`, a read of object `k` succeeds as long as at least one
+//! replicator is alive, so
+//!
+//! ```text
+//! availability(k) = 1 − p^{|R_k|}
+//! ```
+//!
+//! and demand-weighted system availability weighs objects by their read
+//! volume. The `repro` ablation tables use this to show that GRA's wider
+//! replication (vs SRA) buys measurable availability for free.
+
+use crate::{ObjectId, Problem, ReplicationScheme};
+
+/// Availability of a single object under independent site-failure
+/// probability `p`: the chance at least one replica survives.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or `object` is out of range.
+pub fn object_availability(scheme: &ReplicationScheme, object: ObjectId, p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "failure probability must be in [0, 1]"
+    );
+    1.0 - p.powi(scheme.replica_degree(object) as i32)
+}
+
+/// Mean object availability (unweighted).
+///
+/// # Panics
+///
+/// Panics if `p` is out of range or the scheme has no objects.
+pub fn mean_availability(scheme: &ReplicationScheme, p: f64) -> f64 {
+    assert!(scheme.num_objects() > 0, "scheme has no objects");
+    let total: f64 = (0..scheme.num_objects())
+        .map(|k| object_availability(scheme, ObjectId::new(k), p))
+        .sum();
+    total / scheme.num_objects() as f64
+}
+
+/// Read-demand-weighted availability: objects that are read more count
+/// proportionally more.
+///
+/// # Panics
+///
+/// Panics if `p` is out of range or the scheme shape mismatches the
+/// problem.
+pub fn demand_weighted_availability(problem: &Problem, scheme: &ReplicationScheme, p: f64) -> f64 {
+    assert_eq!(
+        scheme.num_objects(),
+        problem.num_objects(),
+        "shape mismatch"
+    );
+    let mut weighted = 0.0;
+    let mut total_reads = 0.0;
+    for k in problem.objects() {
+        let reads = problem.total_reads(k) as f64;
+        weighted += reads * object_availability(scheme, k, p);
+        total_reads += reads;
+    }
+    if total_reads == 0.0 {
+        mean_availability(scheme, p)
+    } else {
+        weighted / total_reads
+    }
+}
+
+/// The expected fraction of the period's reads that survive the failure of
+/// one specific site (every replica hosted there vanishes; reads re-route
+/// when another replica exists).
+///
+/// # Panics
+///
+/// Panics if ids are out of range.
+pub fn reads_surviving_site_failure(
+    problem: &Problem,
+    scheme: &ReplicationScheme,
+    failed: crate::SiteId,
+) -> f64 {
+    let mut surviving = 0u64;
+    let mut total = 0u64;
+    for k in problem.objects() {
+        let reads = problem.total_reads(k);
+        total += reads;
+        let lone_copy_lost = scheme.replica_degree(k) == 1 && scheme.holds(failed, k);
+        if !lone_copy_lost {
+            surviving += reads;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        surviving as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiteId;
+    use drp_net::CostMatrix;
+
+    fn problem() -> Problem {
+        let costs = CostMatrix::from_rows(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0]).unwrap();
+        Problem::builder(costs)
+            .capacities(vec![40, 40, 40])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 4, 6])
+            .object(5, SiteId::new(2))
+            .reads(vec![30, 0, 0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_copy_availability_is_one_minus_p() {
+        let p = problem();
+        let s = ReplicationScheme::primary_only(&p);
+        let a = object_availability(&s, ObjectId::new(0), 0.1);
+        assert!((a - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_raises_availability() {
+        let p = problem();
+        let mut s = ReplicationScheme::primary_only(&p);
+        let before = mean_availability(&s, 0.2);
+        s.add_replica(&p, SiteId::new(1), ObjectId::new(0)).unwrap();
+        s.add_replica(&p, SiteId::new(2), ObjectId::new(0)).unwrap();
+        let after = mean_availability(&s, 0.2);
+        assert!(after > before);
+        // Object 0 now has 3 replicas: 1 − 0.2³ = 0.992.
+        assert!((object_availability(&s, ObjectId::new(0), 0.2) - 0.992).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_weighting_follows_the_hot_object() {
+        let p = problem();
+        let mut s = ReplicationScheme::primary_only(&p);
+        // Object 1 carries 30 of 40 total reads; replicating *it* moves the
+        // weighted metric more than replicating object 0.
+        let base = demand_weighted_availability(&p, &s, 0.3);
+        let mut s0 = s.clone();
+        s0.add_replica(&p, SiteId::new(1), ObjectId::new(0))
+            .unwrap();
+        let with_cold = demand_weighted_availability(&p, &s0, 0.3);
+        s.add_replica(&p, SiteId::new(0), ObjectId::new(1)).unwrap();
+        let with_hot = demand_weighted_availability(&p, &s, 0.3);
+        assert!(with_hot > with_cold && with_cold > base);
+    }
+
+    #[test]
+    fn site_failure_survival() {
+        let p = problem();
+        let s = ReplicationScheme::primary_only(&p);
+        // Killing site 0 loses object 0's only copy: 10 of 40 reads served.
+        let survive = reads_surviving_site_failure(&p, &s, SiteId::new(0));
+        assert!((survive - 30.0 / 40.0).abs() < 1e-12);
+        // Site 1 hosts nothing: everything survives.
+        assert_eq!(reads_surviving_site_failure(&p, &s, SiteId::new(1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn out_of_range_probability_panics() {
+        let p = problem();
+        let s = ReplicationScheme::primary_only(&p);
+        object_availability(&s, ObjectId::new(0), 1.5);
+    }
+}

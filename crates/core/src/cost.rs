@@ -1,0 +1,332 @@
+//! The Eq. 4 network-transfer-cost model, implemented as methods on
+//! [`Problem`].
+//!
+//! All quantities are exact integers: costs, sizes and frequencies are
+//! integral, so the NTC is too. Savings percentages are the only floating
+//! point values.
+
+use crate::{ObjectId, Problem, ReplicationScheme, SiteId};
+
+impl Problem {
+    /// Nearest-replica transfer cost from every site for one object:
+    /// `out[i] = min { C(i, j) : X_jk = 1 }` in O(M · |R_k|).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range or the scheme shape mismatches.
+    pub fn nearest_costs(&self, scheme: &ReplicationScheme, object: ObjectId) -> Vec<u64> {
+        let m = self.num_sites();
+        let mut out = vec![u64::MAX; m];
+        for &j in scheme.replicator_indices(object.index()) {
+            let row = self.costs().row(j);
+            for (i, slot) in out.iter_mut().enumerate() {
+                let c = row[i];
+                if c < *slot {
+                    *slot = c;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-object NTC `V_k` (Eq. 4 restricted to one object): the reads of
+    /// non-replicators from their nearest replica, their writes shipped to
+    /// the primary, and the update broadcast received by every replicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range or the scheme shape mismatches.
+    pub fn object_cost(&self, scheme: &ReplicationScheme, object: ObjectId) -> u64 {
+        let k = object.index();
+        let o = self.object_size(object);
+        let sp = self.primary(object).index();
+        let w_tot = self.total_writes(object);
+        let sp_row = self.costs().row(sp);
+        let replicas = scheme.replicator_indices(k);
+
+        // Update broadcast: every replicator receives every write.
+        let mut cost = 0u64;
+        for &j in replicas {
+            cost += w_tot * o * sp_row[j];
+        }
+
+        // Non-replicators: reads from the nearest replica, writes to SP.
+        let nearest = self.nearest_costs(scheme, object);
+        for i in 0..self.num_sites() {
+            if scheme.holds(SiteId::new(i), object) {
+                continue;
+            }
+            let r = self.reads(SiteId::new(i), object);
+            let w = self.writes(SiteId::new(i), object);
+            cost += o * (r * nearest[i] + w * sp_row[i]);
+        }
+        cost
+    }
+
+    /// The total NTC `D` of Eq. 4 under `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme shape mismatches the problem.
+    pub fn total_cost(&self, scheme: &ReplicationScheme) -> u64 {
+        self.objects().map(|k| self.object_cost(scheme, k)).sum()
+    }
+
+    /// Percentage of NTC saved relative to the primary-only allocation —
+    /// the solution-quality metric of the paper's evaluation. Negative when
+    /// the scheme is *worse* than doing nothing.
+    pub fn savings_percent(&self, scheme: &ReplicationScheme) -> f64 {
+        let dp = self.d_prime();
+        if dp == 0 {
+            return 0.0;
+        }
+        let d = self.total_cost(scheme);
+        100.0 * (dp as f64 - d as f64) / dp as f64
+    }
+
+    /// Exact change in `D` (new − old) from adding a replica of `object` at
+    /// `site`, in O(M · |R_k|). Negative values mean the replica helps.
+    ///
+    /// Unlike the greedy "local" benefit of Eq. 5 this is the *global*
+    /// delta: it includes the read-traffic reduction of every other site
+    /// that would re-route to the new replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` already replicates `object` or ids are out of range.
+    pub fn delta_add_replica(
+        &self,
+        scheme: &ReplicationScheme,
+        site: SiteId,
+        object: ObjectId,
+    ) -> i64 {
+        assert!(
+            !scheme.holds(site, object),
+            "delta_add_replica requires a non-replicator site"
+        );
+        let i = site.index();
+        let o = self.object_size(object);
+        let sp = self.primary(object).index();
+        let c_isp = self.costs().cost(i, sp);
+        let w_tot = self.total_writes(object);
+        let nearest = self.nearest_costs(scheme, object);
+        let i_row = self.costs().row(i);
+
+        // Site i stops reading remotely and shipping writes, starts
+        // receiving the update broadcast.
+        let r_i = self.reads(site, object);
+        let w_i = self.writes(site, object);
+        let old_i = o * (r_i * nearest[i] + w_i * c_isp);
+        let new_i = w_tot * o * c_isp;
+        let mut delta = new_i as i64 - old_i as i64;
+
+        // Other non-replicators may re-route reads through the new replica.
+        for j in 0..self.num_sites() {
+            if j == i || scheme.holds(SiteId::new(j), object) {
+                continue;
+            }
+            let c_ji = i_row[j];
+            if c_ji < nearest[j] {
+                let r_j = self.reads(SiteId::new(j), object);
+                delta -= (r_j * o * (nearest[j] - c_ji)) as i64;
+            }
+        }
+        delta
+    }
+
+    /// Exact change in `D` (new − old) from removing the replica of
+    /// `object` at `site`, in O(M · |R_k|).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is not a replicator, is the primary, or ids are out
+    /// of range.
+    pub fn delta_remove_replica(
+        &self,
+        scheme: &ReplicationScheme,
+        site: SiteId,
+        object: ObjectId,
+    ) -> i64 {
+        assert!(
+            scheme.holds(site, object),
+            "delta_remove_replica requires a replicator site"
+        );
+        assert!(
+            self.primary(object) != site,
+            "the primary copy cannot be removed"
+        );
+        let i = site.index();
+        let k = object.index();
+        let o = self.object_size(object);
+        let sp = self.primary(object).index();
+        let c_isp = self.costs().cost(i, sp);
+        let w_tot = self.total_writes(object);
+
+        // Nearest costs without site i's replica.
+        let m = self.num_sites();
+        let mut nearest_without = vec![u64::MAX; m];
+        let mut nearest_with = vec![u64::MAX; m];
+        for &j in scheme.replicator_indices(k) {
+            let row = self.costs().row(j);
+            for (x, slot) in nearest_with.iter_mut().enumerate() {
+                if row[x] < *slot {
+                    *slot = row[x];
+                }
+            }
+            if j == i {
+                continue;
+            }
+            let row = self.costs().row(j);
+            for (x, slot) in nearest_without.iter_mut().enumerate() {
+                if row[x] < *slot {
+                    *slot = row[x];
+                }
+            }
+        }
+
+        // Site i resumes remote reads and write shipping, stops receiving
+        // the broadcast.
+        let r_i = self.reads(site, object);
+        let w_i = self.writes(site, object);
+        let old_i = w_tot * o * c_isp;
+        let new_i = o * (r_i * nearest_without[i] + w_i * c_isp);
+        let mut delta = new_i as i64 - old_i as i64;
+
+        // Other non-replicators whose nearest replica was site i re-route.
+        for j in 0..m {
+            if j == i || scheme.holds(SiteId::new(j), object) {
+                continue;
+            }
+            if nearest_without[j] > nearest_with[j] {
+                let r_j = self.reads(SiteId::new(j), object);
+                delta += (r_j * o * (nearest_without[j] - nearest_with[j])) as i64;
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_net::CostMatrix;
+
+    /// 3 sites on a line (C(0,1)=1, C(1,2)=1, C(0,2)=2), 2 objects.
+    fn problem() -> Problem {
+        let costs = CostMatrix::from_rows(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0]).unwrap();
+        Problem::builder(costs)
+            .capacities(vec![40, 40, 40])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 4, 6])
+            .writes(vec![1, 2, 0])
+            .object(5, SiteId::new(2))
+            .reads(vec![3, 0, 2])
+            .writes(vec![0, 0, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn primary_only_cost_equals_d_prime() {
+        let p = problem();
+        let s = ReplicationScheme::primary_only(&p);
+        assert_eq!(p.total_cost(&s), p.d_prime());
+        assert_eq!(p.savings_percent(&s), 0.0);
+        for k in p.objects() {
+            assert_eq!(p.object_cost(&s, k), p.v_prime(k));
+        }
+    }
+
+    #[test]
+    fn object_cost_matches_hand_computation_with_replica() {
+        let p = problem();
+        let mut s = ReplicationScheme::primary_only(&p);
+        s.add_replica(&p, SiteId::new(2), ObjectId::new(0)).unwrap();
+        // Object 0: o=10, SP=0, replicas {0, 2}, total writes = 3.
+        // Broadcast: 3·10·C(0,0) + 3·10·C(2,0) = 0 + 60.
+        // Site 1 (non-replicator): reads 4·10·min(C(1,0), C(1,2))=4·10·1=40,
+        //                          writes 2·10·C(1,0)=20.
+        assert_eq!(p.object_cost(&s, ObjectId::new(0)), 60 + 40 + 20);
+        // Object 1 unchanged: V_prime = site0 3r·5·2=30, site1 0·...=0.
+        assert_eq!(
+            p.object_cost(&s, ObjectId::new(1)),
+            p.v_prime(ObjectId::new(1))
+        );
+        assert_eq!(p.total_cost(&s), 120 + 30);
+    }
+
+    #[test]
+    fn nearest_costs_reflect_replicas() {
+        let p = problem();
+        let mut s = ReplicationScheme::primary_only(&p);
+        assert_eq!(p.nearest_costs(&s, ObjectId::new(0)), vec![0, 1, 2]);
+        s.add_replica(&p, SiteId::new(2), ObjectId::new(0)).unwrap();
+        assert_eq!(p.nearest_costs(&s, ObjectId::new(0)), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn delta_add_matches_full_recomputation() {
+        let p = problem();
+        let s = ReplicationScheme::primary_only(&p);
+        for k in p.objects() {
+            for i in p.sites() {
+                if s.holds(i, k) {
+                    continue;
+                }
+                let predicted = p.delta_add_replica(&s, i, k);
+                let mut t = s.clone();
+                t.add_replica(&p, i, k).unwrap();
+                let actual = p.total_cost(&t) as i64 - p.total_cost(&s) as i64;
+                assert_eq!(predicted, actual, "add ({i}, {k})");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_remove_matches_full_recomputation() {
+        let p = problem();
+        let mut s = ReplicationScheme::primary_only(&p);
+        s.add_replica(&p, SiteId::new(2), ObjectId::new(0)).unwrap();
+        s.add_replica(&p, SiteId::new(1), ObjectId::new(0)).unwrap();
+        s.add_replica(&p, SiteId::new(0), ObjectId::new(1)).unwrap();
+        for k in p.objects() {
+            for i in p.sites() {
+                if !s.holds(i, k) || p.primary(k) == i {
+                    continue;
+                }
+                let predicted = p.delta_remove_replica(&s, i, k);
+                let mut t = s.clone();
+                t.remove_replica(&p, i, k).unwrap();
+                let actual = p.total_cost(&t) as i64 - p.total_cost(&s) as i64;
+                assert_eq!(predicted, actual, "remove ({i}, {k})");
+            }
+        }
+    }
+
+    #[test]
+    fn savings_track_cost_reduction() {
+        let p = problem();
+        let mut s = ReplicationScheme::primary_only(&p);
+        s.add_replica(&p, SiteId::new(2), ObjectId::new(0)).unwrap();
+        let d = p.total_cost(&s);
+        let expected = 100.0 * (p.d_prime() as f64 - d as f64) / p.d_prime() as f64;
+        assert!((p.savings_percent(&s) - expected).abs() < 1e-12);
+        assert!(p.savings_percent(&s) > 0.0);
+    }
+
+    #[test]
+    fn full_replication_can_hurt_under_writes() {
+        // One heavily-written object: replicating everywhere must raise D.
+        let costs = CostMatrix::from_rows(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![50, 50, 50])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 1, 0])
+            .writes(vec![5, 5, 5])
+            .build()
+            .unwrap();
+        let full = ReplicationScheme::from_fn(&p, |_, _| true).unwrap();
+        assert!(p.total_cost(&full) > p.d_prime());
+        assert!(p.savings_percent(&full) < 0.0);
+    }
+}

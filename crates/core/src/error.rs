@@ -1,0 +1,144 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::{ObjectId, SiteId};
+
+/// Errors produced when constructing or manipulating DRP instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A site index was out of range.
+    SiteOutOfRange {
+        /// The offending site.
+        site: SiteId,
+        /// Number of sites in the instance.
+        num_sites: usize,
+    },
+    /// An object index was out of range.
+    ObjectOutOfRange {
+        /// The offending object.
+        object: ObjectId,
+        /// Number of objects in the instance.
+        num_objects: usize,
+    },
+    /// A site lacks the free capacity for a new replica.
+    InsufficientCapacity {
+        /// Target site.
+        site: SiteId,
+        /// Object that does not fit.
+        object: ObjectId,
+        /// Free data units at the site.
+        free: u64,
+        /// Size of the object.
+        size: u64,
+    },
+    /// The site already holds a replica of the object.
+    AlreadyReplica {
+        /// Target site.
+        site: SiteId,
+        /// Replicated object.
+        object: ObjectId,
+    },
+    /// The site holds no replica of the object.
+    NotReplica {
+        /// Target site.
+        site: SiteId,
+        /// Object in question.
+        object: ObjectId,
+    },
+    /// Attempted to deallocate a primary copy, which the policy forbids.
+    PrimaryUndeletable {
+        /// Object whose primary was targeted.
+        object: ObjectId,
+    },
+    /// An instance failed validation.
+    InvalidInstance {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An error bubbled up from the network substrate.
+    Net(drp_net::NetError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::SiteOutOfRange { site, num_sites } => {
+                write!(f, "site {site} out of range for {num_sites} sites")
+            }
+            CoreError::ObjectOutOfRange {
+                object,
+                num_objects,
+            } => {
+                write!(f, "object {object} out of range for {num_objects} objects")
+            }
+            CoreError::InsufficientCapacity {
+                site,
+                object,
+                free,
+                size,
+            } => write!(
+                f,
+                "site {site} has {free} free data units, object {object} needs {size}"
+            ),
+            CoreError::AlreadyReplica { site, object } => {
+                write!(f, "site {site} already replicates object {object}")
+            }
+            CoreError::NotReplica { site, object } => {
+                write!(f, "site {site} does not replicate object {object}")
+            }
+            CoreError::PrimaryUndeletable { object } => {
+                write!(
+                    f,
+                    "the primary copy of object {object} cannot be deallocated"
+                )
+            }
+            CoreError::InvalidInstance { reason } => write!(f, "invalid instance: {reason}"),
+            CoreError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<drp_net::NetError> for CoreError {
+    fn from(e: drp_net::NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::InsufficientCapacity {
+            site: SiteId::new(1),
+            object: ObjectId::new(2),
+            free: 3,
+            size: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('1') && msg.contains('2') && msg.contains('3') && msg.contains('9'));
+    }
+
+    #[test]
+    fn net_errors_convert_and_chain() {
+        let e: CoreError = drp_net::NetError::EmptyNetwork.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

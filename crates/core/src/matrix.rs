@@ -1,0 +1,176 @@
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `sites × objects` matrix.
+///
+/// Used for the read and write frequency tables `r_k(i)` / `w_k(i)`. Rows
+/// are sites, columns are objects, matching the paper's chromosome layout
+/// (one *gene* — one row — per site).
+///
+/// # Examples
+///
+/// ```
+/// use drp_core::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m.set(1, 2, 7u64);
+/// assert_eq!(m.get(1, 2), &7);
+/// assert_eq!(m.row(1), &[0, 0, 7]);
+/// assert_eq!(m.column(2).copied().collect::<Vec<_>>(), vec![0, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> DenseMatrix<T> {
+    /// Creates a matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T> DenseMatrix<T> {
+    /// Builds a matrix from row-major data.
+    ///
+    /// Returns `None` when `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<T>) -> Option<Self> {
+        (data.len() == rows * cols).then_some(Self { rows, cols, data })
+    }
+
+    /// Number of rows (sites).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (objects).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> &T {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        &self.data[row * self.cols + col]
+    }
+
+    /// Overwrites the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut T {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        &mut self.data[row * self.cols + col]
+    }
+
+    /// A full row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row out of range");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterator over one column, top to bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = &T> + '_ {
+        assert!(col < self.cols, "column out of range");
+        (0..self.rows).map(move |r| &self.data[r * self.cols + col])
+    }
+
+    /// Iterator over all elements in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.data.iter()
+    }
+}
+
+impl DenseMatrix<u64> {
+    /// Sum of one column — e.g. the total reads of an object across sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column_sum(&self, col: usize) -> u64 {
+        self.column(col).sum()
+    }
+
+    /// Sum of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_sum(&self, row: usize) -> u64 {
+        self.row(row).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(DenseMatrix::from_rows(2, 2, vec![1u64, 2, 3]).is_none());
+        let m = DenseMatrix::from_rows(2, 2, vec![1u64, 2, 3, 4]).unwrap();
+        assert_eq!(m.get(0, 1), &2);
+        assert_eq!(m.get(1, 0), &3);
+    }
+
+    #[test]
+    fn sums() {
+        let m = DenseMatrix::from_rows(2, 3, vec![1u64, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(m.row_sum(1), 15);
+        assert_eq!(m.column_sum(2), 9);
+    }
+
+    #[test]
+    fn set_and_mutate() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        *m.get_mut(0, 0) += 5u64;
+        m.set(1, 1, 9);
+        assert_eq!(m.iter().copied().collect::<Vec<_>>(), vec![5, 0, 0, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_panics() {
+        let m: DenseMatrix<u64> = DenseMatrix::zeros(1, 1);
+        m.get(1, 0);
+    }
+
+    #[test]
+    fn empty_matrix_is_usable() {
+        let m: DenseMatrix<u64> = DenseMatrix::zeros(0, 5);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.iter().count(), 0);
+    }
+}

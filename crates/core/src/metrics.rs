@@ -1,0 +1,78 @@
+use std::fmt;
+use std::time::Duration;
+
+use crate::{Problem, ReplicationScheme};
+
+/// Summary of one solver run on one instance, in the units the paper
+/// reports: NTC, % savings over the primary-only allocation, replicas
+/// created and wall-clock time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionReport {
+    /// Name of the algorithm that produced the scheme.
+    pub algorithm: String,
+    /// Total network transfer cost `D` of the scheme.
+    pub cost: u64,
+    /// Percentage of NTC saved versus the primary-only allocation.
+    pub savings_percent: f64,
+    /// Replicas created beyond the mandatory primary copies.
+    pub extra_replicas: usize,
+    /// Wall-clock time of the solver run.
+    pub elapsed: Duration,
+}
+
+impl SolutionReport {
+    /// Builds a report by evaluating `scheme` against `problem`.
+    pub fn evaluate(
+        algorithm: impl Into<String>,
+        problem: &Problem,
+        scheme: &ReplicationScheme,
+        elapsed: Duration,
+    ) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            cost: problem.total_cost(scheme),
+            savings_percent: problem.savings_percent(scheme),
+            extra_replicas: scheme.extra_replica_count(),
+            elapsed,
+        }
+    }
+}
+
+impl fmt::Display for SolutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: cost={} savings={:.2}% replicas=+{} time={:.3}s",
+            self.algorithm,
+            self.cost,
+            self.savings_percent,
+            self.extra_replicas,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiteId;
+    use drp_net::CostMatrix;
+
+    #[test]
+    fn evaluate_and_display() {
+        let costs = CostMatrix::from_rows(2, vec![0, 2, 2, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![10, 10])
+            .object(4, SiteId::new(0))
+            .reads(vec![0, 5])
+            .build()
+            .unwrap();
+        let s = ReplicationScheme::primary_only(&p);
+        let report = SolutionReport::evaluate("test", &p, &s, Duration::from_millis(5));
+        assert_eq!(report.cost, p.d_prime());
+        assert_eq!(report.savings_percent, 0.0);
+        assert_eq!(report.extra_replicas, 0);
+        let text = report.to_string();
+        assert!(text.contains("test") && text.contains("savings=0.00%"));
+    }
+}

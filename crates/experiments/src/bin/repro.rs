@@ -1,0 +1,226 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! repro <all|fig1|fig2|fig3|fig4> [--full] [--seed N] [--out DIR]
+//! ```
+//!
+//! Markdown tables go to stdout, CSV files to the output directory
+//! (default `results/`). The default scale is laptop-sized; `--full`
+//! restores the paper's instance counts and sweep ranges.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use drp_experiments::figures::{ablation, convergence, fig1, fig2, fig3, fig4, gap, trees};
+use drp_experiments::{Scale, Table};
+
+struct Args {
+    target: String,
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    instances: Option<usize>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <all|fig1|fig1-sites|fig1-objects|fig2|fig3|fig4|ablation|gap|trees|convergence|extras> [--full] [--seed N] [--out DIR] [--instances N]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut target = None;
+    let mut scale = Scale::Quick;
+    let mut seed = 20000u64; // ICDCS 2000
+    let mut out = PathBuf::from("results");
+    let mut instances = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "all" | "fig1" | "fig1-sites" | "fig1-objects" | "fig2" | "fig3" | "fig4"
+            | "ablation" | "gap" | "trees" | "convergence" | "extras"
+                if target.is_none() =>
+            {
+                target = Some(arg);
+            }
+            "--full" => scale = Scale::Full,
+            "--seed" => {
+                let value = argv.next().ok_or_else(usage)?;
+                seed = value.parse().map_err(|_| usage())?;
+            }
+            "--out" => out = PathBuf::from(argv.next().ok_or_else(usage)?),
+            "--instances" => {
+                let value = argv.next().ok_or_else(usage)?;
+                instances = Some(value.parse().map_err(|_| usage())?);
+            }
+            _ => return Err(usage()),
+        }
+    }
+    Ok(Args {
+        target: target.ok_or_else(usage)?,
+        scale,
+        seed,
+        out,
+        instances,
+    })
+}
+
+/// Applies the optional --instances override.
+fn with_instances<T>(mut params: T, instances: Option<usize>, set: fn(&mut T, usize)) -> T {
+    if let Some(n) = instances {
+        set(&mut params, n.max(1));
+    }
+    params
+}
+
+fn emit(tables: Vec<Table>, out: &Path) {
+    for table in tables {
+        println!("{}", table.to_markdown());
+        match table.write_csv(out) {
+            Ok(path) => eprintln!("  wrote {}", path.display()),
+            Err(e) => eprintln!("  failed to write {}: {e}", table.name),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    eprintln!("repro: target={} {}", args.target, args.scale.describe());
+    let started = Instant::now();
+
+    match args.target.as_str() {
+        "fig1" => {
+            let params = with_instances(
+                fig1::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(fig1::run(&params), &args.out);
+        }
+        "fig1-sites" => {
+            let params = with_instances(
+                fig1::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            let [a, b, t1, t2] = fig1::sites_sweep(&params);
+            emit(vec![a, b, t1, t2], &args.out);
+        }
+        "fig1-objects" => {
+            let params = with_instances(
+                fig1::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            let [c, d] = fig1::objects_sweep(&params);
+            emit(vec![c, d], &args.out);
+        }
+        "fig2" => {
+            let params = with_instances(
+                fig1::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(fig2::run(&params), &args.out);
+        }
+        "fig3" => {
+            let params = with_instances(
+                fig3::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(fig3::run(&params), &args.out);
+        }
+        "fig4" => {
+            let params = with_instances(
+                fig4::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(fig4::run(&params), &args.out);
+        }
+        "ablation" => {
+            let params = with_instances(
+                ablation::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(ablation::run(&params), &args.out);
+        }
+        "gap" => {
+            let params = with_instances(
+                gap::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(gap::run(&params), &args.out);
+        }
+        "convergence" => {
+            let params = with_instances(
+                convergence::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(convergence::run(&params), &args.out);
+        }
+        "trees" => {
+            let params = with_instances(
+                trees::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(trees::run(&params), &args.out);
+        }
+        "extras" => {
+            // The three reproduction extensions in one go.
+            let params = with_instances(
+                ablation::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(ablation::run(&params), &args.out);
+            let params = with_instances(
+                gap::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(gap::run(&params), &args.out);
+            let params = with_instances(
+                trees::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(trees::run(&params), &args.out);
+        }
+        "all" => {
+            // Figures 1 and 2 share the site sweep; run it once.
+            let params = with_instances(
+                fig1::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            let [a, b, t1, t2] = fig1::sites_sweep(&params);
+            let [c, d] = fig1::objects_sweep(&params);
+            emit(vec![a, b, c, d, t1, t2], &args.out);
+            let params = with_instances(
+                fig3::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(fig3::run(&params), &args.out);
+            let params = with_instances(
+                fig4::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(fig4::run(&params), &args.out);
+        }
+        _ => return usage(),
+    }
+
+    eprintln!("repro: finished in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

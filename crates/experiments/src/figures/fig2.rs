@@ -1,0 +1,64 @@
+//! Figures 2(a)–2(b): execution time of SRA and GRA versus the number of
+//! sites.
+//!
+//! The measurements come from the same runs as the Figure 1 site sweep (the
+//! paper also derives them from one experiment), so this module simply
+//! re-exposes that sweep's timing tables.
+//!
+//! Paper shape to look for: both curves grow roughly quadratically in `M`;
+//! GRA sits 3–4 orders of magnitude above SRA. Absolute values differ from
+//! the paper's 200 MHz UltraSPARC-2, the ratio and the growth shape should
+//! not.
+
+use crate::figures::fig1;
+use crate::{Scale, Table};
+
+/// Runs the site sweep and returns `[fig2a, fig2b]`.
+pub fn run(params: &fig1::Params) -> Vec<Table> {
+    let [_, _, a, b] = fig1::sites_sweep(params);
+    vec![a, b]
+}
+
+/// Convenience wrapper deriving the parameters from a scale.
+pub fn run_at_scale(scale: Scale, seed: u64) -> Vec<Table> {
+    run(&fig1::Params::from_scale(scale, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_algo::GraConfig;
+
+    #[test]
+    fn timing_tables_have_positive_entries() {
+        let params = fig1::Params {
+            sites: vec![6, 10],
+            objects_fixed: 8,
+            objects: vec![8],
+            sites_fixed: 6,
+            update_ratios: vec![5.0],
+            capacity_percent: 15.0,
+            instances: 2,
+            gra: GraConfig {
+                population_size: 6,
+                generations: 4,
+                ..GraConfig::default()
+            },
+            seed: 3,
+        };
+        let tables = run(&params);
+        assert_eq!(tables.len(), 2);
+        for table in &tables {
+            for row in &table.rows {
+                for cell in &row[1..] {
+                    let v: f64 = cell.parse().unwrap();
+                    assert!(v >= 0.0);
+                }
+            }
+        }
+        // GRA strictly slower than SRA at the same point.
+        let sra: f64 = tables[0].rows[0][1].parse().unwrap();
+        let gra: f64 = tables[1].rows[0][1].parse().unwrap();
+        assert!(gra > sra, "GRA ({gra}s) must cost more than SRA ({sra}s)");
+    }
+}

@@ -1,0 +1,166 @@
+//! Figures 3(a)–3(b): sensitivity to the update ratio and to site capacity.
+//!
+//! * **3(a)** — % NTC saving vs update ratio `U` (capacity fixed at 15%).
+//! * **3(b)** — % NTC saving vs capacity `C` (update ratio fixed at 5%).
+//!
+//! Paper shape to look for: savings of both algorithms decay steeply
+//! (≈ exponentially) in `U`, with GRA on top; savings rise quickly with `C`
+//! and then saturate once every beneficial object is replicated — SRA
+//! saturates almost immediately at U=5%.
+
+use drp_algo::{Gra, GraConfig, Sra};
+use drp_core::ReplicationAlgorithm;
+use drp_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figures::mix_seed;
+use crate::table::fmt2;
+use crate::{aggregate, run_parallel, Scale, Table};
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Instance shape `(M, N)`.
+    pub size: (usize, usize),
+    /// Update ratios swept by Figure 3(a).
+    pub update_ratios: Vec<f64>,
+    /// Fixed capacity for Figure 3(a).
+    pub capacity_for_3a: f64,
+    /// Capacities swept by Figure 3(b).
+    pub capacities: Vec<f64>,
+    /// Fixed update ratio for Figure 3(b).
+    pub update_for_3b: f64,
+    /// Instances averaged per data point.
+    pub instances: usize,
+    /// GRA settings.
+    pub gra: GraConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The reproduction defaults for a scale.
+    pub fn from_scale(scale: Scale, seed: u64) -> Self {
+        Self {
+            size: scale.fig3_size(),
+            update_ratios: scale.fig3a_update_ratios(),
+            capacity_for_3a: 15.0,
+            capacities: scale.fig3b_capacities(),
+            update_for_3b: 5.0,
+            instances: scale.instances(),
+            gra: scale.gra(),
+            seed,
+        }
+    }
+}
+
+/// Mean savings (and replica counts) of SRA and GRA at one configuration.
+fn measure(params: &Params, u: f64, c: f64, tag: u64) -> [(f64, f64); 2] {
+    let (m, n) = params.size;
+    let spec = WorkloadSpec::paper(m, n, u, c);
+    let gra_config = params.gra.clone();
+    let runs = run_parallel(params.instances, |instance| {
+        let seed = mix_seed(&[params.seed, tag, u.to_bits(), c.to_bits(), instance as u64]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = spec.generate(&mut rng).expect("valid spec");
+        let (sra_scheme, sra_report) = Sra::new()
+            .solve_report(&problem, &mut rng)
+            .expect("SRA solves");
+        let (gra_scheme, gra_report) = Gra::with_config(gra_config.clone())
+            .solve_report(&problem, &mut rng)
+            .expect("GRA solves");
+        [
+            (
+                sra_report.savings_percent,
+                sra_scheme.extra_replica_count() as f64,
+            ),
+            (
+                gra_report.savings_percent,
+                gra_scheme.extra_replica_count() as f64,
+            ),
+        ]
+    });
+    [0usize, 1].map(|algo| {
+        let savings: Vec<f64> = runs.iter().map(|r| r[algo].0).collect();
+        let replicas: Vec<f64> = runs.iter().map(|r| r[algo].1).collect();
+        (aggregate(&savings).mean, aggregate(&replicas).mean)
+    })
+}
+
+/// Runs both sweeps: returns `[fig3a, fig3b]`.
+pub fn run(params: &Params) -> Vec<Table> {
+    let mut fig3a = Table::new(
+        "fig3a_savings_vs_update_ratio",
+        vec!["U%".into(), "SRA".into(), "GRA".into()],
+    );
+    for &u in &params.update_ratios {
+        let [(sra, _), (gra, _)] = measure(params, u, params.capacity_for_3a, 0x3a);
+        fig3a.push_row(vec![u.to_string(), fmt2(sra), fmt2(gra)]);
+        eprintln!("  [fig3a] U={u}% done");
+    }
+
+    let mut fig3b = Table::new(
+        "fig3b_savings_vs_capacity",
+        vec![
+            "C%".into(),
+            "SRA".into(),
+            "GRA".into(),
+            "SRA replicas".into(),
+            "GRA replicas".into(),
+        ],
+    );
+    for &c in &params.capacities {
+        let [(sra, sra_reps), (gra, gra_reps)] = measure(params, params.update_for_3b, c, 0x3b);
+        fig3b.push_row(vec![
+            c.to_string(),
+            fmt2(sra),
+            fmt2(gra),
+            fmt2(sra_reps),
+            fmt2(gra_reps),
+        ]);
+        eprintln!("  [fig3b] C={c}% done");
+    }
+    vec![fig3a, fig3b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            size: (6, 8),
+            update_ratios: vec![1.0, 20.0],
+            capacity_for_3a: 15.0,
+            capacities: vec![10.0, 30.0],
+            update_for_3b: 5.0,
+            instances: 2,
+            gra: GraConfig {
+                population_size: 6,
+                generations: 4,
+                ..GraConfig::default()
+            },
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn produces_both_tables() {
+        let tables = run(&tiny());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 2);
+        assert_eq!(tables[1].rows.len(), 2);
+    }
+
+    #[test]
+    fn savings_decay_with_update_ratio() {
+        let tables = run(&tiny());
+        let low_u: f64 = tables[0].rows[0][2].parse().unwrap();
+        let high_u: f64 = tables[0].rows[1][2].parse().unwrap();
+        assert!(
+            low_u >= high_u,
+            "GRA savings should not rise with the update ratio ({low_u} vs {high_u})"
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! Figures 4(a)–4(d): the adaptive experiments.
+//!
+//! A static GRA solution ("last night's scheme") faces a read/write pattern
+//! change of `Ch = 600%` on `OCh%` of the objects, and seven policies
+//! compete on the *new* pattern:
+//!
+//! 1. **Current** — keep the stale scheme;
+//! 2. **Current+AGRA** — stand-alone AGRA (micro-GAs + transcription);
+//! 3. **AGRA+5GRA** — AGRA followed by a 5-generation mini-GRA;
+//! 4. **AGRA+10GRA** — AGRA followed by a 10-generation mini-GRA;
+//! 5. **Current+80GRA** — plain GRA warm-started from the stale population;
+//! 6. **Current+150GRA** — ditto with more generations;
+//! 7. **150GRA** — a fresh GRA from scratch (the expensive gold standard).
+//!
+//! Paper shape to look for: the stale scheme collapses under update surges;
+//! AGRA variants recover most of the fresh GRA's quality (within ~1% when
+//! reads surge) at 1.5–2 orders of magnitude less time; `OCh` barely moves
+//! AGRA's cost.
+
+use std::time::Instant;
+
+use drp_algo::{encode_scheme, Agra, AgraConfig, Gra, GraConfig};
+use drp_core::{ObjectId, Problem, ReplicationScheme};
+use drp_ga::BitString;
+use drp_workload::{PatternChange, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figures::mix_seed;
+use crate::table::fmt2;
+use crate::{aggregate, run_parallel, Scale, Table};
+
+/// Adaptive-experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Instance shape `(M, N)` (paper: 50 × 200).
+    pub size: (usize, usize),
+    /// Update ratio and capacity of the base workload (paper: 5%, 15%).
+    pub update_ratio: f64,
+    /// Capacity percentage.
+    pub capacity: f64,
+    /// Surge percentage `Ch` (paper: 600%).
+    pub change_percent: f64,
+    /// `OCh` sweep values for Figures 4(a)/(b)/(d).
+    pub och_values: Vec<f64>,
+    /// Read-share sweep for Figure 4(c).
+    pub read_shares: Vec<f64>,
+    /// `OCh` fixed during the Figure 4(c) sweep.
+    pub och_for_4c: f64,
+    /// Instances averaged per data point.
+    pub instances: usize,
+    /// GRA settings shared by the static policies and AGRA's mini-GRA.
+    pub gra: GraConfig,
+    /// AGRA settings (mini-GRA generations are overridden per policy).
+    pub agra: AgraConfig,
+    /// Generations for the warm-start GRA policies (paper: 80 and 150).
+    pub gra_generations: (usize, usize),
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The reproduction defaults for a scale.
+    pub fn from_scale(scale: Scale, seed: u64) -> Self {
+        let och = scale.fig4_och();
+        let och_for_4c = och[och.len() / 2];
+        Self {
+            size: scale.fig4_size(),
+            update_ratio: 5.0,
+            capacity: 15.0,
+            change_percent: scale.fig4_change_percent(),
+            och_values: och,
+            read_shares: scale.fig4_read_shares(),
+            och_for_4c,
+            instances: scale.instances(),
+            gra: scale.gra(),
+            agra: scale.agra(),
+            gra_generations: scale.fig4_gra_generations(),
+            seed,
+        }
+    }
+
+    /// Policy column labels (generation counts reflect the actual
+    /// parameters, so quick-scale tables do not mislead).
+    pub fn policy_names(&self) -> Vec<String> {
+        let (g1, g2) = self.gra_generations;
+        vec![
+            "Current".into(),
+            "Current+AGRA".into(),
+            "AGRA+5GRA".into(),
+            "AGRA+10GRA".into(),
+            format!("Current+{g1}GRA"),
+            format!("Current+{g2}GRA"),
+            format!("{g2}GRA"),
+        ]
+    }
+}
+
+/// Savings (% of the new pattern's `D_prime`) and wall-clock of one policy.
+#[derive(Debug, Clone, Copy)]
+struct PolicyResult {
+    savings: f64,
+    seconds: f64,
+}
+
+/// Evaluates all seven policies on one pattern shift.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_policies(
+    params: &Params,
+    new_problem: &Problem,
+    base_scheme: &ReplicationScheme,
+    base_population: &[BitString],
+    changed: &[ObjectId],
+    rng: &mut StdRng,
+) -> Vec<PolicyResult> {
+    let mut results = Vec::with_capacity(7);
+
+    // 1. Current: no work, stale savings.
+    results.push(PolicyResult {
+        savings: new_problem.savings_percent(base_scheme),
+        seconds: 0.0,
+    });
+
+    // 2–4. AGRA with 0 / 5 / 10 mini-GRA generations.
+    for mini in [0usize, 5, 10] {
+        let config = AgraConfig {
+            mini_gra_generations: mini,
+            gra: params.gra.clone(),
+            ..params.agra.clone()
+        };
+        let start = Instant::now();
+        let outcome = Agra::with_config(config)
+            .adapt(new_problem, base_scheme, base_population, changed, rng)
+            .expect("AGRA adapts valid instances");
+        results.push(PolicyResult {
+            savings: new_problem.savings_percent(&outcome.scheme),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
+    // 5–6. Warm-start GRA from the stale population (current scheme kept in
+    // slot 0, as the monitor would).
+    let (g1, g2) = params.gra_generations;
+    for generations in [g1, g2] {
+        let mut population = base_population.to_vec();
+        if population.is_empty() {
+            population.push(encode_scheme(new_problem, base_scheme));
+        } else {
+            population[0] = encode_scheme(new_problem, base_scheme);
+        }
+        let start = Instant::now();
+        let run = Gra::with_config(params.gra.clone())
+            .evolve(new_problem, population, generations, rng)
+            .expect("warm-start GRA runs");
+        results.push(PolicyResult {
+            savings: new_problem.savings_percent(&run.scheme),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
+    // 7. Fresh GRA from scratch.
+    let config = GraConfig {
+        generations: g2,
+        ..params.gra.clone()
+    };
+    let start = Instant::now();
+    let run = Gra::with_config(config)
+        .solve_detailed(new_problem, rng)
+        .expect("fresh GRA runs");
+    results.push(PolicyResult {
+        savings: new_problem.savings_percent(&run.scheme),
+        seconds: start.elapsed().as_secs_f64(),
+    });
+
+    results
+}
+
+/// Scenario grid: for each `(och, read_share)` pair, the per-policy results
+/// averaged over instances.
+fn sweep(params: &Params, scenarios: &[(f64, f64)], tag: u64) -> Vec<Vec<PolicyResult>> {
+    let per_instance: Vec<Vec<Vec<PolicyResult>>> = run_parallel(params.instances, |instance| {
+        let seed = mix_seed(&[params.seed, tag, instance as u64]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = WorkloadSpec::paper(
+            params.size.0,
+            params.size.1,
+            params.update_ratio,
+            params.capacity,
+        );
+        let problem = spec.generate(&mut rng).expect("valid spec");
+
+        // "Night-time" static solution the network currently runs.
+        let base = Gra::with_config(params.gra.clone())
+            .solve_detailed(&problem, &mut rng)
+            .expect("base GRA runs");
+        let base_population: Vec<BitString> = base
+            .outcome
+            .final_population
+            .iter()
+            .map(|(c, _)| c.clone())
+            .collect();
+
+        scenarios
+            .iter()
+            .map(|&(och, share)| {
+                let change = PatternChange {
+                    change_percent: params.change_percent,
+                    objects_percent: och,
+                    read_share: share,
+                };
+                let shift = change.apply(&problem, &mut rng).expect("valid change");
+                let changed: Vec<ObjectId> = shift.changed.iter().map(|(k, _)| *k).collect();
+                evaluate_policies(
+                    params,
+                    &shift.problem,
+                    &base.scheme,
+                    &base_population,
+                    &changed,
+                    &mut rng,
+                )
+            })
+            .collect()
+    });
+
+    // Average across instances.
+    (0..scenarios.len())
+        .map(|s| {
+            (0..7)
+                .map(|p| {
+                    let savings: Vec<f64> =
+                        per_instance.iter().map(|inst| inst[s][p].savings).collect();
+                    let seconds: Vec<f64> =
+                        per_instance.iter().map(|inst| inst[s][p].seconds).collect();
+                    PolicyResult {
+                        savings: aggregate(&savings).mean,
+                        seconds: aggregate(&seconds).mean,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs all four adaptive figures: `[fig4a, fig4b, fig4c, fig4d]`.
+pub fn run(params: &Params) -> Vec<Table> {
+    let policies = params.policy_names();
+    let header = |first: &str| -> Vec<String> {
+        std::iter::once(first.to_string())
+            .chain(policies.iter().cloned())
+            .collect()
+    };
+
+    // Figure 4(a): reads surge; 4(d): the same runs' timing.
+    let read_scenarios: Vec<(f64, f64)> = params.och_values.iter().map(|&och| (och, 1.0)).collect();
+    let read_results = sweep(params, &read_scenarios, 0x4a);
+    eprintln!("  [fig4a/d] read-surge sweep done");
+
+    let mut fig4a = Table::new("fig4a_savings_vs_och_reads_increase", header("OCh%"));
+    let mut fig4d = Table::new("fig4d_time_vs_och_seconds", header("OCh%"));
+    for (row, &(och, _)) in read_results.iter().zip(&read_scenarios) {
+        fig4a.push_row(
+            std::iter::once(och.to_string())
+                .chain(row.iter().map(|r| fmt2(r.savings)))
+                .collect(),
+        );
+        fig4d.push_row(
+            std::iter::once(och.to_string())
+                .chain(row.iter().map(|r| format!("{:.4}", r.seconds)))
+                .collect(),
+        );
+    }
+
+    // Figure 4(b): updates surge.
+    let write_scenarios: Vec<(f64, f64)> =
+        params.och_values.iter().map(|&och| (och, 0.0)).collect();
+    let write_results = sweep(params, &write_scenarios, 0x4b);
+    eprintln!("  [fig4b] update-surge sweep done");
+    let mut fig4b = Table::new("fig4b_savings_vs_och_updates_increase", header("OCh%"));
+    for (row, &(och, _)) in write_results.iter().zip(&write_scenarios) {
+        fig4b.push_row(
+            std::iter::once(och.to_string())
+                .chain(row.iter().map(|r| fmt2(r.savings)))
+                .collect(),
+        );
+    }
+
+    // Figure 4(c): the read/update mix sweep at fixed OCh.
+    let mix_scenarios: Vec<(f64, f64)> = params
+        .read_shares
+        .iter()
+        .map(|&share| (params.och_for_4c, share))
+        .collect();
+    let mix_results = sweep(params, &mix_scenarios, 0x4c);
+    eprintln!("  [fig4c] mix sweep done");
+    let mut fig4c = Table::new("fig4c_savings_vs_pattern_mix", header("reads share"));
+    for (row, &(_, share)) in mix_results.iter().zip(&mix_scenarios) {
+        fig4c.push_row(
+            std::iter::once(format!("{share}"))
+                .chain(row.iter().map(|r| fmt2(r.savings)))
+                .collect(),
+        );
+    }
+
+    vec![fig4a, fig4b, fig4c, fig4d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            size: (8, 12),
+            update_ratio: 5.0,
+            capacity: 20.0,
+            change_percent: 400.0,
+            och_values: vec![25.0],
+            read_shares: vec![0.0, 1.0],
+            och_for_4c: 25.0,
+            instances: 2,
+            gra: GraConfig {
+                population_size: 6,
+                generations: 4,
+                ..GraConfig::default()
+            },
+            agra: AgraConfig {
+                population_size: 6,
+                generations: 6,
+                gra: GraConfig {
+                    population_size: 6,
+                    generations: 4,
+                    ..GraConfig::default()
+                },
+                ..AgraConfig::default()
+            },
+            gra_generations: (4, 8),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn produces_all_four_tables() {
+        let tables = run(&tiny());
+        assert_eq!(tables.len(), 4);
+        assert_eq!(tables[0].columns.len(), 8); // OCh + 7 policies
+        assert_eq!(tables[0].rows.len(), 1);
+        assert_eq!(tables[2].rows.len(), 2);
+        assert_eq!(tables[3].rows.len(), 1);
+    }
+
+    #[test]
+    fn agra_never_loses_to_current() {
+        let tables = run(&tiny());
+        for table in &tables[..3] {
+            for row in &table.rows {
+                let current: f64 = row[1].parse().unwrap();
+                let agra: f64 = row[2].parse().unwrap();
+                assert!(
+                    agra >= current - 1e-6,
+                    "Current+AGRA ({agra}) fell below Current ({current})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policy_labels_match_generation_counts() {
+        let names = tiny().policy_names();
+        assert_eq!(names[4], "Current+4GRA");
+        assert_eq!(names[6], "8GRA");
+    }
+}

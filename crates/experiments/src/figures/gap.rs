@@ -1,0 +1,144 @@
+//! Optimality-gap study — a reproduction extension.
+//!
+//! On instances small enough for the exact branch-and-bound optimum, how
+//! far from optimal do the heuristics land? The paper cannot answer this
+//! (it normalizes against the primary-only allocation, not the optimum);
+//! with the exact solver in the workspace we can.
+
+use drp_algo::annealing::SimulatedAnnealing;
+use drp_algo::baselines::HillClimb;
+use drp_algo::exact::BranchBound;
+use drp_algo::{Gra, GraConfig, Sra};
+use drp_core::ReplicationAlgorithm;
+use drp_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figures::mix_seed;
+use crate::table::fmt2;
+use crate::{aggregate, run_parallel, Scale, Table};
+
+/// Gap-study parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Instance shape (must stay within the exact solver's limits).
+    pub size: (usize, usize),
+    /// Update ratios to test (the gap grows with write pressure).
+    pub update_ratios: Vec<f64>,
+    /// Capacity percentage.
+    pub capacity: f64,
+    /// Instances per update ratio.
+    pub instances: usize,
+    /// GRA settings.
+    pub gra: GraConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The reproduction defaults for a scale.
+    pub fn from_scale(scale: Scale, seed: u64) -> Self {
+        Self {
+            size: (7, 7),
+            update_ratios: vec![2.0, 10.0, 30.0],
+            capacity: 25.0,
+            instances: scale.instances().max(5),
+            gra: GraConfig {
+                population_size: 12,
+                generations: 20,
+                ..GraConfig::default()
+            },
+            seed,
+        }
+    }
+}
+
+/// Runs the gap study: mean optimality gap (%) and hit rate per heuristic.
+pub fn run(params: &Params) -> Vec<Table> {
+    let (m, n) = params.size;
+    let mut table = Table::new(
+        "gap_vs_branch_and_bound",
+        vec![
+            "U%".into(),
+            "SRA gap%".into(),
+            "SRA hits".into(),
+            "GRA gap%".into(),
+            "GRA hits".into(),
+            "HC gap%".into(),
+            "HC hits".into(),
+            "SA gap%".into(),
+            "SA hits".into(),
+        ],
+    );
+    for &u in &params.update_ratios {
+        let spec = WorkloadSpec::paper(m, n, u, params.capacity);
+        let gra_config = params.gra.clone();
+        // gaps[heuristic] = (per-instance gap %, hit?)
+        let runs = run_parallel(params.instances, |instance| {
+            let seed = mix_seed(&[params.seed, 0x9a9, u.to_bits(), instance as u64]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let problem = spec.generate(&mut rng).expect("valid spec");
+            let optimal = BranchBound::default()
+                .solve(&problem, &mut rng)
+                .expect("instance within exact limits");
+            let opt = problem.total_cost(&optimal).max(1);
+
+            let solvers: Vec<Box<dyn ReplicationAlgorithm>> = vec![
+                Box::new(Sra::new()),
+                Box::new(Gra::with_config(gra_config.clone())),
+                Box::new(HillClimb::default()),
+                Box::new(SimulatedAnnealing {
+                    iterations: 5_000,
+                    ..SimulatedAnnealing::default()
+                }),
+            ];
+            solvers
+                .iter()
+                .map(|solver| {
+                    let cost =
+                        problem.total_cost(&solver.solve(&problem, &mut rng).expect("solver runs"));
+                    let gap = 100.0 * (cost as f64 - opt as f64) / opt as f64;
+                    (gap, cost == opt)
+                })
+                .collect::<Vec<(f64, bool)>>()
+        });
+        let mut row = vec![u.to_string()];
+        for h in 0..4 {
+            let gaps: Vec<f64> = runs.iter().map(|r| r[h].0).collect();
+            let hits = runs.iter().filter(|r| r[h].1).count();
+            row.push(fmt2(aggregate(&gaps).mean));
+            row.push(format!("{hits}/{}", params.instances));
+        }
+        table.push_row(row);
+        eprintln!("  [gap] U={u}% done");
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_study_reports_nonnegative_gaps() {
+        let params = Params {
+            size: (5, 5),
+            update_ratios: vec![10.0],
+            capacity: 30.0,
+            instances: 3,
+            gra: GraConfig {
+                population_size: 6,
+                generations: 5,
+                ..GraConfig::default()
+            },
+            seed: 2,
+        };
+        let tables = run(&params);
+        assert_eq!(tables[0].rows.len(), 1);
+        let row = &tables[0].rows[0];
+        for h in 0..4 {
+            let gap: f64 = row[1 + 2 * h].parse().unwrap();
+            assert!(gap >= -1e-9, "negative gap for heuristic {h}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness reproducing the paper's evaluation (Section 6).
+//!
+//! Each module under [`figures`] regenerates one group of the paper's plots:
+//!
+//! | Module | Paper figures | What is swept |
+//! |--------|---------------|---------------|
+//! | [`figures::fig1`] | 1(a)–1(d) | number of sites / objects; savings and replica counts of SRA vs GRA at U ∈ {2, 5, 10}% |
+//! | [`figures::fig2`] | 2(a)–2(b) | number of sites; wall-clock time of SRA and GRA |
+//! | [`figures::fig3`] | 3(a)–3(b) | update ratio; site capacity |
+//! | [`figures::fig4`] | 4(a)–4(d) | pattern-change experiments: AGRA policies vs static GRA policies |
+//!
+//! Every experiment averages over several generated networks (the paper uses
+//! 15), with deterministic seeds, and emits both a markdown table and a CSV
+//! file. The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p drp-experiments --bin repro -- all
+//! cargo run --release -p drp-experiments --bin repro -- fig1 --full --out results
+//! ```
+//!
+//! The default scale is sized for a small machine; `--full` restores the
+//! paper's instance counts and sweep ranges (hours of compute).
+
+pub mod figures;
+mod runner;
+mod scale;
+mod table;
+
+pub use runner::{aggregate, run_parallel, Aggregate};
+pub use scale::Scale;
+pub use table::Table;

@@ -1,0 +1,196 @@
+use drp_algo::{AgraConfig, GraConfig};
+
+/// Experiment scale: the paper's full setup, or a laptop-sized quick run
+/// with the same *shape* (same sweeps, smaller instances and fewer repeats).
+///
+/// Every accessor documents both settings, so EXPERIMENTS.md can state
+/// exactly what was run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Trimmed sweeps (default): ~minutes on one core.
+    #[default]
+    Quick,
+    /// The paper's configuration: 15 instances, sites to 100, objects to
+    /// 1000, GRA at Np=50 × Ng=80. Hours of compute.
+    Full,
+}
+
+impl Scale {
+    /// Networks generated per data point (paper: 15).
+    pub fn instances(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 15,
+        }
+    }
+
+    /// Site counts swept by Figures 1(a)/1(b)/2(a)/2(b) (objects fixed at
+    /// [`Scale::fig1_objects`]).
+    pub fn fig1_sites(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10, 20, 40, 60, 80],
+            Scale::Full => vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+        }
+    }
+
+    /// Fixed object count for the site sweep (paper: 150).
+    pub fn fig1_objects(self) -> usize {
+        match self {
+            Scale::Quick => 80,
+            Scale::Full => 150,
+        }
+    }
+
+    /// Object counts swept by Figures 1(c)/1(d) (sites fixed at
+    /// [`Scale::fig1c_sites`]).
+    pub fn fig1c_objects(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![100, 200, 300, 400],
+            Scale::Full => vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000],
+        }
+    }
+
+    /// Fixed site count for the object sweep (paper: 100).
+    pub fn fig1c_sites(self) -> usize {
+        match self {
+            Scale::Quick => 40,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Update ratios (percent) used in Figures 1 and 2 (paper: 2, 5, 10).
+    pub fn update_ratios(self) -> Vec<f64> {
+        vec![2.0, 5.0, 10.0]
+    }
+
+    /// Update ratios swept by Figure 3(a).
+    pub fn fig3a_update_ratios(self) -> Vec<f64> {
+        vec![0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0]
+    }
+
+    /// Capacity percentages swept by Figure 3(b) (paper: 10–30).
+    pub fn fig3b_capacities(self) -> Vec<f64> {
+        vec![10.0, 15.0, 20.0, 25.0, 30.0]
+    }
+
+    /// Instance size for Figure 3 sweeps.
+    pub fn fig3_size(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (25, 80),
+            Scale::Full => (50, 200),
+        }
+    }
+
+    /// Instance size for the adaptive experiments (paper: M=50, N=200,
+    /// U=5%, C=15%).
+    pub fn fig4_size(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (20, 60),
+            Scale::Full => (50, 200),
+        }
+    }
+
+    /// Percentages of objects changing pattern, swept by Figures 4(a)/(b)/(d).
+    pub fn fig4_och(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![10.0, 20.0, 30.0],
+            Scale::Full => vec![10.0, 20.0, 30.0, 40.0, 50.0],
+        }
+    }
+
+    /// Read shares swept by Figure 4(c) (0 = all changes are update surges,
+    /// 1 = all are read surges).
+    pub fn fig4_read_shares(self) -> Vec<f64> {
+        vec![0.0, 0.25, 0.5, 0.75, 1.0]
+    }
+
+    /// The `Ch` surge percentage of the adaptive experiments (paper: 600%).
+    pub fn fig4_change_percent(self) -> f64 {
+        600.0
+    }
+
+    /// GRA configuration (paper: Np=50, Ng=80).
+    pub fn gra(self) -> GraConfig {
+        match self {
+            Scale::Quick => GraConfig {
+                population_size: 20,
+                generations: 30,
+                ..GraConfig::default()
+            },
+            Scale::Full => GraConfig::default(),
+        }
+    }
+
+    /// AGRA configuration (paper: Ap=10, Ag=50).
+    pub fn agra(self) -> AgraConfig {
+        let base = AgraConfig {
+            gra: self.gra(),
+            ..AgraConfig::default()
+        };
+        match self {
+            Scale::Quick => AgraConfig {
+                generations: 25,
+                ..base
+            },
+            Scale::Full => base,
+        }
+    }
+
+    /// Generations for the `Current + N GRA` and fresh-GRA policies of the
+    /// adaptive experiments (paper: 80 and 150).
+    pub fn fig4_gra_generations(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (30, 60),
+            Scale::Full => (80, 150),
+        }
+    }
+
+    /// Human-readable banner recorded at the top of every report.
+    pub fn describe(self) -> String {
+        match self {
+            Scale::Quick => format!(
+                "scale=quick (instances={}, trimmed sweeps — pass --full for the paper's sizes)",
+                self.instances()
+            ),
+            Scale::Full => format!(
+                "scale=full (instances={}, paper-sized sweeps)",
+                self.instances()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_constants() {
+        let s = Scale::Full;
+        assert_eq!(s.instances(), 15);
+        assert_eq!(s.fig1_objects(), 150);
+        assert_eq!(s.fig1c_sites(), 100);
+        assert_eq!(*s.fig1c_objects().last().unwrap(), 1000);
+        assert_eq!(s.gra().population_size, 50);
+        assert_eq!(s.gra().generations, 80);
+        assert_eq!(s.agra().population_size, 10);
+        assert_eq!(s.fig4_size(), (50, 200));
+        assert_eq!(s.fig4_gra_generations(), (80, 150));
+        assert_eq!(s.fig4_change_percent(), 600.0);
+    }
+
+    #[test]
+    fn quick_is_strictly_smaller() {
+        let q = Scale::Quick;
+        let f = Scale::Full;
+        assert!(q.instances() < f.instances());
+        assert!(q.fig1_sites().len() < f.fig1_sites().len());
+        assert!(q.gra().generations < f.gra().generations);
+    }
+
+    #[test]
+    fn banners_mention_scale() {
+        assert!(Scale::Quick.describe().contains("quick"));
+        assert!(Scale::Full.describe().contains("full"));
+    }
+}

@@ -1,0 +1,161 @@
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple result table with markdown and CSV renderers.
+///
+/// # Examples
+///
+/// ```
+/// use drp_experiments::Table;
+///
+/// let mut t = Table::new("fig-demo", vec!["M".into(), "savings".into()]);
+/// t.push_row(vec!["10".into(), "42.5".into()]);
+/// assert!(t.to_markdown().contains("| 10 | 42.5 |"));
+/// assert!(t.to_csv().starts_with("M,savings"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Identifier used for file names and headings (e.g. `fig1a`).
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each must match `columns` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        Self {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row/header length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders a GitHub-flavoured markdown table with a heading.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.name);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows). Values are escaped by quoting anything
+    /// containing a comma or quote.
+    pub fn to_csv(&self) -> String {
+        let escape = |value: &str| -> String {
+            if value.contains(',') || value.contains('"') || value.contains('\n') {
+                format!("\"{}\"", value.replace('"', "\"\""))
+            } else {
+                value.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|v| escape(v)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with two decimals (the precision the paper's plots can
+/// be read at).
+pub fn fmt2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "x,y".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | x,y |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("1,\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_length_is_enforced() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let dir = std::env::temp_dir().join("drp_table_test");
+        let path = sample().write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, sample().to_csv());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fmt2_rounds() {
+        assert_eq!(fmt2(1.0 / 3.0), "0.33");
+    }
+}

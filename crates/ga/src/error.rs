@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the GA engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GaError {
+    /// The initial population was empty or inconsistent.
+    BadInitialPopulation {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration value was out of range.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaError::BadInitialPopulation { reason } => {
+                write!(f, "bad initial population: {reason}")
+            }
+            GaError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for GaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = GaError::BadConfig {
+            reason: "population size 0".into(),
+        };
+        assert!(e.to_string().contains("population size 0"));
+    }
+}

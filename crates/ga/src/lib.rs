@@ -1,0 +1,71 @@
+//! A reusable genetic-algorithm toolkit.
+//!
+//! The paper builds two GAs — GRA (static, over `M·N`-bit chromosomes with
+//! enlarged `(μ+λ)` sampling) and AGRA (adaptive, a micro-GA over `M`-bit
+//! chromosomes with regular sampling). This crate factors out everything
+//! they share:
+//!
+//! * [`BitString`] — compact bit-vector chromosomes;
+//! * [`SelectionScheme`] — roulette wheel, the *stochastic remainder*
+//!   technique the paper adopts, and tournament selection (an ablation);
+//! * [`ops`] — one-point, two-point and uniform crossover plus bit-flip
+//!   mutation, as reusable building blocks for [`GaSpec`] implementations;
+//! * [`Engine`] — a generation loop with either [`SamplingSpace::Regular`]
+//!   or [`SamplingSpace::Enlarged`] sampling, periodic elitism and
+//!   per-generation statistics.
+//!
+//! The problem-specific parts (fitness, operator repair rules) are supplied
+//! through the [`GaSpec`] trait.
+//!
+//! # Examples
+//!
+//! Maximize the number of ones in a 32-bit string ("one-max"):
+//!
+//! ```
+//! use drp_ga::{BitString, Engine, GaConfig, GaSpec, ops, SelectionScheme};
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! struct OneMax;
+//!
+//! impl GaSpec for OneMax {
+//!     fn evaluate(&self, c: &mut BitString) -> f64 {
+//!         c.count_ones() as f64 / c.len() as f64
+//!     }
+//!     fn crossover(&self, a: &BitString, b: &BitString, rng: &mut dyn rand::RngCore)
+//!         -> (BitString, BitString)
+//!     {
+//!         ops::two_point_crossover(a, b, rng)
+//!     }
+//!     fn mutate(&self, c: &mut BitString, rate: f64, rng: &mut dyn rand::RngCore) {
+//!         ops::bit_flip_mutation(c, rate, rng);
+//!     }
+//! }
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let initial: Vec<BitString> =
+//!     (0..20).map(|_| BitString::random(32, &mut rng)).collect();
+//! let config = GaConfig::new(20, 60).mutation_rate(0.02);
+//! let outcome = Engine::new(config).run(&OneMax, initial, &mut rng)?;
+//! assert!(outcome.best_fitness > 0.8);
+//! # Ok::<(), drp_ga::GaError>(())
+//! ```
+
+mod bitstring;
+mod config;
+mod engine;
+mod error;
+pub mod ops;
+mod selection;
+mod spec;
+mod stats;
+
+pub use bitstring::BitString;
+pub use config::{GaConfig, SamplingSpace};
+pub use engine::{Engine, GaOutcome};
+pub use error::GaError;
+pub use selection::SelectionScheme;
+pub use spec::GaSpec;
+pub use stats::GenerationStats;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, GaError>;

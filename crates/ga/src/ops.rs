@@ -1,0 +1,240 @@
+//! Generic crossover and mutation building blocks.
+//!
+//! These operate on raw [`BitString`]s with no notion of validity; problem
+//! specs layer their repair rules on top (e.g. GRA's gene-boundary repair
+//! and constraint-checked mutation live in `drp-algo`).
+
+use rand::{Rng, RngCore};
+
+use crate::BitString;
+
+/// One-point crossover: children swap the suffix starting at a random cut.
+/// AGRA uses this with equal probability of swapping either side, which is
+/// equivalent up to child order.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths.
+pub fn one_point_crossover<R: RngCore + ?Sized>(
+    a: &BitString,
+    b: &BitString,
+    rng: &mut R,
+) -> (BitString, BitString) {
+    assert_eq!(a.len(), b.len(), "parents must have equal length");
+    let len = a.len();
+    if len < 2 {
+        return (a.clone(), b.clone());
+    }
+    let cut = rng.random_range(1..len);
+    let mut child_a = a.clone();
+    let mut child_b = b.clone();
+    child_a.copy_range_from(b, cut, len);
+    child_b.copy_range_from(a, cut, len);
+    (child_a, child_b)
+}
+
+/// Two-point crossover as used by GRA: two random cut points are drawn and
+/// either the middle segment or the two outer segments are swapped, decided
+/// by a fair coin.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths.
+pub fn two_point_crossover<R: RngCore + ?Sized>(
+    a: &BitString,
+    b: &BitString,
+    rng: &mut R,
+) -> (BitString, BitString) {
+    let (lo, hi) = match random_cut_pair(a, b, rng) {
+        Some(pair) => pair,
+        None => return (a.clone(), b.clone()),
+    };
+    let mut child_a = a.clone();
+    let mut child_b = b.clone();
+    if rng.random_bool(0.5) {
+        // Swap the middle segment.
+        child_a.copy_range_from(b, lo, hi);
+        child_b.copy_range_from(a, lo, hi);
+    } else {
+        // Swap the outer segments.
+        child_a.copy_range_from(b, 0, lo);
+        child_a.copy_range_from(b, hi, a.len());
+        child_b.copy_range_from(a, 0, lo);
+        child_b.copy_range_from(a, hi, a.len());
+    }
+    (child_a, child_b)
+}
+
+/// Draws the two distinct cut points used by [`two_point_crossover`],
+/// exposed so specs with repair rules (GRA) can reuse the same geometry.
+///
+/// Returns `None` when the strings are too short to cut twice.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths.
+pub fn random_cut_pair<R: RngCore + ?Sized>(
+    a: &BitString,
+    b: &BitString,
+    rng: &mut R,
+) -> Option<(usize, usize)> {
+    assert_eq!(a.len(), b.len(), "parents must have equal length");
+    let len = a.len();
+    if len < 3 {
+        return None;
+    }
+    let x = rng.random_range(1..len);
+    let mut y = rng.random_range(1..len);
+    while y == x {
+        y = rng.random_range(1..len);
+    }
+    Some((x.min(y), x.max(y)))
+}
+
+/// Uniform crossover (ablation operator): each bit comes from either parent
+/// with probability ½.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths.
+pub fn uniform_crossover<R: RngCore + ?Sized>(
+    a: &BitString,
+    b: &BitString,
+    rng: &mut R,
+) -> (BitString, BitString) {
+    assert_eq!(a.len(), b.len(), "parents must have equal length");
+    let mut child_a = a.clone();
+    let mut child_b = b.clone();
+    for i in 0..a.len() {
+        if rng.random_bool(0.5) {
+            child_a.set(i, b.get(i));
+            child_b.set(i, a.get(i));
+        }
+    }
+    (child_a, child_b)
+}
+
+/// Bit-flip mutation: flips every bit independently with probability `rate`.
+/// Returns the flipped indices so callers can repair constraint violations
+/// (GRA re-flips offending bits).
+///
+/// # Panics
+///
+/// Panics if `rate` is not in `[0, 1]`.
+pub fn bit_flip_mutation<R: RngCore + ?Sized>(
+    c: &mut BitString,
+    rate: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "mutation rate must be in [0, 1]"
+    );
+    let mut flipped = Vec::new();
+    for i in 0..c.len() {
+        if rng.random_bool(rate) {
+            c.flip(i);
+            flipped.push(i);
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn parents(len: usize) -> (BitString, BitString) {
+        (
+            BitString::from_fn(len, |_| false),
+            BitString::from_fn(len, |_| true),
+        )
+    }
+
+    #[test]
+    fn one_point_children_partition_parents() {
+        let (a, b) = parents(20);
+        let (ca, cb) = one_point_crossover(&a, &b, &mut rng());
+        for i in 0..20 {
+            // Each locus is exchanged or not, but the pair always carries
+            // exactly one 0 and one 1.
+            assert_ne!(ca.get(i), cb.get(i));
+        }
+        assert!(ca.count_ones() > 0 && ca.count_ones() < 20);
+    }
+
+    #[test]
+    fn two_point_children_partition_parents() {
+        let (a, b) = parents(30);
+        for _ in 0..20 {
+            let (ca, cb) = two_point_crossover(&a, &b, &mut rng());
+            assert_eq!(ca.count_ones() + cb.count_ones(), 30);
+        }
+    }
+
+    #[test]
+    fn two_point_swaps_a_contiguous_or_complementary_region() {
+        let (a, b) = parents(30);
+        let (ca, _) = two_point_crossover(&a, &b, &mut rng());
+        // The ones in ca (inherited from b) form either one run or a prefix
+        // plus suffix.
+        let ones: Vec<usize> = ca.iter_ones().collect();
+        if !ones.is_empty() {
+            let contiguous = ones.windows(2).all(|w| w[1] == w[0] + 1);
+            let wraps = ones[0] == 0 && *ones.last().unwrap() == 29;
+            assert!(contiguous || wraps);
+        }
+    }
+
+    #[test]
+    fn short_strings_pass_through() {
+        let (a, b) = parents(1);
+        let (ca, cb) = one_point_crossover(&a, &b, &mut rng());
+        assert_eq!((ca, cb), (a.clone(), b.clone()));
+        let (a2, b2) = parents(2);
+        let (ca, cb) = two_point_crossover(&a2, &b2, &mut rng());
+        assert_eq!((ca, cb), (a2, b2));
+    }
+
+    #[test]
+    fn uniform_mixes_parents() {
+        let (a, b) = parents(64);
+        let (ca, cb) = uniform_crossover(&a, &b, &mut rng());
+        assert_eq!(ca.count_ones() + cb.count_ones(), 64);
+        assert!(ca.count_ones() > 10 && ca.count_ones() < 54);
+    }
+
+    #[test]
+    fn mutation_reports_flips_and_respects_rate_bounds() {
+        let mut c = BitString::zeros(100);
+        let flipped = bit_flip_mutation(&mut c, 1.0, &mut rng());
+        assert_eq!(flipped.len(), 100);
+        assert_eq!(c.count_ones(), 100);
+        let untouched = bit_flip_mutation(&mut c, 0.0, &mut rng());
+        assert!(untouched.is_empty());
+        assert_eq!(c.count_ones(), 100);
+    }
+
+    #[test]
+    fn cut_pair_is_ordered_and_in_range() {
+        let (a, b) = parents(50);
+        for _ in 0..100 {
+            let (lo, hi) = random_cut_pair(&a, &b, &mut rng()).unwrap();
+            assert!(lo < hi && lo >= 1 && hi < 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_parents_panic() {
+        let a = BitString::zeros(4);
+        let b = BitString::zeros(5);
+        one_point_crossover(&a, &b, &mut rng());
+    }
+}

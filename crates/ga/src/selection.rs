@@ -1,0 +1,198 @@
+use rand::{Rng, RngCore};
+
+/// How offspring slots are allocated from a fitness-evaluated pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SelectionScheme {
+    /// Holland's SGA roulette wheel: each slot is sampled independently with
+    /// probability proportional to fitness. Simple but high sampling error.
+    Roulette,
+    /// The *stochastic remainder* technique the paper adopts: each
+    /// chromosome deterministically receives `⌊f_i / f̄⌋` slots; the
+    /// remaining slots are raffled on a roulette wheel over the fractional
+    /// parts. Low sampling error.
+    StochasticRemainder,
+    /// Tournament selection (reproduction-study ablation, not used by the
+    /// paper): each slot goes to the best of `size` uniformly drawn
+    /// contestants.
+    Tournament {
+        /// Contestants per tournament (≥ 1).
+        size: usize,
+    },
+}
+
+impl SelectionScheme {
+    /// Allocates `count` slots over a pool with the given fitness values,
+    /// returning pool indices (with repetition).
+    ///
+    /// Fitness values must be non-negative; if they sum to zero the
+    /// allocation degenerates to uniform random choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fitness` is empty and `count > 0`, or if a tournament size
+    /// of 0 is configured.
+    pub fn allocate<R: RngCore + ?Sized>(
+        &self,
+        fitness: &[f64],
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        if count == 0 {
+            return Vec::new();
+        }
+        assert!(!fitness.is_empty(), "cannot select from an empty pool");
+        let total: f64 = fitness.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return (0..count)
+                .map(|_| rng.random_range(0..fitness.len()))
+                .collect();
+        }
+        match *self {
+            SelectionScheme::Roulette => (0..count)
+                .map(|_| roulette_spin(fitness, total, rng))
+                .collect(),
+            SelectionScheme::StochasticRemainder => {
+                stochastic_remainder(fitness, total, count, rng)
+            }
+            SelectionScheme::Tournament { size } => {
+                assert!(size >= 1, "tournament size must be at least 1");
+                (0..count)
+                    .map(|_| {
+                        (0..size)
+                            .map(|_| rng.random_range(0..fitness.len()))
+                            .max_by(|&a, &b| {
+                                fitness[a]
+                                    .partial_cmp(&fitness[b])
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .expect("size >= 1")
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn roulette_spin<R: RngCore + ?Sized>(weights: &[f64], total: f64, rng: &mut R) -> usize {
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1 // floating-point slack lands on the last entry
+}
+
+fn stochastic_remainder<R: RngCore + ?Sized>(
+    fitness: &[f64],
+    total: f64,
+    count: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    // Expected slot share of chromosome i is f_i / mean(f) scaled so the
+    // expectations sum exactly to `count`.
+    let scale = count as f64 / total;
+    let mut picks = Vec::with_capacity(count);
+    let mut fractions = Vec::with_capacity(fitness.len());
+    for (i, &f) in fitness.iter().enumerate() {
+        let expected = f * scale;
+        let whole = expected.floor() as usize;
+        for _ in 0..whole {
+            picks.push(i);
+        }
+        fractions.push(expected - expected.floor());
+    }
+    // Deterministic part may overshoot by rounding only when count is tiny;
+    // truncate defensively, then raffle the remaining slots.
+    picks.truncate(count);
+    let frac_total: f64 = fractions.iter().sum();
+    while picks.len() < count {
+        let pick = if frac_total > 0.0 {
+            roulette_spin(&fractions, frac_total, rng)
+        } else {
+            rng.random_range(0..fitness.len())
+        };
+        picks.push(pick);
+    }
+    picks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn stochastic_remainder_allocates_deterministic_part() {
+        // Fitness 3:1 over 4 slots → expectations 3 and 1, fully integral.
+        let picks = SelectionScheme::StochasticRemainder.allocate(&[3.0, 1.0], 4, &mut rng());
+        assert_eq!(picks.iter().filter(|&&i| i == 0).count(), 3);
+        assert_eq!(picks.iter().filter(|&&i| i == 1).count(), 1);
+    }
+
+    #[test]
+    fn stochastic_remainder_has_low_sampling_error() {
+        // Expectation of index 0 is 2.5 of 5 slots → it gets 2 or 3, never
+        // 0 or 5 (which plain roulette could produce).
+        for seed in 0..50 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let picks = SelectionScheme::StochasticRemainder.allocate(&[1.0, 1.0], 5, &mut r);
+            let zeros = picks.iter().filter(|&&i| i == 0).count();
+            assert!((2..=3).contains(&zeros), "seed {seed}: {zeros}");
+        }
+    }
+
+    #[test]
+    fn roulette_respects_proportions_statistically() {
+        let mut r = rng();
+        let picks = SelectionScheme::Roulette.allocate(&[9.0, 1.0], 10_000, &mut r);
+        let zeros = picks.iter().filter(|&&i| i == 0).count();
+        assert!((8500..=9500).contains(&zeros), "{zeros}");
+    }
+
+    #[test]
+    fn tournament_prefers_the_fit() {
+        let mut r = rng();
+        let picks =
+            SelectionScheme::Tournament { size: 3 }.allocate(&[0.1, 0.9, 0.5], 1000, &mut r);
+        let best = picks.iter().filter(|&&i| i == 1).count();
+        let worst = picks.iter().filter(|&&i| i == 0).count();
+        assert!(best > 500 && worst < 200, "best={best} worst={worst}");
+    }
+
+    #[test]
+    fn zero_fitness_degenerates_to_uniform() {
+        let mut r = rng();
+        let picks = SelectionScheme::StochasticRemainder.allocate(&[0.0, 0.0], 100, &mut r);
+        assert_eq!(picks.len(), 100);
+        assert!(picks.contains(&0) && picks.contains(&1));
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        assert!(SelectionScheme::Roulette
+            .allocate(&[1.0], 0, &mut rng())
+            .is_empty());
+    }
+
+    #[test]
+    fn allocation_always_fills_count() {
+        let mut r = rng();
+        for scheme in [
+            SelectionScheme::Roulette,
+            SelectionScheme::StochasticRemainder,
+            SelectionScheme::Tournament { size: 2 },
+        ] {
+            let picks = scheme.allocate(&[0.3, 0.9, 0.05, 0.4], 17, &mut r);
+            assert_eq!(picks.len(), 17);
+            assert!(picks.iter().all(|&i| i < 4));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+/// Per-generation fitness statistics, recorded by the engine for
+/// convergence plots and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStats {
+    /// Generation number, 0 being the initial population.
+    pub generation: usize,
+    /// Best fitness in the population.
+    pub best: f64,
+    /// Mean fitness.
+    pub mean: f64,
+    /// Worst fitness.
+    pub worst: f64,
+    /// Best fitness seen in any generation up to this one.
+    pub best_ever: f64,
+}
+
+impl GenerationStats {
+    pub(crate) fn from_population(generation: usize, fitness: &[f64], best_ever: f64) -> Self {
+        let best = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let worst = fitness.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = fitness.iter().sum::<f64>() / fitness.len() as f64;
+        Self {
+            generation,
+            best,
+            mean,
+            worst,
+            best_ever,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_are_correct() {
+        let s = GenerationStats::from_population(3, &[0.2, 0.8, 0.5], 0.9);
+        assert_eq!(s.generation, 3);
+        assert_eq!(s.best, 0.8);
+        assert_eq!(s.worst, 0.2);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        assert_eq!(s.best_ever, 0.9);
+    }
+}

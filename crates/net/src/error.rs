@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A site index was out of range for the graph or matrix.
+    SiteOutOfRange {
+        /// The offending index.
+        site: usize,
+        /// Number of sites in the structure.
+        num_sites: usize,
+    },
+    /// An edge was given a non-positive cost (the paper requires positive
+    /// integer link costs).
+    NonPositiveCost {
+        /// Edge endpoints.
+        endpoints: (usize, usize),
+    },
+    /// A self-loop edge was supplied.
+    SelfLoop {
+        /// The site with the loop.
+        site: usize,
+    },
+    /// The graph is not connected, so some `C(i, j)` would be infinite.
+    Disconnected {
+        /// A representative unreachable pair.
+        pair: (usize, usize),
+    },
+    /// A cost matrix failed validation.
+    InvalidMatrix {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A structure was requested with zero sites.
+    EmptyNetwork,
+    /// A topology generator was given inconsistent parameters.
+    BadTopologyParams {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::SiteOutOfRange { site, num_sites } => {
+                write!(f, "site index {site} out of range for {num_sites} sites")
+            }
+            NetError::NonPositiveCost { endpoints } => write!(
+                f,
+                "edge ({}, {}) must have a positive cost",
+                endpoints.0, endpoints.1
+            ),
+            NetError::SelfLoop { site } => write!(f, "self-loop on site {site} is not allowed"),
+            NetError::Disconnected { pair } => write!(
+                f,
+                "network is disconnected: no path between sites {} and {}",
+                pair.0, pair.1
+            ),
+            NetError::InvalidMatrix { reason } => write!(f, "invalid cost matrix: {reason}"),
+            NetError::EmptyNetwork => write!(f, "network must contain at least one site"),
+            NetError::BadTopologyParams { reason } => {
+                write!(f, "bad topology parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<NetError> = vec![
+            NetError::SiteOutOfRange {
+                site: 9,
+                num_sites: 3,
+            },
+            NetError::NonPositiveCost { endpoints: (0, 1) },
+            NetError::SelfLoop { site: 2 },
+            NetError::Disconnected { pair: (0, 4) },
+            NetError::InvalidMatrix {
+                reason: "asymmetric".into(),
+            },
+            NetError::EmptyNetwork,
+            NetError::BadTopologyParams {
+                reason: "p out of range".into(),
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase() || msg.starts_with(char::is_numeric)
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

@@ -1,0 +1,206 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{NetError, Result};
+
+/// An undirected weighted edge between two sites.
+///
+/// Costs are positive integers: the paper models `C(i, j)` as the number of
+/// hops (or an additive per-hop cost) a packet needs between the sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// Per-data-unit transfer cost of the link (positive).
+    pub cost: u64,
+}
+
+/// An undirected weighted graph of sites.
+///
+/// Sites are identified by dense indices `0..num_sites`. Parallel edges are
+/// permitted (shortest-path computations simply use the cheapest), self-loops
+/// and non-positive costs are rejected.
+///
+/// # Examples
+///
+/// ```
+/// use drp_net::Graph;
+///
+/// let mut g = Graph::new(3)?;
+/// g.add_edge(0, 1, 4)?;
+/// g.add_edge(1, 2, 2)?;
+/// assert_eq!(g.num_sites(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.neighbors(1).count(), 2);
+/// # Ok::<(), drp_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    num_sites: usize,
+    edges: Vec<Edge>,
+    /// adjacency[i] lists (neighbor, cost) pairs.
+    adjacency: Vec<Vec<(usize, u64)>>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `num_sites` sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyNetwork`] if `num_sites` is zero.
+    pub fn new(num_sites: usize) -> Result<Self> {
+        if num_sites == 0 {
+            return Err(NetError::EmptyNetwork);
+        }
+        Ok(Self {
+            num_sites,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); num_sites],
+        })
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Adds an undirected edge with the given positive cost.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::SiteOutOfRange`] if either endpoint is invalid.
+    /// * [`NetError::SelfLoop`] if `a == b`.
+    /// * [`NetError::NonPositiveCost`] if `cost == 0`.
+    pub fn add_edge(&mut self, a: usize, b: usize, cost: u64) -> Result<()> {
+        for &site in &[a, b] {
+            if site >= self.num_sites {
+                return Err(NetError::SiteOutOfRange {
+                    site,
+                    num_sites: self.num_sites,
+                });
+            }
+        }
+        if a == b {
+            return Err(NetError::SelfLoop { site: a });
+        }
+        if cost == 0 {
+            return Err(NetError::NonPositiveCost { endpoints: (a, b) });
+        }
+        self.edges.push(Edge { a, b, cost });
+        self.adjacency[a].push((b, cost));
+        self.adjacency[b].push((a, cost));
+        Ok(())
+    }
+
+    /// Iterates over `(neighbor, cost)` pairs adjacent to `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn neighbors(&self, site: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.adjacency[site].iter().copied()
+    }
+
+    /// Returns `true` if every site can reach every other site.
+    pub fn is_connected(&self) -> bool {
+        self.first_unreachable().is_none()
+    }
+
+    /// Returns a representative site unreachable from site 0, if any.
+    pub(crate) fn first_unreachable(&self) -> Option<usize> {
+        let mut seen = vec![false; self.num_sites];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.iter().position(|&s| !s)
+    }
+
+    /// Total cost of all edges (useful as a sanity metric in tests).
+    pub fn total_edge_cost(&self) -> u64 {
+        self.edges.iter().map(|e| e.cost).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(Graph::new(0).unwrap_err(), NetError::EmptyNetwork);
+    }
+
+    #[test]
+    fn add_edge_validates_endpoints() {
+        let mut g = Graph::new(2).unwrap();
+        assert!(matches!(
+            g.add_edge(0, 5, 1),
+            Err(NetError::SiteOutOfRange {
+                site: 5,
+                num_sites: 2
+            })
+        ));
+        assert!(matches!(
+            g.add_edge(1, 1, 1),
+            Err(NetError::SelfLoop { site: 1 })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, 0),
+            Err(NetError::NonPositiveCost { endpoints: (0, 1) })
+        ));
+        g.add_edge(0, 1, 3).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn adjacency_is_bidirectional() {
+        let mut g = Graph::new(3).unwrap();
+        g.add_edge(0, 2, 7).unwrap();
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(2, 7)]);
+        assert_eq!(g.neighbors(2).collect::<Vec<_>>(), vec![(0, 7)]);
+        assert!(g.neighbors(1).next().is_none());
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = Graph::new(4).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        assert!(!g.is_connected());
+        g.add_edge(2, 3, 1).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn single_site_graph_is_connected() {
+        let g = Graph::new(1).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed() {
+        let mut g = Graph::new(2).unwrap();
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(0, 1, 2).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.total_edge_cost(), 7);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shortest-path routing tables with path reconstruction.
+//!
+//! The cost model only needs the metric `C(i, j)`, but the simulator-level
+//! analyses (per-physical-link utilization, hot links on sparse topologies)
+//! need the actual paths. [`Routes`] stores a next-hop table computed with
+//! Dijkstra per source, reconstructing any path in O(path length).
+//!
+//! Ties are broken toward the lower-numbered neighbour, so routing is
+//! deterministic and consistent: the next hop along `i → j` always lies on
+//! a shortest path, and following the table always terminates.
+
+use crate::{shortest, Graph, NetError, Result};
+
+/// All-pairs next-hop routing table over a connected graph.
+///
+/// # Examples
+///
+/// ```
+/// use drp_net::{Graph, Routes};
+///
+/// let mut g = Graph::new(4)?;
+/// g.add_edge(0, 1, 1)?;
+/// g.add_edge(1, 2, 1)?;
+/// g.add_edge(2, 3, 1)?;
+/// let routes = Routes::from_graph(&g)?;
+/// assert_eq!(routes.path(0, 3), vec![0, 1, 2, 3]);
+/// assert_eq!(routes.next_hop(0, 3), Some(1));
+/// # Ok::<(), drp_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routes {
+    num_sites: usize,
+    /// Row-major: `next[src * M + dst]` is the first hop from src toward
+    /// dst (== dst when adjacent, == src when src == dst).
+    next: Vec<usize>,
+}
+
+impl Routes {
+    /// Builds the table from a connected graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] when some pair is unreachable.
+    pub fn from_graph(graph: &Graph) -> Result<Self> {
+        let m = graph.num_sites();
+        let mut next = vec![0usize; m * m];
+        // Dijkstra from every destination, tracking the predecessor toward
+        // the destination: next_hop(src, dst) = predecessor of src in the
+        // tree rooted at dst.
+        for dst in 0..m {
+            let dist = shortest::dijkstra(graph, dst)?;
+            for (src, d) in dist.iter().enumerate() {
+                let Some(d) = d else {
+                    return Err(NetError::Disconnected { pair: (src, dst) });
+                };
+                if src == dst {
+                    next[src * m + dst] = src;
+                    continue;
+                }
+                // The deterministic next hop: the smallest neighbour v of
+                // src with dist(v) + w(src, v) == dist(src).
+                let hop = graph
+                    .neighbors(src)
+                    .filter(|&(v, w)| dist[v].is_some_and(|dv| dv + w == *d))
+                    .map(|(v, _)| v)
+                    .min()
+                    .expect("connected graph has a shortest-path neighbour");
+                next[src * m + dst] = hop;
+            }
+        }
+        Ok(Self { num_sites: m, next })
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// The first hop from `src` toward `dst`; `None` when `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn next_hop(&self, src: usize, dst: usize) -> Option<usize> {
+        assert!(
+            src < self.num_sites && dst < self.num_sites,
+            "site out of range"
+        );
+        (src != dst).then(|| self.next[src * self.num_sites + dst])
+    }
+
+    /// The full shortest path from `src` to `dst`, both endpoints included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut path = vec![src];
+        let mut here = src;
+        while here != dst {
+            here = self.next[here * self.num_sites + dst];
+            path.push(here);
+        }
+        path
+    }
+
+    /// Accumulates `amount` of flow from `src` to `dst` onto each directed
+    /// physical link of the path, into `link_loads` (row-major `M × M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or `link_loads` has the wrong
+    /// length.
+    pub fn accumulate_flow(&self, src: usize, dst: usize, amount: u64, link_loads: &mut [u64]) {
+        assert_eq!(
+            link_loads.len(),
+            self.num_sites * self.num_sites,
+            "bad load matrix"
+        );
+        let path = self.path(src, dst);
+        for hop in path.windows(2) {
+            link_loads[hop[0] * self.num_sites + hop[1]] += amount;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostMatrix;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -5- 2 -1- 3
+        let mut g = Graph::new(4).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 3, 1).unwrap();
+        g.add_edge(0, 2, 5).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn paths_follow_shortest_routes() {
+        let g = diamond();
+        let routes = Routes::from_graph(&g).unwrap();
+        assert_eq!(routes.path(0, 3), vec![0, 1, 3]);
+        assert_eq!(routes.path(2, 1), vec![2, 3, 1]);
+        assert_eq!(routes.path(1, 1), vec![1]);
+        assert_eq!(routes.next_hop(1, 1), None);
+    }
+
+    #[test]
+    fn path_costs_match_the_metric() {
+        let g = diamond();
+        let routes = Routes::from_graph(&g).unwrap();
+        let costs = CostMatrix::from_graph(&g).unwrap();
+        // Edge weight lookup (min over parallel edges).
+        let weight = |a: usize, b: usize| -> u64 {
+            g.edges()
+                .iter()
+                .filter(|e| (e.a, e.b) == (a, b) || (e.a, e.b) == (b, a))
+                .map(|e| e.cost)
+                .min()
+                .unwrap()
+        };
+        for i in 0..4 {
+            for j in 0..4 {
+                let path = routes.path(i, j);
+                let total: u64 = path.windows(2).map(|h| weight(h[0], h[1])).sum();
+                assert_eq!(total, costs.cost(i, j), "path {i} -> {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_are_rejected() {
+        let mut g = Graph::new(3).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        assert!(matches!(
+            Routes::from_graph(&g),
+            Err(NetError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn flow_accumulates_on_every_link_of_the_path() {
+        let g = diamond();
+        let routes = Routes::from_graph(&g).unwrap();
+        let mut loads = vec![0u64; 16];
+        routes.accumulate_flow(0, 3, 10, &mut loads);
+        routes.accumulate_flow(2, 3, 4, &mut loads);
+        assert_eq!(loads[1], 10); // 0 -> 1 carries the first flow
+        assert_eq!(loads[4 + 3], 10); // 1 -> 3
+        assert_eq!(loads[2 * 4 + 3], 4); // 2 -> 3
+        assert_eq!(loads.iter().sum::<u64>(), 24);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        // Two equal-cost paths 0-1-3 and 0-2-3: the lower neighbour wins.
+        let mut g = Graph::new(4).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 3, 1).unwrap();
+        g.add_edge(0, 2, 1).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        let routes = Routes::from_graph(&g).unwrap();
+        assert_eq!(routes.path(0, 3), vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Shortest-path algorithms over [`Graph`].
+//!
+//! The paper assumes `C(i, j)` is the cumulative cost of the shortest path
+//! between sites `i` and `j`, known a priori. [`CostMatrix::from_graph`]
+//! computes that table with [`all_pairs`], which picks Dijkstra-from-every-
+//! source for sparse graphs and Floyd–Warshall for dense ones.
+//!
+//! [`CostMatrix::from_graph`]: crate::CostMatrix::from_graph
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, NetError, Result};
+
+/// Single-source shortest path costs from `src` to every site (Dijkstra).
+///
+/// Unreachable sites are reported as `None`.
+///
+/// # Errors
+///
+/// Returns [`NetError::SiteOutOfRange`] if `src` is not a site of `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use drp_net::{Graph, shortest};
+///
+/// let mut g = Graph::new(3)?;
+/// g.add_edge(0, 1, 4)?;
+/// g.add_edge(1, 2, 2)?;
+/// g.add_edge(0, 2, 9)?;
+/// let d = shortest::dijkstra(&g, 0)?;
+/// assert_eq!(d, vec![Some(0), Some(4), Some(6)]);
+/// # Ok::<(), drp_net::NetError>(())
+/// ```
+pub fn dijkstra(graph: &Graph, src: usize) -> Result<Vec<Option<u64>>> {
+    let m = graph.num_sites();
+    if src >= m {
+        return Err(NetError::SiteOutOfRange {
+            site: src,
+            num_sites: m,
+        });
+    }
+    let mut dist: Vec<Option<u64>> = vec![None; m];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    dist[src] = Some(0);
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist[u] != Some(d) {
+            continue; // stale entry
+        }
+        for (v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if dist[v].is_none_or(|cur| nd < cur) {
+                dist[v] = Some(nd);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// All-pairs shortest path costs via Floyd–Warshall, O(M^3).
+///
+/// Unreachable pairs are `None`. Prefer [`all_pairs`], which chooses between
+/// this and repeated Dijkstra based on density.
+#[allow(clippy::needless_range_loop)] // i/j/k triple indexing reads clearest
+pub fn floyd_warshall(graph: &Graph) -> Vec<Vec<Option<u64>>> {
+    let m = graph.num_sites();
+    let mut dist: Vec<Vec<Option<u64>>> = vec![vec![None; m]; m];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = Some(0);
+    }
+    for e in graph.edges() {
+        let best = dist[e.a][e.b].map_or(e.cost, |c| c.min(e.cost));
+        dist[e.a][e.b] = Some(best);
+        dist[e.b][e.a] = Some(best);
+    }
+    for k in 0..m {
+        for i in 0..m {
+            let Some(dik) = dist[i][k] else { continue };
+            for j in 0..m {
+                let Some(dkj) = dist[k][j] else { continue };
+                let through = dik + dkj;
+                if dist[i][j].is_none_or(|cur| through < cur) {
+                    dist[i][j] = Some(through);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths, choosing the asymptotically better algorithm.
+///
+/// Uses Dijkstra from every source when the graph is sparse
+/// (`E · log M ≪ M²`), Floyd–Warshall otherwise.
+pub fn all_pairs(graph: &Graph) -> Result<Vec<Vec<Option<u64>>>> {
+    let m = graph.num_sites();
+    let e = graph.num_edges();
+    // Rough crossover: Dijkstra-all is O(M·E·logM), FW is O(M^3).
+    let dense = e.saturating_mul((64 - (m as u64).leading_zeros()) as usize) > m * m;
+    if dense {
+        Ok(floyd_warshall(graph))
+    } else {
+        (0..m).map(|src| dijkstra(graph, src)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -5- 2 -1- 3
+        let mut g = Graph::new(4).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(1, 3, 1).unwrap();
+        g.add_edge(0, 2, 5).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn dijkstra_diamond() {
+        let d = dijkstra(&diamond(), 0).unwrap();
+        assert_eq!(d, vec![Some(0), Some(1), Some(3), Some(2)]);
+    }
+
+    #[test]
+    fn dijkstra_rejects_bad_source() {
+        assert!(dijkstra(&diamond(), 10).is_err());
+    }
+
+    #[test]
+    fn dijkstra_reports_unreachable() {
+        let mut g = Graph::new(3).unwrap();
+        g.add_edge(0, 1, 2).unwrap();
+        let d = dijkstra(&g, 0).unwrap();
+        assert_eq!(d, vec![Some(0), Some(2), None]);
+    }
+
+    #[test]
+    fn floyd_warshall_matches_dijkstra_on_diamond() {
+        let g = diamond();
+        let fw = floyd_warshall(&g);
+        for (src, row) in fw.iter().enumerate() {
+            assert_eq!(row, &dijkstra(&g, src).unwrap(), "row {src}");
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_uses_cheapest_parallel_edge() {
+        let mut g = Graph::new(2).unwrap();
+        g.add_edge(0, 1, 9).unwrap();
+        g.add_edge(0, 1, 3).unwrap();
+        let fw = floyd_warshall(&g);
+        assert_eq!(fw[0][1], Some(3));
+    }
+
+    #[test]
+    fn all_pairs_agrees_with_floyd_warshall() {
+        let g = diamond();
+        assert_eq!(all_pairs(&g).unwrap(), floyd_warshall(&g));
+    }
+
+    #[test]
+    fn shortest_paths_satisfy_triangle_inequality() {
+        let g = diamond();
+        let d = floyd_warshall(&g);
+        let m = g.num_sites();
+        for i in 0..m {
+            for j in 0..m {
+                for k in 0..m {
+                    let (Some(dij), Some(dik), Some(dkj)) = (d[i][j], d[i][k], d[k][j]) else {
+                        continue;
+                    };
+                    assert!(dij <= dik + dkj);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+use crate::{CostMatrix, NetError, Result};
+
+use super::event::{EventKind, EventQueue, Time};
+use super::message::Message;
+use super::stats::TrafficStats;
+use super::traffic::TrafficMatrix;
+
+/// Behaviour of one site in the simulated network.
+///
+/// Implementations react to simulation start, incoming messages and their
+/// own timers through the [`Context`], which is the only way to produce
+/// side effects (sending messages, setting timers).
+pub trait Node<P> {
+    /// Invoked once, before any message is delivered.
+    fn on_start(&mut self, ctx: &mut Context<'_, P>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a message addressed to this node arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_, P>, msg: Message<P>);
+
+    /// Invoked when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, P>, payload: P) {
+        let _ = (ctx, payload);
+    }
+}
+
+enum Effect<P> {
+    Send { dst: usize, size: u64, payload: P },
+    Timer { delay: Time, payload: P },
+}
+
+/// Handle through which a [`Node`] interacts with the simulation.
+pub struct Context<'a, P> {
+    node: usize,
+    now: Time,
+    num_sites: usize,
+    effects: &'a mut Vec<Effect<P>>,
+}
+
+impl<P> std::fmt::Debug for Context<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("node", &self.node)
+            .field("now", &self.now)
+            .field("num_sites", &self.num_sites)
+            .finish()
+    }
+}
+
+impl<P> Context<'_, P> {
+    /// The id of the node this context belongs to.
+    pub fn node_id(&self) -> usize {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of sites in the network.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Sends `size` data units with `payload` to `dst`.
+    ///
+    /// Delivery happens at `now + C(self, dst)` and the transfer is charged
+    /// `size · C(self, dst)` NTC. Sending to self delivers on the next
+    /// dispatch round at the current time (cost 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range (checked when the effect is applied).
+    pub fn send(&mut self, dst: usize, size: u64, payload: P) {
+        self.effects.push(Effect::Send { dst, size, payload });
+    }
+
+    /// Schedules `payload` to be delivered back to this node via
+    /// [`Node::on_timer`] after `delay` time units.
+    pub fn set_timer(&mut self, delay: Time, payload: P) {
+        self.effects.push(Effect::Timer { delay, payload });
+    }
+}
+
+/// Deterministic discrete-event simulator over a [`CostMatrix`].
+///
+/// See the [module documentation](crate::sim) for an example.
+pub struct Simulator<P> {
+    costs: CostMatrix,
+    nodes: Vec<Box<dyn Node<P>>>,
+    queue: EventQueue<P>,
+    stats: TrafficStats,
+    traffic: TrafficMatrix,
+    now: Time,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<P> std::fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("num_sites", &self.costs.num_sites())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<P> Simulator<P> {
+    /// Creates a simulator with one [`Node`] per site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadTopologyParams`] if the number of nodes does
+    /// not match the number of sites in `costs`.
+    pub fn new(costs: CostMatrix, nodes: Vec<Box<dyn Node<P>>>) -> Result<Self> {
+        if nodes.len() != costs.num_sites() {
+            return Err(NetError::BadTopologyParams {
+                reason: format!(
+                    "{} nodes supplied for {} sites",
+                    nodes.len(),
+                    costs.num_sites()
+                ),
+            });
+        }
+        let num_sites = costs.num_sites();
+        Ok(Self {
+            costs,
+            nodes,
+            queue: EventQueue::new(),
+            stats: TrafficStats::default(),
+            traffic: TrafficMatrix::new(num_sites),
+            now: 0,
+            started: false,
+            events_processed: 0,
+        })
+    }
+
+    /// Traffic accounting so far.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Per-site-pair traffic breakdown.
+    pub fn traffic(&self) -> &TrafficMatrix {
+        &self.traffic
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a node, for post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: usize) -> &dyn Node<P> {
+        self.nodes[id].as_ref()
+    }
+
+    fn apply_effects(&mut self, origin: usize, effects: Vec<Effect<P>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { dst, size, payload } => {
+                    assert!(
+                        dst < self.costs.num_sites(),
+                        "destination {dst} out of range"
+                    );
+                    let c = self.costs.cost(origin, dst);
+                    self.stats.record(size, c);
+                    self.traffic.record(origin, dst, size, c);
+                    self.queue.push(
+                        self.now + c,
+                        EventKind::Arrival(Message {
+                            src: origin,
+                            dst,
+                            size,
+                            sent_at: self.now,
+                            payload,
+                        }),
+                    );
+                }
+                Effect::Timer { delay, payload } => {
+                    self.queue.push(
+                        self.now + delay,
+                        EventKind::Timer {
+                            node: origin,
+                            payload,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            let mut effects = Vec::new();
+            let mut ctx = Context {
+                node: id,
+                now: self.now,
+                num_sites: self.costs.num_sites(),
+                effects: &mut effects,
+            };
+            self.nodes[id].on_start(&mut ctx);
+            self.apply_effects(id, effects);
+        }
+    }
+
+    /// Dispatches a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.at >= self.now, "time must be monotone");
+        self.now = scheduled.at;
+        self.events_processed += 1;
+        let mut effects = Vec::new();
+        match scheduled.kind {
+            EventKind::Arrival(msg) => {
+                let dst = msg.dst;
+                let mut ctx = Context {
+                    node: dst,
+                    now: self.now,
+                    num_sites: self.costs.num_sites(),
+                    effects: &mut effects,
+                };
+                self.nodes[dst].on_message(&mut ctx, msg);
+                self.apply_effects(dst, effects);
+            }
+            EventKind::Timer { node, payload } => {
+                self.stats.timers += 1;
+                let mut ctx = Context {
+                    node,
+                    now: self.now,
+                    num_sites: self.costs.num_sites(),
+                    effects: &mut effects,
+                };
+                self.nodes[node].on_timer(&mut ctx, payload);
+                self.apply_effects(node, effects);
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::BadTopologyParams`] after 100 million events as a
+    /// runaway-protocol guard.
+    pub fn run_to_completion(&mut self) -> Result<()> {
+        self.run_for_events(100_000_000)
+    }
+
+    /// Runs until no events remain or `max_events` have been dispatched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the budget is exhausted with events still queued.
+    pub fn run_for_events(&mut self, max_events: u64) -> Result<()> {
+        let mut budget = max_events;
+        while budget > 0 {
+            if !self.step() {
+                return Ok(());
+            }
+            budget -= 1;
+        }
+        if self.queue.len() > 0 {
+            return Err(NetError::BadTopologyParams {
+                reason: format!("event budget {max_events} exhausted with events pending"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum P {
+        Hello,
+        Echo,
+        Tick,
+    }
+
+    #[derive(Default)]
+    struct Client {
+        replies: u32,
+    }
+    #[derive(Default)]
+    struct Server {
+        seen: u32,
+    }
+
+    impl Node<P> for Client {
+        fn on_start(&mut self, ctx: &mut Context<'_, P>) {
+            ctx.send(1, 5, P::Hello);
+            ctx.set_timer(100, P::Tick);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, P>, msg: Message<P>) {
+            assert_eq!(msg.payload, P::Echo);
+            self.replies += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, P>, payload: P) {
+            assert_eq!(payload, P::Tick);
+        }
+    }
+
+    impl Node<P> for Server {
+        fn on_message(&mut self, ctx: &mut Context<'_, P>, msg: Message<P>) {
+            self.seen += 1;
+            ctx.send(msg.src, 0, P::Echo);
+        }
+    }
+
+    fn two_site_costs() -> CostMatrix {
+        CostMatrix::from_rows(2, vec![0, 4, 4, 0]).unwrap()
+    }
+
+    #[test]
+    fn request_reply_accounts_only_data_traffic() {
+        let mut sim = Simulator::new(
+            two_site_costs(),
+            vec![Box::new(Client::default()), Box::new(Server::default())],
+        )
+        .unwrap();
+        sim.run_to_completion().unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.data_units, 5);
+        assert_eq!(stats.transfer_cost, 20); // 5 units × C=4; the echo is free
+        assert_eq!(stats.timers, 1);
+        assert_eq!(sim.now(), 100); // the timer is the last event
+    }
+
+    #[test]
+    fn node_count_must_match_sites() {
+        let err = Simulator::<P>::new(two_site_costs(), vec![Box::new(Client::default())]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn latency_is_link_cost() {
+        struct Probe;
+        struct Sink {
+            arrived_at: Option<Time>,
+        }
+        impl Node<()> for Probe {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.send(1, 1, ());
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _msg: Message<()>) {}
+        }
+        impl Node<()> for Sink {
+            fn on_message(&mut self, ctx: &mut Context<'_, ()>, msg: Message<()>) {
+                assert_eq!(msg.sent_at, 0);
+                self.arrived_at = Some(ctx.now());
+            }
+        }
+        let mut sim = Simulator::new(
+            two_site_costs(),
+            vec![Box::new(Probe), Box::new(Sink { arrived_at: None })],
+        )
+        .unwrap();
+        sim.run_to_completion().unwrap();
+        assert_eq!(sim.now(), 4);
+    }
+
+    #[test]
+    fn event_budget_guards_runaway_protocols() {
+        struct Looper;
+        impl Node<()> for Looper {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.send(1, 1, ());
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, ()>, msg: Message<()>) {
+                ctx.send(msg.src, 1, ());
+            }
+        }
+        let mut sim =
+            Simulator::new(two_site_costs(), vec![Box::new(Looper), Box::new(Looper)]).unwrap();
+        assert!(sim.run_for_events(10).is_err());
+    }
+
+    #[test]
+    fn step_returns_false_when_idle() {
+        struct Quiet;
+        impl Node<()> for Quiet {
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _msg: Message<()>) {}
+        }
+        let mut sim =
+            Simulator::new(two_site_costs(), vec![Box::new(Quiet), Box::new(Quiet)]).unwrap();
+        assert!(!sim.step());
+        assert_eq!(sim.events_processed(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic discrete-event message simulator.
+//!
+//! The simulator models the network as the validated [`CostMatrix`]: sending
+//! a message of `size` data units from `i` to `j` takes `C(i, j)` time units
+//! (cost doubles as latency, as in hop-count models) and adds
+//! `size · C(i, j)` to the accounted network transfer cost — exactly the NTC
+//! currency of the paper's cost model. Control messages are sent with size 0
+//! and therefore cost nothing, matching the paper's assumption that control
+//! traffic has a minor impact.
+//!
+//! Nodes implement [`Node`] and exchange an application-defined payload type.
+//! Execution is deterministic: ties in delivery time are broken by send
+//! order.
+//!
+//! Two consumers live elsewhere in the workspace:
+//!
+//! * `drp-core` replays read/write patterns against a replication scheme and
+//!   checks the measured NTC equals the analytic Eq. 4 value;
+//! * `drp-algo` runs the paper's *distributed* SRA (leader, token passing,
+//!   replication broadcasts) on top of it.
+//!
+//! [`CostMatrix`]: crate::CostMatrix
+//!
+//! # Examples
+//!
+//! A two-node ping-pong that accounts one data unit each way:
+//!
+//! ```
+//! use drp_net::{CostMatrix, sim::{Context, Message, Node, Simulator}};
+//!
+//! struct Ping;
+//! struct Pong;
+//!
+//! impl Node<u32> for Ping {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+//!         ctx.send(1, 1, 0);
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _msg: Message<u32>) {}
+//! }
+//! impl Node<u32> for Pong {
+//!     fn on_message(&mut self, ctx: &mut Context<'_, u32>, msg: Message<u32>) {
+//!         ctx.send(msg.src, 1, msg.payload + 1);
+//!     }
+//! }
+//!
+//! let costs = CostMatrix::from_rows(2, vec![0, 3, 3, 0])?;
+//! let mut sim = Simulator::new(costs, vec![Box::new(Ping), Box::new(Pong)])?;
+//! sim.run_to_completion()?;
+//! assert_eq!(sim.stats().transfer_cost, 2 * 3); // one unit × C=3, both ways
+//! # Ok::<(), drp_net::NetError>(())
+//! ```
+
+mod engine;
+mod event;
+mod message;
+mod stats;
+mod traffic;
+
+pub use engine::{Context, Node, Simulator};
+pub use event::Time;
+pub use message::Message;
+pub use stats::TrafficStats;
+pub use traffic::TrafficMatrix;

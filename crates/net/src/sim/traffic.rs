@@ -1,0 +1,124 @@
+/// Per-pair traffic accounting: who sent how much to whom, and at what
+/// transfer cost.
+///
+/// Complements the aggregate [`TrafficStats`](super::TrafficStats) with the
+/// `M × M` breakdown needed to find hot site pairs — e.g. which replica
+/// placements concentrate update broadcasts on one region of the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    num_sites: usize,
+    /// Row-major `M × M`: data units sent from row to column.
+    data_units: Vec<u64>,
+    /// Row-major `M × M`: transfer cost (units × link cost).
+    cost: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    pub(crate) fn new(num_sites: usize) -> Self {
+        Self {
+            num_sites,
+            data_units: vec![0; num_sites * num_sites],
+            cost: vec![0; num_sites * num_sites],
+        }
+    }
+
+    pub(crate) fn record(&mut self, src: usize, dst: usize, size: u64, link_cost: u64) {
+        let idx = src * self.num_sites + dst;
+        self.data_units[idx] += size;
+        self.cost[idx] += size * link_cost;
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Data units sent from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn data_units(&self, src: usize, dst: usize) -> u64 {
+        assert!(
+            src < self.num_sites && dst < self.num_sites,
+            "site out of range"
+        );
+        self.data_units[src * self.num_sites + dst]
+    }
+
+    /// Transfer cost charged to traffic from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn transfer_cost(&self, src: usize, dst: usize) -> u64 {
+        assert!(
+            src < self.num_sites && dst < self.num_sites,
+            "site out of range"
+        );
+        self.cost[src * self.num_sites + dst]
+    }
+
+    /// Total data units originated by a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn sent_by(&self, src: usize) -> u64 {
+        assert!(src < self.num_sites, "site out of range");
+        self.data_units[src * self.num_sites..(src + 1) * self.num_sites]
+            .iter()
+            .sum()
+    }
+
+    /// Total data units received by a site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub fn received_by(&self, dst: usize) -> u64 {
+        assert!(dst < self.num_sites, "site out of range");
+        (0..self.num_sites)
+            .map(|src| self.data_units[src * self.num_sites + dst])
+            .sum()
+    }
+
+    /// The `(src, dst)` pair carrying the largest transfer cost, with that
+    /// cost. Returns `None` when no data moved at all.
+    pub fn hottest_pair(&self) -> Option<(usize, usize, u64)> {
+        let (idx, &cost) = self.cost.iter().enumerate().max_by_key(|&(_, &c)| c)?;
+        (cost > 0).then_some((idx / self.num_sites, idx % self.num_sites, cost))
+    }
+
+    /// Sum of all per-pair transfer costs (equals the aggregate
+    /// [`TrafficStats::transfer_cost`](super::TrafficStats)).
+    pub fn total_cost(&self) -> u64 {
+        self.cost.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut t = TrafficMatrix::new(3);
+        t.record(0, 1, 10, 2);
+        t.record(0, 1, 5, 2);
+        t.record(2, 0, 1, 7);
+        assert_eq!(t.data_units(0, 1), 15);
+        assert_eq!(t.transfer_cost(0, 1), 30);
+        assert_eq!(t.sent_by(0), 15);
+        assert_eq!(t.received_by(0), 1);
+        assert_eq!(t.total_cost(), 37);
+        assert_eq!(t.hottest_pair(), Some((0, 1, 30)));
+    }
+
+    #[test]
+    fn empty_matrix_has_no_hot_pair() {
+        let t = TrafficMatrix::new(2);
+        assert_eq!(t.hottest_pair(), None);
+        assert_eq!(t.total_cost(), 0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Random and regular topology generators.
+//!
+//! The paper's experiments (Section 6.1) use a complete graph where every
+//! link cost is drawn from Uniform(1, 10) — see [`complete_uniform`]. The
+//! remaining generators are reproduction extensions used to probe how the
+//! algorithms behave on sparser, more structured networks (ring, line, star,
+//! balanced tree, grid, Erdős–Rényi and Waxman random graphs).
+//!
+//! All generators take an explicit [`Rng`] so experiments are reproducible.
+
+use rand::Rng;
+
+use crate::{Graph, NetError, Result};
+
+fn check_cost_range(lo: u64, hi: u64) -> Result<()> {
+    if lo == 0 || hi < lo {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("cost range [{lo}, {hi}] must satisfy 1 <= lo <= hi"),
+        });
+    }
+    Ok(())
+}
+
+fn uniform_cost<R: Rng + ?Sized>(lo: u64, hi: u64, rng: &mut R) -> u64 {
+    rng.random_range(lo..=hi)
+}
+
+/// The paper's topology: a complete graph on `m` sites with each link cost
+/// drawn uniformly from `[lo, hi]` (the paper uses `[1, 10]`).
+///
+/// # Errors
+///
+/// Returns an error when `m == 0` or the cost range is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use drp_net::topology;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = topology::complete_uniform(5, 1, 10, &mut rng)?;
+/// assert_eq!(g.num_edges(), 5 * 4 / 2);
+/// # Ok::<(), drp_net::NetError>(())
+/// ```
+pub fn complete_uniform<R: Rng + ?Sized>(m: usize, lo: u64, hi: u64, rng: &mut R) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    let mut g = Graph::new(m)?;
+    for a in 0..m {
+        for b in (a + 1)..m {
+            g.add_edge(a, b, uniform_cost(lo, hi, rng))?;
+        }
+    }
+    Ok(g)
+}
+
+/// A ring of `m` sites with uniform random link costs.
+///
+/// # Errors
+///
+/// Returns an error when `m < 3` or the cost range is invalid.
+pub fn ring<R: Rng + ?Sized>(m: usize, lo: u64, hi: u64, rng: &mut R) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if m < 3 {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("a ring needs at least 3 sites, got {m}"),
+        });
+    }
+    let mut g = Graph::new(m)?;
+    for a in 0..m {
+        g.add_edge(a, (a + 1) % m, uniform_cost(lo, hi, rng))?;
+    }
+    Ok(g)
+}
+
+/// A line (path) of `m` sites with uniform random link costs.
+///
+/// # Errors
+///
+/// Returns an error when `m < 2` or the cost range is invalid.
+pub fn line<R: Rng + ?Sized>(m: usize, lo: u64, hi: u64, rng: &mut R) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if m < 2 {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("a line needs at least 2 sites, got {m}"),
+        });
+    }
+    let mut g = Graph::new(m)?;
+    for a in 0..m - 1 {
+        g.add_edge(a, a + 1, uniform_cost(lo, hi, rng))?;
+    }
+    Ok(g)
+}
+
+/// A star with site 0 at the hub.
+///
+/// # Errors
+///
+/// Returns an error when `m < 2` or the cost range is invalid.
+pub fn star<R: Rng + ?Sized>(m: usize, lo: u64, hi: u64, rng: &mut R) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if m < 2 {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("a star needs at least 2 sites, got {m}"),
+        });
+    }
+    let mut g = Graph::new(m)?;
+    for leaf in 1..m {
+        g.add_edge(0, leaf, uniform_cost(lo, hi, rng))?;
+    }
+    Ok(g)
+}
+
+/// A balanced tree of `m` sites where node `i > 0` attaches to
+/// `(i - 1) / arity`.
+///
+/// # Errors
+///
+/// Returns an error when `m == 0`, `arity == 0` or the cost range is invalid.
+pub fn balanced_tree<R: Rng + ?Sized>(
+    m: usize,
+    arity: usize,
+    lo: u64,
+    hi: u64,
+    rng: &mut R,
+) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if arity == 0 {
+        return Err(NetError::BadTopologyParams {
+            reason: "tree arity must be positive".into(),
+        });
+    }
+    let mut g = Graph::new(m)?;
+    for child in 1..m {
+        g.add_edge(child, (child - 1) / arity, uniform_cost(lo, hi, rng))?;
+    }
+    Ok(g)
+}
+
+/// A `rows × cols` grid with uniform random link costs.
+///
+/// # Errors
+///
+/// Returns an error when either dimension is zero or the cost range is
+/// invalid.
+pub fn grid<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    lo: u64,
+    hi: u64,
+    rng: &mut R,
+) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if rows == 0 || cols == 0 {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("grid dimensions {rows}x{cols} must be positive"),
+        });
+    }
+    let mut g = Graph::new(rows * cols)?;
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), uniform_cost(lo, hi, rng))?;
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), uniform_cost(lo, hi, rng))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// An Erdős–Rényi random graph `G(m, p)` with uniform random link costs,
+/// made connected by threading a random spanning line through all sites
+/// before sampling the independent edges.
+///
+/// # Errors
+///
+/// Returns an error when `m == 0`, `p` is not in `[0, 1]`, or the cost range
+/// is invalid.
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    m: usize,
+    p: f64,
+    lo: u64,
+    hi: u64,
+    rng: &mut R,
+) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("edge probability {p} must be in [0, 1]"),
+        });
+    }
+    let mut g = Graph::new(m)?;
+    // Random spanning path guarantees connectivity.
+    let mut order: Vec<usize> = (0..m).collect();
+    for i in (1..m).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut path_edges = std::collections::HashSet::new();
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1], uniform_cost(lo, hi, rng))?;
+        path_edges.insert((w[0].min(w[1]), w[0].max(w[1])));
+    }
+    for a in 0..m {
+        for b in (a + 1)..m {
+            if !path_edges.contains(&(a, b)) && rng.random_bool(p) {
+                g.add_edge(a, b, uniform_cost(lo, hi, rng))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A Waxman random graph: sites are placed uniformly in the unit square and
+/// each pair is linked with probability `alpha · exp(−d / (beta · L))` where
+/// `d` is Euclidean distance and `L = √2`. Link cost is the rounded distance
+/// scaled into `[lo, hi]`. A random spanning path keeps the graph connected.
+///
+/// # Errors
+///
+/// Returns an error when `m == 0`, `alpha`/`beta` are not in `(0, 1]`, or the
+/// cost range is invalid.
+pub fn waxman<R: Rng + ?Sized>(
+    m: usize,
+    alpha: f64,
+    beta: f64,
+    lo: u64,
+    hi: u64,
+    rng: &mut R,
+) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 || !(0.0..=1.0).contains(&beta) || beta == 0.0
+    {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("waxman parameters alpha={alpha}, beta={beta} must be in (0, 1]"),
+        });
+    }
+    let mut g = Graph::new(m)?;
+    let pts: Vec<(f64, f64)> = (0..m)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let max_d = std::f64::consts::SQRT_2;
+    let scale = |d: f64| -> u64 {
+        let span = (hi - lo) as f64;
+        lo + (d / max_d * span).round() as u64
+    };
+    let dist = |a: usize, b: usize| -> f64 {
+        let (dx, dy) = (pts[a].0 - pts[b].0, pts[a].1 - pts[b].1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut linked = std::collections::HashSet::new();
+    let mut order: Vec<usize> = (0..m).collect();
+    for i in (1..m).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1], scale(dist(w[0], w[1])).max(1))?;
+        linked.insert((w[0].min(w[1]), w[0].max(w[1])));
+    }
+    for a in 0..m {
+        for b in (a + 1)..m {
+            if linked.contains(&(a, b)) {
+                continue;
+            }
+            let d = dist(a, b);
+            if rng.random_bool((alpha * (-d / (beta * max_d)).exp()).clamp(0.0, 1.0)) {
+                g.add_edge(a, b, scale(d).max(1))?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn complete_has_all_edges_in_range() {
+        let g = complete_uniform(10, 1, 10, &mut rng()).unwrap();
+        assert_eq!(g.num_edges(), 45);
+        assert!(g.edges().iter().all(|e| (1..=10).contains(&e.cost)));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn generators_reject_zero_cost_floor() {
+        assert!(complete_uniform(4, 0, 10, &mut rng()).is_err());
+        assert!(ring(4, 5, 2, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn ring_line_star_shapes() {
+        let mut r = rng();
+        assert_eq!(ring(6, 1, 1, &mut r).unwrap().num_edges(), 6);
+        assert_eq!(line(6, 1, 1, &mut r).unwrap().num_edges(), 5);
+        assert_eq!(star(6, 1, 1, &mut r).unwrap().num_edges(), 5);
+        assert!(ring(2, 1, 1, &mut r).is_err());
+        assert!(line(1, 1, 1, &mut r).is_err());
+        assert!(star(1, 1, 1, &mut r).is_err());
+    }
+
+    #[test]
+    fn tree_and_grid_are_connected() {
+        let mut r = rng();
+        assert!(balanced_tree(13, 3, 1, 10, &mut r).unwrap().is_connected());
+        assert!(grid(4, 5, 1, 10, &mut r).unwrap().is_connected());
+        assert!(balanced_tree(4, 0, 1, 10, &mut r).is_err());
+        assert!(grid(0, 5, 1, 10, &mut r).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_is_connected_even_at_p0() {
+        let g = erdos_renyi(20, 0.0, 1, 10, &mut rng()).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 19); // exactly the spanning path
+        assert!(erdos_renyi(5, 1.5, 1, 10, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_p1_is_complete() {
+        let g = erdos_renyi(8, 1.0, 1, 10, &mut rng()).unwrap();
+        assert_eq!(g.num_edges(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn waxman_is_connected_and_validates() {
+        let g = waxman(15, 0.8, 0.3, 1, 10, &mut rng()).unwrap();
+        assert!(g.is_connected());
+        assert!(g.edges().iter().all(|e| e.cost >= 1));
+        assert!(waxman(5, 0.0, 0.3, 1, 10, &mut rng()).is_err());
+        assert!(waxman(5, 0.5, 1.3, 1, 10, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = complete_uniform(12, 1, 10, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = complete_uniform(12, 1, 10, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

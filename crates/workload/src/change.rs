@@ -1,0 +1,300 @@
+//! Read/write pattern changes for the adaptive (AGRA) experiments.
+//!
+//! Section 6.3 of the paper perturbs a generated workload with three knobs:
+//!
+//! * `Ch` — by what percentage the reads (or writes) of a changed object
+//!   rise;
+//! * `OCh` — what percentage of objects change their pattern;
+//! * `R`/`U` — what share of the changed objects surge in *reads* vs
+//!   *updates*.
+//!
+//! New reads are added one by one to uniformly random sites. New updates are
+//! half scattered the same way and half clustered: a mean site is drawn
+//! uniformly and sites are sampled from `Normal(mean, √(M/5))` — the paper
+//! specifies "variance equal to one fifth of the total number of sites" — to
+//! simulate objects updated from a specific cluster of nodes.
+
+use drp_core::{ObjectId, Problem};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::generator::WorkloadError;
+use crate::rngutil::normal;
+use crate::Result;
+
+/// Which direction an object's pattern shifted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// The object's reads increased.
+    ReadSurge,
+    /// The object's updates increased.
+    WriteSurge,
+}
+
+/// Parameters of a pattern change (the paper's `Ch`, `OCh`, `R`).
+///
+/// # Examples
+///
+/// ```
+/// use drp_workload::{PatternChange, WorkloadSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let problem = WorkloadSpec::paper(10, 20, 5.0, 15.0).generate(&mut rng)?;
+/// // 30% of objects change; 80% of those surge 600% in reads, 20% in writes.
+/// let change = PatternChange { change_percent: 600.0, objects_percent: 30.0, read_share: 0.8 };
+/// let shift = change.apply(&problem, &mut rng)?;
+/// assert_eq!(shift.changed.len(), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PatternChange {
+    /// `Ch`: percentage increase applied to the surging quantity.
+    pub change_percent: f64,
+    /// `OCh`: percentage of objects whose pattern changes.
+    pub objects_percent: f64,
+    /// `R`: fraction (0–1) of the changed objects that surge in reads; the
+    /// remainder surge in updates.
+    pub read_share: f64,
+}
+
+/// Outcome of applying a [`PatternChange`].
+#[derive(Debug, Clone)]
+pub struct PatternShift {
+    /// The derived instance with the new read/write tables.
+    pub problem: Problem,
+    /// The changed objects and the direction of each change.
+    pub changed: Vec<(ObjectId, ChangeKind)>,
+}
+
+impl PatternChange {
+    /// Checks parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::BadSpec`] on the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.change_percent < 0.0 {
+            return Err(WorkloadError::BadSpec {
+                reason: format!(
+                    "change percent {} must be non-negative",
+                    self.change_percent
+                ),
+            });
+        }
+        if !(0.0..=100.0).contains(&self.objects_percent) {
+            return Err(WorkloadError::BadSpec {
+                reason: format!("objects percent {} out of [0, 100]", self.objects_percent),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.read_share) {
+            return Err(WorkloadError::BadSpec {
+                reason: format!("read share {} out of [0, 1]", self.read_share),
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies the change to `problem`, returning the shifted instance and
+    /// the list of changed objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::BadSpec`] for invalid parameters.
+    pub fn apply<R: RngCore + ?Sized>(
+        &self,
+        problem: &Problem,
+        rng: &mut R,
+    ) -> Result<PatternShift> {
+        self.validate()?;
+        let m = problem.num_sites();
+        let n = problem.num_objects();
+        let mut reads = problem.read_matrix().clone();
+        let mut writes = problem.write_matrix().clone();
+
+        // Choose the changed objects by partial shuffle.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let count = (self.objects_percent / 100.0 * n as f64).round() as usize;
+        let count = count.min(n);
+        let read_count = (self.read_share * count as f64).round() as usize;
+
+        let mut changed = Vec::with_capacity(count);
+        for (idx, &k) in order.iter().take(count).enumerate() {
+            let object = ObjectId::new(k);
+            if idx < read_count {
+                // Read surge: Ch% more reads, scattered uniformly.
+                let extra = (self.change_percent / 100.0 * problem.total_reads(object) as f64)
+                    .round() as u64;
+                for _ in 0..extra {
+                    let i = rng.random_range(0..m);
+                    *reads.get_mut(i, k) += 1;
+                }
+                changed.push((object, ChangeKind::ReadSurge));
+            } else {
+                // Update surge: half scattered, half clustered.
+                let extra = (self.change_percent / 100.0 * problem.total_writes(object) as f64)
+                    .round() as u64;
+                let scattered = extra / 2;
+                for _ in 0..scattered {
+                    let i = rng.random_range(0..m);
+                    *writes.get_mut(i, k) += 1;
+                }
+                let mean = rng.random_range(0..m) as f64;
+                let std = (m as f64 / 5.0).sqrt();
+                for _ in 0..extra - scattered {
+                    let site = normal(mean, std, rng).round() as i64;
+                    let site = site.rem_euclid(m as i64) as usize;
+                    *writes.get_mut(site, k) += 1;
+                }
+                changed.push((object, ChangeKind::WriteSurge));
+            }
+        }
+
+        let problem = problem.with_patterns(reads, writes)?;
+        Ok(PatternShift { problem, changed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> Problem {
+        WorkloadSpec::paper(10, 20, 5.0, 15.0)
+            .generate(&mut StdRng::seed_from_u64(4))
+            .unwrap()
+    }
+
+    #[test]
+    fn read_surge_raises_totals_by_ch() {
+        let p = base();
+        let change = PatternChange {
+            change_percent: 600.0,
+            objects_percent: 100.0,
+            read_share: 1.0,
+        };
+        let shift = change.apply(&p, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(shift.changed.len(), 20);
+        for (k, kind) in &shift.changed {
+            assert_eq!(*kind, ChangeKind::ReadSurge);
+            let before = p.total_reads(*k) as f64;
+            let after = shift.problem.total_reads(*k) as f64;
+            assert!(
+                (after / before - 7.0).abs() < 0.05,
+                "object {k}: {before} -> {after}"
+            );
+            assert_eq!(p.total_writes(*k), shift.problem.total_writes(*k));
+        }
+    }
+
+    #[test]
+    fn write_surge_raises_update_totals() {
+        let p = base();
+        let change = PatternChange {
+            change_percent: 400.0,
+            objects_percent: 50.0,
+            read_share: 0.0,
+        };
+        let shift = change.apply(&p, &mut StdRng::seed_from_u64(6)).unwrap();
+        assert_eq!(shift.changed.len(), 10);
+        for (k, kind) in &shift.changed {
+            assert_eq!(*kind, ChangeKind::WriteSurge);
+            let before = p.total_writes(*k);
+            let after = shift.problem.total_writes(*k);
+            // extra = round(4·before), split into two halves.
+            assert!(after >= before + 4 * before - 1, "object {k}");
+            assert_eq!(p.total_reads(*k), shift.problem.total_reads(*k));
+        }
+    }
+
+    #[test]
+    fn clustered_updates_concentrate() {
+        // With a huge surge on one object, the clustered half should put a
+        // large share of new writes on few sites.
+        let p = base();
+        let change = PatternChange {
+            change_percent: 10_000.0,
+            objects_percent: 5.0, // exactly 1 of 20 objects
+            read_share: 0.0,
+        };
+        let shift = change.apply(&p, &mut StdRng::seed_from_u64(7)).unwrap();
+        let (k, _) = shift.changed[0];
+        let mut added: Vec<u64> = shift
+            .problem
+            .sites()
+            .map(|i| shift.problem.writes(i, k) - p.writes(i, k))
+            .collect();
+        added.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = added.iter().sum();
+        let top3: u64 = added.iter().take(3).sum();
+        // Scattered half spreads over 10 sites; the clustered half (σ≈1.4)
+        // lands almost entirely on ~3 sites, so the top 3 sites take at
+        // least their clustered half. A uniform spread would give 0.3.
+        assert!(
+            top3 as f64 >= 0.45 * total as f64,
+            "top3={top3} total={total}"
+        );
+    }
+
+    #[test]
+    fn mixed_shares_split_objects() {
+        let p = base();
+        let change = PatternChange {
+            change_percent: 100.0,
+            objects_percent: 50.0,
+            read_share: 0.8,
+        };
+        let shift = change.apply(&p, &mut StdRng::seed_from_u64(8)).unwrap();
+        let reads = shift
+            .changed
+            .iter()
+            .filter(|(_, kind)| *kind == ChangeKind::ReadSurge)
+            .count();
+        assert_eq!(shift.changed.len(), 10);
+        assert_eq!(reads, 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let bad = PatternChange {
+            change_percent: -1.0,
+            objects_percent: 10.0,
+            read_share: 0.5,
+        };
+        assert!(bad.validate().is_err());
+        let bad = PatternChange {
+            change_percent: 10.0,
+            objects_percent: 110.0,
+            read_share: 0.5,
+        };
+        assert!(bad.validate().is_err());
+        let bad = PatternChange {
+            change_percent: 10.0,
+            objects_percent: 10.0,
+            read_share: 1.5,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn zero_change_is_identity_on_totals() {
+        let p = base();
+        let change = PatternChange {
+            change_percent: 0.0,
+            objects_percent: 100.0,
+            read_share: 0.5,
+        };
+        let shift = change.apply(&p, &mut StdRng::seed_from_u64(9)).unwrap();
+        for k in p.objects() {
+            assert_eq!(p.total_reads(k), shift.problem.total_reads(k));
+            assert_eq!(p.total_writes(k), shift.problem.total_writes(k));
+        }
+    }
+}

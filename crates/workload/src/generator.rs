@@ -1,0 +1,311 @@
+use std::error::Error;
+use std::fmt;
+
+use drp_core::{CoreError, DenseMatrix, Problem, SiteId};
+use drp_net::{topology, CostMatrix, Graph, NetError};
+use rand::{Rng, RngCore};
+
+use crate::rngutil::{half_to_threehalves, uniform_u64};
+use crate::spec::{TopologyKind, WorkloadSpec};
+use crate::zipf;
+use crate::Result;
+
+/// Errors produced by the workload generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A specification field was out of range.
+    BadSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An error bubbled up from the DRP core.
+    Core(CoreError),
+    /// An error bubbled up from the network substrate.
+    Net(NetError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::BadSpec { reason } => write!(f, "bad workload spec: {reason}"),
+            WorkloadError::Core(e) => write!(f, "core error: {e}"),
+            WorkloadError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Core(e) => Some(e),
+            WorkloadError::Net(e) => Some(e),
+            WorkloadError::BadSpec { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for WorkloadError {
+    fn from(e: CoreError) -> Self {
+        WorkloadError::Core(e)
+    }
+}
+
+impl From<NetError> for WorkloadError {
+    fn from(e: NetError) -> Self {
+        WorkloadError::Net(e)
+    }
+}
+
+/// Largest divisor of `m` that is ≤ √m, so `Grid` topologies get the most
+/// square shape with exactly `m` sites.
+fn squarest_rows(m: usize) -> usize {
+    let mut best = 1;
+    let mut d = 1;
+    while d * d <= m {
+        if m.is_multiple_of(d) {
+            best = d;
+        }
+        d += 1;
+    }
+    best
+}
+
+fn build_graph<R: RngCore + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Result<Graph> {
+    let (lo, hi) = spec.link_cost_range;
+    let m = spec.num_sites;
+    let graph = match spec.topology {
+        TopologyKind::Complete => topology::complete_uniform(m, lo, hi, rng)?,
+        TopologyKind::Ring => topology::ring(m, lo, hi, rng)?,
+        TopologyKind::Tree { arity } => topology::balanced_tree(m, arity, lo, hi, rng)?,
+        TopologyKind::Grid => {
+            let rows = squarest_rows(m);
+            topology::grid(rows, m / rows, lo, hi, rng)?
+        }
+        TopologyKind::ErdosRenyi { p } => topology::erdos_renyi(m, p, lo, hi, rng)?,
+        TopologyKind::Waxman { alpha, beta } => topology::waxman(m, alpha, beta, lo, hi, rng)?,
+    };
+    Ok(graph)
+}
+
+impl WorkloadSpec {
+    /// Generates one random instance according to this specification.
+    ///
+    /// Site capacities are raised, when necessary, to fit the primary copies
+    /// randomly assigned to each site (the paper implicitly assumes primary
+    /// copies fit; the jittered capacity draw could otherwise strand them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::BadSpec`] for invalid parameters, or wrapped
+    /// substrate errors (e.g. a topology too small for its kind).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drp_workload::WorkloadSpec;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(42);
+    /// let problem = WorkloadSpec::paper(10, 20, 5.0, 15.0).generate(&mut rng)?;
+    /// assert!(problem.d_prime() > 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Result<Problem> {
+        self.validate()?;
+        let m = self.num_sites;
+        let n = self.num_objects;
+
+        let graph = build_graph(self, rng)?;
+        let costs = CostMatrix::from_graph(&graph)?;
+
+        // Primary copies land on random sites.
+        let primaries: Vec<SiteId> = (0..n)
+            .map(|_| SiteId::new(rng.random_range(0..m)))
+            .collect();
+
+        // Object sizes: uniform, mean 35 with the paper's defaults.
+        let sizes: Vec<u64> = (0..n)
+            .map(|_| uniform_u64(self.size_range.0, self.size_range.1, rng))
+            .collect();
+
+        // Reads: Uniform(1, 40) per (site, object); the Zipf extension then
+        // scales each object's column by its popularity.
+        let mut reads = DenseMatrix::zeros(m, n);
+        for k in 0..n {
+            for i in 0..m {
+                reads.set(
+                    i,
+                    k,
+                    uniform_u64(self.reads_range.0, self.reads_range.1, rng),
+                );
+            }
+        }
+        if let Some(skew) = self.zipf_skew {
+            zipf::apply_popularity(&mut reads, skew, rng);
+        }
+
+        // Updates: U% of each object's total reads, jittered ×[½, 3⁄2],
+        // scattered one by one over random sites.
+        let mut writes = DenseMatrix::zeros(m, n);
+        for k in 0..n {
+            let total_reads: u64 = reads.column_sum(k);
+            let target = (self.update_ratio_percent / 100.0 * total_reads as f64).round() as u64;
+            let total_updates = half_to_threehalves(target, rng);
+            for _ in 0..total_updates {
+                let i = rng.random_range(0..m);
+                *writes.get_mut(i, k) += 1;
+            }
+        }
+
+        // Capacities: Uniform(C·S/2, 3C·S/2), raised to fit primary copies.
+        let total_size: u64 = sizes.iter().sum();
+        let target = (self.capacity_percent / 100.0 * total_size as f64).round() as u64;
+        let mut primary_load = vec![0u64; m];
+        for (k, p) in primaries.iter().enumerate() {
+            primary_load[p.index()] += sizes[k];
+        }
+        let capacities: Vec<u64> = primary_load
+            .iter()
+            .map(|&load| half_to_threehalves(target, rng).max(load))
+            .collect();
+
+        let mut builder = Problem::builder(costs);
+        builder.objects_bulk(sizes, primaries);
+        builder.capacities(capacities);
+        builder.read_matrix(reads);
+        builder.write_matrix(writes);
+        Ok(builder.build()?)
+    }
+
+    /// Generates `count` independent instances (the paper averages over 15
+    /// networks per configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first generation failure.
+    pub fn generate_many<R: RngCore + ?Sized>(
+        &self,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Problem>> {
+        (0..count).map(|_| self.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn paper_spec_generates_valid_instance() {
+        let p = WorkloadSpec::paper(20, 30, 5.0, 15.0)
+            .generate(&mut rng())
+            .unwrap();
+        assert_eq!(p.num_sites(), 20);
+        assert_eq!(p.num_objects(), 30);
+        // Reads respect the Uniform(1, 40) range.
+        for i in p.sites() {
+            for k in p.objects() {
+                assert!((1..=40).contains(&p.reads(i, k)));
+            }
+        }
+        // Sizes respect (10, 60).
+        for k in p.objects() {
+            assert!((10..=60).contains(&p.object_size(k)));
+        }
+    }
+
+    #[test]
+    fn update_totals_track_the_ratio() {
+        let p = WorkloadSpec::paper(20, 40, 10.0, 15.0)
+            .generate(&mut rng())
+            .unwrap();
+        for k in p.objects() {
+            let reads = p.total_reads(k) as f64;
+            let writes = p.total_writes(k) as f64;
+            // target = 10% of reads, jittered within [½, 3⁄2] plus rounding.
+            assert!(
+                writes >= (0.05 * reads).floor() - 1.0 && writes <= (0.15 * reads).ceil() + 1.0,
+                "object {k}: reads={reads} writes={writes}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacities_fit_primary_copies() {
+        // A tiny capacity percentage would strand primaries without the
+        // raise-to-fit rule.
+        let mut spec = WorkloadSpec::paper(4, 50, 5.0, 15.0);
+        spec.capacity_percent = 0.5;
+        let p = spec.generate(&mut rng()).unwrap();
+        // Problem::build would have rejected an infeasible assignment, so
+        // reaching here is the assertion; sanity-check d_prime anyway.
+        assert!(p.d_prime() > 0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let spec = WorkloadSpec::paper(12, 18, 5.0, 15.0);
+        let a = spec.generate(&mut StdRng::seed_from_u64(5)).unwrap();
+        let b = spec.generate(&mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+        let c = spec.generate(&mut StdRng::seed_from_u64(6)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn alternative_topologies_generate() {
+        let mut r = rng();
+        for topo in [
+            TopologyKind::Ring,
+            TopologyKind::Tree { arity: 2 },
+            TopologyKind::Grid,
+            TopologyKind::ErdosRenyi { p: 0.3 },
+            TopologyKind::Waxman {
+                alpha: 0.7,
+                beta: 0.4,
+            },
+        ] {
+            let mut spec = WorkloadSpec::paper(12, 10, 5.0, 20.0);
+            spec.topology = topo;
+            let p = spec.generate(&mut r).unwrap();
+            assert_eq!(p.num_sites(), 12, "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_extension_skews_popularity() {
+        let mut spec = WorkloadSpec::paper(10, 50, 5.0, 15.0);
+        spec.zipf_skew = Some(1.2);
+        let p = spec.generate(&mut rng()).unwrap();
+        let totals: Vec<u64> = p.objects().map(|k| p.total_reads(k)).collect();
+        let max = *totals.iter().max().unwrap();
+        let min = *totals.iter().min().unwrap();
+        assert!(
+            max > 4 * min.max(1),
+            "zipf should spread totals: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn generate_many_counts() {
+        let spec = WorkloadSpec::paper(6, 8, 5.0, 15.0);
+        let instances = spec.generate_many(4, &mut rng()).unwrap();
+        assert_eq!(instances.len(), 4);
+    }
+
+    #[test]
+    fn squarest_rows_factors() {
+        assert_eq!(squarest_rows(12), 3);
+        assert_eq!(squarest_rows(16), 4);
+        assert_eq!(squarest_rows(13), 1); // prime → 1×13 line-grid
+        assert_eq!(squarest_rows(1), 1);
+    }
+}

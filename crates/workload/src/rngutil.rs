@@ -1,0 +1,80 @@
+//! Small sampling helpers shared by the generators.
+
+use rand::{Rng, RngCore};
+
+/// Samples a standard normal via the Box–Muller transform.
+///
+/// Implemented locally (15 lines) instead of depending on `rand_distr`.
+pub fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let mut u1: f64 = rng.random();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.random();
+    }
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `Normal(mean, std)`.
+pub fn normal<R: RngCore + ?Sized>(mean: f64, std: f64, rng: &mut R) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Samples an integer uniformly from `[lo, hi]` (inclusive); `lo == hi`
+/// returns that value.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform_u64<R: RngCore + ?Sized>(lo: u64, hi: u64, rng: &mut R) -> u64 {
+    assert!(lo <= hi, "empty range");
+    rng.random_range(lo..=hi)
+}
+
+/// The paper's jitter: Uniform(T/2, 3T/2), used for both total updates and
+/// site capacities "to instill enough diversity".
+pub fn half_to_threehalves<R: RngCore + ?Sized>(t: u64, rng: &mut R) -> u64 {
+    uniform_u64(t / 2, 3 * t / 2, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(10.0, 2.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_are_inclusive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = uniform_u64(3, 5, &mut rng);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+        assert_eq!(uniform_u64(4, 4, &mut rng), 4);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let v = half_to_threehalves(100, &mut rng);
+            assert!((50..=150).contains(&v));
+        }
+    }
+}

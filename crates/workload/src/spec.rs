@@ -1,0 +1,184 @@
+use serde::{Deserialize, Serialize};
+
+use crate::generator::WorkloadError;
+use crate::Result;
+
+/// Which network topology to generate.
+///
+/// The paper uses [`TopologyKind::Complete`]; the rest are reproduction
+/// extensions for robustness studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TopologyKind {
+    /// Complete graph, link costs Uniform(lo, hi). The paper's setup with
+    /// `lo = 1`, `hi = 10`.
+    Complete,
+    /// Ring with random link costs.
+    Ring,
+    /// Balanced tree of the given arity.
+    Tree {
+        /// Children per node.
+        arity: usize,
+    },
+    /// Near-square grid.
+    Grid,
+    /// Erdős–Rényi `G(m, p)` kept connected by a random spanning path.
+    ErdosRenyi {
+        /// Independent edge probability.
+        p: f64,
+    },
+    /// Waxman random geometric graph.
+    Waxman {
+        /// Waxman α (link density).
+        alpha: f64,
+        /// Waxman β (distance decay).
+        beta: f64,
+    },
+}
+
+/// Declarative description of a synthetic workload, mirroring the paper's
+/// Section 6.1 parameters.
+///
+/// Construct via [`WorkloadSpec::paper`] and adjust fields directly; all
+/// fields are plain data validated by [`generate`](Self::generate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of sites `M`.
+    pub num_sites: usize,
+    /// Number of objects `N`.
+    pub num_objects: usize,
+    /// Update ratio `U` in percent: total updates per object are `U%` of its
+    /// total reads (before the ×[½, 3⁄2] jitter).
+    pub update_ratio_percent: f64,
+    /// Capacity percentage `C`: site capacity is Uniform(C·S/2, 3C·S/2) of
+    /// the total object size `S`.
+    pub capacity_percent: f64,
+    /// Per-(site, object) read count range, inclusive. Paper: (1, 40).
+    pub reads_range: (u64, u64),
+    /// Object size range, inclusive. Paper: uniform with mean 35; we default
+    /// to (10, 60).
+    pub size_range: (u64, u64),
+    /// Link cost range, inclusive. Paper: (1, 10).
+    pub link_cost_range: (u64, u64),
+    /// Network shape.
+    pub topology: TopologyKind,
+    /// Zipf skew for object popularity; `None` (paper) keeps reads uniform
+    /// across objects, `Some(s)` scales each object's read column by a
+    /// Zipf(s) popularity (reproduction extension).
+    pub zipf_skew: Option<f64>,
+}
+
+impl WorkloadSpec {
+    /// The paper's configuration for given sizes, update ratio `U%` and
+    /// capacity `C%`.
+    pub fn paper(num_sites: usize, num_objects: usize, u_percent: f64, c_percent: f64) -> Self {
+        Self {
+            num_sites,
+            num_objects,
+            update_ratio_percent: u_percent,
+            capacity_percent: c_percent,
+            reads_range: (1, 40),
+            size_range: (10, 60),
+            link_cost_range: (1, 10),
+            topology: TopologyKind::Complete,
+            zipf_skew: None,
+        }
+    }
+
+    /// Checks all parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::BadSpec`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |reason: String| Err(WorkloadError::BadSpec { reason });
+        if self.num_sites == 0 {
+            return fail("num_sites must be positive".into());
+        }
+        if self.num_objects == 0 {
+            return fail("num_objects must be positive".into());
+        }
+        if !(0.0..=1000.0).contains(&self.update_ratio_percent) {
+            return fail(format!(
+                "update ratio {}% out of range [0, 1000]",
+                self.update_ratio_percent
+            ));
+        }
+        if self.capacity_percent <= 0.0 {
+            return fail("capacity percent must be positive".into());
+        }
+        for (name, (lo, hi)) in [
+            ("reads_range", self.reads_range),
+            ("size_range", self.size_range),
+            ("link_cost_range", self.link_cost_range),
+        ] {
+            if lo > hi {
+                return fail(format!("{name} is empty: ({lo}, {hi})"));
+            }
+        }
+        if self.size_range.0 == 0 {
+            return fail("object sizes must be positive".into());
+        }
+        if self.link_cost_range.0 == 0 {
+            return fail("link costs must be positive".into());
+        }
+        if let Some(s) = self.zipf_skew {
+            if s <= 0.0 || s.is_nan() {
+                return fail(format!("zipf skew {s} must be positive"));
+            }
+        }
+        match self.topology {
+            TopologyKind::Tree { arity: 0 } => fail("tree arity must be positive".into()),
+            TopologyKind::ErdosRenyi { p } if !(0.0..=1.0).contains(&p) => {
+                fail(format!("erdos-renyi p {p} out of [0, 1]"))
+            }
+            TopologyKind::Waxman { alpha, beta }
+                if !(alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0) =>
+            {
+                fail(format!("waxman parameters ({alpha}, {beta}) out of (0, 1]"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_6_1() {
+        let s = WorkloadSpec::paper(100, 150, 5.0, 15.0);
+        assert_eq!(s.reads_range, (1, 40));
+        assert_eq!(s.link_cost_range, (1, 10));
+        assert_eq!((s.size_range.0 + s.size_range.1) / 2, 35);
+        assert_eq!(s.topology, TopologyKind::Complete);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let base = WorkloadSpec::paper(10, 10, 5.0, 15.0);
+        let mut s = base.clone();
+        s.num_sites = 0;
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.capacity_percent = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.reads_range = (5, 2);
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.size_range = (0, 4);
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.topology = TopologyKind::ErdosRenyi { p: 1.5 };
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.zipf_skew = Some(0.0);
+        assert!(s.validate().is_err());
+        let mut s = base;
+        s.topology = TopologyKind::Tree { arity: 0 };
+        assert!(s.validate().is_err());
+    }
+}

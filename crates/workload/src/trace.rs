@@ -1,0 +1,315 @@
+//! Timed request traces — a reproduction extension.
+//!
+//! The paper's cost model is aggregate (per-period counts). For the
+//! simulator-driven examples we expand a pattern into a timestamped request
+//! stream, each read/write landing at a uniformly random instant of the
+//! period.
+
+use drp_core::{ObjectId, Problem, SiteId};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Whether a request reads or writes its object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Fetch the object from the nearest replicator.
+    Read,
+    /// Ship an updated version toward the primary.
+    Write,
+}
+
+/// One timestamped request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Instant within the period, in simulator time units.
+    pub time: u64,
+    /// Issuing site.
+    pub site: SiteId,
+    /// Target object.
+    pub object: ObjectId,
+    /// Read or write.
+    pub kind: RequestKind,
+}
+
+/// Expands the aggregate pattern of `problem` into a time-ordered request
+/// stream over `[0, period)`.
+///
+/// The stream length is the total number of reads and writes in the
+/// instance, so use this with small instances (it is meant for examples and
+/// simulator tests, not the large sweeps).
+///
+/// # Examples
+///
+/// ```
+/// use drp_workload::{trace, WorkloadSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(10);
+/// let problem = WorkloadSpec::paper(4, 3, 5.0, 25.0).generate(&mut rng)?;
+/// let requests = trace::expand(&problem, 1_000, &mut rng);
+/// assert!(requests.windows(2).all(|w| w[0].time <= w[1].time));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expand<R: RngCore + ?Sized>(problem: &Problem, period: u64, rng: &mut R) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for site in problem.sites() {
+        for object in problem.objects() {
+            for _ in 0..problem.reads(site, object) {
+                requests.push(Request {
+                    time: rng.random_range(0..period.max(1)),
+                    site,
+                    object,
+                    kind: RequestKind::Read,
+                });
+            }
+            for _ in 0..problem.writes(site, object) {
+                requests.push(Request {
+                    time: rng.random_range(0..period.max(1)),
+                    site,
+                    object,
+                    kind: RequestKind::Write,
+                });
+            }
+        }
+    }
+    requests.sort_by_key(|r| r.time);
+    requests
+}
+
+
+/// Drives a request trace through the discrete-event simulator against a
+/// replication scheme, request by request at the trace's timestamps.
+///
+/// Each read issues a control request to the issuer's nearest replicator,
+/// which returns the object; each write ships the object to the primary
+/// (control-sized when the writer is itself a replicator, matching Eq. 4's
+/// convention), which broadcasts the update to every other replicator. The
+/// measured transfer cost therefore equals the aggregate model's
+/// [`Problem::total_cost`] whenever the trace was expanded from the same
+/// pattern — asserted by the tests.
+///
+/// # Errors
+///
+/// Propagates simulator errors (event budget exhaustion would indicate a
+/// protocol bug) and rejects traces whose ids exceed the instance.
+pub fn simulate(
+    problem: &Problem,
+    scheme: &drp_core::ReplicationScheme,
+    requests: &[Request],
+    ) -> drp_core::Result<TraceReport> {
+    use drp_net::sim::{Context, Message, Node, Simulator};
+    use std::sync::Arc;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Msg {
+        /// Fire one queued request (timer payload carries its index).
+        Fire { index: usize },
+        ReadRequest { object: usize },
+        Data { object: usize },
+        WriteShip { object: usize },
+        Update { object: usize },
+    }
+
+    struct Shared {
+        problem: Problem,
+        scheme: drp_core::ReplicationScheme,
+        /// Per-site request queues: (time, object, is_write).
+        queues: Vec<Vec<(u64, usize, bool)>>,
+    }
+
+    struct TraceNode {
+        shared: Arc<Shared>,
+        served_reads: u64,
+    }
+
+    impl TraceNode {
+        fn broadcast(&self, ctx: &mut Context<'_, Msg>, object: usize) {
+            let k = ObjectId::new(object);
+            let size = self.shared.problem.object_size(k);
+            let me = ctx.node_id();
+            let targets: Vec<usize> = self
+                .shared
+                .scheme
+                .replicators(k)
+                .map(SiteId::index)
+                .filter(|&j| j != me)
+                .collect();
+            for j in targets {
+                ctx.send(j, size, Msg::Update { object });
+            }
+        }
+
+        fn issue(&self, ctx: &mut Context<'_, Msg>, object: usize, is_write: bool) {
+            let me = SiteId::new(ctx.node_id());
+            let k = ObjectId::new(object);
+            let shared = &self.shared;
+            if is_write {
+                let sp = shared.problem.primary(k);
+                if sp == me {
+                    self.broadcast(ctx, object);
+                } else {
+                    let size = if shared.scheme.holds(me, k) {
+                        0
+                    } else {
+                        shared.problem.object_size(k)
+                    };
+                    ctx.send(sp.index(), size, Msg::WriteShip { object });
+                }
+            } else {
+                let (sn, _) = shared.scheme.nearest_replica(&shared.problem, me, k);
+                if sn != me {
+                    ctx.send(sn.index(), 0, Msg::ReadRequest { object });
+                }
+            }
+        }
+    }
+
+    impl Node<Msg> for TraceNode {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            for (index, &(time, _, _)) in self.shared.queues[ctx.node_id()].iter().enumerate() {
+                ctx.set_timer(time, Msg::Fire { index });
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, payload: Msg) {
+            if let Msg::Fire { index } = payload {
+                let (_, object, is_write) = self.shared.queues[ctx.node_id()][index];
+                self.issue(ctx, object, is_write);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Message<Msg>) {
+            match msg.payload {
+                Msg::ReadRequest { object } => {
+                    self.served_reads += 1;
+                    let size = self.shared.problem.object_size(ObjectId::new(object));
+                    ctx.send(msg.src, size, Msg::Data { object });
+                }
+                Msg::WriteShip { object } => self.broadcast(ctx, object),
+                Msg::Data { .. } | Msg::Update { .. } | Msg::Fire { .. } => {}
+            }
+        }
+    }
+
+    let mut queues = vec![Vec::new(); problem.num_sites()];
+    for request in requests {
+        problem.check_site(request.site)?;
+        problem.check_object(request.object)?;
+        queues[request.site.index()].push((
+            request.time,
+            request.object.index(),
+            request.kind == RequestKind::Write,
+        ));
+    }
+    let shared = Arc::new(Shared { problem: problem.clone(), scheme: scheme.clone(), queues });
+    let nodes: Vec<Box<dyn Node<Msg>>> = (0..problem.num_sites())
+        .map(|_| {
+            Box::new(TraceNode { shared: Arc::clone(&shared), served_reads: 0 })
+                as Box<dyn Node<Msg>>
+        })
+        .collect();
+    let mut sim = Simulator::new(problem.costs().clone(), nodes)
+        .map_err(drp_core::CoreError::from)?;
+    sim.run_to_completion().map_err(drp_core::CoreError::from)?;
+    Ok(TraceReport {
+        transfer_cost: sim.stats().transfer_cost,
+        completion_time: sim.now(),
+        messages: sim.stats().messages,
+    })
+}
+
+/// Outcome of a trace-driven simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Measured network transfer cost.
+    pub transfer_cost: u64,
+    /// Simulated instant the last message settled.
+    pub completion_time: u64,
+    /// Messages exchanged (requests, data, ships, updates).
+    pub messages: u64,
+}
+
+/// Counts requests by kind, a convenience for reporting.
+pub fn volume(requests: &[Request]) -> (usize, usize) {
+    let reads = requests
+        .iter()
+        .filter(|r| r.kind == RequestKind::Read)
+        .count();
+    (reads, requests.len() - reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expansion_matches_aggregate_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = WorkloadSpec::paper(4, 3, 10.0, 25.0)
+            .generate(&mut rng)
+            .unwrap();
+        let requests = expand(&p, 500, &mut rng);
+        let (reads, writes) = volume(&requests);
+        let expected_reads: u64 = p.objects().map(|k| p.total_reads(k)).sum();
+        let expected_writes: u64 = p.objects().map(|k| p.total_writes(k)).sum();
+        assert_eq!(reads as u64, expected_reads);
+        assert_eq!(writes as u64, expected_writes);
+    }
+
+
+    #[test]
+    fn trace_simulation_matches_aggregate_cost_model() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = WorkloadSpec::paper(5, 4, 10.0, 30.0).generate(&mut rng).unwrap();
+        let scheme = drp_core::ReplicationScheme::primary_only(&p);
+        let requests = expand(&p, 200, &mut rng);
+        let report = simulate(&p, &scheme, &requests).unwrap();
+        assert_eq!(report.transfer_cost, p.total_cost(&scheme));
+        assert!(report.completion_time >= 1);
+        assert!(report.messages as usize >= requests.len() / 2);
+    }
+
+    #[test]
+    fn trace_simulation_matches_with_replicas() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let p = WorkloadSpec::paper(5, 4, 10.0, 40.0).generate(&mut rng).unwrap();
+        let mut scheme = drp_core::ReplicationScheme::primary_only(&p);
+        for k in p.objects() {
+            for i in p.sites() {
+                if !scheme.holds(i, k) && p.object_size(k) <= scheme.free_capacity(&p, i) {
+                    scheme.add_replica(&p, i, k).unwrap();
+                    break;
+                }
+            }
+        }
+        let requests = expand(&p, 100, &mut rng);
+        let report = simulate(&p, &scheme, &requests).unwrap();
+        assert_eq!(report.transfer_cost, p.total_cost(&scheme));
+    }
+
+    #[test]
+    fn trace_simulation_rejects_foreign_requests() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = WorkloadSpec::paper(4, 3, 5.0, 30.0).generate(&mut rng).unwrap();
+        let scheme = drp_core::ReplicationScheme::primary_only(&p);
+        let bad = vec![Request {
+            time: 0,
+            site: SiteId::new(9),
+            object: ObjectId::new(0),
+            kind: RequestKind::Read,
+        }];
+        assert!(simulate(&p, &scheme, &bad).is_err());
+    }
+
+    #[test]
+    fn times_are_within_period_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = WorkloadSpec::paper(3, 2, 5.0, 25.0)
+            .generate(&mut rng)
+            .unwrap();
+        let requests = expand(&p, 100, &mut rng);
+        assert!(requests.iter().all(|r| r.time < 100));
+        assert!(requests.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

@@ -1,0 +1,109 @@
+//! Zipf popularity skew — a reproduction extension.
+//!
+//! The paper draws reads Uniform(1, 40) for every (site, object) pair, which
+//! makes all objects roughly equally popular. Web workloads motivating the
+//! paper are strongly skewed, so we optionally scale each object's read
+//! column by a Zipf popularity weight (normalized to mean 1 so the aggregate
+//! read volume is comparable to the uniform case).
+
+use drp_core::DenseMatrix;
+use rand::{Rng, RngCore};
+
+/// Zipf weights for `n` ranks with exponent `s`, normalized to mean 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `s <= 0`.
+pub fn normalized_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one rank");
+    assert!(s > 0.0, "zipf exponent must be positive");
+    let raw: Vec<f64> = (1..=n).map(|rank| (rank as f64).powf(-s)).collect();
+    let mean = raw.iter().sum::<f64>() / n as f64;
+    raw.into_iter().map(|w| w / mean).collect()
+}
+
+/// Scales each object's read column by a Zipf weight; rank order is a random
+/// permutation of the objects so popularity is independent of object id.
+///
+/// Scaled read counts are rounded to the nearest integer (possibly 0).
+pub fn apply_popularity<R: RngCore + ?Sized>(reads: &mut DenseMatrix<u64>, s: f64, rng: &mut R) {
+    let n = reads.cols();
+    if n == 0 {
+        return;
+    }
+    let weights = normalized_weights(n, s);
+    // Random rank assignment.
+    let mut ranks: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        ranks.swap(i, j);
+    }
+    for k in 0..n {
+        let w = weights[ranks[k]];
+        for i in 0..reads.rows() {
+            let scaled = (*reads.get(i, k) as f64 * w).round() as u64;
+            reads.set(i, k, scaled);
+        }
+    }
+}
+
+/// Samples a rank in `0..weights.len()` proportionally to the given weights
+/// (useful for trace generation).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn sample_index<R: RngCore + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_normalized_and_decreasing() {
+        let w = normalized_weights(10, 1.0);
+        let mean = w.iter().sum::<f64>() / 10.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    fn apply_preserves_rough_volume() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut reads = DenseMatrix::from_rows(2, 4, vec![10u64; 8]).unwrap();
+        let before: u64 = (0..4).map(|k| reads.column_sum(k)).sum();
+        apply_popularity(&mut reads, 1.0, &mut rng);
+        let after: u64 = (0..4).map(|k| reads.column_sum(k)).sum();
+        let ratio = after as f64 / before as f64;
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_index_prefers_heavy_ranks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = vec![0.9, 0.1];
+        let heavy = (0..1000)
+            .filter(|_| sample_index(&w, &mut rng) == 0)
+            .count();
+        assert!(heavy > 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn zero_exponent_panics() {
+        normalized_weights(5, 0.0);
+    }
+}

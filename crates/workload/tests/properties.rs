@@ -1,0 +1,78 @@
+//! Property-based tests of the workload generators.
+
+use drp_workload::{PatternChange, WorkloadSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_instances_are_internally_consistent(
+        m in 2usize..15,
+        n in 1usize..25,
+        u in 0.0f64..50.0,
+        c in 5.0f64..40.0,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = WorkloadSpec::paper(m, n, u, c).generate(&mut rng).unwrap();
+        prop_assert_eq!(problem.num_sites(), m);
+        prop_assert_eq!(problem.num_objects(), n);
+        for k in problem.objects() {
+            // Totals match the tables.
+            let reads: u64 = problem.sites().map(|i| problem.reads(i, k)).sum();
+            let writes: u64 = problem.sites().map(|i| problem.writes(i, k)).sum();
+            prop_assert_eq!(problem.total_reads(k), reads);
+            prop_assert_eq!(problem.total_writes(k), writes);
+            // Update totals stay inside the jitter band (±½, +rounding).
+            let ceiling = (u / 100.0 * reads as f64 * 1.5).ceil() as u64 + 1;
+            prop_assert!(writes <= ceiling, "object {}: writes {} > {}", k, writes, ceiling);
+        }
+        // Primary copies fit by construction.
+        let primary_scheme = drp_core::ReplicationScheme::primary_only(&problem);
+        prop_assert!(primary_scheme.validate(&problem).is_ok());
+    }
+
+    #[test]
+    fn pattern_changes_only_touch_selected_objects(
+        seed in 0u64..10_000,
+        och in 0.0f64..100.0,
+        share in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = WorkloadSpec::paper(8, 12, 5.0, 20.0).generate(&mut rng).unwrap();
+        let change = PatternChange {
+            change_percent: 300.0,
+            objects_percent: och,
+            read_share: share,
+        };
+        let shift = change.apply(&problem, &mut rng).unwrap();
+        let changed: std::collections::HashSet<_> =
+            shift.changed.iter().map(|(k, _)| *k).collect();
+        let expected = (och / 100.0 * 12.0).round() as usize;
+        prop_assert_eq!(changed.len(), expected.min(12));
+        for k in problem.objects() {
+            if !changed.contains(&k) {
+                prop_assert_eq!(problem.total_reads(k), shift.problem.total_reads(k));
+                prop_assert_eq!(problem.total_writes(k), shift.problem.total_writes(k));
+            } else {
+                // Changed objects never lose traffic.
+                prop_assert!(shift.problem.total_reads(k) >= problem.total_reads(k));
+                prop_assert!(shift.problem.total_writes(k) >= problem.total_writes(k));
+            }
+        }
+        // The network itself is untouched.
+        prop_assert_eq!(problem.costs(), shift.problem.costs());
+    }
+
+    #[test]
+    fn instance_format_round_trips_generated_instances(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = WorkloadSpec::paper(6, 9, 5.0, 20.0).generate(&mut rng).unwrap();
+        let text = drp_core::format::write_instance(&problem);
+        let back = drp_core::format::read_instance(&text).unwrap();
+        prop_assert_eq!(back, problem);
+    }
+}

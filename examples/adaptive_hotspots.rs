@@ -1,0 +1,92 @@
+//! Day/night adaptation with AGRA — the paper's Section 5 deployment story.
+//!
+//! At "night" a monitor runs the expensive GRA over yesterday's statistics.
+//! During the "day" the read/write pattern shifts (hot objects emerge,
+//! others start being updated from a cluster of sites); the monitor detects
+//! the drifted objects and lets AGRA re-tune the scheme in a fraction of a
+//! full GRA run.
+//!
+//! ```text
+//! cargo run --release --example adaptive_hotspots
+//! ```
+
+use std::time::Instant;
+
+use drp::algo::detect_changed_objects;
+use drp::{Agra, AgraConfig, Gra, GraConfig, PatternChange, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let problem = WorkloadSpec::paper(25, 80, 5.0, 15.0).generate(&mut rng)?;
+
+    // Night: full GRA run on yesterday's statistics.
+    let gra_config = GraConfig {
+        population_size: 24,
+        generations: 40,
+        ..GraConfig::default()
+    };
+    let night = Instant::now();
+    let base = Gra::with_config(gra_config.clone()).solve_detailed(&problem, &mut rng)?;
+    println!(
+        "night-time GRA: {:.2}% savings in {:.2}s",
+        problem.savings_percent(&base.scheme),
+        night.elapsed().as_secs_f64()
+    );
+
+    let mut current_problem = problem;
+    let mut current_scheme = base.scheme;
+    let mut population: Vec<_> = base
+        .outcome
+        .final_population
+        .iter()
+        .map(|(c, _)| c.clone())
+        .collect();
+
+    // Day: three pattern shifts of increasing severity.
+    let agra = Agra::with_config(AgraConfig {
+        gra: gra_config,
+        ..AgraConfig::default()
+    });
+    for (round, (och, read_share)) in [(15.0, 1.0), (25.0, 0.5), (35.0, 0.0)].iter().enumerate() {
+        let change = PatternChange {
+            change_percent: 500.0,
+            objects_percent: *och,
+            read_share: *read_share,
+        };
+        let shift = change.apply(&current_problem, &mut rng)?;
+
+        // The monitor compares fresh statistics against last night's.
+        let changed = detect_changed_objects(&current_problem, &shift.problem, 100.0);
+        let stale = shift.problem.savings_percent(&current_scheme);
+
+        let clock = Instant::now();
+        let outcome = agra.adapt(
+            &shift.problem,
+            &current_scheme,
+            &population,
+            &changed,
+            &mut rng,
+        )?;
+        let elapsed = clock.elapsed().as_secs_f64();
+        let adapted = shift.problem.savings_percent(&outcome.scheme);
+
+        println!(
+            "round {}: {} objects drifted | stale scheme {:.2}% -> AGRA {:.2}% in {:.3}s \
+             ({} micro + {} mini evaluations)",
+            round + 1,
+            changed.len(),
+            stale,
+            adapted,
+            elapsed,
+            outcome.micro_evaluations,
+            outcome.mini_evaluations
+        );
+
+        current_problem = shift.problem;
+        current_scheme = outcome.scheme;
+        population = outcome.population;
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The distributed SRA protocol on the discrete-event simulator.
+//!
+//! A leader passes a token around the network; each site decides locally
+//! which object to replicate and the decision is broadcast (with an ack
+//! barrier) so every site keeps its nearest-replica table consistent. The
+//! result provably matches the centralized round-robin SRA; the run also
+//! reports what the *protocol itself* costs: control messages, object
+//! migration traffic and wall-clock in simulated (link-cost) time.
+//!
+//! ```text
+//! cargo run --release --example distributed_greedy
+//! ```
+
+use drp::distributed::distributed_sra;
+use drp::{ReplicationAlgorithm, Sra, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(31);
+    let problem = WorkloadSpec::paper(12, 30, 4.0, 18.0).generate(&mut rng)?;
+
+    let centralized = Sra::new().solve(&problem, &mut rng)?;
+    let run = distributed_sra(&problem)?;
+
+    assert_eq!(
+        run.scheme, centralized,
+        "the token-passing protocol reproduces centralized SRA exactly"
+    );
+
+    println!(
+        "network: {} sites, {} objects",
+        problem.num_sites(),
+        problem.num_objects()
+    );
+    println!(
+        "replication scheme: {} replicas created, {:.2}% NTC saved",
+        run.scheme.extra_replica_count(),
+        problem.savings_percent(&run.scheme)
+    );
+    println!("protocol cost:");
+    println!("  control + data messages : {}", run.stats.messages);
+    println!("  object-migration NTC    : {}", run.stats.transfer_cost);
+    println!("  completion (sim time)   : {}", run.completion_time);
+
+    // For perspective: the migration cost is a one-off investment against
+    // the recurring per-period NTC the replicas save.
+    let saved_per_period = problem.d_prime() - problem.total_cost(&run.scheme);
+    if saved_per_period > 0 {
+        println!(
+            "  migration pays for itself after {:.3} access periods",
+            run.stats.transfer_cost as f64 / saved_per_period as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Integration tests of the adaptive (AGRA) machinery across crates.
+
+use drp::algo::detect_changed_objects;
+use drp::{Agra, AgraConfig, Gra, GraConfig, PatternChange, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gra_config() -> GraConfig {
+    GraConfig {
+        population_size: 12,
+        generations: 12,
+        ..GraConfig::default()
+    }
+}
+
+fn agra_config(mini: usize) -> AgraConfig {
+    AgraConfig {
+        mini_gra_generations: mini,
+        gra: gra_config(),
+        ..AgraConfig::default()
+    }
+}
+
+struct Setup {
+    problem: drp::Problem,
+    scheme: drp::ReplicationScheme,
+    population: Vec<drp::ga::BitString>,
+}
+
+fn setup(seed: u64) -> Setup {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let problem = WorkloadSpec::paper(14, 30, 5.0, 15.0)
+        .generate(&mut rng)
+        .unwrap();
+    let run = Gra::with_config(gra_config())
+        .solve_detailed(&problem, &mut rng)
+        .unwrap();
+    Setup {
+        problem,
+        scheme: run.scheme,
+        population: run
+            .outcome
+            .final_population
+            .iter()
+            .map(|(c, _)| c.clone())
+            .collect(),
+    }
+}
+
+#[test]
+fn stale_scheme_collapses_under_update_surges_and_agra_recovers() {
+    let s = setup(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let change = PatternChange {
+        change_percent: 600.0,
+        objects_percent: 40.0,
+        read_share: 0.0,
+    };
+    let shift = change.apply(&s.problem, &mut rng).unwrap();
+    let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+
+    let stale = shift.problem.savings_percent(&s.scheme);
+    let base = s.problem.savings_percent(&s.scheme);
+    assert!(
+        stale < base,
+        "an update surge must erode the stale scheme's savings ({base:.2}% -> {stale:.2}%)"
+    );
+
+    let outcome = Agra::with_config(agra_config(5))
+        .adapt(&shift.problem, &s.scheme, &s.population, &changed, &mut rng)
+        .unwrap();
+    let adapted = shift.problem.savings_percent(&outcome.scheme);
+    assert!(adapted >= stale, "AGRA must not lose to the stale scheme");
+    outcome.scheme.validate(&shift.problem).unwrap();
+}
+
+#[test]
+fn mini_gra_never_hurts_agra() {
+    let s = setup(3);
+    let change = PatternChange {
+        change_percent: 600.0,
+        objects_percent: 30.0,
+        read_share: 1.0,
+    };
+    // Use the same change and seed for both configurations so the
+    // comparison isolates the mini-GRA phase.
+    let shift = change
+        .apply(&s.problem, &mut StdRng::seed_from_u64(4))
+        .unwrap();
+    let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+
+    let standalone = Agra::with_config(agra_config(0))
+        .adapt(
+            &shift.problem,
+            &s.scheme,
+            &s.population,
+            &changed,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+    let polished = Agra::with_config(agra_config(10))
+        .adapt(
+            &shift.problem,
+            &s.scheme,
+            &s.population,
+            &changed,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+    // The mini-GRA pool contains the transcribed population (its parents),
+    // so its best can only match or beat the stand-alone pick on average;
+    // allow a small tolerance for the differing rng consumption.
+    assert!(
+        polished.fitness >= standalone.fitness - 0.02,
+        "mini-GRA regressed: {} -> {}",
+        standalone.fitness,
+        polished.fitness
+    );
+    assert!(polished.mini_evaluations > 0);
+}
+
+#[test]
+fn adaptation_chains_across_rounds() {
+    let mut s = setup(6);
+    let mut rng = StdRng::seed_from_u64(7);
+    let agra = Agra::with_config(agra_config(5));
+    for round in 0..3 {
+        let change = PatternChange {
+            change_percent: 300.0,
+            objects_percent: 20.0,
+            read_share: if round % 2 == 0 { 1.0 } else { 0.0 },
+        };
+        let shift = change.apply(&s.problem, &mut rng).unwrap();
+        let changed = detect_changed_objects(&s.problem, &shift.problem, 50.0);
+        let outcome = agra
+            .adapt(&shift.problem, &s.scheme, &s.population, &changed, &mut rng)
+            .unwrap();
+        outcome.scheme.validate(&shift.problem).unwrap();
+        assert!(
+            shift.problem.savings_percent(&outcome.scheme)
+                >= shift.problem.savings_percent(&s.scheme) - 1e-9,
+            "round {round}: adaptation regressed"
+        );
+        s.problem = shift.problem;
+        s.scheme = outcome.scheme;
+        s.population = outcome.population;
+    }
+}
+
+#[test]
+fn detection_threshold_filters_noise() {
+    let s = setup(8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let change = PatternChange {
+        change_percent: 600.0,
+        objects_percent: 25.0,
+        read_share: 1.0,
+    };
+    let shift = change.apply(&s.problem, &mut rng).unwrap();
+    // A generous threshold finds exactly the surged objects; an absurd one
+    // finds none.
+    let hits = detect_changed_objects(&s.problem, &shift.problem, 100.0);
+    assert_eq!(hits.len(), shift.changed.len());
+    let none = detect_changed_objects(&s.problem, &shift.problem, 1_000_000.0);
+    assert!(none.is_empty());
+}
+
+#[test]
+fn agra_handles_no_changes_gracefully() {
+    let s = setup(10);
+    let mut rng = StdRng::seed_from_u64(11);
+    let outcome = Agra::with_config(agra_config(0))
+        .adapt(&s.problem, &s.scheme, &s.population, &[], &mut rng)
+        .unwrap();
+    // No changed objects: the result must be at least as good as current.
+    assert!(
+        s.problem.savings_percent(&outcome.scheme) >= s.problem.savings_percent(&s.scheme) - 1e-9
+    );
+    assert_eq!(outcome.micro_evaluations, 0);
+}

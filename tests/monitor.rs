@@ -1,0 +1,100 @@
+//! Integration tests of the Section 5 monitor loop with migration planning
+//! and availability accounting across crates.
+
+use drp::algo::monitor::{MonitorAction, MonitorConfig, ReplicationMonitor};
+use drp::core::{availability, migration};
+use drp::{
+    AgraConfig, GraConfig, PatternChange, ReplicationAlgorithm, ReplicationScheme, Sra,
+    WorkloadSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config() -> MonitorConfig {
+    let gra = GraConfig {
+        population_size: 10,
+        generations: 10,
+        ..GraConfig::default()
+    };
+    MonitorConfig {
+        agra: AgraConfig {
+            gra: gra.clone(),
+            ..AgraConfig::default()
+        },
+        gra,
+        change_threshold_percent: 100.0,
+    }
+}
+
+#[test]
+fn monitor_lifecycle_with_migration_accounting() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let problem = WorkloadSpec::paper(12, 24, 5.0, 18.0)
+        .generate(&mut rng)
+        .unwrap();
+    let mut monitor = ReplicationMonitor::bootstrap(problem.clone(), config(), &mut rng).unwrap();
+    let initial_availability =
+        availability::demand_weighted_availability(&problem, monitor.scheme(), 0.05);
+    assert!(initial_availability > 0.9);
+
+    // Three daytime rounds of drift.
+    let mut reference = problem;
+    for round in 0..3 {
+        let change = PatternChange {
+            change_percent: 500.0,
+            objects_percent: 25.0,
+            read_share: if round == 1 { 0.0 } else { 1.0 },
+        };
+        let shifted = change.apply(&reference, &mut rng).unwrap().problem;
+        let old_scheme = monitor.scheme().clone();
+        let action = monitor
+            .ingest_statistics(shifted.clone(), &mut rng)
+            .unwrap();
+        match action {
+            MonitorAction::Adapted {
+                changed_objects,
+                migration_moves,
+                migration_cost,
+            } => {
+                assert!(changed_objects > 0);
+                // The reported plan matches an independently computed one.
+                let plan =
+                    migration::plan_migration(&shifted, &old_scheme, monitor.scheme()).unwrap();
+                assert_eq!(plan.moves(), migration_moves);
+                assert_eq!(plan.transfer_cost(), migration_cost);
+                // The plan really transforms old into new.
+                let rebuilt = plan.apply(&shifted, &old_scheme).unwrap();
+                assert_eq!(&rebuilt, monitor.scheme());
+            }
+            MonitorAction::NoChange => panic!("round {round}: 500% surges must be detected"),
+        }
+        monitor.scheme().validate(&shifted).unwrap();
+        reference = shifted;
+    }
+
+    // Nightly rebuild still leaves a valid, non-regressing scheme.
+    let before = reference.savings_percent(monitor.scheme());
+    monitor.nightly_rebuild(&mut rng).unwrap();
+    monitor.scheme().validate(&reference).unwrap();
+    let after = reference.savings_percent(monitor.scheme());
+    assert!(after >= -1e-9, "rebuild produced a harmful scheme");
+    // (The rebuild usually improves on the adapted scheme; tiny GA budgets
+    // can make it land slightly below, which is fine.)
+    let _ = before;
+}
+
+#[test]
+fn migration_payback_is_reported_for_profitable_switches() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let problem = WorkloadSpec::paper(10, 16, 2.0, 20.0)
+        .generate(&mut rng)
+        .unwrap();
+    let old = ReplicationScheme::primary_only(&problem);
+    let new = Sra::new().solve(&problem, &mut rng).unwrap();
+    let plan = migration::plan_migration(&problem, &old, &new).unwrap();
+    if new != old {
+        assert!(plan.moves() > 0);
+        let payback = plan.payback_periods(&problem, &old, &new).unwrap();
+        assert!((0.0..10.0).contains(&payback), "payback {payback}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Medium-scale statistical checks of the paper's headline findings.
+//!
+//! These run the real algorithm configurations on mid-sized instances, so
+//! they take seconds-to-minutes each; they are `#[ignore]`d by default and
+//! meant for `cargo test --release --test paper_shapes -- --ignored`.
+
+use drp::{Agra, AgraConfig, Gra, GraConfig, PatternChange, ReplicationAlgorithm, Sra, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gra() -> Gra {
+    Gra::with_config(GraConfig {
+        population_size: 30,
+        generations: 40,
+        ..GraConfig::default()
+    })
+}
+
+/// Figure 1(a)'s message: GRA's advantage over SRA grows with the update
+/// ratio.
+#[test]
+#[ignore = "medium-scale statistical check; run with --ignored in release"]
+fn gra_advantage_grows_with_update_ratio() {
+    let mut gaps = Vec::new();
+    for &u in &[2.0, 10.0] {
+        let mut gap = 0.0;
+        for seed in 0..4 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = WorkloadSpec::paper(40, 80, u, 15.0).generate(&mut rng).unwrap();
+            let sra = Sra::new().solve(&p, &mut rng).unwrap();
+            let g = gra().solve(&p, &mut rng).unwrap();
+            gap += p.savings_percent(&g) - p.savings_percent(&sra);
+        }
+        gaps.push(gap / 4.0);
+    }
+    assert!(
+        gaps[1] > gaps[0],
+        "GRA−SRA gap should grow from U=2% ({:.2}) to U=10% ({:.2})",
+        gaps[0],
+        gaps[1]
+    );
+}
+
+/// Figure 3(a)'s message: savings decay monotonically (≈ exponentially)
+/// with the update ratio.
+#[test]
+#[ignore = "medium-scale statistical check; run with --ignored in release"]
+fn savings_decay_with_update_ratio() {
+    let mut previous = f64::INFINITY;
+    for &u in &[1.0, 5.0, 20.0] {
+        let mut total = 0.0;
+        for seed in 10..14 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = WorkloadSpec::paper(30, 80, u, 15.0).generate(&mut rng).unwrap();
+            let g = gra().solve(&p, &mut rng).unwrap();
+            total += p.savings_percent(&g);
+        }
+        let mean = total / 4.0;
+        assert!(mean <= previous + 1.0, "savings rose from U sweep: {mean:.2} > {previous:.2}");
+        previous = mean;
+    }
+}
+
+/// Figure 2's message: GRA costs orders of magnitude more time than SRA.
+#[test]
+#[ignore = "medium-scale statistical check; run with --ignored in release"]
+fn gra_is_orders_of_magnitude_slower_than_sra() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let p = WorkloadSpec::paper(50, 100, 5.0, 15.0).generate(&mut rng).unwrap();
+    let (_, sra_report) = Sra::new().solve_report(&p, &mut rng).unwrap();
+    let (_, gra_report) = gra().solve_report(&p, &mut rng).unwrap();
+    let ratio = gra_report.elapsed.as_secs_f64() / sra_report.elapsed.as_secs_f64().max(1e-9);
+    assert!(ratio > 100.0, "expected ≥2 orders of magnitude, got {ratio:.0}×");
+}
+
+/// Figure 4(b)'s message: under update surges the stale scheme collapses
+/// and AGRA recovers most of a fresh GRA run at a fraction of its cost.
+#[test]
+#[ignore = "medium-scale statistical check; run with --ignored in release"]
+fn agra_recovers_from_update_surges_cheaply() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let p = WorkloadSpec::paper(30, 100, 5.0, 15.0).generate(&mut rng).unwrap();
+    let base = gra().solve_detailed(&p, &mut rng).unwrap();
+    let population: Vec<_> = base
+        .outcome
+        .final_population
+        .iter()
+        .map(|(c, _)| c.clone())
+        .collect();
+
+    let change = PatternChange { change_percent: 600.0, objects_percent: 30.0, read_share: 0.0 };
+    let shift = change.apply(&p, &mut rng).unwrap();
+    let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+
+    let stale = shift.problem.savings_percent(&base.scheme);
+
+    let clock = std::time::Instant::now();
+    let adapted = Agra::with_config(AgraConfig {
+        gra: gra().config().clone(),
+        ..AgraConfig::default()
+    })
+    .adapt(&shift.problem, &base.scheme, &population, &changed, &mut rng)
+    .unwrap();
+    let agra_time = clock.elapsed();
+
+    let clock = std::time::Instant::now();
+    let fresh = gra().solve_detailed(&shift.problem, &mut rng).unwrap();
+    let fresh_time = clock.elapsed();
+
+    let agra_savings = shift.problem.savings_percent(&adapted.scheme);
+    let fresh_savings = shift.problem.savings_percent(&fresh.scheme);
+
+    assert!(agra_savings >= stale, "AGRA ({agra_savings:.2}) lost to stale ({stale:.2})");
+    assert!(
+        agra_savings >= fresh_savings - 10.0,
+        "AGRA ({agra_savings:.2}) too far below fresh GRA ({fresh_savings:.2})"
+    );
+    assert!(
+        agra_time.as_secs_f64() < fresh_time.as_secs_f64(),
+        "AGRA ({agra_time:?}) should be cheaper than a fresh GRA run ({fresh_time:?})"
+    );
+}
