@@ -409,8 +409,9 @@ impl<'a> MicroSpec<'a> {
     }
 
     /// `V_k` of a replica set given as an M-bit string (capacity ignored —
-    /// AGRA solves the unconstrained problem and repairs later).
-    fn replica_set_cost(&self, bits: &BitString) -> u64 {
+    /// AGRA solves the unconstrained problem and repairs later). `nearest`
+    /// is caller-owned scratch, overwritten on every call.
+    fn replica_set_cost_with(&self, bits: &BitString, nearest: &mut [u64]) -> u64 {
         let problem = self.problem;
         let object = self.object;
         let m = problem.num_sites();
@@ -420,7 +421,7 @@ impl<'a> MicroSpec<'a> {
         let sp_row = problem.costs().row(sp);
 
         let mut broadcast = 0u64;
-        let mut nearest = vec![u64::MAX; m];
+        nearest.fill(u64::MAX);
         for j in bits.iter_ones() {
             broadcast += sp_row[j];
             let row = problem.costs().row(j);
@@ -442,15 +443,14 @@ impl<'a> MicroSpec<'a> {
         }
         cost
     }
-}
 
-impl GaSpec for MicroSpec<'_> {
-    fn evaluate(&self, chromosome: &mut BitString) -> f64 {
+    /// The micro-GA fitness `(V′_k − V_k) / V′_k` with the reset rule.
+    fn score(&self, chromosome: &mut BitString, nearest: &mut [u64]) -> f64 {
         chromosome.set(self.primary_bit, true);
         if self.v_prime == 0 {
             return 0.0;
         }
-        let v = self.replica_set_cost(chromosome);
+        let v = self.replica_set_cost_with(chromosome, nearest);
         let fitness = (self.v_prime as f64 - v as f64) / self.v_prime as f64;
         if fitness < 0.0 {
             // Reset to the primary-only replica set, as in GRA.
@@ -458,6 +458,21 @@ impl GaSpec for MicroSpec<'_> {
             return 0.0;
         }
         fitness
+    }
+}
+
+impl GaSpec for MicroSpec<'_> {
+    fn evaluate(&self, chromosome: &mut BitString) -> f64 {
+        let mut nearest = vec![u64::MAX; self.problem.num_sites()];
+        self.score(chromosome, &mut nearest)
+    }
+
+    fn evaluate_batch(&self, population: &mut [(BitString, f64)]) {
+        // One nearest-cost buffer serves the whole batch.
+        let mut nearest = vec![u64::MAX; self.problem.num_sites()];
+        for (chromosome, fitness) in population.iter_mut() {
+            *fitness = self.score(chromosome, &mut nearest);
+        }
     }
 
     fn crossover(

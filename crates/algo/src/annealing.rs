@@ -9,7 +9,9 @@
 //! incremental deltas; acceptance follows the Metropolis criterion under a
 //! geometric cooling schedule.
 
-use drp_core::{ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId};
+use drp_core::{
+    CostEvaluator, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId,
+};
 use rand::{Rng, RngCore};
 
 /// Simulated annealing over replica add/remove moves.
@@ -47,46 +49,49 @@ impl ReplicationAlgorithm for SimulatedAnnealing {
     fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
         let m = problem.num_sites();
         let n = problem.num_objects();
-        let mut scheme = if self.warm_start {
+        let start = if self.warm_start {
             crate::Sra::new().solve(problem, rng)?
         } else {
             ReplicationScheme::primary_only(problem)
         };
-        let mut best = scheme.clone();
-        let mut best_cost = problem.total_cost(&best);
-        let mut current_cost = best_cost;
+        // The evaluator's cached nearest/second-nearest state makes every
+        // move peek O(M) instead of O(M · |R_k|), and its running total
+        // replaces the manual cost accounting.
+        let mut eval = CostEvaluator::new(problem, start);
+        let mut best = eval.scheme().clone();
+        let mut best_cost = eval.total();
         let mut temperature = self.initial_temperature * problem.d_prime().max(1) as f64;
 
         for _ in 0..self.iterations {
             let site = SiteId::new(rng.random_range(0..m));
             let object = ObjectId::new(rng.random_range(0..n));
-            let delta = if scheme.holds(site, object) {
+            let removing = eval.scheme().holds(site, object);
+            let delta = if removing {
                 if problem.primary(object) == site {
                     temperature *= self.cooling;
                     continue;
                 }
-                problem.delta_remove_replica(&scheme, site, object)
+                eval.delta_remove(site, object)
             } else {
-                if problem.object_size(object) > scheme.free_capacity(problem, site) {
+                if problem.object_size(object) > eval.scheme().free_capacity(problem, site) {
                     temperature *= self.cooling;
                     continue;
                 }
-                problem.delta_add_replica(&scheme, site, object)
+                eval.delta_add(site, object)
             };
 
             let accept = delta <= 0
                 || (temperature > 0.0
                     && rng.random::<f64>() < (-(delta as f64) / temperature).exp());
             if accept {
-                if scheme.holds(site, object) {
-                    scheme.remove_replica(problem, site, object)?;
+                if removing {
+                    eval.apply_remove(site, object)?;
                 } else {
-                    scheme.add_replica(problem, site, object)?;
+                    eval.apply_add(site, object)?;
                 }
-                current_cost = (current_cost as i64 + delta) as u64;
-                if current_cost < best_cost {
-                    best_cost = current_cost;
-                    best = scheme.clone();
+                if eval.total() < best_cost {
+                    best_cost = eval.total();
+                    best = eval.scheme().clone();
                 }
             }
             temperature *= self.cooling;

@@ -39,6 +39,26 @@ pub fn decode_scheme(problem: &Problem, chromosome: &BitString) -> Result<Replic
     })
 }
 
+/// Reusable buffers for [`chromosome_cost_with`]: a sorted replica list and
+/// a nearest-cost array, both sized for one instance. One scratch per
+/// worker thread keeps the GA fitness path allocation-free.
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    replicas: Vec<usize>,
+    nearest: Vec<u64>,
+}
+
+impl EvalScratch {
+    /// Buffers sized for `problem`.
+    pub fn new(problem: &Problem) -> Self {
+        let m = problem.num_sites();
+        Self {
+            replicas: Vec::with_capacity(m),
+            nearest: vec![0; m],
+        }
+    }
+}
+
 /// The Eq. 4 total NTC of a chromosome, computed directly from the bits
 /// without materializing a scheme (GRA's hot path).
 ///
@@ -49,59 +69,45 @@ pub fn decode_scheme(problem: &Problem, chromosome: &BitString) -> Result<Replic
 ///
 /// Panics if the chromosome length mismatches the instance.
 pub fn chromosome_cost(problem: &Problem, chromosome: &BitString) -> u64 {
+    chromosome_cost_with(problem, chromosome, &mut EvalScratch::new(problem))
+}
+
+/// [`chromosome_cost`] against caller-owned scratch buffers — zero
+/// allocations per call, the form the batched/parallel fitness paths use.
+///
+/// # Panics
+///
+/// Panics if the chromosome length or scratch size mismatches the instance.
+pub fn chromosome_cost_with(
+    problem: &Problem,
+    chromosome: &BitString,
+    scratch: &mut EvalScratch,
+) -> u64 {
     let m = problem.num_sites();
     let n = problem.num_objects();
     assert_eq!(chromosome.len(), m * n, "chromosome length mismatch");
 
     let mut total = 0u64;
-    let mut replicas: Vec<usize> = Vec::with_capacity(m);
-    let mut nearest: Vec<u64> = vec![0; m];
     for k in 0..n {
         let object = ObjectId::new(k);
         let sp = problem.primary(object).index();
-        replicas.clear();
+        scratch.replicas.clear();
         for i in 0..m {
             if chromosome.get(i * n + k) {
-                replicas.push(i);
+                scratch.replicas.push(i);
             }
         }
         // Primary copies are undeletable; tolerate chromosomes that lost the
-        // bit by treating the primary as always present.
-        if !replicas.contains(&sp) {
-            replicas.push(sp);
+        // bit by splicing the primary into its sorted slot.
+        let sp_at = scratch.replicas.partition_point(|&j| j < sp);
+        if scratch.replicas.get(sp_at) != Some(&sp) {
+            scratch.replicas.insert(sp_at, sp);
         }
-        if replicas.len() == 1 {
+        if scratch.replicas.len() == 1 {
             total += problem.v_prime(object);
             continue;
         }
-
-        let o = problem.object_size(object);
-        let w_tot = problem.total_writes(object);
-        let sp_row = problem.costs().row(sp);
-
-        nearest.iter_mut().for_each(|c| *c = u64::MAX);
-        let mut broadcast = 0u64;
-        for &j in &replicas {
-            broadcast += sp_row[j];
-            let row = problem.costs().row(j);
-            for (i, slot) in nearest.iter_mut().enumerate() {
-                if row[i] < *slot {
-                    *slot = row[i];
-                }
-            }
-        }
-        let mut cost = w_tot * o * broadcast;
-        for i in 0..m {
-            // Replicators (primary included) pay only the broadcast above.
-            if i == sp || chromosome.get(i * n + k) {
-                continue;
-            }
-            let site = SiteId::new(i);
-            cost += o
-                * (problem.reads(site, object) * nearest[i]
-                    + problem.writes(site, object) * sp_row[i]);
-        }
-        total += cost;
+        total += problem.object_cost_from_replicas(object, &scratch.replicas, &mut scratch.nearest);
     }
     total
 }

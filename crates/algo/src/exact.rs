@@ -47,46 +47,33 @@ struct Candidate {
 
 #[allow(clippy::needless_range_loop)] // bitmask/site co-indexing
 impl BranchBound {
-    /// Per-object candidate replica sets, sorted by cost ascending.
+    /// Per-object candidate replica sets, sorted by cost ascending. The
+    /// replica list and nearest-cost buffers are reused across all
+    /// `2^(M−1)` subsets, and the cost comes from the shared Eq. 4 kernel.
     fn candidates(problem: &Problem, object: ObjectId) -> Vec<Candidate> {
         let m = problem.num_sites();
         let sp = problem.primary(object).index();
         let others: Vec<usize> = (0..m).filter(|&i| i != sp).collect();
-        let o = problem.object_size(object);
-        let w_tot = problem.total_writes(object);
-        let sp_row = problem.costs().row(sp);
 
         let mut out = Vec::with_capacity(1 << others.len());
+        let mut replicas: Vec<usize> = Vec::with_capacity(m);
+        let mut nearest = vec![u64::MAX; m];
         for subset in 0u32..(1 << others.len()) {
             let mut mask = 1u32 << sp;
-            let mut replicas = vec![sp];
             for (bit, &site) in others.iter().enumerate() {
                 if subset & (1 << bit) != 0 {
                     mask |= 1 << site;
-                    replicas.push(site);
                 }
             }
-            let mut broadcast = 0u64;
-            let mut nearest = vec![u64::MAX; m];
-            for &j in &replicas {
-                broadcast += sp_row[j];
-                let row = problem.costs().row(j);
-                for (i, slot) in nearest.iter_mut().enumerate() {
-                    if row[i] < *slot {
-                        *slot = row[i];
-                    }
-                }
-            }
-            let mut cost = w_tot * o * broadcast;
+            // The kernel wants the replica list sorted ascending; walking
+            // the mask bits in site order provides exactly that.
+            replicas.clear();
             for i in 0..m {
                 if mask & (1 << i) != 0 {
-                    continue;
+                    replicas.push(i);
                 }
-                let site = SiteId::new(i);
-                cost += o
-                    * (problem.reads(site, object) * nearest[i]
-                        + problem.writes(site, object) * sp_row[i]);
             }
+            let cost = problem.object_cost_from_replicas(object, &replicas, &mut nearest);
             out.push(Candidate { mask, cost });
         }
         out.sort_by_key(|c| c.cost);

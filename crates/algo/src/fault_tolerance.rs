@@ -116,14 +116,25 @@ mod tests {
 
     #[test]
     fn every_object_reaches_the_degree() {
-        let p = problem(1, 40.0);
+        // Generous capacity: a 40%-of-total budget can make degree 3
+        // genuinely infeasible on an unlucky random instance (SRA fills
+        // sites unevenly first), which is a property of the instance, not a
+        // bug in the top-up. 150% guarantees room for any degree ≤ M.
+        let p = problem(1, 150.0);
         let mut rng = StdRng::seed_from_u64(2);
         for degree in [1usize, 2, 3] {
-            let scheme =
-                MinDegree { degree, inner: Sra::new() }.solve(&p, &mut rng).unwrap();
+            let scheme = MinDegree {
+                degree,
+                inner: Sra::new(),
+            }
+            .solve(&p, &mut rng)
+            .unwrap();
             scheme.validate(&p).unwrap();
             for k in p.objects() {
-                assert!(scheme.replica_degree(k) >= degree, "object {k} at degree {degree}");
+                assert!(
+                    scheme.replica_degree(k) >= degree,
+                    "object {k} at degree {degree}"
+                );
             }
         }
     }
@@ -148,9 +159,7 @@ mod tests {
         let k = p.objects().next().unwrap();
         let best_site = p
             .sites()
-            .filter(|&i| {
-                !scheme.holds(i, k) && p.object_size(k) <= scheme.free_capacity(&p, i)
-            })
+            .filter(|&i| !scheme.holds(i, k) && p.object_size(k) <= scheme.free_capacity(&p, i))
             .min_by_key(|&i| p.delta_add_replica(&scheme, i, k))
             .unwrap();
         let mut topped = scheme.clone();
@@ -184,7 +193,12 @@ mod tests {
         let p = problem(5, 60.0);
         let mut rng = StdRng::seed_from_u64(6);
         let plain = Sra::new().solve(&p, &mut rng).unwrap();
-        let guarded = MinDegree { degree: 3, inner: Sra::new() }.solve(&p, &mut rng).unwrap();
+        let guarded = MinDegree {
+            degree: 3,
+            inner: Sra::new(),
+        }
+        .solve(&p, &mut rng)
+        .unwrap();
         let a_plain = availability::mean_availability(&plain, 0.1);
         let a_guarded = availability::mean_availability(&guarded, 0.1);
         assert!(a_guarded >= a_plain);

@@ -2,7 +2,7 @@ use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId}
 use drp_ga::{ops, BitString, Engine, GaConfig, GaOutcome, GaSpec, SamplingSpace, SelectionScheme};
 use rand::{Rng, RngCore};
 
-use crate::encoding::{chromosome_cost, decode_scheme, encode_scheme};
+use crate::encoding::{chromosome_cost_with, decode_scheme, encode_scheme, EvalScratch};
 use crate::sra::{SiteOrder, Sra};
 use crate::RngAdapter;
 
@@ -50,6 +50,11 @@ pub struct GraConfig {
     pub seed_perturbation: f64,
     /// Crossover operator.
     pub crossover_op: CrossoverOp,
+    /// Score each generation's offspring on multiple threads. Fitness is a
+    /// pure function of the chromosome, so results are bitwise-identical to
+    /// the serial path for a fixed seed. Defaults to the `parallel` cargo
+    /// feature.
+    pub parallel_fitness: bool,
 }
 
 impl Default for GraConfig {
@@ -64,6 +69,7 @@ impl Default for GraConfig {
             elite_period: 5,
             seed_perturbation: 0.25,
             crossover_op: CrossoverOp::TwoPoint,
+            parallel_fitness: cfg!(feature = "parallel"),
         }
     }
 }
@@ -180,7 +186,8 @@ impl Gra {
         generations: usize,
         rng: &mut dyn RngCore,
     ) -> Result<GraRun> {
-        let spec = GraSpec::new(problem, self.config.crossover_op);
+        let spec = GraSpec::new(problem, self.config.crossover_op)
+            .parallel_fitness(self.config.parallel_fitness);
         let ga_config = GaConfig {
             generations,
             ..self.config.to_ga_config()
@@ -262,11 +269,85 @@ fn try_flip(
     }
 }
 
+/// Scores every chromosome in `population`, writing fitness into the paired
+/// slot — the standalone form of GRA's fitness function (including the
+/// paper's reset-to-primary-only rule for negative fitness).
+///
+/// With `parallel` set, chromosomes are scored on `std::thread::scope`
+/// worker threads over disjoint chunks, each with its own scratch buffers.
+/// Fitness is a pure per-chromosome function, so the results (values *and*
+/// repairs) are bitwise-identical to the serial path — callers may flip
+/// `parallel` freely without perturbing a seeded run.
+pub fn evaluate_population(problem: &Problem, population: &mut [(BitString, f64)], parallel: bool) {
+    let primary_only = encode_scheme(problem, &ReplicationScheme::primary_only(problem));
+    evaluate_population_with(problem, &primary_only, population, parallel);
+}
+
+/// Don't fan out below this many chromosomes: thread spawn overhead beats
+/// the win on tiny batches.
+const MIN_PARALLEL_BATCH: usize = 8;
+
+fn evaluate_population_with(
+    problem: &Problem,
+    primary_only: &BitString,
+    population: &mut [(BitString, f64)],
+    parallel: bool,
+) {
+    let workers = if parallel && population.len() >= MIN_PARALLEL_BATCH {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(population.len())
+    } else {
+        1
+    };
+    if workers <= 1 {
+        let mut scratch = EvalScratch::new(problem);
+        for (chromosome, fitness) in population.iter_mut() {
+            *fitness = score_chromosome(problem, primary_only, chromosome, &mut scratch);
+        }
+        return;
+    }
+    let chunk = population.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for slice in population.chunks_mut(chunk) {
+            scope.spawn(move || {
+                let mut scratch = EvalScratch::new(problem);
+                for (chromosome, fitness) in slice.iter_mut() {
+                    *fitness = score_chromosome(problem, primary_only, chromosome, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+/// GRA fitness `(D′ − D) / D′` with the paper's negative-fitness rule:
+/// chromosomes worse than primary-only are reset to it and scored 0.
+fn score_chromosome(
+    problem: &Problem,
+    primary_only: &BitString,
+    chromosome: &mut BitString,
+    scratch: &mut EvalScratch,
+) -> f64 {
+    let d = chromosome_cost_with(problem, chromosome, scratch);
+    let dp = problem.d_prime();
+    if dp == 0 {
+        return 0.0;
+    }
+    let fitness = (dp as f64 - d as f64) / dp as f64;
+    if fitness < 0.0 {
+        *chromosome = primary_only.clone();
+        return 0.0;
+    }
+    fitness
+}
+
 /// [`GaSpec`] binding of the DRP for GRA.
 pub(crate) struct GraSpec<'a> {
     problem: &'a Problem,
     crossover_op: CrossoverOp,
     primary_only: BitString,
+    parallel: bool,
 }
 
 impl<'a> GraSpec<'a> {
@@ -276,7 +357,13 @@ impl<'a> GraSpec<'a> {
             problem,
             crossover_op,
             primary_only,
+            parallel: false,
         }
+    }
+
+    pub(crate) fn parallel_fitness(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     fn gene_is_valid(&self, bits: &BitString, gene: usize) -> bool {
@@ -313,19 +400,12 @@ impl<'a> GraSpec<'a> {
 
 impl GaSpec for GraSpec<'_> {
     fn evaluate(&self, chromosome: &mut BitString) -> f64 {
-        let d = chromosome_cost(self.problem, chromosome);
-        let dp = self.problem.d_prime();
-        if dp == 0 {
-            return 0.0;
-        }
-        let fitness = (dp as f64 - d as f64) / dp as f64;
-        if fitness < 0.0 {
-            // The paper's rule: reset the chromosome to the initial
-            // (primary-only) allocation and score it 0.
-            *chromosome = self.primary_only.clone();
-            return 0.0;
-        }
-        fitness
+        let mut scratch = EvalScratch::new(self.problem);
+        score_chromosome(self.problem, &self.primary_only, chromosome, &mut scratch)
+    }
+
+    fn evaluate_batch(&self, population: &mut [(BitString, f64)]) {
+        evaluate_population_with(self.problem, &self.primary_only, population, self.parallel);
     }
 
     fn crossover(
@@ -495,13 +575,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let p = problem(9);
         let sra_scheme = Sra::new().solve(&p, &mut rng).unwrap();
-        let gra_scheme = Gra::with_config(small_config())
-            .solve(&p, &mut rng)
-            .unwrap();
-        // GRA's population is seeded by SRA and selection is elitist, so it
-        // can only match or improve.
-        assert!(p.total_cost(&gra_scheme) <= p.total_cost(&sra_scheme));
-        gra_scheme.validate(&p).unwrap();
+        // Plant the round-robin SRA scheme in the seed population: the
+        // random-order SRA seeds alone don't guarantee it's represented,
+        // and best-ever tracking is only elitist over what generation 0
+        // actually contains.
+        let gra = Gra::with_config(small_config());
+        let mut initial = gra.seed_population(&p, &mut rng).unwrap();
+        initial[0] = encode_scheme(&p, &sra_scheme);
+        let run = gra.evolve(&p, initial, 12, &mut rng).unwrap();
+        assert!(p.total_cost(&run.scheme) <= p.total_cost(&sra_scheme));
+        run.scheme.validate(&p).unwrap();
     }
 
     #[test]
@@ -514,6 +597,44 @@ mod tests {
         assert!(run.fitness >= 0.0);
         assert_eq!(run.outcome.history.len(), 6);
         run.scheme.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn parallel_fitness_matches_serial_run_exactly() {
+        let p = problem(12);
+        let serial = Gra::with_config(GraConfig {
+            parallel_fitness: false,
+            ..small_config()
+        });
+        let parallel = Gra::with_config(GraConfig {
+            parallel_fitness: true,
+            ..small_config()
+        });
+        let a = serial
+            .solve_detailed(&p, &mut StdRng::seed_from_u64(13))
+            .unwrap();
+        let b = parallel
+            .solve_detailed(&p, &mut StdRng::seed_from_u64(13))
+            .unwrap();
+        assert_eq!(a.scheme, b.scheme);
+        assert_eq!(a.fitness, b.fitness);
+        assert_eq!(a.outcome.evaluations, b.outcome.evaluations);
+        assert_eq!(a.outcome.final_population, b.outcome.final_population);
+    }
+
+    #[test]
+    fn evaluate_population_parallel_matches_serial() {
+        let p = problem(14);
+        let gra = Gra::with_config(small_config());
+        let mut rng = StdRng::seed_from_u64(15);
+        let chromosomes = gra.seed_population(&p, &mut rng).unwrap();
+        let mut serial: Vec<(BitString, f64)> =
+            chromosomes.iter().cloned().map(|c| (c, 0.0)).collect();
+        let mut parallel: Vec<(BitString, f64)> =
+            chromosomes.into_iter().map(|c| (c, 0.0)).collect();
+        evaluate_population(&p, &mut serial, false);
+        evaluate_population(&p, &mut parallel, true);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

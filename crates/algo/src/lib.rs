@@ -65,6 +65,8 @@ impl rand::RngCore for RngAdapter<'_> {
 }
 
 pub use agra::{detect_changed_objects, AdaptiveOutcome, Agra, AgraConfig};
-pub use encoding::{chromosome_cost, decode_scheme, encode_scheme};
-pub use gra::{CrossoverOp, Gra, GraConfig, GraRun};
+pub use encoding::{
+    chromosome_cost, chromosome_cost_with, decode_scheme, encode_scheme, EvalScratch,
+};
+pub use gra::{evaluate_population, CrossoverOp, Gra, GraConfig, GraRun};
 pub use sra::{SiteOrder, Sra};

@@ -1,4 +1,6 @@
-use drp_core::{ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId};
+use drp_core::{
+    CostEvaluator, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId,
+};
 use rand::{Rng, RngCore};
 
 /// How SRA picks the next site from the candidate list `LS`.
@@ -67,18 +69,16 @@ impl ReplicationAlgorithm for Sra {
     fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
         let m = problem.num_sites();
         let n = problem.num_objects();
-        let mut scheme = ReplicationScheme::primary_only(problem);
-
-        // nearest[k][i] = C(i, SN_k(i)) under the current scheme.
-        let mut nearest: Vec<Vec<u64>> = (0..n)
-            .map(|k| problem.nearest_costs(&scheme, ObjectId::new(k)))
-            .collect();
+        // The evaluator's cached nearest-replicator costs replace the
+        // hand-rolled `nearest[k][i]` arrays: every `apply_add` keeps them
+        // current in O(M).
+        let mut eval = CostEvaluator::primary_only(problem);
 
         // L(i): candidate objects per site (everything but own primaries).
         let mut lists: Vec<Vec<usize>> = (0..m)
             .map(|i| {
                 (0..n)
-                    .filter(|&k| !scheme.holds(SiteId::new(i), ObjectId::new(k)))
+                    .filter(|&k| !eval.scheme().holds(SiteId::new(i), ObjectId::new(k)))
                     .collect()
             })
             .collect();
@@ -97,7 +97,7 @@ impl ReplicationAlgorithm for Sra {
             };
             let i = ls[slot];
             let site = SiteId::new(i);
-            let free = scheme.free_capacity(problem, site);
+            let free = eval.scheme().free_capacity(problem, site);
 
             // One pass: find the best positive benefit that fits and prune
             // candidates that are dead (non-positive benefit or oversize).
@@ -109,7 +109,8 @@ impl ReplicationAlgorithm for Sra {
                     return false;
                 }
                 let c_sp = problem.costs().cost(i, problem.primary(object).index());
-                let benefit = problem.reads(site, object) as i64 * nearest[k][i] as i64
+                let benefit = problem.reads(site, object) as i64
+                    * eval.nearest_cost(site, object) as i64
                     + (problem.writes(site, object) as i64 - problem.total_writes(object) as i64)
                         * c_sp as i64;
                 if benefit <= 0 {
@@ -123,14 +124,8 @@ impl ReplicationAlgorithm for Sra {
 
             if let Some((_, k)) = best {
                 let object = ObjectId::new(k);
-                scheme.add_replica(problem, site, object)?;
-                // The new replica is everyone's potential nearest site now.
-                let row = problem.costs().row(i);
-                for (j, slot) in nearest[k].iter_mut().enumerate() {
-                    if row[j] < *slot {
-                        *slot = row[j];
-                    }
-                }
+                // apply_add refreshes every site's nearest cost in one pass.
+                eval.apply_add(site, object)?;
                 lists[i].retain(|&x| x != k);
             }
             if lists[i].is_empty() {
@@ -142,7 +137,7 @@ impl ReplicationAlgorithm for Sra {
                 }
             }
         }
-        Ok(scheme)
+        Ok(eval.into_scheme())
     }
 }
 

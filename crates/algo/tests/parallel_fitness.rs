@@ -1,0 +1,79 @@
+//! Property-based determinism tests of the parallel population fitness:
+//! scoring on worker threads must be bit-for-bit identical to the serial
+//! path — same fitness values, same repaired chromosomes, same GA runs.
+
+use drp_algo::{chromosome_cost, evaluate_population, Gra, GraConfig};
+use drp_ga::BitString;
+use drp_workload::WorkloadSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_problem(seed: u64) -> drp_core::Problem {
+    WorkloadSpec::paper(8, 10, 5.0, 30.0)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .unwrap()
+}
+
+proptest! {
+    // Keep the case count modest: every case runs two full (small) GA runs.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn full_gra_runs_are_identical_serial_vs_parallel(
+        instance_seed in 0u64..50,
+        run_seed in 0u64..1000,
+    ) {
+        let problem = paper_problem(instance_seed);
+        let config = GraConfig {
+            population_size: 12,
+            generations: 8,
+            ..GraConfig::default()
+        };
+        let serial = Gra::with_config(GraConfig { parallel_fitness: false, ..config.clone() })
+            .solve_detailed(&problem, &mut StdRng::seed_from_u64(run_seed))
+            .unwrap();
+        let parallel = Gra::with_config(GraConfig { parallel_fitness: true, ..config })
+            .solve_detailed(&problem, &mut StdRng::seed_from_u64(run_seed))
+            .unwrap();
+        prop_assert_eq!(serial.scheme, parallel.scheme);
+        prop_assert_eq!(serial.fitness, parallel.fitness);
+        prop_assert_eq!(serial.outcome.evaluations, parallel.outcome.evaluations);
+        prop_assert_eq!(serial.outcome.best, parallel.outcome.best);
+        prop_assert_eq!(
+            serial.outcome.final_population,
+            parallel.outcome.final_population
+        );
+        prop_assert_eq!(serial.outcome.history.len(), parallel.outcome.history.len());
+    }
+}
+
+proptest! {
+    #[test]
+    fn population_scoring_is_identical_serial_vs_parallel(
+        instance_seed in 0u64..50,
+        pop_seed in 0u64..1000,
+        pop_size in 1usize..40,
+    ) {
+        let problem = paper_problem(instance_seed);
+        let len = problem.num_sites() * problem.num_objects();
+        let mut rng = StdRng::seed_from_u64(pop_seed);
+        // Raw random bitstrings exercise the repair path too (negative
+        // fitness resets the chromosome to primary-only).
+        let chromosomes: Vec<BitString> =
+            (0..pop_size).map(|_| BitString::random(len, &mut rng)).collect();
+        let mut serial: Vec<(BitString, f64)> =
+            chromosomes.iter().cloned().map(|c| (c, -1.0)).collect();
+        let mut parallel: Vec<(BitString, f64)> =
+            chromosomes.into_iter().map(|c| (c, -1.0)).collect();
+        evaluate_population(&problem, &mut serial, false);
+        evaluate_population(&problem, &mut parallel, true);
+        prop_assert_eq!(&serial, &parallel);
+        // Spot-check the scores against the plain chromosome cost.
+        let dp = problem.d_prime();
+        prop_assume!(dp > 0);
+        for (chromosome, fitness) in &serial {
+            let expected = (dp as f64 - chromosome_cost(&problem, chromosome) as f64) / dp as f64;
+            prop_assert_eq!(*fitness, expected.max(0.0));
+        }
+    }
+}

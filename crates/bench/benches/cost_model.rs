@@ -6,8 +6,18 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drp_algo::{chromosome_cost, encode_scheme, Sra};
 use drp_bench::{instance, rng};
-use drp_core::{ObjectId, ReplicationAlgorithm, SiteId};
+use drp_core::{CostEvaluator, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, SiteId};
 use std::hint::black_box;
+
+/// First feasible (site, object) addition for `scheme`, if any.
+fn feasible_add(problem: &Problem, scheme: &ReplicationScheme) -> Option<(SiteId, ObjectId)> {
+    problem
+        .sites()
+        .flat_map(|i| problem.objects().map(move |k| (i, k)))
+        .find(|&(i, k)| {
+            !scheme.holds(i, k) && problem.object_size(k) <= scheme.free_capacity(problem, i)
+        })
+}
 
 fn bench_cost_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost_model");
@@ -28,13 +38,8 @@ fn bench_cost_model(c: &mut Criterion) {
         );
 
         // A representative incremental delta: first feasible addition.
-        let (site, object) = problem
-            .sites()
-            .flat_map(|i| problem.objects().map(move |k| (i, k)))
-            .find(|&(i, k)| {
-                !scheme.holds(i, k) && problem.object_size(k) <= scheme.free_capacity(&problem, i)
-            })
-            .unwrap_or((SiteId::new(0), ObjectId::new(0)));
+        let (site, object) =
+            feasible_add(&problem, &scheme).unwrap_or((SiteId::new(0), ObjectId::new(0)));
         if !scheme.holds(site, object) {
             group.bench_with_input(
                 BenchmarkId::new("delta_add", format!("{m}x{n}")),
@@ -42,6 +47,45 @@ fn bench_cost_model(c: &mut Criterion) {
                 |b, ()| b.iter(|| black_box(problem.delta_add_replica(&scheme, site, object))),
             );
         }
+    }
+    group.finish();
+}
+
+/// The cached evaluator versus full recomputation — GA/annealing-style
+/// repeated evaluation. A peek is O(M), a flip O(M)+O(|R_k|), while
+/// `total_cost` rescans all N objects; the gap is the point of the design.
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator");
+    for (m, n) in [(20, 50), (50, 100), (100, 200)] {
+        let problem = instance(m, n, 5.0);
+        let scheme = Sra::new().solve(&problem, &mut rng()).unwrap();
+        let Some((site, object)) = feasible_add(&problem, &scheme) else {
+            continue;
+        };
+        let mut eval = CostEvaluator::new(&problem, scheme);
+
+        group.bench_with_input(
+            BenchmarkId::new("delta_add_peek", format!("{m}x{n}")),
+            &(),
+            |b, ()| b.iter(|| black_box(eval.delta_add(black_box(site), black_box(object)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flip_and_undo", format!("{m}x{n}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    eval.apply_add(site, object).unwrap();
+                    eval.undo().unwrap();
+                    black_box(eval.total())
+                })
+            },
+        );
+        // The full-recompute equivalent of one flip evaluation.
+        group.bench_with_input(
+            BenchmarkId::new("full_recompute", format!("{m}x{n}")),
+            &(),
+            |b, ()| b.iter(|| black_box(problem.total_cost(black_box(eval.scheme())))),
+        );
     }
     group.finish();
 }
@@ -57,5 +101,5 @@ fn bench_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_model, bench_replay);
+criterion_group!(benches, bench_cost_model, bench_evaluator, bench_replay);
 criterion_main!(benches);

@@ -1,7 +1,12 @@
 //! Microbenchmarks of the GA building blocks: selection schemes, crossover
-//! operators and mutation, over GRA-sized chromosomes.
+//! operators and mutation over GRA-sized chromosomes, plus whole-population
+//! fitness scoring (per-call allocation vs scratch-reusing batch vs the
+//! threaded batch).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drp_algo::{chromosome_cost, encode_scheme, evaluate_population, Sra};
+use drp_bench::{instance, rng};
+use drp_core::ReplicationAlgorithm;
 use drp_ga::{ops, BitString, SelectionScheme};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,5 +62,57 @@ fn bench_mutation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_selection, bench_crossover, bench_mutation);
+/// GA-style repeated evaluation: score a whole generation of chromosomes on
+/// the paper-scale 100×200 instance. `per_call_alloc` is the pre-batch
+/// shape (fresh scratch buffers per chromosome); `serial_batch` reuses one
+/// scratch across the generation; `parallel_batch` fans the same scoring
+/// out across worker threads (bitwise-identical results).
+fn bench_population_fitness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_fitness");
+    group.sample_size(10);
+    let problem = instance(100, 200, 5.0);
+    let mut r = rng();
+    let seed = encode_scheme(&problem, &Sra::new().solve(&problem, &mut r).unwrap());
+    let mut population: Vec<(BitString, f64)> = (0..32)
+        .map(|_| {
+            let mut chromosome = seed.clone();
+            ops::bit_flip_mutation(&mut chromosome, 0.02, &mut r);
+            (chromosome, 0.0)
+        })
+        .collect();
+    // One pre-pass reaches the repair fixed point (negative-fitness resets),
+    // so every timed pass scores the exact same chromosomes.
+    evaluate_population(&problem, &mut population, false);
+
+    group.bench_function("per_call_alloc_32", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (chromosome, _) in &population {
+                acc = acc.wrapping_add(chromosome_cost(&problem, chromosome));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("serial_batch_32", |b| {
+        b.iter(|| {
+            evaluate_population(&problem, &mut population, false);
+            black_box(population[0].1)
+        })
+    });
+    group.bench_function("parallel_batch_32", |b| {
+        b.iter(|| {
+            evaluate_population(&problem, &mut population, true);
+            black_box(population[0].1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_crossover,
+    bench_mutation,
+    bench_population_fitness
+);
 criterion_main!(benches);

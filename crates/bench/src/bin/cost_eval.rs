@@ -1,0 +1,153 @@
+//! Machine-readable cost-evaluation timings: `cargo run --release -p
+//! drp-bench --bin cost_eval [out.json]` writes `BENCH_cost_eval.json`.
+//!
+//! For each paper-style instance size it reports nanoseconds per
+//! evaluation for the three paths the criterion benches compare
+//! interactively:
+//!
+//! * **full** — `Problem::total_cost`, the rescan-everything baseline;
+//! * **incremental** — one `CostEvaluator` flip (an `apply_add`/`undo`
+//!   pair timed and halved), the evaluator's O(M) delta path;
+//! * **serial/parallel population** — `evaluate_population` over a
+//!   GA-generation-sized batch, per chromosome.
+//!
+//! The JSON is hand-rolled (no serialization dependency) and stable in
+//! shape so EXPERIMENTS.md tooling can diff runs.
+
+use drp_algo::{encode_scheme, evaluate_population, Sra};
+use drp_bench::{instance, rng};
+use drp_core::{CostEvaluator, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, SiteId};
+use drp_ga::{ops, BitString};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Chromosomes per timed population pass — a typical GRA generation.
+const POPULATION: usize = 32;
+
+/// Times `f`, calibrating the iteration count to ~20ms of wall clock.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    let warm = Instant::now();
+    f();
+    let once = (warm.elapsed().as_nanos() as u64).max(1);
+    let iters = (20_000_000 / once).clamp(1, 2_000_000) as u32;
+    let timed = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    timed.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn feasible_add(problem: &Problem, scheme: &ReplicationScheme) -> Option<(SiteId, ObjectId)> {
+    problem
+        .sites()
+        .flat_map(|i| problem.objects().map(move |k| (i, k)))
+        .find(|&(i, k)| {
+            !scheme.holds(i, k) && problem.object_size(k) <= scheme.free_capacity(problem, i)
+        })
+}
+
+struct Row {
+    sites: usize,
+    objects: usize,
+    full_eval_ns: f64,
+    incremental_flip_ns: f64,
+    serial_population_ns_per_eval: f64,
+    parallel_population_ns_per_eval: f64,
+}
+
+fn bench_size(sites: usize, objects: usize) -> Row {
+    let problem = instance(sites, objects, 5.0);
+    let mut r = rng();
+    let scheme = Sra::new().solve(&problem, &mut r).unwrap();
+
+    let full_eval_ns = measure(|| {
+        std::hint::black_box(problem.total_cost(&scheme));
+    });
+
+    let (site, object) = feasible_add(&problem, &scheme)
+        .expect("paper instances leave room for at least one extra replica");
+    let mut eval = CostEvaluator::new(&problem, scheme.clone());
+    let incremental_flip_ns = measure(|| {
+        eval.apply_add(site, object).unwrap();
+        eval.undo().unwrap();
+        std::hint::black_box(eval.total());
+    }) / 2.0;
+
+    let seed_bits = encode_scheme(&problem, &scheme);
+    let mut population: Vec<(BitString, f64)> = (0..POPULATION)
+        .map(|_| {
+            let mut chromosome = seed_bits.clone();
+            ops::bit_flip_mutation(&mut chromosome, 0.02, &mut r);
+            (chromosome, 0.0)
+        })
+        .collect();
+    // Reach the repair fixed point so every timed pass scores identical bits.
+    evaluate_population(&problem, &mut population, false);
+
+    let serial = measure(|| {
+        evaluate_population(&problem, &mut population, false);
+        std::hint::black_box(population[0].1);
+    });
+    let parallel = measure(|| {
+        evaluate_population(&problem, &mut population, true);
+        std::hint::black_box(population[0].1);
+    });
+
+    Row {
+        sites,
+        objects,
+        full_eval_ns,
+        incremental_flip_ns,
+        serial_population_ns_per_eval: serial / POPULATION as f64,
+        parallel_population_ns_per_eval: parallel / POPULATION as f64,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cost_eval.json".to_string());
+
+    let rows: Vec<Row> = [(20, 50), (50, 100), (100, 200)]
+        .into_iter()
+        .map(|(m, n)| bench_size(m, n))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"cost_eval\",");
+    let _ = writeln!(json, "  \"unit\": \"ns_per_eval\",");
+    let _ = writeln!(json, "  \"population\": {POPULATION},");
+    // Parallel-vs-serial is bounded by the cores the host grants; record
+    // it so a ~1.0 ratio on a single-core runner reads as expected.
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let _ = writeln!(json, "  \"available_parallelism\": {threads},");
+    json.push_str("  \"instances\": [\n");
+    for (idx, row) in rows.iter().enumerate() {
+        let speedup_incremental = row.full_eval_ns / row.incremental_flip_ns;
+        let speedup_parallel =
+            row.serial_population_ns_per_eval / row.parallel_population_ns_per_eval;
+        let _ = write!(
+            json,
+            "    {{\"sites\": {}, \"objects\": {}, \"full_eval_ns\": {:.1}, \
+             \"incremental_flip_ns\": {:.1}, \"serial_population_ns_per_eval\": {:.1}, \
+             \"parallel_population_ns_per_eval\": {:.1}, \
+             \"speedup_incremental_vs_full\": {:.2}, \
+             \"speedup_parallel_vs_serial\": {:.2}}}",
+            row.sites,
+            row.objects,
+            row.full_eval_ns,
+            row.incremental_flip_ns,
+            row.serial_population_ns_per_eval,
+            row.parallel_population_ns_per_eval,
+            speedup_incremental,
+            speedup_parallel,
+        );
+        json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

@@ -15,18 +15,76 @@ impl Problem {
     ///
     /// Panics if `object` is out of range or the scheme shape mismatches.
     pub fn nearest_costs(&self, scheme: &ReplicationScheme, object: ObjectId) -> Vec<u64> {
-        let m = self.num_sites();
-        let mut out = vec![u64::MAX; m];
-        for &j in scheme.replicator_indices(object.index()) {
+        let mut out = vec![u64::MAX; self.num_sites()];
+        self.nearest_costs_into(scheme.replicator_indices(object.index()), &mut out);
+        out
+    }
+
+    /// Fills `nearest[i] = min { C(i, j) : j ∈ replicas }` without
+    /// allocating. `replicas` may be in any order; an empty list leaves
+    /// every slot at [`u64::MAX`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nearest.len() != num_sites()` or a replica index is out of
+    /// range.
+    pub fn nearest_costs_into(&self, replicas: &[usize], nearest: &mut [u64]) {
+        assert_eq!(nearest.len(), self.num_sites());
+        nearest.fill(u64::MAX);
+        for &j in replicas {
             let row = self.costs().row(j);
-            for (i, slot) in out.iter_mut().enumerate() {
-                let c = row[i];
+            for (slot, &c) in nearest.iter_mut().zip(row) {
                 if c < *slot {
                     *slot = c;
                 }
             }
         }
-        out
+    }
+
+    /// Eq. 4 per-object NTC for an explicit replica set, using `nearest` as
+    /// scratch — the zero-allocation kernel behind [`Self::object_cost`]
+    /// and the chromosome/subset evaluators in `drp-algo`.
+    ///
+    /// `replicas` must be sorted ascending and contain the primary;
+    /// `nearest` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range, `nearest.len() != num_sites()`, or
+    /// `replicas` is unsorted (debug builds).
+    pub fn object_cost_from_replicas(
+        &self,
+        object: ObjectId,
+        replicas: &[usize],
+        nearest: &mut [u64],
+    ) -> u64 {
+        debug_assert!(replicas.windows(2).all(|w| w[0] < w[1]));
+        let o = self.object_size(object);
+        let sp = self.primary(object).index();
+        let w_tot = self.total_writes(object);
+        let sp_row = self.costs().row(sp);
+
+        // Update broadcast: every replicator receives every write.
+        let mut cost = 0u64;
+        for &j in replicas {
+            cost += w_tot * o * sp_row[j];
+        }
+
+        // Non-replicators: reads from the nearest replica, writes to SP.
+        // Walking the sorted replica list with a cursor skips replicators
+        // without per-site membership tests.
+        self.nearest_costs_into(replicas, nearest);
+        let mut cursor = 0;
+        for i in 0..self.num_sites() {
+            if cursor < replicas.len() && replicas[cursor] == i {
+                cursor += 1;
+                continue;
+            }
+            let r = self.reads(SiteId::new(i), object);
+            let w = self.writes(SiteId::new(i), object);
+            cost += o * (r * nearest[i] + w * sp_row[i]);
+        }
+        cost
     }
 
     /// Per-object NTC `V_k` (Eq. 4 restricted to one object): the reads of
@@ -37,30 +95,12 @@ impl Problem {
     ///
     /// Panics if `object` is out of range or the scheme shape mismatches.
     pub fn object_cost(&self, scheme: &ReplicationScheme, object: ObjectId) -> u64 {
-        let k = object.index();
-        let o = self.object_size(object);
-        let sp = self.primary(object).index();
-        let w_tot = self.total_writes(object);
-        let sp_row = self.costs().row(sp);
-        let replicas = scheme.replicator_indices(k);
-
-        // Update broadcast: every replicator receives every write.
-        let mut cost = 0u64;
-        for &j in replicas {
-            cost += w_tot * o * sp_row[j];
-        }
-
-        // Non-replicators: reads from the nearest replica, writes to SP.
-        let nearest = self.nearest_costs(scheme, object);
-        for i in 0..self.num_sites() {
-            if scheme.holds(SiteId::new(i), object) {
-                continue;
-            }
-            let r = self.reads(SiteId::new(i), object);
-            let w = self.writes(SiteId::new(i), object);
-            cost += o * (r * nearest[i] + w * sp_row[i]);
-        }
-        cost
+        let mut nearest = vec![u64::MAX; self.num_sites()];
+        self.object_cost_from_replicas(
+            object,
+            scheme.replicator_indices(object.index()),
+            &mut nearest,
+        )
     }
 
     /// The total NTC `D` of Eq. 4 under `scheme`.
@@ -69,7 +109,16 @@ impl Problem {
     ///
     /// Panics if the scheme shape mismatches the problem.
     pub fn total_cost(&self, scheme: &ReplicationScheme) -> u64 {
-        self.objects().map(|k| self.object_cost(scheme, k)).sum()
+        let mut nearest = vec![u64::MAX; self.num_sites()];
+        self.objects()
+            .map(|k| {
+                self.object_cost_from_replicas(
+                    k,
+                    scheme.replicator_indices(k.index()),
+                    &mut nearest,
+                )
+            })
+            .sum()
     }
 
     /// Percentage of NTC saved relative to the primary-only allocation —
@@ -162,24 +211,29 @@ impl Problem {
         let c_isp = self.costs().cost(i, sp);
         let w_tot = self.total_writes(object);
 
-        // Nearest costs without site i's replica.
+        // Nearest costs with and without site i's replica, built in a
+        // single pass: every replicator except i feeds both arrays, i
+        // itself only feeds `nearest_with`.
         let m = self.num_sites();
         let mut nearest_without = vec![u64::MAX; m];
         let mut nearest_with = vec![u64::MAX; m];
         for &j in scheme.replicator_indices(k) {
             let row = self.costs().row(j);
-            for (x, slot) in nearest_with.iter_mut().enumerate() {
-                if row[x] < *slot {
-                    *slot = row[x];
-                }
-            }
             if j == i {
-                continue;
-            }
-            let row = self.costs().row(j);
-            for (x, slot) in nearest_without.iter_mut().enumerate() {
-                if row[x] < *slot {
-                    *slot = row[x];
+                for (x, slot) in nearest_with.iter_mut().enumerate() {
+                    if row[x] < *slot {
+                        *slot = row[x];
+                    }
+                }
+            } else {
+                for x in 0..m {
+                    let c = row[x];
+                    if c < nearest_with[x] {
+                        nearest_with[x] = c;
+                    }
+                    if c < nearest_without[x] {
+                        nearest_without[x] = c;
+                    }
                 }
             }
         }

@@ -1,0 +1,735 @@
+//! Incremental Eq. 4 evaluation: [`CostEvaluator`] keeps the total NTC `D`
+//! and every per-object nearest/second-nearest replicator cached, so a
+//! replica flip costs O(M) instead of a full `O(Σ_k M·|R_k|)` recomputation.
+//!
+//! # Cached-state invariants
+//!
+//! For every `(object k, site i)` pair the evaluator stores the two cheapest
+//! replicators of `k` as seen from `i`, ordered by the canonical key
+//! `(cost, site index)`:
+//!
+//! * `best(k, i)` — the nearest replicator `SN_k(i)` with its cost;
+//! * `second(k, i)` — the second-nearest, or a sentinel when `k` has only one
+//!   replica.
+//!
+//! Lexicographic tie-breaking on `(cost, site)` makes both entries a *pure
+//! function of the replica set* — independent of the order in which replicas
+//! were added or removed. That is what lets [`undo`](CostEvaluator::undo)
+//! restore byte-identical state by simply applying the inverse flip: no
+//! snapshots are kept, only a log of `(add/remove, site, object)` records.
+//!
+//! Alongside the top-2 arrays the evaluator maintains `object_cost[k] = V_k`
+//! and `total = D = Σ_k V_k`, updated by exact integer deltas. Because every
+//! quantity is integral, the running total always equals
+//! [`Problem::total_cost`] of the underlying scheme exactly (property-tested
+//! in `tests/evaluator_props.rs`).
+//!
+//! * [`apply_add`](CostEvaluator::apply_add) is O(M): one top-2 insertion per
+//!   site.
+//! * [`apply_remove`](CostEvaluator::apply_remove) is O(M) plus an
+//!   O(|R_k|) second-nearest rescan for each site whose top-2 contained the
+//!   removed replica — the second-nearest cache is exactly what avoids a
+//!   full rebuild.
+//! * [`delta_add`](CostEvaluator::delta_add) and
+//!   [`delta_remove`](CostEvaluator::delta_remove) are read-only O(M) peeks
+//!   with zero allocation, strictly cheaper than the `O(M·|R_k|)`
+//!   [`Problem::delta_add_replica`] / [`Problem::delta_remove_replica`]
+//!   which re-derive the nearest array per call.
+//!
+//! All scratch space is allocated once in [`CostEvaluator::new`]; the flip
+//! and peek paths perform no allocations (the undo log amortizes like any
+//! `Vec` push).
+
+use crate::{ObjectId, Problem, ReplicationScheme, Result, SiteId};
+
+/// Sentinel site index for "no second-nearest replicator".
+const NO_SITE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct FlipRecord {
+    added: bool,
+    site: u32,
+    object: u32,
+}
+
+/// Incremental Eq. 4 evaluator owning a [`ReplicationScheme`].
+///
+/// # Examples
+///
+/// ```
+/// use drp_core::{CostEvaluator, Problem, ReplicationScheme, SiteId, ObjectId};
+/// use drp_net::CostMatrix;
+///
+/// let costs = CostMatrix::from_rows(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0])?;
+/// let problem = Problem::builder(costs)
+///     .capacities(vec![40, 40, 40])
+///     .object(10, SiteId::new(0))
+///     .reads(vec![0, 4, 6])
+///     .writes(vec![1, 2, 0])
+///     .build()?;
+/// let mut eval = CostEvaluator::primary_only(&problem);
+/// assert_eq!(eval.total(), problem.d_prime());
+///
+/// let site = SiteId::new(2);
+/// let object = ObjectId::new(0);
+/// let predicted = eval.delta_add(site, object);
+/// let applied = eval.apply_add(site, object)?;
+/// assert_eq!(predicted, applied);
+/// assert_eq!(eval.total(), problem.total_cost(eval.scheme()));
+///
+/// eval.undo();
+/// assert_eq!(eval.total(), problem.d_prime());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostEvaluator<'p> {
+    problem: &'p Problem,
+    scheme: ReplicationScheme,
+    /// Flattened `N × M`: nearest replicator cost per `(object, site)`.
+    best_cost: Vec<u64>,
+    /// Flattened `N × M`: nearest replicator site per `(object, site)`.
+    best_site: Vec<u32>,
+    /// Flattened `N × M`: second-nearest replicator cost ([`u64::MAX`] when
+    /// the object has a single replica).
+    second_cost: Vec<u64>,
+    /// Flattened `N × M`: second-nearest replicator site ([`NO_SITE`] when
+    /// absent).
+    second_site: Vec<u32>,
+    /// `V_k` per object.
+    object_cost: Vec<u64>,
+    /// Running total `D`.
+    total: u64,
+    /// Flip log consumed by [`undo`](Self::undo).
+    log: Vec<FlipRecord>,
+}
+
+impl<'p> CostEvaluator<'p> {
+    /// Builds the evaluator for an arbitrary starting scheme in
+    /// `O(Σ_k M·|R_k|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme shape mismatches the problem.
+    pub fn new(problem: &'p Problem, scheme: ReplicationScheme) -> Self {
+        let m = problem.num_sites();
+        let n = problem.num_objects();
+        assert!(
+            scheme.num_sites() == m && scheme.num_objects() == n,
+            "scheme is {}x{} but problem is {m}x{n}",
+            scheme.num_sites(),
+            scheme.num_objects(),
+        );
+        let mut eval = Self {
+            problem,
+            scheme,
+            best_cost: vec![u64::MAX; n * m],
+            best_site: vec![NO_SITE; n * m],
+            second_cost: vec![u64::MAX; n * m],
+            second_site: vec![NO_SITE; n * m],
+            object_cost: vec![0; n],
+            total: 0,
+            log: Vec::new(),
+        };
+        for k in 0..n {
+            eval.rebuild_object(k);
+        }
+        eval
+    }
+
+    /// Builds the evaluator for the primary-only allocation (`D = D′`).
+    pub fn primary_only(problem: &'p Problem) -> Self {
+        Self::new(problem, ReplicationScheme::primary_only(problem))
+    }
+
+    /// The instance being evaluated.
+    pub fn problem(&self) -> &'p Problem {
+        self.problem
+    }
+
+    /// The current scheme (read-only: mutate through
+    /// [`apply_add`](Self::apply_add) / [`apply_remove`](Self::apply_remove)
+    /// so the cache stays coherent).
+    pub fn scheme(&self) -> &ReplicationScheme {
+        &self.scheme
+    }
+
+    /// Consumes the evaluator, returning the scheme.
+    pub fn into_scheme(self) -> ReplicationScheme {
+        self.scheme
+    }
+
+    /// The cached total NTC `D` (equal to
+    /// [`Problem::total_cost`]`(self.scheme())` at all times).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The cached per-object NTC `V_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    pub fn object_cost(&self, object: ObjectId) -> u64 {
+        self.object_cost[object.index()]
+    }
+
+    /// Percentage of NTC saved relative to primary-only, from the cache.
+    pub fn savings_percent(&self) -> f64 {
+        let dp = self.problem.d_prime();
+        if dp == 0 {
+            return 0.0;
+        }
+        100.0 * (dp as f64 - self.total as f64) / dp as f64
+    }
+
+    /// The cached nearest replicator `SN_k(i)` and its cost (ties broken
+    /// toward the lower site index, matching
+    /// [`ReplicationScheme::nearest_replica`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range.
+    pub fn nearest(&self, site: SiteId, object: ObjectId) -> (SiteId, u64) {
+        let idx = self.cell(site, object);
+        (
+            SiteId::new(self.best_site[idx] as usize),
+            self.best_cost[idx],
+        )
+    }
+
+    /// The cached nearest-replica cost `C(i, SN_k(i))` alone — the term the
+    /// Eq. 5 benefit needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range.
+    #[inline]
+    pub fn nearest_cost(&self, site: SiteId, object: ObjectId) -> u64 {
+        self.best_cost[self.cell(site, object)]
+    }
+
+    /// The cached second-nearest replicator, or `None` when the object has a
+    /// single replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of range.
+    pub fn second_nearest(&self, site: SiteId, object: ObjectId) -> Option<(SiteId, u64)> {
+        let idx = self.cell(site, object);
+        (self.second_site[idx] != NO_SITE).then(|| {
+            (
+                SiteId::new(self.second_site[idx] as usize),
+                self.second_cost[idx],
+            )
+        })
+    }
+
+    /// Number of flips recorded for [`undo`](Self::undo).
+    pub fn history_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Forgets the undo history (the cache itself is unaffected).
+    pub fn clear_history(&mut self) {
+        self.log.clear();
+    }
+
+    /// Read-only O(M) peek: exact change in `D` from adding a replica,
+    /// computed entirely from the cache with zero allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` already replicates `object` or ids are out of range.
+    pub fn delta_add(&self, site: SiteId, object: ObjectId) -> i64 {
+        assert!(
+            !self.scheme.holds(site, object),
+            "delta_add requires a non-replicator site"
+        );
+        let i = site.index();
+        let k = object.index();
+        let m = self.problem.num_sites();
+        let base = k * m;
+        let o = self.problem.object_size(object);
+        let sp = self.problem.primary(object).index();
+        let c_isp = self.problem.costs().cost(i, sp);
+        let w_tot = self.problem.total_writes(object);
+        let i_row = self.problem.costs().row(i);
+
+        let r_i = self.problem.reads(site, object);
+        let w_i = self.problem.writes(site, object);
+        let old_i = o * (r_i * self.best_cost[base + i] + w_i * c_isp);
+        let new_i = w_tot * o * c_isp;
+        let mut delta = new_i as i64 - old_i as i64;
+
+        for (x, &c) in i_row.iter().enumerate() {
+            if x == i || self.scheme.holds(SiteId::new(x), object) {
+                // `x` is (or becomes) a replicator: reads stay local.
+                continue;
+            }
+            let bc = self.best_cost[base + x];
+            if c < bc {
+                delta -= (self.problem.reads(SiteId::new(x), object) * o * (bc - c)) as i64;
+            }
+        }
+        delta
+    }
+
+    /// Read-only O(M) peek: exact change in `D` from removing a replica —
+    /// the second-nearest cache answers "where would reads re-route"
+    /// without touching the replicator list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is not a replicator, is the primary, or ids are out
+    /// of range.
+    pub fn delta_remove(&self, site: SiteId, object: ObjectId) -> i64 {
+        assert!(
+            self.scheme.holds(site, object),
+            "delta_remove requires a replicator site"
+        );
+        assert!(
+            self.problem.primary(object) != site,
+            "the primary copy cannot be removed"
+        );
+        let i = site.index();
+        let k = object.index();
+        let m = self.problem.num_sites();
+        let base = k * m;
+        let o = self.problem.object_size(object);
+        let sp = self.problem.primary(object).index();
+        let c_isp = self.problem.costs().cost(i, sp);
+        let w_tot = self.problem.total_writes(object);
+
+        let r_i = self.problem.reads(site, object);
+        let w_i = self.problem.writes(site, object);
+        // Site i itself re-routes to its second-nearest (it exists: the
+        // primary is always a distinct replicator here).
+        let old_i = w_tot * o * c_isp;
+        let new_i = o * (r_i * self.second_cost[base + i] + w_i * c_isp);
+        let mut delta = new_i as i64 - old_i as i64;
+
+        for x in 0..m {
+            if x == i || self.scheme.holds(SiteId::new(x), object) {
+                continue;
+            }
+            if self.best_site[base + x] as usize == i {
+                let r_x = self.problem.reads(SiteId::new(x), object);
+                delta += (r_x * o * (self.second_cost[base + x] - self.best_cost[base + x])) as i64;
+            }
+        }
+        delta
+    }
+
+    /// Adds a replica and folds its exact delta into the cached total in
+    /// O(M). Returns the delta (new − old, negative when the replica helps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReplicationScheme::add_replica`] errors (capacity,
+    /// duplicate replica); the cache is untouched on error.
+    pub fn apply_add(&mut self, site: SiteId, object: ObjectId) -> Result<i64> {
+        self.scheme.add_replica(self.problem, site, object)?;
+        let delta = self.integrate_add(site.index(), object.index());
+        self.log.push(FlipRecord {
+            added: true,
+            site: site.index() as u32,
+            object: object.index() as u32,
+        });
+        Ok(delta)
+    }
+
+    /// Removes a replica and folds its exact delta into the cached total
+    /// (O(M) plus a second-nearest rescan for the affected sites). Returns
+    /// the delta.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReplicationScheme::remove_replica`] errors (not a
+    /// replica, primary); the cache is untouched on error.
+    pub fn apply_remove(&mut self, site: SiteId, object: ObjectId) -> Result<i64> {
+        self.scheme.remove_replica(self.problem, site, object)?;
+        let delta = self.integrate_remove(site.index(), object.index());
+        self.log.push(FlipRecord {
+            added: false,
+            site: site.index() as u32,
+            object: object.index() as u32,
+        });
+        Ok(delta)
+    }
+
+    /// Reverts the most recent un-undone flip by applying its inverse.
+    /// Returns the delta of the inverse flip, or `None` when the log is
+    /// empty.
+    ///
+    /// Because the cached state is a pure function of the replica set (see
+    /// the module docs), the inverse flip restores it exactly.
+    pub fn undo(&mut self) -> Option<i64> {
+        let record = self.log.pop()?;
+        let site = SiteId::new(record.site as usize);
+        let object = ObjectId::new(record.object as usize);
+        let delta = if record.added {
+            self.scheme
+                .remove_replica(self.problem, site, object)
+                .expect("undo of an add always removes a non-primary replica");
+            self.integrate_remove(site.index(), object.index())
+        } else {
+            self.scheme
+                .add_replica(self.problem, site, object)
+                .expect("undo of a remove always fits the freed capacity");
+            self.integrate_add(site.index(), object.index())
+        };
+        Some(delta)
+    }
+
+    #[inline]
+    fn cell(&self, site: SiteId, object: ObjectId) -> usize {
+        let m = self.problem.num_sites();
+        assert!(site.index() < m && object.index() < self.problem.num_objects());
+        object.index() * m + site.index()
+    }
+
+    /// Rebuilds one object's top-2 arrays and `V_k` from the scheme.
+    fn rebuild_object(&mut self, k: usize) {
+        let m = self.problem.num_sites();
+        let object = ObjectId::new(k);
+        let base = k * m;
+        let o = self.problem.object_size(object);
+        let sp = self.problem.primary(object).index();
+        let w_tot = self.problem.total_writes(object);
+        let sp_row = self.problem.costs().row(sp);
+
+        self.best_cost[base..base + m].fill(u64::MAX);
+        self.best_site[base..base + m].fill(NO_SITE);
+        self.second_cost[base..base + m].fill(u64::MAX);
+        self.second_site[base..base + m].fill(NO_SITE);
+
+        let mut broadcast = 0u64;
+        for &j in self.scheme.replicator_indices(k) {
+            broadcast += sp_row[j];
+            let row = self.problem.costs().row(j);
+            for (x, &c) in row.iter().enumerate() {
+                Self::insert_top2(
+                    &mut self.best_cost[base + x],
+                    &mut self.best_site[base + x],
+                    &mut self.second_cost[base + x],
+                    &mut self.second_site[base + x],
+                    c,
+                    j as u32,
+                );
+            }
+        }
+
+        let mut cost = w_tot * o * broadcast;
+        for (x, &c_xsp) in sp_row.iter().enumerate() {
+            let site = SiteId::new(x);
+            if self.scheme.holds(site, object) {
+                continue;
+            }
+            cost += o
+                * (self.problem.reads(site, object) * self.best_cost[base + x]
+                    + self.problem.writes(site, object) * c_xsp);
+        }
+        self.total = self.total - self.object_cost[k] + cost;
+        self.object_cost[k] = cost;
+    }
+
+    /// Inserts `(cost, site)` into a top-2 slot under the canonical
+    /// `(cost, site)` order.
+    #[inline]
+    fn insert_top2(
+        best_cost: &mut u64,
+        best_site: &mut u32,
+        second_cost: &mut u64,
+        second_site: &mut u32,
+        cost: u64,
+        site: u32,
+    ) -> bool {
+        if (cost, site) < (*best_cost, *best_site) {
+            *second_cost = *best_cost;
+            *second_site = *best_site;
+            *best_cost = cost;
+            *best_site = site;
+            true
+        } else {
+            if (cost, site) < (*second_cost, *second_site) {
+                *second_cost = cost;
+                *second_site = site;
+            }
+            false
+        }
+    }
+
+    /// Folds a just-applied add of `(site i, object k)` into the cache.
+    /// The scheme already contains the new replica.
+    fn integrate_add(&mut self, i: usize, k: usize) -> i64 {
+        let m = self.problem.num_sites();
+        let object = ObjectId::new(k);
+        let base = k * m;
+        let o = self.problem.object_size(object);
+        let sp = self.problem.primary(object).index();
+        let c_isp = self.problem.costs().cost(i, sp);
+        let w_tot = self.problem.total_writes(object);
+        let i_row = self.problem.costs().row(i);
+
+        let mut delta: i64 = 0;
+        for (x, &c_ix) in i_row.iter().enumerate() {
+            let idx = base + x;
+            let old_best = self.best_cost[idx];
+            let replaced_best = Self::insert_top2(
+                &mut self.best_cost[idx],
+                &mut self.best_site[idx],
+                &mut self.second_cost[idx],
+                &mut self.second_site[idx],
+                c_ix,
+                i as u32,
+            );
+            if x == i {
+                // Stops remote reads and write shipping, joins the broadcast.
+                let r_i = self.problem.reads(SiteId::new(i), object);
+                let w_i = self.problem.writes(SiteId::new(i), object);
+                delta += (w_tot * o * c_isp) as i64 - (o * (r_i * old_best + w_i * c_isp)) as i64;
+            } else if replaced_best && !self.scheme.holds(SiteId::new(x), object) {
+                // A non-replicator re-routes its reads to the new replica.
+                let r_x = self.problem.reads(SiteId::new(x), object);
+                delta -= (r_x * o * (old_best - self.best_cost[idx])) as i64;
+            }
+        }
+        self.apply_object_delta(k, delta);
+        delta
+    }
+
+    /// Folds a just-applied remove of `(site i, object k)` into the cache.
+    /// The scheme no longer contains the replica.
+    fn integrate_remove(&mut self, i: usize, k: usize) -> i64 {
+        let m = self.problem.num_sites();
+        let object = ObjectId::new(k);
+        let base = k * m;
+        let o = self.problem.object_size(object);
+        let sp = self.problem.primary(object).index();
+        let c_isp = self.problem.costs().cost(i, sp);
+        let w_tot = self.problem.total_writes(object);
+
+        let mut delta: i64 = 0;
+        for x in 0..m {
+            let idx = base + x;
+            if self.best_site[idx] as usize == i {
+                // The removed replica was the nearest: promote the second
+                // (it exists — the primary is always another replicator)
+                // and rescan for a new second.
+                let old_best = self.best_cost[idx];
+                self.best_cost[idx] = self.second_cost[idx];
+                self.best_site[idx] = self.second_site[idx];
+                self.rescan_second(k, x);
+                if x == i {
+                    // Resumes remote reads/writes, leaves the broadcast.
+                    let r_i = self.problem.reads(SiteId::new(i), object);
+                    let w_i = self.problem.writes(SiteId::new(i), object);
+                    delta += (o * (r_i * self.best_cost[idx] + w_i * c_isp)) as i64
+                        - (w_tot * o * c_isp) as i64;
+                } else if !self.scheme.holds(SiteId::new(x), object) {
+                    let r_x = self.problem.reads(SiteId::new(x), object);
+                    delta += (r_x * o * (self.best_cost[idx] - old_best)) as i64;
+                }
+            } else if self.second_site[idx] as usize == i {
+                self.rescan_second(k, x);
+            }
+        }
+        self.apply_object_delta(k, delta);
+        delta
+    }
+
+    /// Recomputes `second(k, x)` by scanning the replicator list, excluding
+    /// the current best. O(|R_k|).
+    fn rescan_second(&mut self, k: usize, x: usize) {
+        let m = self.problem.num_sites();
+        let idx = k * m + x;
+        let best_site = self.best_site[idx];
+        let mut cost = u64::MAX;
+        let mut site = NO_SITE;
+        for &j in self.scheme.replicator_indices(k) {
+            if j as u32 == best_site {
+                continue;
+            }
+            let c = self.problem.costs().cost(j, x);
+            if (c, j as u32) < (cost, site) {
+                cost = c;
+                site = j as u32;
+            }
+        }
+        self.second_cost[idx] = cost;
+        self.second_site[idx] = site;
+    }
+
+    #[inline]
+    fn apply_object_delta(&mut self, k: usize, delta: i64) {
+        let v = self.object_cost[k] as i64 + delta;
+        debug_assert!(v >= 0, "object cost went negative");
+        self.object_cost[k] = v as u64;
+        self.total = (self.total as i64 + delta) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_net::CostMatrix;
+
+    /// 3 sites on a line (C(0,1)=1, C(1,2)=1, C(0,2)=2), 2 objects.
+    fn problem() -> Problem {
+        let costs = CostMatrix::from_rows(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0]).unwrap();
+        Problem::builder(costs)
+            .capacities(vec![40, 40, 40])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 4, 6])
+            .writes(vec![1, 2, 0])
+            .object(5, SiteId::new(2))
+            .reads(vec![3, 0, 2])
+            .writes(vec![0, 0, 1])
+            .build()
+            .unwrap()
+    }
+
+    fn assert_coherent(eval: &CostEvaluator<'_>) {
+        let p = eval.problem();
+        assert_eq!(eval.total(), p.total_cost(eval.scheme()), "total drifted");
+        for k in p.objects() {
+            assert_eq!(
+                eval.object_cost(k),
+                p.object_cost(eval.scheme(), k),
+                "V_{k} drifted"
+            );
+            for i in p.sites() {
+                let (sn, c) = eval.nearest(i, k);
+                let (sn_ref, c_ref) = eval.scheme().nearest_replica(p, i, k);
+                assert_eq!((sn, c), (sn_ref, c_ref), "nearest({i}, {k}) drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn primary_only_matches_d_prime() {
+        let p = problem();
+        let eval = CostEvaluator::primary_only(&p);
+        assert_eq!(eval.total(), p.d_prime());
+        assert_eq!(eval.savings_percent(), 0.0);
+        assert_coherent(&eval);
+    }
+
+    #[test]
+    fn apply_add_and_remove_track_full_recomputation() {
+        let p = problem();
+        let mut eval = CostEvaluator::primary_only(&p);
+        let d1 = eval.apply_add(SiteId::new(2), ObjectId::new(0)).unwrap();
+        assert_coherent(&eval);
+        let d2 = eval.apply_add(SiteId::new(1), ObjectId::new(0)).unwrap();
+        assert_coherent(&eval);
+        let d3 = eval.apply_add(SiteId::new(0), ObjectId::new(1)).unwrap();
+        assert_coherent(&eval);
+        let before = eval.total() as i64 - d3 - d2 - d1;
+        assert_eq!(before, p.d_prime() as i64);
+
+        let d4 = eval.apply_remove(SiteId::new(2), ObjectId::new(0)).unwrap();
+        assert_coherent(&eval);
+        let d5 = eval.apply_remove(SiteId::new(1), ObjectId::new(0)).unwrap();
+        assert_coherent(&eval);
+        assert_eq!(
+            eval.total() as i64,
+            p.d_prime() as i64 + d1 + d2 + d3 + d4 + d5
+        );
+    }
+
+    #[test]
+    fn peek_deltas_match_apply() {
+        let p = problem();
+        let mut eval = CostEvaluator::primary_only(&p);
+        for k in p.objects() {
+            for i in p.sites() {
+                if eval.scheme().holds(i, k) {
+                    continue;
+                }
+                let peek = eval.delta_add(i, k);
+                assert_eq!(peek, p.delta_add_replica(eval.scheme(), i, k));
+                let applied = eval.apply_add(i, k).unwrap();
+                assert_eq!(peek, applied, "add ({i}, {k})");
+                let peek_back = eval.delta_remove(i, k);
+                assert_eq!(peek_back, p.delta_remove_replica(eval.scheme(), i, k));
+                let removed = eval.apply_remove(i, k).unwrap();
+                assert_eq!(peek_back, removed);
+                assert_eq!(applied + removed, 0, "flip round trip ({i}, {k})");
+            }
+        }
+        assert_coherent(&eval);
+    }
+
+    #[test]
+    fn undo_restores_exact_state() {
+        let p = problem();
+        let mut eval = CostEvaluator::primary_only(&p);
+        let reference = eval.clone();
+
+        eval.apply_add(SiteId::new(2), ObjectId::new(0)).unwrap();
+        eval.apply_add(SiteId::new(1), ObjectId::new(0)).unwrap();
+        eval.apply_remove(SiteId::new(2), ObjectId::new(0)).unwrap();
+        eval.apply_add(SiteId::new(0), ObjectId::new(1)).unwrap();
+        assert_eq!(eval.history_len(), 4);
+
+        while eval.undo().is_some() {}
+        assert_eq!(eval.history_len(), 0);
+        assert_eq!(eval.total(), reference.total());
+        assert_eq!(eval.scheme(), reference.scheme());
+        assert_eq!(eval.best_cost, reference.best_cost);
+        assert_eq!(eval.best_site, reference.best_site);
+        assert_eq!(eval.second_cost, reference.second_cost);
+        assert_eq!(eval.second_site, reference.second_site);
+        assert_eq!(eval.object_cost, reference.object_cost);
+        assert_coherent(&eval);
+    }
+
+    #[test]
+    fn second_nearest_tracks_membership() {
+        let p = problem();
+        let mut eval = CostEvaluator::primary_only(&p);
+        // One replica: no second-nearest anywhere.
+        assert_eq!(eval.second_nearest(SiteId::new(1), ObjectId::new(0)), None);
+        eval.apply_add(SiteId::new(2), ObjectId::new(0)).unwrap();
+        // Replicas {0, 2}: from site 1 both cost 1, canonical order prefers
+        // site 0 as nearest, site 2 as second.
+        assert_eq!(
+            eval.nearest(SiteId::new(1), ObjectId::new(0)),
+            (SiteId::new(0), 1)
+        );
+        assert_eq!(
+            eval.second_nearest(SiteId::new(1), ObjectId::new(0)),
+            Some((SiteId::new(2), 1))
+        );
+    }
+
+    #[test]
+    fn errors_leave_cache_untouched() {
+        let p = problem();
+        let mut eval = CostEvaluator::primary_only(&p);
+        let snapshot = eval.clone();
+        // Adding an existing replica fails.
+        assert!(eval.apply_add(SiteId::new(0), ObjectId::new(0)).is_err());
+        // Removing a primary fails.
+        assert!(eval.apply_remove(SiteId::new(0), ObjectId::new(0)).is_err());
+        assert_eq!(eval.total(), snapshot.total());
+        assert_eq!(eval.scheme(), snapshot.scheme());
+        assert_eq!(eval.history_len(), 0);
+    }
+
+    #[test]
+    fn new_accepts_arbitrary_schemes() {
+        let p = problem();
+        let mut scheme = ReplicationScheme::primary_only(&p);
+        scheme
+            .add_replica(&p, SiteId::new(2), ObjectId::new(0))
+            .unwrap();
+        scheme
+            .add_replica(&p, SiteId::new(0), ObjectId::new(1))
+            .unwrap();
+        let eval = CostEvaluator::new(&p, scheme.clone());
+        assert_eq!(eval.total(), p.total_cost(&scheme));
+        assert_coherent(&eval);
+    }
+}

@@ -15,6 +15,9 @@
 //! * the exact Eq. 4 cost model ([`Problem::total_cost`],
 //!   [`Problem::object_cost`], incremental [`Problem::delta_add_replica`] /
 //!   [`Problem::delta_remove_replica`]);
+//! * [`CostEvaluator`] — incremental Eq. 4 evaluation: cached
+//!   nearest/second-nearest replicators make a replica flip O(M) with
+//!   exact-integer agreement with [`Problem::total_cost`];
 //! * the greedy *benefit* value of Eq. 5 ([`Problem::local_benefit`]) and the
 //!   adaptive *deallocation estimator* of Eq. 6
 //!   ([`Problem::replica_value_estimate`]);
@@ -54,6 +57,7 @@ pub mod availability;
 mod benefit;
 mod cost;
 mod error;
+mod evaluator;
 pub mod format;
 mod ids;
 mod matrix;
@@ -65,6 +69,7 @@ mod scheme;
 
 pub use algorithm::ReplicationAlgorithm;
 pub use error::CoreError;
+pub use evaluator::CostEvaluator;
 pub use ids::{ObjectId, SiteId};
 pub use matrix::DenseMatrix;
 pub use metrics::SolutionReport;

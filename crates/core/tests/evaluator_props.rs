@@ -1,0 +1,126 @@
+//! Property-based tests of [`drp_core::CostEvaluator`]: random flip
+//! sequences must agree *exactly* (integer equality) with recomputing
+//! [`drp_core::Problem::total_cost`] from scratch, and undo must restore
+//! the previous totals step by step.
+
+use drp_core::{CostEvaluator, ObjectId, Problem, SiteId};
+use drp_workload::WorkloadSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_problem(seed: u64) -> Problem {
+    WorkloadSpec::paper(8, 10, 5.0, 40.0)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .unwrap()
+}
+
+/// Decodes one step of the random walk into a flip attempt; invalid
+/// attempts (primary removal, capacity, duplicates) are skipped — exactly
+/// the guards every search loop runs before touching the evaluator.
+fn try_step(eval: &mut CostEvaluator<'_>, step: usize) -> bool {
+    let problem = eval.problem();
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+    let site = SiteId::new(step % m);
+    let object = ObjectId::new((step / m) % n);
+    if eval.scheme().holds(site, object) {
+        if problem.primary(object) == site {
+            return false;
+        }
+        let peek = eval.delta_remove(site, object);
+        let applied = eval.apply_remove(site, object).unwrap();
+        assert_eq!(peek, applied, "remove peek must equal the applied delta");
+        true
+    } else {
+        if problem.object_size(object) > eval.scheme().free_capacity(problem, site) {
+            return false;
+        }
+        let peek = eval.delta_add(site, object);
+        let applied = eval.apply_add(site, object).unwrap();
+        assert_eq!(peek, applied, "add peek must equal the applied delta");
+        true
+    }
+}
+
+proptest! {
+    #[test]
+    fn flip_sequences_agree_with_full_recomputation(
+        instance_seed in 0u64..20,
+        steps in prop::collection::vec(0usize..10_000, 1..60),
+    ) {
+        let problem = paper_problem(instance_seed);
+        let mut eval = CostEvaluator::primary_only(&problem);
+        prop_assert_eq!(eval.total(), problem.d_prime());
+        for &step in &steps {
+            try_step(&mut eval, step);
+            // Integer-exact agreement after *every* flip, not just at the end.
+            prop_assert_eq!(eval.total(), problem.total_cost(eval.scheme()));
+        }
+        // The cached per-object costs must also agree, and sum to the total.
+        let mut sum = 0u64;
+        for k in problem.objects() {
+            prop_assert_eq!(eval.object_cost(k), problem.object_cost(eval.scheme(), k));
+            sum += eval.object_cost(k);
+        }
+        prop_assert_eq!(sum, eval.total());
+    }
+
+    #[test]
+    fn cached_nearest_matches_scheme_queries(
+        instance_seed in 0u64..20,
+        steps in prop::collection::vec(0usize..10_000, 1..40),
+    ) {
+        let problem = paper_problem(instance_seed);
+        let mut eval = CostEvaluator::primary_only(&problem);
+        for &step in &steps {
+            try_step(&mut eval, step);
+        }
+        for k in problem.objects() {
+            for i in problem.sites() {
+                prop_assert_eq!(
+                    eval.nearest(i, k),
+                    eval.scheme().nearest_replica(&problem, i, k),
+                    "nearest({}, {})", i, k
+                );
+                // The second-nearest, when present, is a real replicator
+                // distinct from the nearest and no closer than it.
+                if let Some((second, cost)) = eval.second_nearest(i, k) {
+                    let (first, best) = eval.nearest(i, k);
+                    prop_assert!(second != first);
+                    prop_assert!(eval.scheme().holds(second, k));
+                    prop_assert_eq!(cost, problem.costs().cost(second.index(), i.index()));
+                    prop_assert!(cost >= best);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undo_walks_back_through_exact_totals(
+        instance_seed in 0u64..20,
+        steps in prop::collection::vec(0usize..10_000, 1..50),
+    ) {
+        let problem = paper_problem(instance_seed);
+        let mut eval = CostEvaluator::primary_only(&problem);
+        // Record the total before every applied flip.
+        let mut trail = Vec::new();
+        for &step in &steps {
+            let before = eval.total();
+            if try_step(&mut eval, step) {
+                trail.push(before);
+            }
+        }
+        prop_assert_eq!(eval.history_len(), trail.len());
+        // Undoing must retrace the exact totals in reverse, and the cache
+        // must stay coherent with a full recomputation at every stop.
+        while let Some(expected) = trail.pop() {
+            let undone = eval.undo().expect("history is non-empty");
+            prop_assert_eq!(eval.total(), expected);
+            prop_assert_eq!(eval.total(), problem.total_cost(eval.scheme()));
+            let _ = undone;
+        }
+        prop_assert_eq!(eval.undo(), None);
+        prop_assert_eq!(eval.total(), problem.d_prime());
+    }
+}

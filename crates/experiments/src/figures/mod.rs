@@ -3,12 +3,12 @@
 //! and a `run` function returning result [`Table`](crate::Table)s.
 
 pub mod ablation;
+pub mod convergence;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod gap;
-pub mod convergence;
 pub mod trees;
 
 /// Deterministic seed mixing: every (figure, sweep-point, instance) gets an

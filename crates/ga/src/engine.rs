@@ -71,21 +71,20 @@ impl Engine {
 
         let np = self.config.population_size;
         let mut evaluations: u64 = 0;
-        let evaluate = |spec: &S, c: &mut BitString, evals: &mut u64| -> f64 {
-            *evals += 1;
-            spec.evaluate(c)
-        };
 
-        // Resize and evaluate generation 0.
+        // Resize and evaluate generation 0. All scoring goes through
+        // `evaluate_batch` so specs can parallelize; offspring are always
+        // fully generated *before* the batch call, which keeps the RNG
+        // stream independent of the batching strategy (evaluation itself
+        // consumes no randomness).
         let mut population: Vec<(BitString, f64)> = initial
             .into_iter()
             .cycle()
             .take(np)
-            .map(|mut c| {
-                let f = evaluate(spec, &mut c, &mut evaluations);
-                (c, f)
-            })
+            .map(|c| (c, 0.0))
             .collect();
+        evaluations += population.len() as u64;
+        spec.evaluate_batch(&mut population);
 
         let mut best_ever = population
             .iter()
@@ -106,25 +105,27 @@ impl Engine {
             let mut pool: Vec<(BitString, f64)> = match self.config.sampling {
                 SamplingSpace::Enlarged => {
                     let mut pool = population.clone();
+                    let fresh_from = pool.len();
                     // Crossover subpopulation.
                     let order = shuffled_indices(np, rng);
                     for pair in order.chunks_exact(2) {
                         if rng.random_bool(self.config.crossover_rate) {
-                            let (mut c1, mut c2) =
+                            let (c1, c2) =
                                 spec.crossover(&population[pair[0]].0, &population[pair[1]].0, rng);
-                            let f1 = evaluate(spec, &mut c1, &mut evaluations);
-                            let f2 = evaluate(spec, &mut c2, &mut evaluations);
-                            pool.push((c1, f1));
-                            pool.push((c2, f2));
+                            pool.push((c1, 0.0));
+                            pool.push((c2, 0.0));
                         }
                     }
                     // Mutation subpopulation.
                     for parent in population.iter().take(np) {
                         let mut m = parent.0.clone();
                         spec.mutate(&mut m, self.config.mutation_rate, rng);
-                        let f = evaluate(spec, &mut m, &mut evaluations);
-                        pool.push((m, f));
+                        pool.push((m, 0.0));
                     }
+                    // Parents keep their generation-(g−1) fitness; only the
+                    // fresh offspring need scoring.
+                    evaluations += (pool.len() - fresh_from) as u64;
+                    spec.evaluate_batch(&mut pool[fresh_from..]);
                     pool
                 }
                 SamplingSpace::Regular => {
@@ -141,8 +142,10 @@ impl Engine {
                     }
                     for slot in &mut pool {
                         spec.mutate(&mut slot.0, self.config.mutation_rate, rng);
-                        slot.1 = evaluate(spec, &mut slot.0, &mut evaluations);
                     }
+                    // Every slot mutated, so every slot is re-scored.
+                    evaluations += pool.len() as u64;
+                    spec.evaluate_batch(&mut pool);
                     pool
                 }
             };
@@ -358,6 +361,51 @@ mod tests {
             .map(|(_, f)| *f)
             .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(best_in_pop, outcome.best_fitness);
+    }
+
+    /// OneMax with a batch override that scores in reverse order — must be
+    /// indistinguishable from the default serial loop.
+    struct ReversedBatch;
+
+    impl GaSpec for ReversedBatch {
+        fn evaluate(&self, c: &mut BitString) -> f64 {
+            OneMax.evaluate(c)
+        }
+        fn crossover(
+            &self,
+            a: &BitString,
+            b: &BitString,
+            rng: &mut dyn RngCore,
+        ) -> (BitString, BitString) {
+            OneMax.crossover(a, b, rng)
+        }
+        fn mutate(&self, c: &mut BitString, rate: f64, rng: &mut dyn RngCore) {
+            OneMax.mutate(c, rate, rng);
+        }
+        fn evaluate_batch(&self, population: &mut [(BitString, f64)]) {
+            for (c, f) in population.iter_mut().rev() {
+                *f = self.evaluate(c);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_override_matches_default_exactly() {
+        for sampling in [SamplingSpace::Enlarged, SamplingSpace::Regular] {
+            let config = GaConfig::new(14, 25).sampling(sampling);
+            let mut rng1 = StdRng::seed_from_u64(31);
+            let mut rng2 = StdRng::seed_from_u64(31);
+            let base = Engine::new(config.clone())
+                .run(&OneMax, initial(14, 32, 32), &mut rng1)
+                .unwrap();
+            let batched = Engine::new(config)
+                .run(&ReversedBatch, initial(14, 32, 32), &mut rng2)
+                .unwrap();
+            assert_eq!(base.best, batched.best);
+            assert_eq!(base.best_fitness, batched.best_fitness);
+            assert_eq!(base.evaluations, batched.evaluations);
+            assert_eq!(base.final_population, batched.final_population);
+        }
     }
 
     #[test]

@@ -76,7 +76,6 @@ pub fn expand<R: RngCore + ?Sized>(problem: &Problem, period: u64, rng: &mut R) 
     requests
 }
 
-
 /// Drives a request trace through the discrete-event simulator against a
 /// replication scheme, request by request at the trace's timestamps.
 ///
@@ -96,18 +95,28 @@ pub fn simulate(
     problem: &Problem,
     scheme: &drp_core::ReplicationScheme,
     requests: &[Request],
-    ) -> drp_core::Result<TraceReport> {
+) -> drp_core::Result<TraceReport> {
     use drp_net::sim::{Context, Message, Node, Simulator};
     use std::sync::Arc;
 
     #[derive(Debug, Clone, PartialEq, Eq)]
     enum Msg {
         /// Fire one queued request (timer payload carries its index).
-        Fire { index: usize },
-        ReadRequest { object: usize },
-        Data { object: usize },
-        WriteShip { object: usize },
-        Update { object: usize },
+        Fire {
+            index: usize,
+        },
+        ReadRequest {
+            object: usize,
+        },
+        Data {
+            object: usize,
+        },
+        WriteShip {
+            object: usize,
+        },
+        Update {
+            object: usize,
+        },
     }
 
     struct Shared {
@@ -199,15 +208,21 @@ pub fn simulate(
             request.kind == RequestKind::Write,
         ));
     }
-    let shared = Arc::new(Shared { problem: problem.clone(), scheme: scheme.clone(), queues });
+    let shared = Arc::new(Shared {
+        problem: problem.clone(),
+        scheme: scheme.clone(),
+        queues,
+    });
     let nodes: Vec<Box<dyn Node<Msg>>> = (0..problem.num_sites())
         .map(|_| {
-            Box::new(TraceNode { shared: Arc::clone(&shared), served_reads: 0 })
-                as Box<dyn Node<Msg>>
+            Box::new(TraceNode {
+                shared: Arc::clone(&shared),
+                served_reads: 0,
+            }) as Box<dyn Node<Msg>>
         })
         .collect();
-    let mut sim = Simulator::new(problem.costs().clone(), nodes)
-        .map_err(drp_core::CoreError::from)?;
+    let mut sim =
+        Simulator::new(problem.costs().clone(), nodes).map_err(drp_core::CoreError::from)?;
     sim.run_to_completion().map_err(drp_core::CoreError::from)?;
     Ok(TraceReport {
         transfer_cost: sim.stats().transfer_cost,
@@ -257,11 +272,12 @@ mod tests {
         assert_eq!(writes as u64, expected_writes);
     }
 
-
     #[test]
     fn trace_simulation_matches_aggregate_cost_model() {
         let mut rng = StdRng::seed_from_u64(21);
-        let p = WorkloadSpec::paper(5, 4, 10.0, 30.0).generate(&mut rng).unwrap();
+        let p = WorkloadSpec::paper(5, 4, 10.0, 30.0)
+            .generate(&mut rng)
+            .unwrap();
         let scheme = drp_core::ReplicationScheme::primary_only(&p);
         let requests = expand(&p, 200, &mut rng);
         let report = simulate(&p, &scheme, &requests).unwrap();
@@ -273,7 +289,9 @@ mod tests {
     #[test]
     fn trace_simulation_matches_with_replicas() {
         let mut rng = StdRng::seed_from_u64(22);
-        let p = WorkloadSpec::paper(5, 4, 10.0, 40.0).generate(&mut rng).unwrap();
+        let p = WorkloadSpec::paper(5, 4, 10.0, 40.0)
+            .generate(&mut rng)
+            .unwrap();
         let mut scheme = drp_core::ReplicationScheme::primary_only(&p);
         for k in p.objects() {
             for i in p.sites() {
@@ -291,7 +309,9 @@ mod tests {
     #[test]
     fn trace_simulation_rejects_foreign_requests() {
         let mut rng = StdRng::seed_from_u64(23);
-        let p = WorkloadSpec::paper(4, 3, 5.0, 30.0).generate(&mut rng).unwrap();
+        let p = WorkloadSpec::paper(4, 3, 5.0, 30.0)
+            .generate(&mut rng)
+            .unwrap();
         let scheme = drp_core::ReplicationScheme::primary_only(&p);
         let bad = vec![Request {
             time: 0,

@@ -4,7 +4,9 @@
 //! they take seconds-to-minutes each; they are `#[ignore]`d by default and
 //! meant for `cargo test --release --test paper_shapes -- --ignored`.
 
-use drp::{Agra, AgraConfig, Gra, GraConfig, PatternChange, ReplicationAlgorithm, Sra, WorkloadSpec};
+use drp::{
+    Agra, AgraConfig, Gra, GraConfig, PatternChange, ReplicationAlgorithm, Sra, WorkloadSpec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,7 +28,9 @@ fn gra_advantage_grows_with_update_ratio() {
         let mut gap = 0.0;
         for seed in 0..4 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let p = WorkloadSpec::paper(40, 80, u, 15.0).generate(&mut rng).unwrap();
+            let p = WorkloadSpec::paper(40, 80, u, 15.0)
+                .generate(&mut rng)
+                .unwrap();
             let sra = Sra::new().solve(&p, &mut rng).unwrap();
             let g = gra().solve(&p, &mut rng).unwrap();
             gap += p.savings_percent(&g) - p.savings_percent(&sra);
@@ -51,12 +55,17 @@ fn savings_decay_with_update_ratio() {
         let mut total = 0.0;
         for seed in 10..14 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let p = WorkloadSpec::paper(30, 80, u, 15.0).generate(&mut rng).unwrap();
+            let p = WorkloadSpec::paper(30, 80, u, 15.0)
+                .generate(&mut rng)
+                .unwrap();
             let g = gra().solve(&p, &mut rng).unwrap();
             total += p.savings_percent(&g);
         }
         let mean = total / 4.0;
-        assert!(mean <= previous + 1.0, "savings rose from U sweep: {mean:.2} > {previous:.2}");
+        assert!(
+            mean <= previous + 1.0,
+            "savings rose from U sweep: {mean:.2} > {previous:.2}"
+        );
         previous = mean;
     }
 }
@@ -66,11 +75,16 @@ fn savings_decay_with_update_ratio() {
 #[ignore = "medium-scale statistical check; run with --ignored in release"]
 fn gra_is_orders_of_magnitude_slower_than_sra() {
     let mut rng = StdRng::seed_from_u64(42);
-    let p = WorkloadSpec::paper(50, 100, 5.0, 15.0).generate(&mut rng).unwrap();
+    let p = WorkloadSpec::paper(50, 100, 5.0, 15.0)
+        .generate(&mut rng)
+        .unwrap();
     let (_, sra_report) = Sra::new().solve_report(&p, &mut rng).unwrap();
     let (_, gra_report) = gra().solve_report(&p, &mut rng).unwrap();
     let ratio = gra_report.elapsed.as_secs_f64() / sra_report.elapsed.as_secs_f64().max(1e-9);
-    assert!(ratio > 100.0, "expected ≥2 orders of magnitude, got {ratio:.0}×");
+    assert!(
+        ratio > 100.0,
+        "expected ≥2 orders of magnitude, got {ratio:.0}×"
+    );
 }
 
 /// Figure 4(b)'s message: under update surges the stale scheme collapses
@@ -79,7 +93,9 @@ fn gra_is_orders_of_magnitude_slower_than_sra() {
 #[ignore = "medium-scale statistical check; run with --ignored in release"]
 fn agra_recovers_from_update_surges_cheaply() {
     let mut rng = StdRng::seed_from_u64(7);
-    let p = WorkloadSpec::paper(30, 100, 5.0, 15.0).generate(&mut rng).unwrap();
+    let p = WorkloadSpec::paper(30, 100, 5.0, 15.0)
+        .generate(&mut rng)
+        .unwrap();
     let base = gra().solve_detailed(&p, &mut rng).unwrap();
     let population: Vec<_> = base
         .outcome
@@ -88,7 +104,11 @@ fn agra_recovers_from_update_surges_cheaply() {
         .map(|(c, _)| c.clone())
         .collect();
 
-    let change = PatternChange { change_percent: 600.0, objects_percent: 30.0, read_share: 0.0 };
+    let change = PatternChange {
+        change_percent: 600.0,
+        objects_percent: 30.0,
+        read_share: 0.0,
+    };
     let shift = change.apply(&p, &mut rng).unwrap();
     let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
 
@@ -99,7 +119,13 @@ fn agra_recovers_from_update_surges_cheaply() {
         gra: gra().config().clone(),
         ..AgraConfig::default()
     })
-    .adapt(&shift.problem, &base.scheme, &population, &changed, &mut rng)
+    .adapt(
+        &shift.problem,
+        &base.scheme,
+        &population,
+        &changed,
+        &mut rng,
+    )
     .unwrap();
     let agra_time = clock.elapsed();
 
@@ -110,7 +136,10 @@ fn agra_recovers_from_update_surges_cheaply() {
     let agra_savings = shift.problem.savings_percent(&adapted.scheme);
     let fresh_savings = shift.problem.savings_percent(&fresh.scheme);
 
-    assert!(agra_savings >= stale, "AGRA ({agra_savings:.2}) lost to stale ({stale:.2})");
+    assert!(
+        agra_savings >= stale,
+        "AGRA ({agra_savings:.2}) lost to stale ({stale:.2})"
+    );
     assert!(
         agra_savings >= fresh_savings - 10.0,
         "AGRA ({agra_savings:.2}) too far below fresh GRA ({fresh_savings:.2})"
