@@ -14,21 +14,47 @@
 use drp_core::{CoreError, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId};
 use rand::RngCore;
 
+/// Outcome of a min-degree top-up pass: what was added, and which objects
+/// could not reach the floor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MinDegreeReport {
+    /// Replicas added across all objects.
+    pub added: usize,
+    /// Objects whose degree floor is unsatisfiable under the current
+    /// capacities — they were topped up as far as room allowed and then
+    /// left below the floor. Sorted by object id.
+    pub unsatisfiable: Vec<drp_core::ObjectId>,
+}
+
+impl MinDegreeReport {
+    /// Did every object reach the floor?
+    pub fn is_complete(&self) -> bool {
+        self.unsatisfiable.is_empty()
+    }
+}
+
 /// Tops up every object to at least `degree` replicas, choosing for each
 /// missing slot the site with the smallest exact NTC delta that still has
-/// room. Returns the number of replicas added.
+/// room.
+///
+/// Objects that cannot reach the floor (not enough sites with room) are
+/// *reported*, not silently skipped and not fatal: they are topped up as
+/// far as capacity allows and listed in
+/// [`MinDegreeReport::unsatisfiable`], so callers — the repair loop in
+/// particular — can distinguish "repaired" from "impossible".
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InsufficientCapacity`] when some object cannot
-/// reach the degree (not enough sites with room), identifying the object.
+/// Returns an error only if a chosen addition is rejected by the scheme,
+/// which indicates an internal inconsistency (candidates are pre-filtered
+/// for room).
 pub fn ensure_min_degree(
     problem: &Problem,
     scheme: &mut ReplicationScheme,
     degree: usize,
-) -> Result<usize> {
+) -> Result<MinDegreeReport> {
     let target = degree.min(problem.num_sites());
-    let mut added = 0usize;
+    let mut report = MinDegreeReport::default();
     for k in problem.objects() {
         while scheme.replica_degree(k) < target {
             let candidate = problem
@@ -41,20 +67,16 @@ pub fn ensure_min_degree(
             match candidate {
                 Some(site) => {
                     scheme.add_replica(problem, site, k)?;
-                    added += 1;
+                    report.added += 1;
                 }
                 None => {
-                    return Err(CoreError::InsufficientCapacity {
-                        site: SiteId::new(0),
-                        object: k,
-                        free: 0,
-                        size: problem.object_size(k),
-                    });
+                    report.unsatisfiable.push(k);
+                    break;
                 }
             }
         }
     }
-    Ok(added)
+    Ok(report)
 }
 
 /// A solver wrapper enforcing a minimum replication degree on the inner
@@ -94,7 +116,17 @@ impl<A: ReplicationAlgorithm> ReplicationAlgorithm for MinDegree<A> {
 
     fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
         let mut scheme = self.inner.solve(problem, rng)?;
-        ensure_min_degree(problem, &mut scheme, self.degree)?;
+        let report = ensure_min_degree(problem, &mut scheme, self.degree)?;
+        // The wrapper promises the floor; an unsatisfiable object is fatal
+        // here even though the bare function merely reports it.
+        if let Some(&object) = report.unsatisfiable.first() {
+            return Err(CoreError::InsufficientCapacity {
+                site: SiteId::new(0),
+                object,
+                free: 0,
+                size: problem.object_size(object),
+            });
+        }
         Ok(scheme)
     }
 }
@@ -171,7 +203,7 @@ mod tests {
     }
 
     #[test]
-    fn impossible_degrees_error_out() {
+    fn impossible_degrees_are_reported_not_fatal() {
         // Minimal capacities: only primaries fit, degree 2 is infeasible.
         use drp_net::CostMatrix;
         let costs = CostMatrix::from_rows(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0]).unwrap();
@@ -182,10 +214,44 @@ mod tests {
             .build()
             .unwrap();
         let mut scheme = drp_core::ReplicationScheme::primary_only(&p);
+        let report = ensure_min_degree(&p, &mut scheme, 2).unwrap();
+        assert_eq!(report.added, 0);
+        assert!(!report.is_complete());
+        let k = p.objects().next().unwrap();
+        assert_eq!(report.unsatisfiable, vec![k]);
+        // The scheme stays valid, just under-replicated.
+        scheme.validate(&p).unwrap();
+
+        // The MinDegree *wrapper* still promises the floor and errors out.
+        let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            ensure_min_degree(&p, &mut scheme, 2),
+            MinDegree {
+                degree: 2,
+                inner: Sra::new()
+            }
+            .solve(&p, &mut rng),
             Err(CoreError::InsufficientCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn partial_top_up_still_adds_what_fits() {
+        // Room for exactly one extra copy: degree 3 is unsatisfiable but
+        // the pass must still take the one replica it can get.
+        use drp_net::CostMatrix;
+        let costs = CostMatrix::from_rows(3, vec![0, 1, 2, 1, 0, 1, 2, 1, 0]).unwrap();
+        let p = Problem::builder(costs)
+            .capacities(vec![10, 10, 0])
+            .object(10, SiteId::new(0))
+            .reads(vec![0, 5, 5])
+            .build()
+            .unwrap();
+        let mut scheme = drp_core::ReplicationScheme::primary_only(&p);
+        let report = ensure_min_degree(&p, &mut scheme, 3).unwrap();
+        assert_eq!(report.added, 1);
+        let k = p.objects().next().unwrap();
+        assert_eq!(report.unsatisfiable, vec![k]);
+        assert_eq!(scheme.replica_degree(k), 2);
     }
 
     #[test]

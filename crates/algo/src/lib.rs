@@ -46,6 +46,7 @@ pub mod exact;
 pub mod fault_tolerance;
 mod gra;
 pub mod monitor;
+pub mod repair;
 mod sra;
 
 /// Newtype making `&mut dyn RngCore` usable where a sized `RngCore` is

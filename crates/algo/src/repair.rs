@@ -1,0 +1,949 @@
+//! Self-healing replica access under injected faults.
+//!
+//! [`run_faulted`] drives a replication scheme through a seeded
+//! [`FaultPlan`] on the `drp-net` simulator with three layers of defence,
+//! and reports what the faults actually cost clients as a
+//! [`DegradationReport`]:
+//!
+//! 1. **Retrying reads** — a read goes to the nearest replicator
+//!    `SN_k(i)`; on timeout it retries with exponential backoff, failing
+//!    over to the *second*-nearest replicator and then round-robin through
+//!    the rest by distance. The nearest/second-nearest lookups reuse
+//!    [`CostEvaluator`]'s cached top-2 arrays — the directory every site
+//!    consults is the same structure the optimizers flip.
+//! 2. **Queueing writes** — a write ships to the primary `SP_k`; while the
+//!    primary is down the writer keeps the write queued and drains it with
+//!    backed-off retries after recovery. Commits are versioned, and the
+//!    primary's update broadcast carries the version so replicas know how
+//!    current they are.
+//! 3. **Background repair** — a coordinator (the first site the plan never
+//!    crashes) wakes every `repair_interval`, and for every object whose
+//!    *live* replica degree fell below the `min_degree` floor re-replicates
+//!    greedily by the paper's benefit `B_k(i)` onto the best live sites
+//!    with room, shipping the object from the nearest live, most current
+//!    replica. The same sweep re-syncs stale survivors (anti-entropy), so
+//!    recovered replicas catch up even if no further write touches them.
+//!
+//! # Model notes
+//!
+//! * Sites are fail-stop with durable storage: a crashed site loses
+//!   in-flight messages, timers and pending client requests, but keeps its
+//!   replicas (at their old versions) and rejoins silently on recovery.
+//! * The coordinator uses the simulator's liveness oracle
+//!   ([`Context::is_up`]) — a perfect failure detector standing in for the
+//!   timeout-based detector a deployment would run. Client code never uses
+//!   the oracle; it relies on timeouts alone.
+//! * A re-replication target registers in the directory immediately and
+//!   may serve reads while its copy is still in flight (warm-start
+//!   simplification); until the fetch lands it reports version 0 and such
+//!   reads count as stale.
+//! * Everything — fault schedule, workload interleaving, retry jitter-free
+//!   backoff — is deterministic, so two runs with the same plan produce
+//!   bitwise-identical traffic matrices and reports.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use drp_core::{
+    CoreError, CostEvaluator, DegradationReport, ObjectId, Problem, ReplicationScheme, Result,
+    SiteId,
+};
+use drp_net::sim::{
+    Context, FaultPlan, FaultStats, Message, Node, Simulator, Time, TrafficMatrix, TrafficStats,
+};
+
+/// Tuning knobs for the fault-injected run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairConfig {
+    /// Degree floor the repair loop restores (clamped to the site count).
+    pub min_degree: usize,
+    /// Clients spread their reads/writes over `[1, horizon]`.
+    pub horizon: Time,
+    /// Initial request timeout; backoff doubles it per attempt.
+    pub rpc_timeout: Time,
+    /// Backoff ceiling per retry interval.
+    pub backoff_cap: Time,
+    /// Attempts per request before it counts as lost.
+    pub max_attempts: u32,
+    /// Period of the repair coordinator's sweep.
+    pub repair_interval: Time,
+    /// Cap on simulated reads per `(site, object)` pair (the paper's
+    /// counts go up to 40 per pair; replaying a few keeps runs small
+    /// while exercising every path).
+    pub reads_per_pair: u64,
+    /// Cap on simulated writes per `(site, object)` pair.
+    pub writes_per_pair: u64,
+    /// Retries and repair stop at this instant; `None` derives
+    /// `max(horizon, last fault transition) + 2 · (backoff_cap +
+    /// repair_interval)`, late enough to drain queued writes after the
+    /// last recovery.
+    pub deadline: Option<Time>,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self {
+            min_degree: 2,
+            horizon: 1_000,
+            rpc_timeout: 16,
+            backoff_cap: 64,
+            max_attempts: 24,
+            repair_interval: 50,
+            reads_per_pair: 3,
+            writes_per_pair: 2,
+            deadline: None,
+        }
+    }
+}
+
+/// Everything a fault-injected run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// Client-observed degradation and repair accounting.
+    pub report: DegradationReport,
+    /// The scheme after repair (replicas are only ever added).
+    pub scheme: ReplicationScheme,
+    /// Aggregate simulator traffic counters.
+    pub stats: TrafficStats,
+    /// What the fault injector did.
+    pub fault_stats: FaultStats,
+    /// Per-site-pair traffic, bitwise reproducible per plan.
+    pub traffic: TrafficMatrix,
+    /// Events the simulator dispatched.
+    pub events: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RepairMsg {
+    // -- timers --
+    /// Client-side: issue one read of `object`.
+    IssueRead { object: usize },
+    /// Client-side: issue one write of `object`.
+    IssueWrite { object: usize },
+    /// Client-side: a pending read may have timed out.
+    ReadTimeout { req: u64 },
+    /// Client-side: a pending write may have timed out.
+    WriteTimeout { req: u64 },
+    /// Coordinator: run one repair/resync sweep.
+    RepairTick,
+    // -- messages --
+    /// Read request to a replicator (control).
+    ReadReq { req: u64, object: usize },
+    /// Object data answering a read; `stale` if the server lagged the
+    /// committed version when it served.
+    ReadData {
+        req: u64,
+        object: usize,
+        stale: bool,
+    },
+    /// Write shipped toward the primary (object-sized from
+    /// non-replicators, control-sized from replicators, as in Eq. 4).
+    WriteReq { req: u64, object: usize },
+    /// Primary's acknowledgement (control).
+    WriteAck { req: u64 },
+    /// Versioned update broadcast from the primary to one replicator.
+    Update { object: usize, version: u64 },
+    /// Coordinator's instruction: fetch `object` from `from` (control).
+    Replicate { object: usize, from: usize },
+    /// Fetch request to the designated source (control).
+    FetchReq { object: usize },
+    /// The object copy answering a fetch, at the source's version.
+    FetchData { object: usize, version: u64 },
+}
+
+/// Versions, staleness intervals and the report under construction.
+struct Ledger {
+    report: DegradationReport,
+    /// Committed version per object (bumped at the primary).
+    version: Vec<u64>,
+    /// Version held at `site * N + object` (0 until first update).
+    replica_version: Vec<u64>,
+    /// Open staleness interval start per `site * N + object`.
+    stale_since: Vec<Option<Time>>,
+    /// In-flight repair/resync fetch per `site * N + object`: when it was
+    /// requested, so the coordinator can re-issue expired ones.
+    fetch_pending: Vec<Option<Time>>,
+    /// Last instant the sweep found every object at the floor again.
+    restored_at: Option<Time>,
+}
+
+struct Shared<'p> {
+    problem: &'p Problem,
+    config: RepairConfig,
+    deadline: Time,
+    /// Live replica directory; the repair loop grows it via `apply_add`,
+    /// keeping the cached nearest/second-nearest arrays warm for readers.
+    directory: Mutex<CostEvaluator<'p>>,
+    ledger: Mutex<Ledger>,
+}
+
+struct PendingReq {
+    object: usize,
+    attempt: u32,
+}
+
+struct SiteActor<'p> {
+    shared: Arc<Shared<'p>>,
+    is_coordinator: bool,
+    pending_reads: HashMap<u64, PendingReq>,
+    pending_writes: HashMap<u64, PendingReq>,
+    next_req: u64,
+    /// Swallows duplicate tick chains after crash/recover re-arming.
+    next_tick_min: Time,
+}
+
+impl<'p> SiteActor<'p> {
+    fn new(shared: Arc<Shared<'p>>, me: usize, is_coordinator: bool) -> Self {
+        Self {
+            shared,
+            is_coordinator,
+            pending_reads: HashMap::new(),
+            pending_writes: HashMap::new(),
+            next_req: (me as u64) << 32,
+            next_tick_min: 0,
+        }
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    /// Commit one write at the primary: bump the version, broadcast the
+    /// update, and mark replicas the oracle already knows will miss it.
+    fn commit_write(&self, ctx: &mut Context<'_, RepairMsg>, object: usize) {
+        let shared = &self.shared;
+        let k = ObjectId::new(object);
+        let me = ctx.node_id();
+        let n = shared.problem.num_objects();
+        let size = shared.problem.object_size(k);
+        let directory = shared.directory.lock().expect("directory poisoned");
+        let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+        ledger.version[object] += 1;
+        let version = ledger.version[object];
+        ledger.replica_version[me * n + object] = version;
+        let targets: Vec<usize> = directory
+            .scheme()
+            .replicators(k)
+            .map(SiteId::index)
+            .filter(|&j| j != me)
+            .collect();
+        for j in targets {
+            ctx.send(j, size, RepairMsg::Update { object, version });
+            // Metrics-only oracle peek: a broadcast to a down replica is
+            // transmitted and lost, opening a staleness window now.
+            if !ctx.is_up(j) && ledger.stale_since[j * n + object].is_none() {
+                ledger.stale_since[j * n + object] = Some(ctx.now());
+            }
+        }
+    }
+
+    /// Replicators of `object` visible to `me`, except `me`, sorted by
+    /// `(C(me, j), j)` — the failover ladder for retries beyond the
+    /// evaluator's cached top-2.
+    fn failover_ladder(&self, me: usize, object: usize) -> Vec<usize> {
+        let shared = &self.shared;
+        let k = ObjectId::new(object);
+        let directory = shared.directory.lock().expect("directory poisoned");
+        let mut ladder: Vec<usize> = directory
+            .scheme()
+            .replicators(k)
+            .map(SiteId::index)
+            .filter(|&j| j != me)
+            .collect();
+        ladder.sort_by_key(|&j| (shared.problem.costs().cost(me, j), j));
+        ladder
+    }
+
+    /// Next read target for `attempt`, straight from the evaluator's
+    /// cached nearest/second-nearest for the first two tries.
+    fn read_target(&self, me: usize, object: usize, attempt: u32) -> usize {
+        let shared = &self.shared;
+        let k = ObjectId::new(object);
+        let i = SiteId::new(me);
+        let directory = shared.directory.lock().expect("directory poisoned");
+        let (nearest, _) = directory.nearest(i, k);
+        match attempt {
+            0 => nearest.index(),
+            1 => directory
+                .second_nearest(i, k)
+                .map_or(nearest.index(), |(s, _)| s.index()),
+            _ => {
+                drop(directory);
+                let ladder = self.failover_ladder(me, object);
+                if ladder.is_empty() {
+                    nearest.index()
+                } else {
+                    ladder[attempt as usize % ladder.len()]
+                }
+            }
+        }
+    }
+
+    /// Serve a read locally (free, Eq. 4's zero-cost case), counting
+    /// staleness against the committed version.
+    fn serve_local_read(&self, ctx: &Context<'_, RepairMsg>, object: usize, degraded: bool) {
+        let shared = &self.shared;
+        let n = shared.problem.num_objects();
+        let me = ctx.node_id();
+        let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+        if degraded {
+            ledger.report.reads_degraded += 1;
+        } else {
+            ledger.report.reads_local += 1;
+        }
+        if ledger.replica_version[me * n + object] < ledger.version[object] {
+            ledger.report.reads_stale += 1;
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Time {
+        let base = self.shared.config.rpc_timeout;
+        base.saturating_mul(1 << attempt.min(16))
+            .min(self.shared.config.backoff_cap)
+    }
+
+    fn issue_read(&mut self, ctx: &mut Context<'_, RepairMsg>, object: usize) {
+        let me = ctx.node_id();
+        {
+            let mut ledger = self.shared.ledger.lock().expect("ledger poisoned");
+            ledger.report.reads_total += 1;
+        }
+        let target = self.read_target(me, object, 0);
+        if target == me {
+            self.serve_local_read(ctx, object, false);
+            return;
+        }
+        let req = self.fresh_req();
+        self.pending_reads
+            .insert(req, PendingReq { object, attempt: 0 });
+        ctx.send(target, 0, RepairMsg::ReadReq { req, object });
+        ctx.set_timer(self.backoff(0), RepairMsg::ReadTimeout { req });
+    }
+
+    fn issue_write(&mut self, ctx: &mut Context<'_, RepairMsg>, object: usize) {
+        let me = ctx.node_id();
+        {
+            let mut ledger = self.shared.ledger.lock().expect("ledger poisoned");
+            ledger.report.writes_total += 1;
+        }
+        let k = ObjectId::new(object);
+        let primary = self.shared.problem.primary(k).index();
+        if primary == me {
+            self.commit_write(ctx, object);
+            let mut ledger = self.shared.ledger.lock().expect("ledger poisoned");
+            ledger.report.writes_first_try += 1;
+            return;
+        }
+        let req = self.fresh_req();
+        self.pending_writes
+            .insert(req, PendingReq { object, attempt: 0 });
+        self.ship_write(ctx, object, req);
+        ctx.set_timer(self.backoff(0), RepairMsg::WriteTimeout { req });
+    }
+
+    fn ship_write(&self, ctx: &mut Context<'_, RepairMsg>, object: usize, req: u64) {
+        let shared = &self.shared;
+        let k = ObjectId::new(object);
+        let me = ctx.node_id();
+        let primary = shared.problem.primary(k).index();
+        let holds = {
+            let directory = shared.directory.lock().expect("directory poisoned");
+            directory.scheme().holds(SiteId::new(me), k)
+        };
+        // A replicator already receives the broadcast over the same path,
+        // so its shipment is control-sized (the replay convention).
+        let size = if holds {
+            0
+        } else {
+            shared.problem.object_size(k)
+        };
+        ctx.send(primary, size, RepairMsg::WriteReq { req, object });
+    }
+
+    fn read_timed_out(&mut self, ctx: &mut Context<'_, RepairMsg>, req: u64) {
+        let Some(pending) = self.pending_reads.get_mut(&req) else {
+            return; // answered (or abandoned) before the timer fired
+        };
+        let give_up = ctx.now() >= self.shared.deadline
+            || pending.attempt + 1 >= self.shared.config.max_attempts;
+        if give_up {
+            self.pending_reads.remove(&req);
+            let mut ledger = self.shared.ledger.lock().expect("ledger poisoned");
+            ledger.report.reads_lost += 1;
+            return;
+        }
+        pending.attempt += 1;
+        let (object, attempt) = (pending.object, pending.attempt);
+        let me = ctx.node_id();
+        let target = self.read_target(me, object, attempt);
+        if target == me {
+            // Repair put a replica here since the read was issued.
+            self.pending_reads.remove(&req);
+            self.serve_local_read(ctx, object, true);
+            return;
+        }
+        ctx.send(target, 0, RepairMsg::ReadReq { req, object });
+        ctx.set_timer(self.backoff(attempt), RepairMsg::ReadTimeout { req });
+    }
+
+    fn write_timed_out(&mut self, ctx: &mut Context<'_, RepairMsg>, req: u64) {
+        let Some(pending) = self.pending_writes.get_mut(&req) else {
+            return;
+        };
+        let give_up = ctx.now() >= self.shared.deadline
+            || pending.attempt + 1 >= self.shared.config.max_attempts;
+        if give_up {
+            self.pending_writes.remove(&req);
+            let mut ledger = self.shared.ledger.lock().expect("ledger poisoned");
+            ledger.report.writes_lost += 1;
+            return;
+        }
+        pending.attempt += 1;
+        let (object, attempt) = (pending.object, pending.attempt);
+        {
+            let mut ledger = self.shared.ledger.lock().expect("ledger poisoned");
+            if attempt == 1 {
+                ledger.report.writes_queued += 1;
+            }
+            ledger.report.write_retries += 1;
+        }
+        self.ship_write(ctx, object, req);
+        ctx.set_timer(self.backoff(attempt), RepairMsg::WriteTimeout { req });
+    }
+
+    /// One coordinator sweep: re-replicate every object below its live
+    /// floor (greedily by benefit under capacity) and re-issue fetches for
+    /// stale or expired replicas.
+    fn repair_sweep(&mut self, ctx: &mut Context<'_, RepairMsg>) {
+        let shared = Arc::clone(&self.shared);
+        let problem = shared.problem;
+        let n = problem.num_objects();
+        let now = ctx.now();
+        let floor = shared.config.min_degree.min(problem.num_sites());
+        let fetch_expiry = 2 * shared.config.repair_interval;
+        let mut directory = shared.directory.lock().expect("directory poisoned");
+        let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+
+        let mut any_below_floor = false;
+        for k in problem.objects() {
+            let object = k.index();
+            let live: Vec<usize> = directory
+                .scheme()
+                .replicators(k)
+                .map(SiteId::index)
+                .filter(|&j| ctx.is_up(j))
+                .collect();
+            let live_degree = live.len();
+
+            // Choose the fetch source once per object: live, most current,
+            // ties to the lowest id. (Per-target distance matters less
+            // than currency here.)
+            let source = live
+                .iter()
+                .copied()
+                .max_by_key(|&j| (ledger.replica_version[j * n + object], std::cmp::Reverse(j)))
+                .map(|j| (j, ledger.replica_version[j * n + object]));
+
+            if live_degree < floor {
+                any_below_floor = true;
+                if ledger.report.first_degradation_at.is_none() {
+                    ledger.report.first_degradation_at = Some(now);
+                }
+                ledger.restored_at = None;
+                let Some((source_site, source_version)) = source else {
+                    // Every replica is down: nothing to copy from. The
+                    // object stays degraded until a holder recovers.
+                    continue;
+                };
+                // Benefit-greedy candidates: live sites with room, best
+                // B_k(i) first, ties to the lowest id.
+                let mut candidates: Vec<(i64, usize)> = problem
+                    .sites()
+                    .filter(|&i| {
+                        ctx.is_up(i.index())
+                            && !directory.scheme().holds(i, k)
+                            && problem.object_size(k)
+                                <= directory.scheme().free_capacity(problem, i)
+                    })
+                    .map(|i| (problem.local_benefit(directory.scheme(), i, k), i.index()))
+                    .collect();
+                candidates.sort_by_key(|&(b, i)| (std::cmp::Reverse(b), i));
+                for &(_, target) in candidates.iter().take(floor - live_degree) {
+                    directory
+                        .apply_add(SiteId::new(target), k)
+                        .expect("candidate was pre-filtered for capacity");
+                    ledger.report.repair_replicas_created += 1;
+                    if ledger.version[object] > ledger.replica_version[target * n + object]
+                        && ledger.stale_since[target * n + object].is_none()
+                    {
+                        ledger.stale_since[target * n + object] = Some(now);
+                    }
+                    ledger.fetch_pending[target * n + object] = Some(now);
+                    ctx.send(
+                        target,
+                        0,
+                        RepairMsg::Replicate {
+                            object,
+                            from: source_site,
+                        },
+                    );
+                    let _ = source_version;
+                }
+            }
+
+            // Anti-entropy: nudge live, stale replicas to refetch; clear
+            // fetch flags for down targets (their fetch chain died) and
+            // re-issue expired ones (the source died or the copy dropped).
+            if let Some((source_site, source_version)) = source {
+                for j in 0..problem.num_sites() {
+                    let slot = j * n + object;
+                    if !directory.scheme().holds(SiteId::new(j), k) {
+                        continue;
+                    }
+                    if !ctx.is_up(j) {
+                        ledger.fetch_pending[slot] = None;
+                        continue;
+                    }
+                    if j == source_site || source_version <= ledger.replica_version[slot] {
+                        continue;
+                    }
+                    let refetch = match ledger.fetch_pending[slot] {
+                        None => true,
+                        Some(sent) => now >= sent + fetch_expiry,
+                    };
+                    if refetch {
+                        ledger.fetch_pending[slot] = Some(now);
+                        ctx.send(
+                            j,
+                            0,
+                            RepairMsg::Replicate {
+                                object,
+                                from: source_site,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        if !any_below_floor
+            && ledger.report.first_degradation_at.is_some()
+            && ledger.restored_at.is_none()
+        {
+            ledger.restored_at = Some(now);
+        }
+    }
+}
+
+impl Node<RepairMsg> for SiteActor<'_> {
+    fn on_start(&mut self, ctx: &mut Context<'_, RepairMsg>) {
+        let shared = Arc::clone(&self.shared);
+        let problem = shared.problem;
+        let me = SiteId::new(ctx.node_id());
+        let horizon = shared.config.horizon;
+        // Deterministic per-pair phase so sites do not fire in lockstep.
+        let phase = (ctx.node_id() as u64 * 7 + 3) % 11;
+        for k in problem.objects() {
+            let object = k.index();
+            let reads = problem.reads(me, k).min(shared.config.reads_per_pair);
+            for j in 0..reads {
+                let at = 1 + phase + (j + object as u64) % 7 + j * horizon / reads.max(1);
+                ctx.set_timer(at.min(horizon), RepairMsg::IssueRead { object });
+            }
+            let writes = problem.writes(me, k).min(shared.config.writes_per_pair);
+            for j in 0..writes {
+                let at = 3
+                    + phase
+                    + (j + object as u64) % 5
+                    + (2 * j + 1) * horizon / (2 * writes.max(1));
+                ctx.set_timer(at.min(horizon), RepairMsg::IssueWrite { object });
+            }
+        }
+        if self.is_coordinator {
+            ctx.set_timer(shared.config.repair_interval, RepairMsg::RepairTick);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, RepairMsg>, payload: RepairMsg) {
+        match payload {
+            RepairMsg::IssueRead { object } => self.issue_read(ctx, object),
+            RepairMsg::IssueWrite { object } => self.issue_write(ctx, object),
+            RepairMsg::ReadTimeout { req } => self.read_timed_out(ctx, req),
+            RepairMsg::WriteTimeout { req } => self.write_timed_out(ctx, req),
+            RepairMsg::RepairTick => {
+                if ctx.now() < self.next_tick_min {
+                    return; // duplicate chain from a recovery re-arm
+                }
+                self.next_tick_min = ctx.now() + 1;
+                self.repair_sweep(ctx);
+                if ctx.now() < self.shared.deadline {
+                    ctx.set_timer(self.shared.config.repair_interval, RepairMsg::RepairTick);
+                }
+            }
+            _ => unreachable!("network payload delivered as a timer"),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, RepairMsg>, msg: Message<RepairMsg>) {
+        let shared = Arc::clone(&self.shared);
+        let n = shared.problem.num_objects();
+        let me = ctx.node_id();
+        match msg.payload {
+            RepairMsg::ReadReq { req, object } => {
+                let size = shared.problem.object_size(ObjectId::new(object));
+                let stale = {
+                    let ledger = shared.ledger.lock().expect("ledger poisoned");
+                    ledger.replica_version[me * n + object] < ledger.version[object]
+                };
+                ctx.send(msg.src, size, RepairMsg::ReadData { req, object, stale });
+            }
+            RepairMsg::ReadData { req, stale, .. } => {
+                if let Some(pending) = self.pending_reads.remove(&req) {
+                    let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+                    if pending.attempt == 0 {
+                        ledger.report.reads_remote += 1;
+                    } else {
+                        ledger.report.reads_degraded += 1;
+                    }
+                    if stale {
+                        ledger.report.reads_stale += 1;
+                    }
+                }
+            }
+            RepairMsg::WriteReq { req, object } => {
+                debug_assert_eq!(
+                    shared.problem.primary(ObjectId::new(object)).index(),
+                    me,
+                    "write shipped to a non-primary site"
+                );
+                self.commit_write(ctx, object);
+                ctx.send(msg.src, 0, RepairMsg::WriteAck { req });
+            }
+            RepairMsg::WriteAck { req } => {
+                if let Some(pending) = self.pending_writes.remove(&req) {
+                    let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+                    if pending.attempt == 0 {
+                        ledger.report.writes_first_try += 1;
+                    } else {
+                        ledger.report.writes_recovered += 1;
+                    }
+                }
+            }
+            RepairMsg::Update { object, version } => {
+                let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+                let slot = me * n + object;
+                if version > ledger.replica_version[slot] {
+                    ledger.replica_version[slot] = version;
+                }
+                if ledger.replica_version[slot] >= ledger.version[object] {
+                    if let Some(since) = ledger.stale_since[slot].take() {
+                        ledger.report.stale_window += ctx.now() - since;
+                    }
+                }
+            }
+            RepairMsg::Replicate { object, from } => {
+                ctx.send(from, 0, RepairMsg::FetchReq { object });
+            }
+            RepairMsg::FetchReq { object } => {
+                let k = ObjectId::new(object);
+                let size = shared.problem.object_size(k);
+                let version = {
+                    let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+                    // Repair/resync shipments are the repair traffic.
+                    ledger.report.repair_traffic += size * shared.problem.costs().cost(me, msg.src);
+                    ledger.replica_version[me * n + object]
+                };
+                ctx.send(msg.src, size, RepairMsg::FetchData { object, version });
+            }
+            RepairMsg::FetchData { object, version } => {
+                let mut ledger = shared.ledger.lock().expect("ledger poisoned");
+                let slot = me * n + object;
+                ledger.fetch_pending[slot] = None;
+                if version > ledger.replica_version[slot] {
+                    ledger.replica_version[slot] = version;
+                }
+                if ledger.replica_version[slot] >= ledger.version[object] {
+                    if let Some(since) = ledger.stale_since[slot].take() {
+                        ledger.report.stale_window += ctx.now() - since;
+                    }
+                }
+            }
+            _ => unreachable!("timer payload arrived as a message"),
+        }
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Context<'_, RepairMsg>) {
+        // Volatile state is lost with the site; replicas stay on disk.
+        let mut ledger = self.shared.ledger.lock().expect("ledger poisoned");
+        ledger.report.reads_abandoned += self.pending_reads.len() as u64;
+        ledger.report.writes_abandoned += self.pending_writes.len() as u64;
+        self.pending_reads.clear();
+        self.pending_writes.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, RepairMsg>) {
+        // The sweep chain died with the crash (its timer was discarded);
+        // the coordinator re-arms it. Recovered replicas are caught up by
+        // the sweep's anti-entropy pass, not by the node itself.
+        if self.is_coordinator && ctx.now() < self.shared.deadline {
+            ctx.set_timer(1, RepairMsg::RepairTick);
+        }
+    }
+}
+
+/// Runs `scheme` through `plan` with retrying clients and the repair loop,
+/// returning the degradation accounting. `plan = None` runs the identical
+/// workload with the injector disarmed (the baseline for overhead and
+/// regression comparisons).
+///
+/// The coordinator is the first site the plan never crashes (site 0 when
+/// every site crashes at some point — sweeps are then lost while it is
+/// down and resume on recovery).
+///
+/// # Errors
+///
+/// Returns an error if the scheme does not validate against the problem,
+/// if the configuration is degenerate (zero timeout/interval/attempts), or
+/// if the simulation exceeds its event budget.
+pub fn run_faulted(
+    problem: &Problem,
+    scheme: &ReplicationScheme,
+    plan: Option<FaultPlan>,
+    config: RepairConfig,
+) -> Result<FaultedRun> {
+    scheme.validate(problem)?;
+    if config.rpc_timeout == 0
+        || config.repair_interval == 0
+        || config.max_attempts == 0
+        || config.min_degree == 0
+    {
+        return Err(CoreError::InvalidInstance {
+            reason: "repair config must have nonzero timeout, interval, attempts and degree".into(),
+        });
+    }
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+    let last_transition = plan.as_ref().map_or(0, FaultPlan::last_transition);
+    let deadline = config.deadline.unwrap_or_else(|| {
+        config.horizon.max(last_transition) + 2 * (config.backoff_cap + config.repair_interval)
+    });
+    let coordinator = (0..m)
+        .find(|&i| {
+            plan.as_ref()
+                .is_none_or(|p| p.crash_windows().iter().all(|w| w.site != i))
+        })
+        .unwrap_or(0);
+
+    let shared = Arc::new(Shared {
+        problem,
+        config,
+        deadline,
+        directory: Mutex::new(CostEvaluator::new(problem, scheme.clone())),
+        ledger: Mutex::new(Ledger {
+            report: DegradationReport::default(),
+            version: vec![0; n],
+            replica_version: vec![0; m * n],
+            stale_since: vec![None; m * n],
+            fetch_pending: vec![None; m * n],
+            restored_at: None,
+        }),
+    });
+
+    let nodes: Vec<Box<dyn Node<RepairMsg> + '_>> = (0..m)
+        .map(|i| {
+            Box::new(SiteActor::new(Arc::clone(&shared), i, i == coordinator))
+                as Box<dyn Node<RepairMsg> + '_>
+        })
+        .collect();
+    let mut sim = Simulator::new(problem.costs().clone(), nodes)?;
+    if let Some(plan) = plan {
+        sim.set_fault_plan(plan);
+    }
+    sim.run_to_completion()?;
+
+    let stats = sim.stats();
+    let fault_stats = sim.fault_stats();
+    let traffic = sim.traffic().clone();
+    let events = sim.events_processed();
+    let completion = sim.now();
+    drop(sim);
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| unreachable!("all node references died with the simulator"));
+    let directory = shared.directory.into_inner().expect("directory poisoned");
+    let mut ledger = shared.ledger.into_inner().expect("ledger poisoned");
+
+    // Close open staleness windows at quiescence.
+    let final_scheme = directory.into_scheme();
+    for k in problem.objects() {
+        for i in problem.sites() {
+            let slot = i.index() * n + k.index();
+            if final_scheme.holds(i, k) {
+                if let Some(since) = ledger.stale_since[slot].take() {
+                    ledger.report.stale_window += completion - since;
+                }
+            }
+        }
+    }
+    let floor = shared.config.min_degree.min(m);
+    ledger.report.min_degree_unmet = problem
+        .objects()
+        .filter(|&k| final_scheme.replica_degree(k) < floor)
+        .count() as u64;
+    ledger.report.completion_time = completion;
+    ledger.report.time_to_restored_degree = match ledger.report.first_degradation_at {
+        None => 0,
+        Some(first) => ledger
+            .restored_at
+            .unwrap_or(completion)
+            .saturating_sub(first),
+    };
+
+    Ok(FaultedRun {
+        report: ledger.report,
+        scheme: final_scheme,
+        stats,
+        fault_stats,
+        traffic,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_net::CostMatrix;
+
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+    /// Hand-built 4-site line network, rand-free so expectations transfer
+    /// across environments.
+    fn problem() -> Problem {
+        let costs =
+            CostMatrix::from_rows(4, vec![0, 1, 2, 3, 1, 0, 1, 2, 2, 1, 0, 1, 3, 2, 1, 0]).unwrap();
+        Problem::builder(costs)
+            .capacities(vec![30, 30, 30, 30])
+            .object(5, SiteId::new(0))
+            .reads(vec![0, 4, 6, 2])
+            .writes(vec![2, 0, 1, 0])
+            .object(3, SiteId::new(3))
+            .reads(vec![3, 1, 0, 0])
+            .writes(vec![0, 1, 0, 1])
+            .build()
+            .unwrap()
+    }
+
+    fn scheme_with_degree_2(p: &Problem) -> ReplicationScheme {
+        let mut s = ReplicationScheme::primary_only(p);
+        crate::fault_tolerance::ensure_min_degree(p, &mut s, 2).unwrap();
+        s
+    }
+
+    #[test]
+    fn fault_free_run_serves_everything_cleanly() -> TestResult {
+        let p = problem();
+        let s = scheme_with_degree_2(&p);
+        let run = run_faulted(&p, &s, None, RepairConfig::default())?;
+        let r = &run.report;
+        assert!(r.reads_balanced(), "{r}");
+        assert!(r.writes_balanced(), "{r}");
+        assert!(r.reads_total > 0 && r.writes_total > 0);
+        assert_eq!(r.reads_degraded, 0);
+        assert_eq!(r.reads_lost + r.reads_abandoned, 0);
+        assert_eq!(r.writes_lost + r.writes_abandoned, 0);
+        assert_eq!(r.repair_replicas_created, 0);
+        assert_eq!(r.first_degradation_at, None);
+        assert_eq!(run.fault_stats, drp_net::sim::FaultStats::default());
+        Ok(())
+    }
+
+    #[test]
+    fn crash_degrades_then_repair_restores_the_floor() -> TestResult {
+        let p = problem();
+        let s = scheme_with_degree_2(&p);
+        // Crash one replica-holding site for a long stretch.
+        let victim = s
+            .replicators(ObjectId::new(0))
+            .map(SiteId::index)
+            .find(|&i| i != p.primary(ObjectId::new(0)).index())
+            .expect("degree-2 scheme has a non-primary replicator");
+        let plan = FaultPlan::new(7).crash(victim, 50, 700);
+        let run = run_faulted(&p, &s, Some(plan), RepairConfig::default())?;
+        let r = &run.report;
+        assert!(r.reads_balanced(), "{r}");
+        assert!(r.writes_balanced(), "{r}");
+        assert!(r.first_degradation_at.is_some());
+        assert!(r.repair_replicas_created >= 1);
+        assert!(r.repair_traffic > 0);
+        assert_eq!(r.min_degree_unmet, 0);
+        // The repaired scheme is valid and meets the floor everywhere.
+        run.scheme.validate(&p)?;
+        for k in p.objects() {
+            assert!(run.scheme.replica_degree(k) >= 2);
+        }
+        // Primaries were never evicted.
+        for k in p.objects() {
+            assert!(run.scheme.holds(p.primary(k), k));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn same_plan_is_bitwise_identical() -> TestResult {
+        let p = problem();
+        let s = scheme_with_degree_2(&p);
+        let go = || {
+            run_faulted(
+                &p,
+                &s,
+                Some(
+                    FaultPlan::new(21)
+                        .crash(1, 40, 300)
+                        .crash(2, 100, 200)
+                        .drop_probability(0.05)
+                        .jitter(2),
+                ),
+                RepairConfig::default(),
+            )
+        };
+        let a = go()?;
+        let b = go()?;
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.events, b.events);
+        Ok(())
+    }
+
+    #[test]
+    fn all_replicas_down_waits_for_recovery_without_losing_reads() -> TestResult {
+        let p = problem();
+        let s = scheme_with_degree_2(&p);
+        // Take down both replicators of object 1 (primary at site 3).
+        let holders: Vec<usize> = s.replicators(ObjectId::new(1)).map(SiteId::index).collect();
+        let mut plan = FaultPlan::new(3);
+        for &h in &holders {
+            plan = plan.crash(h, 10, 550);
+        }
+        let run = run_faulted(&p, &s, Some(plan), RepairConfig::default())?;
+        let r = &run.report;
+        assert!(r.reads_balanced(), "{r}");
+        assert_eq!(r.reads_lost, 0, "{r}");
+        assert!(r.reads_degraded > 0);
+        Ok(())
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let p = problem();
+        let s = ReplicationScheme::primary_only(&p);
+        let bad = RepairConfig {
+            rpc_timeout: 0,
+            ..RepairConfig::default()
+        };
+        assert!(run_faulted(&p, &s, None, bad).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Fault-injector overhead timings: `cargo run --release -p drp-bench
+//! --bin faults [out.json]` writes `BENCH_faults.json`.
+//!
+//! For each paper-style instance size it drives the self-healing replay
+//! of `drp_algo::repair` three ways and reports simulator events per
+//! second:
+//!
+//! * **injector off** — `run_faulted` with no `FaultPlan`: the engine
+//!   never consults fault state (the regression baseline);
+//! * **empty plan** — a seeded plan with no crashes, drops or jitter:
+//!   the injector is armed and consulted on every send but never acts,
+//!   isolating the pure bookkeeping overhead;
+//! * **active plan** — two crashes plus 1% drops and jitter: the full
+//!   machinery including retries and repair.
+//!
+//! The JSON is hand-rolled (no serialization dependency) and stable in
+//! shape so CI can assert the off-vs-empty overhead stays small.
+
+use drp_algo::fault_tolerance::ensure_min_degree;
+use drp_algo::repair::{run_faulted, FaultedRun, RepairConfig};
+use drp_algo::Sra;
+use drp_bench::{instance, rng};
+use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme};
+use drp_net::sim::FaultPlan;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed repetitions per configuration (repair runs are milliseconds).
+const REPS: u32 = 30;
+
+fn timed_events_per_sec(
+    problem: &Problem,
+    scheme: &ReplicationScheme,
+    plan: impl Fn() -> Option<FaultPlan>,
+) -> (f64, u64) {
+    let config = RepairConfig::default();
+    // Warm up and capture the (deterministic) event count.
+    let warm: FaultedRun = run_faulted(problem, scheme, plan(), config.clone()).unwrap();
+    let events = warm.events;
+    let started = Instant::now();
+    for _ in 0..REPS {
+        let run = run_faulted(problem, scheme, plan(), config.clone()).unwrap();
+        assert_eq!(run.events, events, "repair replay must be deterministic");
+        std::hint::black_box(run.report.reads_total);
+    }
+    let secs = started.elapsed().as_secs_f64() / f64::from(REPS);
+    (events as f64 / secs, events)
+}
+
+struct Row {
+    sites: usize,
+    objects: usize,
+    off_events_per_sec: f64,
+    empty_events_per_sec: f64,
+    active_events_per_sec: f64,
+    events_off: u64,
+    events_active: u64,
+}
+
+fn bench_size(sites: usize, objects: usize) -> Row {
+    let problem = instance(sites, objects, 8.0);
+    let mut r = rng();
+    let mut scheme = Sra::new().solve(&problem, &mut r).unwrap();
+    ensure_min_degree(&problem, &mut scheme, 2).unwrap();
+
+    let (off, events_off) = timed_events_per_sec(&problem, &scheme, || None);
+    let (empty, _) = timed_events_per_sec(&problem, &scheme, || Some(FaultPlan::new(11)));
+    let (active, events_active) = timed_events_per_sec(&problem, &scheme, || {
+        Some(
+            FaultPlan::new(11)
+                .crash(1 % sites, 60, 420)
+                .crash(3 % sites, 150, 600)
+                .drop_probability(0.01)
+                .jitter(1),
+        )
+    });
+
+    Row {
+        sites,
+        objects,
+        off_events_per_sec: off,
+        empty_events_per_sec: empty,
+        active_events_per_sec: active,
+        events_off,
+        events_active,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+
+    let rows: Vec<Row> = [(10, 20), (20, 40), (40, 80)]
+        .into_iter()
+        .map(|(m, n)| bench_size(m, n))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"faults\",");
+    let _ = writeln!(json, "  \"unit\": \"events_per_sec\",");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    json.push_str("  \"instances\": [\n");
+    for (idx, row) in rows.iter().enumerate() {
+        // Injector-off vs armed-but-inert: the pure cost of consulting the
+        // plan on every send. Active runs also do more *work* (retries,
+        // repair), so their events/sec is reported but not an overhead.
+        let overhead =
+            100.0 * (row.off_events_per_sec - row.empty_events_per_sec) / row.off_events_per_sec;
+        let _ = write!(
+            json,
+            "    {{\"sites\": {}, \"objects\": {}, \"events_off\": {}, \
+             \"events_active\": {}, \"off_events_per_sec\": {:.0}, \
+             \"empty_plan_events_per_sec\": {:.0}, \"active_events_per_sec\": {:.0}, \
+             \"injector_overhead_percent\": {:.2}}}",
+            row.sites,
+            row.objects,
+            row.events_off,
+            row.events_active,
+            row.off_events_per_sec,
+            row.empty_events_per_sec,
+            row.active_events_per_sec,
+            overhead,
+        );
+        json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

@@ -122,6 +122,26 @@ pub enum Command {
         /// Scheme output file.
         output: Option<PathBuf>,
     },
+    /// Replay an instance under injected faults with self-healing repair.
+    Faults {
+        /// Instance file.
+        instance: PathBuf,
+        /// Optional scheme file (defaults to primary-only topped up to the
+        /// degree floor).
+        scheme: Option<PathBuf>,
+        /// Crash windows as `(site, from, until)`.
+        crashes: Vec<(usize, u64, u64)>,
+        /// Per-message drop probability.
+        drop: f64,
+        /// Maximum extra delivery delay.
+        jitter: u64,
+        /// Fault-plan seed.
+        seed: u64,
+        /// Min-degree floor for the repair loop.
+        min_degree: usize,
+        /// Client workload horizon.
+        horizon: u64,
+    },
     /// Adapt a scheme to a shifted instance with AGRA.
     Adapt {
         /// Old instance file.
@@ -200,6 +220,26 @@ fn parse_solver(value: &str) -> Result<SolverKind, CliError> {
     })
 }
 
+/// Parses one `--crash SITE@FROM..UNTIL` window.
+fn parse_crash(value: &str) -> Result<(usize, u64, u64), CliError> {
+    let usage = || {
+        CliError::Usage(format!(
+            "bad crash window `{value}` (expected SITE@FROM..UNTIL, e.g. 3@100..400)"
+        ))
+    };
+    let (site, window) = value.split_once('@').ok_or_else(usage)?;
+    let (from, until) = window.split_once("..").ok_or_else(usage)?;
+    let site = site.parse().map_err(|_| usage())?;
+    let from = from.parse().map_err(|_| usage())?;
+    let until = until.parse().map_err(|_| usage())?;
+    if until <= from {
+        return Err(CliError::Usage(format!(
+            "empty crash window `{value}` (UNTIL must exceed FROM)"
+        )));
+    }
+    Ok((site, from, until))
+}
+
 /// Parses a full command line (without the program name).
 ///
 /// # Errors
@@ -274,6 +314,46 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 population,
                 generations,
                 output,
+            })
+        }
+        "faults" => {
+            let mut instance = None;
+            let mut scheme = None;
+            let mut crashes = Vec::new();
+            let mut drop = 0.0f64;
+            let mut jitter = 0u64;
+            let mut seed = 0u64;
+            let mut min_degree = 2usize;
+            let mut horizon = 1_000u64;
+            stream.index = 1;
+            while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
+                match flag {
+                    "--instance" => instance = Some(PathBuf::from(stream.next_value(flag)?)),
+                    "--scheme" => scheme = Some(PathBuf::from(stream.next_value(flag)?)),
+                    "--crash" => crashes.push(parse_crash(stream.next_value(flag)?)?),
+                    "--drop" => drop = parse_num(stream.next_value(flag)?, flag)?,
+                    "--jitter" => jitter = parse_num(stream.next_value(flag)?, flag)?,
+                    "--seed" => seed = parse_num(stream.next_value(flag)?, flag)?,
+                    "--min-degree" => min_degree = parse_num(stream.next_value(flag)?, flag)?,
+                    "--horizon" => horizon = parse_num(stream.next_value(flag)?, flag)?,
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            if !(0.0..=1.0).contains(&drop) {
+                return Err(CliError::Usage(format!(
+                    "--drop must be a probability in [0, 1], got {drop}"
+                )));
+            }
+            Ok(Command::Faults {
+                instance: instance
+                    .ok_or_else(|| CliError::Usage("--instance is required".into()))?,
+                scheme,
+                crashes,
+                drop,
+                jitter,
+                seed,
+                min_degree,
+                horizon,
             })
         }
         "evaluate" | "inspect" | "adapt" | "distributed" => {
@@ -396,6 +476,46 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_faults() {
+        let cmd = parse(&argv(
+            "faults --instance net.drp --crash 2@80..380 --crash 5@120..450 \
+             --drop 0.05 --jitter 2 --seed 9 --min-degree 3 --horizon 500",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Faults {
+                crashes,
+                drop,
+                jitter,
+                seed,
+                min_degree,
+                horizon,
+                scheme,
+                ..
+            } => {
+                assert_eq!(crashes, vec![(2, 80, 380), (5, 120, 450)]);
+                assert_eq!(drop, 0.05);
+                assert_eq!(jitter, 2);
+                assert_eq!(seed, 9);
+                assert_eq!(min_degree, 3);
+                assert_eq!(horizon, 500);
+                assert_eq!(scheme, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_crash_windows() {
+        assert!(parse(&argv("faults --instance a.drp --crash 2")).is_err());
+        assert!(parse(&argv("faults --instance a.drp --crash 2@80")).is_err());
+        assert!(parse(&argv("faults --instance a.drp --crash 2@80..80")).is_err());
+        assert!(parse(&argv("faults --instance a.drp --crash x@1..2")).is_err());
+        assert!(parse(&argv("faults --instance a.drp --drop 1.5")).is_err());
+        assert!(parse(&argv("faults --crash 1@2..3")).is_err());
     }
 
     #[test]

@@ -3,9 +3,12 @@ use std::path::{Path, PathBuf};
 
 use drp_algo::baselines::{HillClimb, PrimaryOnly, RandomFill};
 use drp_algo::exact::BranchBound;
+use drp_algo::fault_tolerance::ensure_min_degree;
+use drp_algo::repair::{run_faulted, RepairConfig};
 use drp_algo::{detect_changed_objects, Agra, AgraConfig, Gra, GraConfig, Sra};
 use drp_core::format::{read_instance, read_scheme, write_instance, write_scheme};
 use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme};
+use drp_net::sim::FaultPlan;
 use drp_workload::WorkloadSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -190,6 +193,76 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "migration NTC    : {}", run.stats.transfer_cost);
             let _ = writeln!(out, "completion time  : {}", run.completion_time);
             emit_scheme(&mut out, &run.scheme, output.as_ref())?;
+        }
+        Command::Faults {
+            instance,
+            scheme,
+            crashes,
+            drop,
+            jitter,
+            seed,
+            min_degree,
+            horizon,
+        } => {
+            let problem = load_instance(&instance)?;
+            for &(site, _, _) in &crashes {
+                if site >= problem.num_sites() {
+                    return Err(CliError::Run(format!(
+                        "crash site {site} out of range for {} sites",
+                        problem.num_sites()
+                    )));
+                }
+            }
+            let mut scheme = match scheme {
+                Some(path) => read_scheme(&read_file(&path)?, &problem)?,
+                None => ReplicationScheme::primary_only(&problem),
+            };
+            let top_up = ensure_min_degree(&problem, &mut scheme, min_degree)
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            if !top_up.is_complete() {
+                let _ = writeln!(
+                    out,
+                    "warning: {} object(s) cannot reach degree {min_degree} under capacity",
+                    top_up.unsatisfiable.len()
+                );
+            }
+            // An all-default plan means "injector off": the same workload
+            // runs with the fault machinery disarmed.
+            let plan = if crashes.is_empty() && drop == 0.0 && jitter == 0 {
+                None
+            } else {
+                let mut plan = FaultPlan::new(seed).drop_probability(drop).jitter(jitter);
+                for (site, from, until) in crashes {
+                    plan = plan.crash(site, from, until);
+                }
+                Some(plan)
+            };
+            let config = RepairConfig {
+                min_degree,
+                horizon,
+                ..RepairConfig::default()
+            };
+            let run = run_faulted(&problem, &scheme, plan, config)
+                .map_err(|e| CliError::Run(e.to_string()))?;
+            let _ = writeln!(out, "{}", run.report);
+            let fs = run.fault_stats;
+            let _ = writeln!(
+                out,
+                "faults: crashes={} recoveries={} dropped-random={} dropped-partition={} \
+                 lost-arrivals={} lost-timers={} extra-delay={}",
+                fs.crashes,
+                fs.recoveries,
+                fs.dropped_random,
+                fs.dropped_partition,
+                fs.lost_arrivals,
+                fs.lost_timers,
+                fs.extra_delay
+            );
+            let _ = writeln!(
+                out,
+                "sim: events={} messages={} data-units={} transfer-cost={}",
+                run.events, run.stats.messages, run.stats.data_units, run.stats.transfer_cost
+            );
         }
         Command::Adapt {
             instance,
@@ -387,6 +460,63 @@ mod tests {
         let out = run(&argv(&format!("distributed --instance {}", net.display()))).unwrap();
         assert!(out.contains("protocol messages"));
         assert!(out.contains("drp-scheme v1"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn faults_reports_degradation_and_is_deterministic() {
+        let dir = tempdir("faults");
+        let net = dir.join("net.drp");
+        run(&argv(&format!(
+            "generate --sites 10 --objects 8 --capacity 60 --seed 13 -o {}",
+            net.display()
+        )))
+        .unwrap();
+        let line = format!(
+            "faults --instance {} --crash 2@80..380 --crash 5@120..450 \
+             --jitter 1 --seed 17 --min-degree 2 --horizon 600",
+            net.display()
+        );
+        let out = run(&argv(&line)).unwrap();
+        assert!(out.contains("reads: total="), "{out}");
+        assert!(out.contains("faults: crashes=2 recoveries=2"), "{out}");
+        assert!(out.contains("repair:"), "{out}");
+        // Bitwise-identical on a second run: the whole pipeline is seeded.
+        let again = run(&argv(&line)).unwrap();
+        assert_eq!(out, again);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn faults_without_a_plan_runs_the_clean_baseline() {
+        let dir = tempdir("faults_clean");
+        let net = dir.join("net.drp");
+        run(&argv(&format!(
+            "generate --sites 6 --objects 5 --capacity 60 --seed 2 -o {}",
+            net.display()
+        )))
+        .unwrap();
+        let out = run(&argv(&format!("faults --instance {}", net.display()))).unwrap();
+        assert!(out.contains("faults: crashes=0 recoveries=0"), "{out}");
+        assert!(out.contains("degraded-at=never"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn faults_rejects_out_of_range_sites() {
+        let dir = tempdir("faults_bad");
+        let net = dir.join("net.drp");
+        run(&argv(&format!(
+            "generate --sites 4 --objects 3 --seed 1 -o {}",
+            net.display()
+        )))
+        .unwrap();
+        let err = run(&argv(&format!(
+            "faults --instance {} --crash 9@10..20",
+            net.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
         let _ = std::fs::remove_dir_all(dir);
     }
 

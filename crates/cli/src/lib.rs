@@ -9,6 +9,7 @@
 //! drp solve    --instance net.drp --algorithm gra -o scheme.drp
 //! drp evaluate --instance net.drp --scheme scheme.drp
 //! drp adapt    --instance net.drp --new-instance shifted.drp --scheme scheme.drp
+//! drp faults   --instance net.drp --crash 2@80..380 --seed 17
 //! drp inspect  --instance net.drp
 //! ```
 
@@ -29,6 +30,9 @@ usage:
   drp evaluate --instance FILE --scheme FILE
   drp inspect  --instance FILE
   drp distributed --instance FILE [-o FILE]
+  drp faults   --instance FILE [--scheme FILE] [--crash SITE@FROM..UNTIL]...
+               [--drop P] [--jitter J] [--seed N] [--min-degree D]
+               [--horizon T]
   drp adapt    --instance FILE --new-instance FILE --scheme FILE
                [--mini N] [--threshold PCT] [--seed N] [-o FILE]";
 

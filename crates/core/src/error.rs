@@ -114,6 +114,12 @@ impl From<drp_net::NetError> for CoreError {
     }
 }
 
+impl From<drp_net::sim::SimError> for CoreError {
+    fn from(e: drp_net::sim::SimError) -> Self {
+        CoreError::Net(e.into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

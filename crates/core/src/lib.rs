@@ -72,7 +72,7 @@ pub use error::CoreError;
 pub use evaluator::CostEvaluator;
 pub use ids::{ObjectId, SiteId};
 pub use matrix::DenseMatrix;
-pub use metrics::SolutionReport;
+pub use metrics::{DegradationReport, SolutionReport};
 pub use problem::{Problem, ProblemBuilder};
 pub use scheme::ReplicationScheme;
 

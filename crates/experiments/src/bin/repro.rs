@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use drp_experiments::figures::{ablation, convergence, fig1, fig2, fig3, fig4, gap, trees};
+use drp_experiments::figures::{ablation, convergence, faults, fig1, fig2, fig3, fig4, gap, trees};
 use drp_experiments::{Scale, Table};
 
 struct Args {
@@ -24,7 +24,7 @@ struct Args {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <all|fig1|fig1-sites|fig1-objects|fig2|fig3|fig4|ablation|gap|trees|convergence|extras> [--full] [--seed N] [--out DIR] [--instances N]");
+    eprintln!("usage: repro <all|fig1|fig1-sites|fig1-objects|fig2|fig3|fig4|ablation|gap|trees|convergence|faults|extras> [--full] [--seed N] [--out DIR] [--instances N]");
     ExitCode::from(2)
 }
 
@@ -38,7 +38,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "all" | "fig1" | "fig1-sites" | "fig1-objects" | "fig2" | "fig3" | "fig4"
-            | "ablation" | "gap" | "trees" | "convergence" | "extras"
+            | "ablation" | "gap" | "trees" | "convergence" | "faults" | "extras"
                 if target.is_none() =>
             {
                 target = Some(arg);
@@ -173,6 +173,14 @@ fn main() -> ExitCode {
                 |p, n| p.instances = n,
             );
             emit(trees::run(&params), &args.out);
+        }
+        "faults" => {
+            let params = with_instances(
+                faults::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(faults::run(&params), &args.out);
         }
         "extras" => {
             // The three reproduction extensions in one go.

@@ -1,0 +1,171 @@
+//! Fault-injection study — a robustness extension.
+//!
+//! The paper optimizes placements for a failure-free network; this
+//! experiment asks what those placements cost clients when sites actually
+//! crash. For a sweep over the number of simultaneously crashed sites, it
+//! drives an SRA placement (topped up to a degree-2 floor) through seeded
+//! crash schedules with the self-healing pipeline of
+//! [`drp_algo::repair`], and reports the client-observed degradation:
+//! share of reads that needed failover, reads lost outright, replicas the
+//! repair loop created, the NTC it spent doing so, and how long the system
+//! stayed below its replication floor.
+
+use drp_algo::fault_tolerance::ensure_min_degree;
+use drp_algo::repair::{run_faulted, RepairConfig};
+use drp_algo::Sra;
+use drp_core::ReplicationAlgorithm;
+use drp_net::sim::FaultPlan;
+use drp_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figures::mix_seed;
+use crate::table::fmt2;
+use crate::{aggregate, run_parallel, Scale, Table};
+
+/// Fault-study parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Instance shape.
+    pub size: (usize, usize),
+    /// How many sites each schedule crashes (0 = injector baseline).
+    pub crash_counts: Vec<usize>,
+    /// Per-message drop probability layered on top of the crashes.
+    pub drop_probability: f64,
+    /// Capacity percentage.
+    pub capacity: f64,
+    /// Min-degree floor enforced before and during the run.
+    pub min_degree: usize,
+    /// Instances per crash count.
+    pub instances: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The reproduction defaults for a scale.
+    pub fn from_scale(scale: Scale, seed: u64) -> Self {
+        Self {
+            size: match scale {
+                Scale::Quick => (10, 12),
+                Scale::Full => (20, 30),
+            },
+            crash_counts: vec![0, 1, 2, 3],
+            drop_probability: 0.01,
+            capacity: 60.0,
+            min_degree: 2,
+            instances: scale.instances(),
+            seed,
+        }
+    }
+}
+
+/// One crash schedule: `count` distinct sites go down for staggered,
+/// overlapping windows inside the client horizon.
+fn plan_for(seed: u64, count: usize, num_sites: usize, drop: f64) -> Option<FaultPlan> {
+    if count == 0 && drop == 0.0 {
+        return None;
+    }
+    let mut plan = FaultPlan::new(seed).drop_probability(drop);
+    for c in 0..count.min(num_sites.saturating_sub(1)) {
+        // Distinct victims spread over the ring of sites; windows overlap
+        // so multi-crash schedules really do lose several sites at once.
+        let site = (seed as usize + c * (num_sites / count.max(1)).max(1)) % num_sites;
+        let from = 60 + 40 * c as u64;
+        let until = 420 + 60 * c as u64;
+        plan = plan.crash(site, from, until);
+    }
+    Some(plan)
+}
+
+/// Runs the fault study: client-observed degradation vs crashed sites.
+pub fn run(params: &Params) -> Vec<Table> {
+    let (m, n) = params.size;
+    let mut table = Table::new(
+        "degradation_vs_crashed_sites",
+        vec![
+            "crashed".into(),
+            "degraded reads %".into(),
+            "lost reads".into(),
+            "stale reads".into(),
+            "queued writes".into(),
+            "repair replicas".into(),
+            "repair NTC".into(),
+            "restore time".into(),
+        ],
+    );
+    for &count in &params.crash_counts {
+        let spec = WorkloadSpec::paper(m, n, 8.0, params.capacity);
+        let runs = run_parallel(params.instances, |instance| {
+            let seed = mix_seed(&[params.seed, 0xFA17, count as u64, instance as u64]);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let problem = spec.generate(&mut rng).expect("valid spec");
+            let mut scheme = Sra::new().solve(&problem, &mut rng).expect("SRA runs");
+            ensure_min_degree(&problem, &mut scheme, params.min_degree).expect("top-up runs");
+            let plan = plan_for(seed, count, m, params.drop_probability);
+            let config = RepairConfig {
+                min_degree: params.min_degree,
+                ..RepairConfig::default()
+            };
+            let run = run_faulted(&problem, &scheme, plan, config).expect("repair run");
+            let r = run.report;
+            assert!(r.reads_balanced() && r.writes_balanced(), "{r}");
+            [
+                100.0 * r.reads_degraded as f64 / r.reads_total.max(1) as f64,
+                r.reads_lost as f64,
+                r.reads_stale as f64,
+                r.writes_queued as f64,
+                r.repair_replicas_created as f64,
+                r.repair_traffic as f64,
+                r.time_to_restored_degree as f64,
+            ]
+        });
+        let mut row = vec![count.to_string()];
+        for metric in 0..7 {
+            let values: Vec<f64> = runs.iter().map(|r| r[metric]).collect();
+            row.push(fmt2(aggregate(&values).mean));
+        }
+        table.push_row(row);
+        eprintln!("  [faults] {count} crashed site(s) done");
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> Params {
+        Params {
+            size: (8, 6),
+            crash_counts: vec![0, 2],
+            drop_probability: 0.0,
+            capacity: 70.0,
+            min_degree: 2,
+            instances: 2,
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn fault_study_runs_and_degradation_grows_with_crashes() {
+        let tables = run(&tiny_params());
+        assert_eq!(tables[0].rows.len(), 2);
+        let degraded = |row: &[String]| -> f64 { row[1].parse().unwrap() };
+        let baseline = degraded(&tables[0].rows[0]);
+        let crashed = degraded(&tables[0].rows[1]);
+        assert_eq!(baseline, 0.0, "no degradation without faults");
+        assert!(crashed >= baseline);
+        // No client read may be lost: repair + retries bridge the outages.
+        for row in &tables[0].rows {
+            assert_eq!(row[2].parse::<f64>().unwrap(), 0.0, "lost reads");
+        }
+    }
+
+    #[test]
+    fn fault_study_is_deterministic() {
+        let a = run(&tiny_params());
+        let b = run(&tiny_params());
+        assert_eq!(a[0].rows, b[0].rows);
+    }
+}

@@ -4,6 +4,7 @@
 
 pub mod ablation;
 pub mod convergence;
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

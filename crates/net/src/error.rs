@@ -40,6 +40,8 @@ pub enum NetError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A simulation run failed (see [`SimError`](crate::sim::SimError)).
+    Sim(crate::sim::SimError),
 }
 
 impl fmt::Display for NetError {
@@ -64,6 +66,7 @@ impl fmt::Display for NetError {
             NetError::BadTopologyParams { reason } => {
                 write!(f, "bad topology parameters: {reason}")
             }
+            NetError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
@@ -91,6 +94,11 @@ mod tests {
             NetError::BadTopologyParams {
                 reason: "p out of range".into(),
             },
+            NetError::Sim(crate::sim::SimError::EventBudgetExhausted {
+                budget: 1,
+                events_processed: 1,
+                queue_depth: 1,
+            }),
         ];
         for e in errs {
             let msg = e.to_string();

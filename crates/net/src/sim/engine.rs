@@ -1,6 +1,8 @@
 use crate::{CostMatrix, NetError, Result};
 
+use super::error::SimError;
 use super::event::{EventKind, EventQueue, Time};
+use super::fault::{FaultPlan, FaultStats, Verdict};
 use super::message::Message;
 use super::stats::TrafficStats;
 use super::traffic::TrafficMatrix;
@@ -23,6 +25,20 @@ pub trait Node<P> {
     fn on_timer(&mut self, ctx: &mut Context<'_, P>, payload: P) {
         let _ = (ctx, payload);
     }
+
+    /// Invoked when a [`FaultPlan`] crashes this node. The node is already
+    /// down: any sends or timers it produces here are suppressed. Volatile
+    /// state (pending requests) should be written off here; durable state
+    /// (stored replicas) survives.
+    fn on_crash(&mut self, ctx: &mut Context<'_, P>) {
+        let _ = ctx;
+    }
+
+    /// Invoked when a [`FaultPlan`] brings this node back up. Effects
+    /// produced here flow normally — the usual place to re-arm timers.
+    fn on_recover(&mut self, ctx: &mut Context<'_, P>) {
+        let _ = ctx;
+    }
 }
 
 enum Effect<P> {
@@ -35,6 +51,7 @@ pub struct Context<'a, P> {
     node: usize,
     now: Time,
     num_sites: usize,
+    faults: Option<&'a FaultPlan>,
     effects: &'a mut Vec<Effect<P>>,
 }
 
@@ -64,11 +81,23 @@ impl<P> Context<'_, P> {
         self.num_sites
     }
 
+    /// Is `site` currently up? Always `true` without a fault plan.
+    ///
+    /// This is an oracle (perfect failure detector): protocol drivers like
+    /// the repair coordinator may consult it, while message-level code can
+    /// ignore it and rely on timeouts alone.
+    pub fn is_up(&self, site: usize) -> bool {
+        self.faults.is_none_or(|p| p.is_up(site, self.now))
+    }
+
     /// Sends `size` data units with `payload` to `dst`.
     ///
     /// Delivery happens at `now + C(self, dst)` and the transfer is charged
     /// `size · C(self, dst)` NTC. Sending to self delivers on the next
-    /// dispatch round at the current time (cost 0).
+    /// dispatch round at the current time (cost 0). Under a fault plan the
+    /// message may be dropped or delayed; NTC is charged for every
+    /// transmitted message, delivered or not, except those suppressed at a
+    /// down origin or blocked by a partition at the source.
     ///
     /// # Panics
     ///
@@ -79,6 +108,10 @@ impl<P> Context<'_, P> {
 
     /// Schedules `payload` to be delivered back to this node via
     /// [`Node::on_timer`] after `delay` time units.
+    ///
+    /// Under a fault plan a timer that fires while its owner is down is
+    /// discarded — nodes re-arm what they need in
+    /// [`Node::on_recover`].
     pub fn set_timer(&mut self, delay: Time, payload: P) {
         self.effects.push(Effect::Timer { delay, payload });
     }
@@ -87,36 +120,39 @@ impl<P> Context<'_, P> {
 /// Deterministic discrete-event simulator over a [`CostMatrix`].
 ///
 /// See the [module documentation](crate::sim) for an example.
-pub struct Simulator<P> {
+pub struct Simulator<'a, P> {
     costs: CostMatrix,
-    nodes: Vec<Box<dyn Node<P>>>,
+    nodes: Vec<Box<dyn Node<P> + 'a>>,
     queue: EventQueue<P>,
     stats: TrafficStats,
     traffic: TrafficMatrix,
+    faults: Option<FaultPlan>,
+    fault_stats: FaultStats,
     now: Time,
     started: bool,
     events_processed: u64,
 }
 
-impl<P> std::fmt::Debug for Simulator<P> {
+impl<P> std::fmt::Debug for Simulator<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("num_sites", &self.costs.num_sites())
             .field("now", &self.now)
             .field("pending_events", &self.queue.len())
             .field("stats", &self.stats)
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
 
-impl<P> Simulator<P> {
+impl<'a, P> Simulator<'a, P> {
     /// Creates a simulator with one [`Node`] per site.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::BadTopologyParams`] if the number of nodes does
     /// not match the number of sites in `costs`.
-    pub fn new(costs: CostMatrix, nodes: Vec<Box<dyn Node<P>>>) -> Result<Self> {
+    pub fn new(costs: CostMatrix, nodes: Vec<Box<dyn Node<P> + 'a>>) -> Result<Self> {
         if nodes.len() != costs.num_sites() {
             return Err(NetError::BadTopologyParams {
                 reason: format!(
@@ -133,10 +169,42 @@ impl<P> Simulator<P> {
             queue: EventQueue::new(),
             stats: TrafficStats::default(),
             traffic: TrafficMatrix::new(num_sites),
+            faults: None,
+            fault_stats: FaultStats::default(),
             now: 0,
             started: false,
             events_processed: 0,
         })
+    }
+
+    /// Arms a [`FaultPlan`]: crash/recover transitions are scheduled as
+    /// events and every send/delivery consults the plan from then on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started, or if a window names
+    /// a site out of range.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plan must be set before the first step"
+        );
+        for w in plan.crash_windows() {
+            assert!(
+                w.site < self.costs.num_sites(),
+                "crash window site {} out of range",
+                w.site
+            );
+        }
+        for w in plan.partition_windows() {
+            assert!(
+                w.a < self.costs.num_sites() && w.b < self.costs.num_sites(),
+                "partition window ({}, {}) out of range",
+                w.a,
+                w.b
+            );
+        }
+        self.faults = Some(plan);
     }
 
     /// Traffic accounting so far.
@@ -147,6 +215,16 @@ impl<P> Simulator<P> {
     /// Per-site-pair traffic breakdown.
     pub fn traffic(&self) -> &TrafficMatrix {
         &self.traffic
+    }
+
+    /// What the fault injector did so far (all zeros without a plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Current simulated time.
@@ -164,11 +242,19 @@ impl<P> Simulator<P> {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn node(&self, id: usize) -> &dyn Node<P> {
+    pub fn node(&self, id: usize) -> &(dyn Node<P> + 'a) {
         self.nodes[id].as_ref()
     }
 
     fn apply_effects(&mut self, origin: usize, effects: Vec<Effect<P>>) {
+        // A crashed origin produces nothing: its sends never reach the wire
+        // and its timers are not armed.
+        if let Some(plan) = &self.faults {
+            if !plan.is_up(origin, self.now) {
+                self.fault_stats.suppressed_effects += effects.len() as u64;
+                return;
+            }
+        }
         for effect in effects {
             match effect {
                 Effect::Send { dst, size, payload } => {
@@ -177,10 +263,33 @@ impl<P> Simulator<P> {
                         "destination {dst} out of range"
                     );
                     let c = self.costs.cost(origin, dst);
+                    let extra = match &mut self.faults {
+                        Some(plan) => match plan.verdict(origin, dst, self.now) {
+                            Verdict::Deliver { extra_delay } => {
+                                self.fault_stats.extra_delay += extra_delay;
+                                extra_delay
+                            }
+                            Verdict::DropRandom => {
+                                // The message was transmitted and lost in
+                                // flight: the bandwidth is spent.
+                                self.stats.record(size, c);
+                                self.traffic.record(origin, dst, size, c);
+                                self.fault_stats.dropped_random += 1;
+                                continue;
+                            }
+                            Verdict::DropPartition => {
+                                // Blocked at the cut: nothing crosses the
+                                // link, so no NTC is charged.
+                                self.fault_stats.dropped_partition += 1;
+                                continue;
+                            }
+                        },
+                        None => 0,
+                    };
                     self.stats.record(size, c);
                     self.traffic.record(origin, dst, size, c);
                     self.queue.push(
-                        self.now + c,
+                        self.now + c + extra,
                         EventKind::Arrival(Message {
                             src: origin,
                             dst,
@@ -208,12 +317,22 @@ impl<P> Simulator<P> {
             return;
         }
         self.started = true;
+        // Crash/recover transitions enter the queue first, so at equal
+        // times a transition is dispatched before any message arrival.
+        if let Some(plan) = &self.faults {
+            for w in plan.crash_windows() {
+                self.queue.push(w.from, EventKind::Crash { site: w.site });
+                self.queue
+                    .push(w.until, EventKind::Recover { site: w.site });
+            }
+        }
         for id in 0..self.nodes.len() {
             let mut effects = Vec::new();
             let mut ctx = Context {
                 node: id,
                 now: self.now,
                 num_sites: self.costs.num_sites(),
+                faults: self.faults.as_ref(),
                 effects: &mut effects,
             };
             self.nodes[id].on_start(&mut ctx);
@@ -231,28 +350,67 @@ impl<P> Simulator<P> {
         self.now = scheduled.at;
         self.events_processed += 1;
         let mut effects = Vec::new();
+        let num_sites = self.costs.num_sites();
         match scheduled.kind {
             EventKind::Arrival(msg) => {
                 let dst = msg.dst;
+                if let Some(plan) = &self.faults {
+                    if !plan.is_up(dst, self.now) {
+                        self.fault_stats.lost_arrivals += 1;
+                        return true;
+                    }
+                }
                 let mut ctx = Context {
                     node: dst,
                     now: self.now,
-                    num_sites: self.costs.num_sites(),
+                    num_sites,
+                    faults: self.faults.as_ref(),
                     effects: &mut effects,
                 };
                 self.nodes[dst].on_message(&mut ctx, msg);
                 self.apply_effects(dst, effects);
             }
             EventKind::Timer { node, payload } => {
+                if let Some(plan) = &self.faults {
+                    if !plan.is_up(node, self.now) {
+                        self.fault_stats.lost_timers += 1;
+                        return true;
+                    }
+                }
                 self.stats.timers += 1;
                 let mut ctx = Context {
                     node,
                     now: self.now,
-                    num_sites: self.costs.num_sites(),
+                    num_sites,
+                    faults: self.faults.as_ref(),
                     effects: &mut effects,
                 };
                 self.nodes[node].on_timer(&mut ctx, payload);
                 self.apply_effects(node, effects);
+            }
+            EventKind::Crash { site } => {
+                self.fault_stats.crashes += 1;
+                let mut ctx = Context {
+                    node: site,
+                    now: self.now,
+                    num_sites,
+                    faults: self.faults.as_ref(),
+                    effects: &mut effects,
+                };
+                self.nodes[site].on_crash(&mut ctx);
+                self.apply_effects(site, effects);
+            }
+            EventKind::Recover { site } => {
+                self.fault_stats.recoveries += 1;
+                let mut ctx = Context {
+                    node: site,
+                    now: self.now,
+                    num_sites,
+                    faults: self.faults.as_ref(),
+                    effects: &mut effects,
+                };
+                self.nodes[site].on_recover(&mut ctx);
+                self.apply_effects(site, effects);
             }
         }
         true
@@ -262,9 +420,9 @@ impl<P> Simulator<P> {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::BadTopologyParams`] after 100 million events as a
-    /// runaway-protocol guard.
-    pub fn run_to_completion(&mut self) -> Result<()> {
+    /// Returns [`SimError::EventBudgetExhausted`] after 100 million events
+    /// as a runaway-protocol guard.
+    pub fn run_to_completion(&mut self) -> std::result::Result<(), SimError> {
         self.run_for_events(100_000_000)
     }
 
@@ -272,8 +430,9 @@ impl<P> Simulator<P> {
     ///
     /// # Errors
     ///
-    /// Returns an error if the budget is exhausted with events still queued.
-    pub fn run_for_events(&mut self, max_events: u64) -> Result<()> {
+    /// Returns [`SimError::EventBudgetExhausted`] if the budget runs out
+    /// with events still queued.
+    pub fn run_for_events(&mut self, max_events: u64) -> std::result::Result<(), SimError> {
         let mut budget = max_events;
         while budget > 0 {
             if !self.step() {
@@ -282,8 +441,10 @@ impl<P> Simulator<P> {
             budget -= 1;
         }
         if self.queue.len() > 0 {
-            return Err(NetError::BadTopologyParams {
-                reason: format!("event budget {max_events} exhausted with events pending"),
+            return Err(SimError::EventBudgetExhausted {
+                budget: max_events,
+                events_processed: self.events_processed,
+                queue_depth: self.queue.len(),
             });
         }
         Ok(())
@@ -293,6 +454,8 @@ impl<P> Simulator<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    type TestResult = std::result::Result<(), Box<dyn std::error::Error>>;
 
     #[derive(Debug, Clone, PartialEq)]
     enum P {
@@ -331,34 +494,35 @@ mod tests {
         }
     }
 
-    fn two_site_costs() -> CostMatrix {
-        CostMatrix::from_rows(2, vec![0, 4, 4, 0]).unwrap()
+    fn two_site_costs() -> Result<CostMatrix> {
+        CostMatrix::from_rows(2, vec![0, 4, 4, 0])
     }
 
     #[test]
-    fn request_reply_accounts_only_data_traffic() {
+    fn request_reply_accounts_only_data_traffic() -> TestResult {
         let mut sim = Simulator::new(
-            two_site_costs(),
+            two_site_costs()?,
             vec![Box::new(Client::default()), Box::new(Server::default())],
-        )
-        .unwrap();
-        sim.run_to_completion().unwrap();
+        )?;
+        sim.run_to_completion()?;
         let stats = sim.stats();
         assert_eq!(stats.messages, 2);
         assert_eq!(stats.data_units, 5);
         assert_eq!(stats.transfer_cost, 20); // 5 units × C=4; the echo is free
         assert_eq!(stats.timers, 1);
         assert_eq!(sim.now(), 100); // the timer is the last event
+        Ok(())
     }
 
     #[test]
-    fn node_count_must_match_sites() {
-        let err = Simulator::<P>::new(two_site_costs(), vec![Box::new(Client::default())]);
+    fn node_count_must_match_sites() -> TestResult {
+        let err = Simulator::<P>::new(two_site_costs()?, vec![Box::new(Client::default())]);
         assert!(err.is_err());
+        Ok(())
     }
 
     #[test]
-    fn latency_is_link_cost() {
+    fn latency_is_link_cost() -> TestResult {
         struct Probe;
         struct Sink {
             arrived_at: Option<Time>,
@@ -376,16 +540,16 @@ mod tests {
             }
         }
         let mut sim = Simulator::new(
-            two_site_costs(),
+            two_site_costs()?,
             vec![Box::new(Probe), Box::new(Sink { arrived_at: None })],
-        )
-        .unwrap();
-        sim.run_to_completion().unwrap();
+        )?;
+        sim.run_to_completion()?;
         assert_eq!(sim.now(), 4);
+        Ok(())
     }
 
     #[test]
-    fn event_budget_guards_runaway_protocols() {
+    fn event_budget_error_is_typed_and_counted() -> TestResult {
         struct Looper;
         impl Node<()> for Looper {
             fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
@@ -395,20 +559,169 @@ mod tests {
                 ctx.send(msg.src, 1, ());
             }
         }
-        let mut sim =
-            Simulator::new(two_site_costs(), vec![Box::new(Looper), Box::new(Looper)]).unwrap();
-        assert!(sim.run_for_events(10).is_err());
+        let mut sim = Simulator::new(two_site_costs()?, vec![Box::new(Looper), Box::new(Looper)])?;
+        match sim.run_for_events(10) {
+            Err(SimError::EventBudgetExhausted {
+                budget,
+                events_processed,
+                queue_depth,
+            }) => {
+                assert_eq!(budget, 10);
+                assert_eq!(events_processed, 10);
+                assert!(queue_depth > 0);
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+        Ok(())
     }
 
     #[test]
-    fn step_returns_false_when_idle() {
+    fn step_returns_false_when_idle() -> TestResult {
         struct Quiet;
         impl Node<()> for Quiet {
             fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _msg: Message<()>) {}
         }
-        let mut sim =
-            Simulator::new(two_site_costs(), vec![Box::new(Quiet), Box::new(Quiet)]).unwrap();
+        let mut sim = Simulator::new(two_site_costs()?, vec![Box::new(Quiet), Box::new(Quiet)])?;
         assert!(!sim.step());
         assert_eq!(sim.events_processed(), 0);
+        Ok(())
+    }
+
+    /// A node that sends one message per timer tick, forever (bounded by
+    /// the tick count), to probe fault semantics.
+    struct Ticker {
+        peer: usize,
+        ticks: u64,
+        got: u64,
+        crashes_seen: u64,
+        recoveries_seen: u64,
+    }
+
+    impl Ticker {
+        fn new(peer: usize, ticks: u64) -> Self {
+            Self {
+                peer,
+                ticks,
+                got: 0,
+                crashes_seen: 0,
+                recoveries_seen: 0,
+            }
+        }
+    }
+
+    impl Node<u64> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if self.ticks > 0 {
+                ctx.set_timer(1, 0);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _msg: Message<u64>) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>, tick: u64) {
+            ctx.send(self.peer, 1, tick);
+            if tick + 1 < self.ticks {
+                ctx.set_timer(1, tick + 1);
+            }
+        }
+        fn on_crash(&mut self, _ctx: &mut Context<'_, u64>) {
+            self.crashes_seen += 1;
+        }
+        fn on_recover(&mut self, ctx: &mut Context<'_, u64>) {
+            self.recoveries_seen += 1;
+            // Re-arm the tick chain that died with the crash.
+            if self.ticks > 0 {
+                ctx.set_timer(1, self.ticks - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_destination_loses_arrivals() -> TestResult {
+        let mut sim = Simulator::new(
+            two_site_costs()?,
+            vec![
+                Box::new(Ticker::new(1, 10)),
+                Box::new(Ticker::new(0, 0)), // silent peer
+            ],
+        )?;
+        // Node 1 is down for the whole run.
+        sim.set_fault_plan(FaultPlan::new(0).crash(1, 0, 1_000));
+        sim.run_to_completion()?;
+        let fs = sim.fault_stats();
+        assert_eq!(fs.lost_arrivals, 10);
+        assert_eq!(fs.crashes, 1);
+        assert_eq!(fs.recoveries, 1);
+        // NTC is still charged for transmitted-but-undelivered messages.
+        assert_eq!(sim.stats().data_units, 10);
+        Ok(())
+    }
+
+    #[test]
+    fn crash_suppresses_timers_and_effects_until_recovery() -> TestResult {
+        let mut sim = Simulator::new(
+            two_site_costs()?,
+            vec![Box::new(Ticker::new(1, 1_000)), Box::new(Ticker::new(0, 0))],
+        )?;
+        // Node 0 crashes mid-run and recovers: its tick chain stops (the
+        // pending timer is lost) and restarts from on_recover, which sends
+        // exactly one more message.
+        sim.set_fault_plan(FaultPlan::new(0).crash(0, 5, 10));
+        sim.run_to_completion()?;
+        let fs = sim.fault_stats();
+        assert_eq!(fs.crashes, 1);
+        assert_eq!(fs.recoveries, 1);
+        assert_eq!(fs.lost_timers, 1); // the chain dies exactly once
+                                       // Ticks at t=1..=5 each send one message; the t=5 tick fires after
+                                       // the crash (transition first on ties) and is lost. After recovery
+                                       // at t=10 the re-armed chain sends its single final message.
+        assert_eq!(sim.stats().data_units, 4 + 1);
+        Ok(())
+    }
+
+    #[test]
+    fn partitions_block_without_charging() -> TestResult {
+        let mut sim = Simulator::new(
+            two_site_costs()?,
+            vec![Box::new(Ticker::new(1, 5)), Box::new(Ticker::new(0, 0))],
+        )?;
+        sim.set_fault_plan(FaultPlan::new(0).partition(0, 1, 0, 1_000));
+        sim.run_to_completion()?;
+        assert_eq!(sim.fault_stats().dropped_partition, 5);
+        assert_eq!(sim.stats().data_units, 0);
+        assert_eq!(sim.stats().transfer_cost, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn jitter_delays_but_delivers_everything() -> TestResult {
+        let mut sim = Simulator::new(
+            two_site_costs()?,
+            vec![Box::new(Ticker::new(1, 8)), Box::new(Ticker::new(0, 0))],
+        )?;
+        sim.set_fault_plan(FaultPlan::new(11).jitter(9));
+        sim.run_to_completion()?;
+        assert_eq!(sim.stats().data_units, 8);
+        Ok(())
+    }
+
+    #[test]
+    fn identical_plans_give_identical_runs() -> TestResult {
+        let run = |seed: u64| -> Result<(TrafficStats, FaultStats, Time)> {
+            let mut sim = Simulator::new(
+                two_site_costs()?,
+                vec![Box::new(Ticker::new(1, 50)), Box::new(Ticker::new(0, 50))],
+            )?;
+            sim.set_fault_plan(
+                FaultPlan::new(seed)
+                    .crash(1, 20, 30)
+                    .drop_probability(0.2)
+                    .jitter(3),
+            );
+            sim.run_for_events(100_000).ok();
+            Ok((sim.stats(), sim.fault_stats(), sim.now()))
+        };
+        assert_eq!(run(5)?, run(5)?);
+        Ok(())
     }
 }

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by a running simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The event budget ran out with events still queued — almost always a
+    /// runaway protocol (nodes echoing each other forever).
+    EventBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+        /// Events dispatched over the simulator's lifetime.
+        events_processed: u64,
+        /// Events still queued when the budget ran out.
+        queue_depth: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventBudgetExhausted {
+                budget,
+                events_processed,
+                queue_depth,
+            } => write!(
+                f,
+                "event budget {budget} exhausted after {events_processed} events \
+                 with {queue_depth} still queued"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<SimError> for crate::NetError {
+    fn from(e: SimError) -> Self {
+        crate::NetError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_numbers() {
+        let e = SimError::EventBudgetExhausted {
+            budget: 10,
+            events_processed: 10,
+            queue_depth: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10"));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn converts_into_net_error() {
+        let e = SimError::EventBudgetExhausted {
+            budget: 1,
+            events_processed: 1,
+            queue_depth: 1,
+        };
+        assert_eq!(crate::NetError::from(e.clone()), crate::NetError::Sim(e));
+    }
+}

@@ -19,6 +19,10 @@ pub(crate) enum EventKind<P> {
     Arrival(super::Message<P>),
     /// A timer set by `node` with an opaque payload.
     Timer { node: usize, payload: P },
+    /// A fault-plan transition taking `site` down.
+    Crash { site: usize },
+    /// A fault-plan transition bringing `site` back up.
+    Recover { site: usize },
 }
 
 /// Priority queue ordered by `(at, seq)` — earliest first, FIFO on ties.
@@ -103,7 +107,7 @@ mod tests {
         let order: Vec<(Time, u8)> = std::iter::from_fn(|| q.pop())
             .map(|s| match s.kind {
                 EventKind::Timer { payload, .. } => (s.at, payload),
-                EventKind::Arrival(_) => unreachable!(),
+                _ => unreachable!(),
             })
             .collect();
         assert_eq!(order, vec![(2, 2), (5, 1), (5, 3)]);

@@ -50,14 +50,27 @@
 //! # Ok::<(), drp_net::NetError>(())
 //! ```
 
+//! # Fault injection
+//!
+//! A seeded [`FaultPlan`] can be armed via
+//! [`Simulator::set_fault_plan`] to crash sites, cut links, drop or delay
+//! messages — all deterministically. Nodes observe their own transitions
+//! through [`Node::on_crash`] / [`Node::on_recover`] and may query the
+//! liveness oracle [`Context::is_up`]. `drp-algo`'s `repair` module builds
+//! a self-healing replication protocol on top of these hooks.
+
 mod engine;
+mod error;
 mod event;
+mod fault;
 mod message;
 mod stats;
 mod traffic;
 
 pub use engine::{Context, Node, Simulator};
+pub use error::SimError;
 pub use event::Time;
+pub use fault::{CrashWindow, FaultPlan, FaultStats, PartitionWindow};
 pub use message::Message;
 pub use stats::TrafficStats;
 pub use traffic::TrafficMatrix;

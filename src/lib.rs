@@ -47,9 +47,11 @@ pub use drp_ga as ga;
 pub use drp_net as net;
 pub use drp_workload as workload;
 
-pub use drp_algo::{baselines, distributed, exact, Agra, AgraConfig, Gra, GraConfig, Sra};
+pub use drp_algo::{baselines, distributed, exact, repair, Agra, AgraConfig, Gra, GraConfig, Sra};
 pub use drp_core::{
-    CoreError, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, SiteId, SolutionReport,
+    CoreError, DegradationReport, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme,
+    SiteId, SolutionReport,
 };
+pub use drp_net::sim::FaultPlan;
 pub use drp_net::{CostMatrix, Graph};
 pub use drp_workload::{PatternChange, WorkloadSpec};
