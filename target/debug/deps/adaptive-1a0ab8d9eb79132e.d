@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive-1a0ab8d9eb79132e.d: crates/bench/benches/adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive-1a0ab8d9eb79132e.rmeta: crates/bench/benches/adaptive.rs Cargo.toml
+
+crates/bench/benches/adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive-832710d5c404640e.d: tests/adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive-832710d5c404640e.rmeta: tests/adaptive.rs Cargo.toml
+
+tests/adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive-9d75c1bafa8f19e8.d: tests/adaptive.rs
+
+/root/repo/target/debug/deps/libadaptive-9d75c1bafa8f19e8.rmeta: tests/adaptive.rs
+
+tests/adaptive.rs:

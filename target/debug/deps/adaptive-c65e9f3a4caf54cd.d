@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive-c65e9f3a4caf54cd.d: tests/adaptive.rs
+
+/root/repo/target/debug/deps/adaptive-c65e9f3a4caf54cd: tests/adaptive.rs
+
+tests/adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-4ce5d4064a2aa751.d: tests/algorithms.rs
+
+/root/repo/target/debug/deps/libalgorithms-4ce5d4064a2aa751.rmeta: tests/algorithms.rs
+
+tests/algorithms.rs:

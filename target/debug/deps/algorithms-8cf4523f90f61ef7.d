@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithms-8cf4523f90f61ef7.d: tests/algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithms-8cf4523f90f61ef7.rmeta: tests/algorithms.rs Cargo.toml
+
+tests/algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

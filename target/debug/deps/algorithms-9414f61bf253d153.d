@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-9414f61bf253d153.d: tests/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-9414f61bf253d153: tests/algorithms.rs
+
+tests/algorithms.rs:

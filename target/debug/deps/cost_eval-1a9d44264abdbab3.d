@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_eval-1a9d44264abdbab3.d: crates/bench/src/bin/cost_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_eval-1a9d44264abdbab3.rmeta: crates/bench/src/bin/cost_eval.rs Cargo.toml
+
+crates/bench/src/bin/cost_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_eval-38d85307d80fd95d.d: crates/bench/src/bin/cost_eval.rs
+
+/root/repo/target/debug/deps/cost_eval-38d85307d80fd95d: crates/bench/src/bin/cost_eval.rs
+
+crates/bench/src/bin/cost_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_eval-ad7628961936db43.d: crates/bench/src/bin/cost_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_eval-ad7628961936db43.rmeta: crates/bench/src/bin/cost_eval.rs Cargo.toml
+
+crates/bench/src/bin/cost_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_eval-bc05b17f35aeb51f.d: crates/bench/src/bin/cost_eval.rs
+
+/root/repo/target/debug/deps/libcost_eval-bc05b17f35aeb51f.rmeta: crates/bench/src/bin/cost_eval.rs
+
+crates/bench/src/bin/cost_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_model-69f0abd1de25fb74.d: tests/cost_model.rs
+
+/root/repo/target/debug/deps/cost_model-69f0abd1de25fb74: tests/cost_model.rs
+
+tests/cost_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_model-93e0353347560518.d: tests/cost_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_model-93e0353347560518.rmeta: tests/cost_model.rs Cargo.toml
+
+tests/cost_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_model-d303c8cc2e701ea5.d: tests/cost_model.rs
+
+/root/repo/target/debug/deps/libcost_model-d303c8cc2e701ea5.rmeta: tests/cost_model.rs
+
+tests/cost_model.rs:

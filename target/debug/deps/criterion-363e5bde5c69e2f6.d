@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-363e5bde5c69e2f6.d: /root/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-363e5bde5c69e2f6.rlib: /root/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-363e5bde5c69e2f6.rmeta: /root/depstubs/criterion/src/lib.rs
+
+/root/depstubs/criterion/src/lib.rs:

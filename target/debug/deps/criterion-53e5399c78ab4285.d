@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-53e5399c78ab4285.d: /root/depstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-53e5399c78ab4285.rmeta: /root/depstubs/criterion/src/lib.rs
+
+/root/depstubs/criterion/src/lib.rs:

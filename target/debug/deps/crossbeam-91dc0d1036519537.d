@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-91dc0d1036519537.d: /root/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-91dc0d1036519537.rlib: /root/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-91dc0d1036519537.rmeta: /root/depstubs/crossbeam/src/lib.rs
+
+/root/depstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-a2c0f6dd7cf11ba9.d: /root/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a2c0f6dd7cf11ba9.rmeta: /root/depstubs/crossbeam/src/lib.rs
+
+/root/depstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drp-2975378c338d7ae0.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp-2975378c338d7ae0.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drp-29a4dbc5951b80d9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp-29a4dbc5951b80d9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp-2d70b59b39f0e4e5.d: src/lib.rs
+
+/root/repo/target/debug/deps/drp-2d70b59b39f0e4e5: src/lib.rs
+
+src/lib.rs:

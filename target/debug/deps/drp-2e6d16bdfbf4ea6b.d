@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp-2e6d16bdfbf4ea6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdrp-2e6d16bdfbf4ea6b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp-36b264a0f53c8da6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdrp-36b264a0f53c8da6.rmeta: src/lib.rs
+
+src/lib.rs:

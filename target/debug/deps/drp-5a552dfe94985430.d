@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drp-5a552dfe94985430.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp-5a552dfe94985430.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/drp-5d604fd569f9ba1c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdrp-5d604fd569f9ba1c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdrp-5d604fd569f9ba1c.rmeta: src/lib.rs
+
+src/lib.rs:

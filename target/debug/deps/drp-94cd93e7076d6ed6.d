@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp-94cd93e7076d6ed6.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/libdrp-94cd93e7076d6ed6.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

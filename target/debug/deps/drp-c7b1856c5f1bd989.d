@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drp-c7b1856c5f1bd989.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp-c7b1856c5f1bd989.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp-c999ba8f03d09279.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/drp-c999ba8f03d09279: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/drp_algo-374f1e8f3649c373.d: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/repair.rs crates/algo/src/sra.rs
+
+/root/repo/target/debug/deps/libdrp_algo-374f1e8f3649c373.rlib: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/repair.rs crates/algo/src/sra.rs
+
+/root/repo/target/debug/deps/libdrp_algo-374f1e8f3649c373.rmeta: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/repair.rs crates/algo/src/sra.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/adr.rs:
+crates/algo/src/agra.rs:
+crates/algo/src/annealing.rs:
+crates/algo/src/baselines.rs:
+crates/algo/src/distributed.rs:
+crates/algo/src/encoding.rs:
+crates/algo/src/exact.rs:
+crates/algo/src/fault_tolerance.rs:
+crates/algo/src/gra.rs:
+crates/algo/src/monitor.rs:
+crates/algo/src/repair.rs:
+crates/algo/src/sra.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/drp_algo-3b30fad15ae55012.d: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/repair.rs crates/algo/src/sra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_algo-3b30fad15ae55012.rmeta: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/repair.rs crates/algo/src/sra.rs Cargo.toml
+
+crates/algo/src/lib.rs:
+crates/algo/src/adr.rs:
+crates/algo/src/agra.rs:
+crates/algo/src/annealing.rs:
+crates/algo/src/baselines.rs:
+crates/algo/src/distributed.rs:
+crates/algo/src/encoding.rs:
+crates/algo/src/exact.rs:
+crates/algo/src/fault_tolerance.rs:
+crates/algo/src/gra.rs:
+crates/algo/src/monitor.rs:
+crates/algo/src/repair.rs:
+crates/algo/src/sra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/drp_algo-8109c2ccfffc2e34.d: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/sra.rs
+
+/root/repo/target/debug/deps/libdrp_algo-8109c2ccfffc2e34.rmeta: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/sra.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/adr.rs:
+crates/algo/src/agra.rs:
+crates/algo/src/annealing.rs:
+crates/algo/src/baselines.rs:
+crates/algo/src/distributed.rs:
+crates/algo/src/encoding.rs:
+crates/algo/src/exact.rs:
+crates/algo/src/fault_tolerance.rs:
+crates/algo/src/gra.rs:
+crates/algo/src/monitor.rs:
+crates/algo/src/sra.rs:

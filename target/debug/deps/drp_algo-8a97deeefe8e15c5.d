@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/drp_algo-8a97deeefe8e15c5.d: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/repair.rs crates/algo/src/sra.rs
+
+/root/repo/target/debug/deps/drp_algo-8a97deeefe8e15c5: crates/algo/src/lib.rs crates/algo/src/adr.rs crates/algo/src/agra.rs crates/algo/src/annealing.rs crates/algo/src/baselines.rs crates/algo/src/distributed.rs crates/algo/src/encoding.rs crates/algo/src/exact.rs crates/algo/src/fault_tolerance.rs crates/algo/src/gra.rs crates/algo/src/monitor.rs crates/algo/src/repair.rs crates/algo/src/sra.rs
+
+crates/algo/src/lib.rs:
+crates/algo/src/adr.rs:
+crates/algo/src/agra.rs:
+crates/algo/src/annealing.rs:
+crates/algo/src/baselines.rs:
+crates/algo/src/distributed.rs:
+crates/algo/src/encoding.rs:
+crates/algo/src/exact.rs:
+crates/algo/src/fault_tolerance.rs:
+crates/algo/src/gra.rs:
+crates/algo/src/monitor.rs:
+crates/algo/src/repair.rs:
+crates/algo/src/sra.rs:

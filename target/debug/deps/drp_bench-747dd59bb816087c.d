@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp_bench-747dd59bb816087c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdrp_bench-747dd59bb816087c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

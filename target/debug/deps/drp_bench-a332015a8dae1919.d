@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp_bench-a332015a8dae1919.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdrp_bench-a332015a8dae1919.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/drp_bench-ce80601c3e984d10.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdrp_bench-ce80601c3e984d10.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdrp_bench-ce80601c3e984d10.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drp_bench-d9d541cb75cbafa7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_bench-d9d541cb75cbafa7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drp_bench-e8e2c82e2895fb8f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_bench-e8e2c82e2895fb8f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

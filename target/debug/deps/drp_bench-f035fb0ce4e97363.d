@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drp_bench-f035fb0ce4e97363.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/drp_bench-f035fb0ce4e97363: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/drp_cli-0ab964f6ef4c1360.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/drp_cli-0ab964f6ef4c1360: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

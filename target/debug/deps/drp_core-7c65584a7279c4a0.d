@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/drp_core-7c65584a7279c4a0.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/availability.rs crates/core/src/benefit.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/evaluator.rs crates/core/src/format.rs crates/core/src/ids.rs crates/core/src/matrix.rs crates/core/src/metrics.rs crates/core/src/migration.rs crates/core/src/problem.rs crates/core/src/replay.rs crates/core/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_core-7c65584a7279c4a0.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/availability.rs crates/core/src/benefit.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/evaluator.rs crates/core/src/format.rs crates/core/src/ids.rs crates/core/src/matrix.rs crates/core/src/metrics.rs crates/core/src/migration.rs crates/core/src/problem.rs crates/core/src/replay.rs crates/core/src/scheme.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/availability.rs:
+crates/core/src/benefit.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/evaluator.rs:
+crates/core/src/format.rs:
+crates/core/src/ids.rs:
+crates/core/src/matrix.rs:
+crates/core/src/metrics.rs:
+crates/core/src/migration.rs:
+crates/core/src/problem.rs:
+crates/core/src/replay.rs:
+crates/core/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

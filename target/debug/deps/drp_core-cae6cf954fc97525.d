@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/drp_core-cae6cf954fc97525.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/availability.rs crates/core/src/benefit.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/evaluator.rs crates/core/src/format.rs crates/core/src/ids.rs crates/core/src/matrix.rs crates/core/src/metrics.rs crates/core/src/migration.rs crates/core/src/problem.rs crates/core/src/replay.rs crates/core/src/scheme.rs
+
+/root/repo/target/debug/deps/libdrp_core-cae6cf954fc97525.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/availability.rs crates/core/src/benefit.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/evaluator.rs crates/core/src/format.rs crates/core/src/ids.rs crates/core/src/matrix.rs crates/core/src/metrics.rs crates/core/src/migration.rs crates/core/src/problem.rs crates/core/src/replay.rs crates/core/src/scheme.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/availability.rs:
+crates/core/src/benefit.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/evaluator.rs:
+crates/core/src/format.rs:
+crates/core/src/ids.rs:
+crates/core/src/matrix.rs:
+crates/core/src/metrics.rs:
+crates/core/src/migration.rs:
+crates/core/src/problem.rs:
+crates/core/src/replay.rs:
+crates/core/src/scheme.rs:

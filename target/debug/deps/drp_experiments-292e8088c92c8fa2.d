@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/drp_experiments-292e8088c92c8fa2.d: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/ablation.rs crates/experiments/src/figures/convergence.rs crates/experiments/src/figures/faults.rs crates/experiments/src/figures/fig1.rs crates/experiments/src/figures/fig2.rs crates/experiments/src/figures/fig3.rs crates/experiments/src/figures/fig4.rs crates/experiments/src/figures/gap.rs crates/experiments/src/figures/trees.rs crates/experiments/src/runner.rs crates/experiments/src/scale.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/drp_experiments-292e8088c92c8fa2: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/ablation.rs crates/experiments/src/figures/convergence.rs crates/experiments/src/figures/faults.rs crates/experiments/src/figures/fig1.rs crates/experiments/src/figures/fig2.rs crates/experiments/src/figures/fig3.rs crates/experiments/src/figures/fig4.rs crates/experiments/src/figures/gap.rs crates/experiments/src/figures/trees.rs crates/experiments/src/runner.rs crates/experiments/src/scale.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/ablation.rs:
+crates/experiments/src/figures/convergence.rs:
+crates/experiments/src/figures/faults.rs:
+crates/experiments/src/figures/fig1.rs:
+crates/experiments/src/figures/fig2.rs:
+crates/experiments/src/figures/fig3.rs:
+crates/experiments/src/figures/fig4.rs:
+crates/experiments/src/figures/gap.rs:
+crates/experiments/src/figures/trees.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/table.rs:

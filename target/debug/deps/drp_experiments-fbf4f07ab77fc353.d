@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/drp_experiments-fbf4f07ab77fc353.d: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/ablation.rs crates/experiments/src/figures/convergence.rs crates/experiments/src/figures/faults.rs crates/experiments/src/figures/fig1.rs crates/experiments/src/figures/fig2.rs crates/experiments/src/figures/fig3.rs crates/experiments/src/figures/fig4.rs crates/experiments/src/figures/gap.rs crates/experiments/src/figures/trees.rs crates/experiments/src/runner.rs crates/experiments/src/scale.rs crates/experiments/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_experiments-fbf4f07ab77fc353.rmeta: crates/experiments/src/lib.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/ablation.rs crates/experiments/src/figures/convergence.rs crates/experiments/src/figures/faults.rs crates/experiments/src/figures/fig1.rs crates/experiments/src/figures/fig2.rs crates/experiments/src/figures/fig3.rs crates/experiments/src/figures/fig4.rs crates/experiments/src/figures/gap.rs crates/experiments/src/figures/trees.rs crates/experiments/src/runner.rs crates/experiments/src/scale.rs crates/experiments/src/table.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/ablation.rs:
+crates/experiments/src/figures/convergence.rs:
+crates/experiments/src/figures/faults.rs:
+crates/experiments/src/figures/fig1.rs:
+crates/experiments/src/figures/fig2.rs:
+crates/experiments/src/figures/fig3.rs:
+crates/experiments/src/figures/fig4.rs:
+crates/experiments/src/figures/gap.rs:
+crates/experiments/src/figures/trees.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/drp_ga-2a55ba07306c60b2.d: crates/ga/src/lib.rs crates/ga/src/bitstring.rs crates/ga/src/config.rs crates/ga/src/engine.rs crates/ga/src/error.rs crates/ga/src/ops.rs crates/ga/src/selection.rs crates/ga/src/spec.rs crates/ga/src/stats.rs
+
+/root/repo/target/debug/deps/libdrp_ga-2a55ba07306c60b2.rmeta: crates/ga/src/lib.rs crates/ga/src/bitstring.rs crates/ga/src/config.rs crates/ga/src/engine.rs crates/ga/src/error.rs crates/ga/src/ops.rs crates/ga/src/selection.rs crates/ga/src/spec.rs crates/ga/src/stats.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/bitstring.rs:
+crates/ga/src/config.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/error.rs:
+crates/ga/src/ops.rs:
+crates/ga/src/selection.rs:
+crates/ga/src/spec.rs:
+crates/ga/src/stats.rs:

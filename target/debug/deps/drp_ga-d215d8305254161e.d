@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/drp_ga-d215d8305254161e.d: crates/ga/src/lib.rs crates/ga/src/bitstring.rs crates/ga/src/config.rs crates/ga/src/engine.rs crates/ga/src/error.rs crates/ga/src/ops.rs crates/ga/src/selection.rs crates/ga/src/spec.rs crates/ga/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_ga-d215d8305254161e.rmeta: crates/ga/src/lib.rs crates/ga/src/bitstring.rs crates/ga/src/config.rs crates/ga/src/engine.rs crates/ga/src/error.rs crates/ga/src/ops.rs crates/ga/src/selection.rs crates/ga/src/spec.rs crates/ga/src/stats.rs Cargo.toml
+
+crates/ga/src/lib.rs:
+crates/ga/src/bitstring.rs:
+crates/ga/src/config.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/error.rs:
+crates/ga/src/ops.rs:
+crates/ga/src/selection.rs:
+crates/ga/src/spec.rs:
+crates/ga/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/drp_net-9d5a9b1387fcff4e.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/routes.rs crates/net/src/shortest.rs crates/net/src/sim/mod.rs crates/net/src/sim/engine.rs crates/net/src/sim/error.rs crates/net/src/sim/event.rs crates/net/src/sim/fault.rs crates/net/src/sim/message.rs crates/net/src/sim/stats.rs crates/net/src/sim/traffic.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/drp_net-9d5a9b1387fcff4e: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/routes.rs crates/net/src/shortest.rs crates/net/src/sim/mod.rs crates/net/src/sim/engine.rs crates/net/src/sim/error.rs crates/net/src/sim/event.rs crates/net/src/sim/fault.rs crates/net/src/sim/message.rs crates/net/src/sim/stats.rs crates/net/src/sim/traffic.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/cost.rs:
+crates/net/src/error.rs:
+crates/net/src/graph.rs:
+crates/net/src/routes.rs:
+crates/net/src/shortest.rs:
+crates/net/src/sim/mod.rs:
+crates/net/src/sim/engine.rs:
+crates/net/src/sim/error.rs:
+crates/net/src/sim/event.rs:
+crates/net/src/sim/fault.rs:
+crates/net/src/sim/message.rs:
+crates/net/src/sim/stats.rs:
+crates/net/src/sim/traffic.rs:
+crates/net/src/topology.rs:

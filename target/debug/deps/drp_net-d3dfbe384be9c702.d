@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/drp_net-d3dfbe384be9c702.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/routes.rs crates/net/src/shortest.rs crates/net/src/sim/mod.rs crates/net/src/sim/engine.rs crates/net/src/sim/error.rs crates/net/src/sim/event.rs crates/net/src/sim/fault.rs crates/net/src/sim/message.rs crates/net/src/sim/stats.rs crates/net/src/sim/traffic.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_net-d3dfbe384be9c702.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/error.rs crates/net/src/graph.rs crates/net/src/routes.rs crates/net/src/shortest.rs crates/net/src/sim/mod.rs crates/net/src/sim/engine.rs crates/net/src/sim/error.rs crates/net/src/sim/event.rs crates/net/src/sim/fault.rs crates/net/src/sim/message.rs crates/net/src/sim/stats.rs crates/net/src/sim/traffic.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/cost.rs:
+crates/net/src/error.rs:
+crates/net/src/graph.rs:
+crates/net/src/routes.rs:
+crates/net/src/shortest.rs:
+crates/net/src/sim/mod.rs:
+crates/net/src/sim/engine.rs:
+crates/net/src/sim/error.rs:
+crates/net/src/sim/event.rs:
+crates/net/src/sim/fault.rs:
+crates/net/src/sim/message.rs:
+crates/net/src/sim/stats.rs:
+crates/net/src/sim/traffic.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/drp_workload-0ca9e47b5a29846c.d: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libdrp_workload-0ca9e47b5a29846c.rlib: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libdrp_workload-0ca9e47b5a29846c.rmeta: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/change.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rngutil.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:

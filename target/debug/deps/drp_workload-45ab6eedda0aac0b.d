@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/drp_workload-45ab6eedda0aac0b.d: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/drp_workload-45ab6eedda0aac0b: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/change.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rngutil.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:

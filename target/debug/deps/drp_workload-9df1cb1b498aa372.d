@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/drp_workload-9df1cb1b498aa372.d: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libdrp_workload-9df1cb1b498aa372.rmeta: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/change.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rngutil.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/drp_workload-a880e139a99becae.d: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrp_workload-a880e139a99becae.rmeta: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/change.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rngutil.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

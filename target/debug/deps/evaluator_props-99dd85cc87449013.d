@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluator_props-99dd85cc87449013.d: crates/core/tests/evaluator_props.rs
+
+/root/repo/target/debug/deps/libevaluator_props-99dd85cc87449013.rmeta: crates/core/tests/evaluator_props.rs
+
+crates/core/tests/evaluator_props.rs:

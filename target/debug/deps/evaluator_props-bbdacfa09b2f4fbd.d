@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluator_props-bbdacfa09b2f4fbd.d: crates/core/tests/evaluator_props.rs
+
+/root/repo/target/debug/deps/evaluator_props-bbdacfa09b2f4fbd: crates/core/tests/evaluator_props.rs
+
+crates/core/tests/evaluator_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluator_props-d596f2ab624fed2a.d: crates/core/tests/evaluator_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluator_props-d596f2ab624fed2a.rmeta: crates/core/tests/evaluator_props.rs Cargo.toml
+
+crates/core/tests/evaluator_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

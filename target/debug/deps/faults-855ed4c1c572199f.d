@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-855ed4c1c572199f.d: crates/bench/src/bin/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-855ed4c1c572199f.rmeta: crates/bench/src/bin/faults.rs Cargo.toml
+
+crates/bench/src/bin/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

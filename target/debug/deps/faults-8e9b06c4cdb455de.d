@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-8e9b06c4cdb455de.d: crates/bench/src/bin/faults.rs
+
+/root/repo/target/debug/deps/faults-8e9b06c4cdb455de: crates/bench/src/bin/faults.rs
+
+crates/bench/src/bin/faults.rs:

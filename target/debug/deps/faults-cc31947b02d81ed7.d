@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-cc31947b02d81ed7.d: crates/bench/src/bin/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-cc31947b02d81ed7.rmeta: crates/bench/src/bin/faults.rs Cargo.toml
+
+crates/bench/src/bin/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitor-0827f88c4539e2fa.d: tests/monitor.rs
+
+/root/repo/target/debug/deps/monitor-0827f88c4539e2fa: tests/monitor.rs
+
+tests/monitor.rs:

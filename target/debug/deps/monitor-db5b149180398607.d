@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitor-db5b149180398607.d: tests/monitor.rs
+
+/root/repo/target/debug/deps/libmonitor-db5b149180398607.rmeta: tests/monitor.rs
+
+tests/monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitor-e1d304f7edc10158.d: tests/monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitor-e1d304f7edc10158.rmeta: tests/monitor.rs Cargo.toml
+
+tests/monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

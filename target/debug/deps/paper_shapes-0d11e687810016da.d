@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-0d11e687810016da.d: tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-0d11e687810016da.rmeta: tests/paper_shapes.rs Cargo.toml
+
+tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-13d879f294fba877.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/libpaper_shapes-13d879f294fba877.rmeta: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

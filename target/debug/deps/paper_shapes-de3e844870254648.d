@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-de3e844870254648.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-de3e844870254648: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_fitness-7b0d396ad9fb478a.d: crates/algo/tests/parallel_fitness.rs
+
+/root/repo/target/debug/deps/libparallel_fitness-7b0d396ad9fb478a.rmeta: crates/algo/tests/parallel_fitness.rs
+
+crates/algo/tests/parallel_fitness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_fitness-8a2c318a62e37a6e.d: crates/algo/tests/parallel_fitness.rs
+
+/root/repo/target/debug/deps/parallel_fitness-8a2c318a62e37a6e: crates/algo/tests/parallel_fitness.rs
+
+crates/algo/tests/parallel_fitness.rs:

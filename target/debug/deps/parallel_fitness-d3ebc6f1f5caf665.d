@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_fitness-d3ebc6f1f5caf665.d: crates/algo/tests/parallel_fitness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_fitness-d3ebc6f1f5caf665.rmeta: crates/algo/tests/parallel_fitness.rs Cargo.toml
+
+crates/algo/tests/parallel_fitness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

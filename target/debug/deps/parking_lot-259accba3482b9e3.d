@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-259accba3482b9e3.d: /root/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-259accba3482b9e3.rlib: /root/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-259accba3482b9e3.rmeta: /root/depstubs/parking_lot/src/lib.rs
+
+/root/depstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-a98ead34eac44453.d: /root/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-a98ead34eac44453.rmeta: /root/depstubs/parking_lot/src/lib.rs
+
+/root/depstubs/parking_lot/src/lib.rs:

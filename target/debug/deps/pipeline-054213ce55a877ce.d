@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-054213ce55a877ce.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-054213ce55a877ce.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-2529eab7e4c121bc.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-2529eab7e4c121bc: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-dd3def923cfa6185.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-dd3def923cfa6185.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

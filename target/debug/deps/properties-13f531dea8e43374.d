@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-13f531dea8e43374.d: crates/net/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-13f531dea8e43374.rmeta: crates/net/tests/properties.rs Cargo.toml
+
+crates/net/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

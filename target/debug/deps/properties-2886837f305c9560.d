@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2886837f305c9560.d: crates/net/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2886837f305c9560: crates/net/tests/properties.rs
+
+crates/net/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-544475d1274d5f90.d: crates/workload/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-544475d1274d5f90.rmeta: crates/workload/tests/properties.rs
+
+crates/workload/tests/properties.rs:

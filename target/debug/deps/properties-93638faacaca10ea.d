@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-93638faacaca10ea.d: crates/ga/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-93638faacaca10ea.rmeta: crates/ga/tests/properties.rs
+
+crates/ga/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a3393e65da89e9cf.d: crates/ga/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a3393e65da89e9cf.rmeta: crates/ga/tests/properties.rs Cargo.toml
+
+crates/ga/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bb862b91559c8fd8.d: crates/workload/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bb862b91559c8fd8.rmeta: crates/workload/tests/properties.rs Cargo.toml
+
+crates/workload/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

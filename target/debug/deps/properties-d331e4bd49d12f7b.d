@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d331e4bd49d12f7b.d: crates/workload/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d331e4bd49d12f7b: crates/workload/tests/properties.rs
+
+crates/workload/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d44117c9c9fb6287.d: crates/net/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-d44117c9c9fb6287.rmeta: crates/net/tests/properties.rs
+
+crates/net/tests/properties.rs:

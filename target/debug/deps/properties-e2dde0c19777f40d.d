@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e2dde0c19777f40d.d: crates/ga/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e2dde0c19777f40d: crates/ga/tests/properties.rs
+
+crates/ga/tests/properties.rs:

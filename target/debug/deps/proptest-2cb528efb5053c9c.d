@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2cb528efb5053c9c.d: /root/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2cb528efb5053c9c.rmeta: /root/depstubs/proptest/src/lib.rs
+
+/root/depstubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e481e9f686de6322.d: /root/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e481e9f686de6322.rlib: /root/depstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e481e9f686de6322.rmeta: /root/depstubs/proptest/src/lib.rs
+
+/root/depstubs/proptest/src/lib.rs:

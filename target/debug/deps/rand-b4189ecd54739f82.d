@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b4189ecd54739f82.d: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b4189ecd54739f82.rlib: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b4189ecd54739f82.rmeta: /root/depstubs/rand/src/lib.rs
+
+/root/depstubs/rand/src/lib.rs:

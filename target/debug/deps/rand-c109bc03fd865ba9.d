@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c109bc03fd865ba9.d: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c109bc03fd865ba9.rmeta: /root/depstubs/rand/src/lib.rs
+
+/root/depstubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repair_props-212bf41b720cc4a6.d: crates/algo/tests/repair_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepair_props-212bf41b720cc4a6.rmeta: crates/algo/tests/repair_props.rs Cargo.toml
+
+crates/algo/tests/repair_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repair_props-e4c7ce23132f30cd.d: crates/algo/tests/repair_props.rs
+
+/root/repo/target/debug/deps/repair_props-e4c7ce23132f30cd: crates/algo/tests/repair_props.rs
+
+crates/algo/tests/repair_props.rs:

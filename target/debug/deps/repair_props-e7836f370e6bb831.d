@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repair_props-e7836f370e6bb831.d: crates/algo/tests/repair_props.rs
+
+/root/repo/target/debug/deps/repair_props-e7836f370e6bb831: crates/algo/tests/repair_props.rs
+
+crates/algo/tests/repair_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-6cc6e3487f1a97ae.d: crates/experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-6cc6e3487f1a97ae.rmeta: crates/experiments/src/bin/repro.rs Cargo.toml
+
+crates/experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-70f5928c2d9d1a8c.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-70f5928c2d9d1a8c: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

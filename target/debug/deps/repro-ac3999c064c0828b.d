@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ac3999c064c0828b.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-ac3999c064c0828b.rmeta: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4d12aab5c652f05c.d: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4d12aab5c652f05c.rlib: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4d12aab5c652f05c.rmeta: /root/depstubs/serde/src/lib.rs
+
+/root/depstubs/serde/src/lib.rs:

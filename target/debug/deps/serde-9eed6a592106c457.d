@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9eed6a592106c457.d: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9eed6a592106c457.rmeta: /root/depstubs/serde/src/lib.rs
+
+/root/depstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-1149694e406c22b4.d: /root/depstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-1149694e406c22b4.so: /root/depstubs/serde_derive/src/lib.rs
+
+/root/depstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_hotspots-2fd9123b27f529da.d: examples/adaptive_hotspots.rs
+
+/root/repo/target/debug/examples/adaptive_hotspots-2fd9123b27f529da: examples/adaptive_hotspots.rs
+
+examples/adaptive_hotspots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_greedy-1508f32fb41570f2.d: examples/distributed_greedy.rs
+
+/root/repo/target/debug/examples/distributed_greedy-1508f32fb41570f2: examples/distributed_greedy.rs
+
+examples/distributed_greedy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hot_links-dd56381ea942aa53.d: examples/hot_links.rs
+
+/root/repo/target/debug/examples/hot_links-dd56381ea942aa53: examples/hot_links.rs
+
+examples/hot_links.rs:

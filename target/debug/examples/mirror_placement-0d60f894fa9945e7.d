@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mirror_placement-0d60f894fa9945e7.d: examples/mirror_placement.rs
+
+/root/repo/target/debug/examples/mirror_placement-0d60f894fa9945e7: examples/mirror_placement.rs
+
+examples/mirror_placement.rs:

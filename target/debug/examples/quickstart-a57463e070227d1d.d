@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a57463e070227d1d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a57463e070227d1d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-04bf7c19e6355092.d: /root/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-04bf7c19e6355092.rlib: /root/depstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-04bf7c19e6355092.rmeta: /root/depstubs/crossbeam/src/lib.rs
+
+/root/depstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/drp-57a638cabfe01f60.d: src/lib.rs
+
+/root/repo/target/release/deps/libdrp-57a638cabfe01f60.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdrp-57a638cabfe01f60.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/drp-85174f196474be33.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/drp-85174f196474be33: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

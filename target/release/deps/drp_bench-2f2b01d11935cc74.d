@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/drp_bench-2f2b01d11935cc74.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdrp_bench-2f2b01d11935cc74.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdrp_bench-2f2b01d11935cc74.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/drp_ga-b8124428326a93de.d: crates/ga/src/lib.rs crates/ga/src/bitstring.rs crates/ga/src/config.rs crates/ga/src/engine.rs crates/ga/src/error.rs crates/ga/src/ops.rs crates/ga/src/selection.rs crates/ga/src/spec.rs crates/ga/src/stats.rs
+
+/root/repo/target/release/deps/libdrp_ga-b8124428326a93de.rlib: crates/ga/src/lib.rs crates/ga/src/bitstring.rs crates/ga/src/config.rs crates/ga/src/engine.rs crates/ga/src/error.rs crates/ga/src/ops.rs crates/ga/src/selection.rs crates/ga/src/spec.rs crates/ga/src/stats.rs
+
+/root/repo/target/release/deps/libdrp_ga-b8124428326a93de.rmeta: crates/ga/src/lib.rs crates/ga/src/bitstring.rs crates/ga/src/config.rs crates/ga/src/engine.rs crates/ga/src/error.rs crates/ga/src/ops.rs crates/ga/src/selection.rs crates/ga/src/spec.rs crates/ga/src/stats.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/bitstring.rs:
+crates/ga/src/config.rs:
+crates/ga/src/engine.rs:
+crates/ga/src/error.rs:
+crates/ga/src/ops.rs:
+crates/ga/src/selection.rs:
+crates/ga/src/spec.rs:
+crates/ga/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/drp_workload-e40091b9d62d78ea.d: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libdrp_workload-e40091b9d62d78ea.rlib: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libdrp_workload-e40091b9d62d78ea.rmeta: crates/workload/src/lib.rs crates/workload/src/change.rs crates/workload/src/generator.rs crates/workload/src/rngutil.rs crates/workload/src/spec.rs crates/workload/src/trace.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/change.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/rngutil.rs:
+crates/workload/src/spec.rs:
+crates/workload/src/trace.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-3c92e65b19f128c5.d: crates/bench/src/bin/faults.rs
+
+/root/repo/target/release/deps/faults-3c92e65b19f128c5: crates/bench/src/bin/faults.rs
+
+crates/bench/src/bin/faults.rs:

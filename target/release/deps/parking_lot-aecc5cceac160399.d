@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-aecc5cceac160399.d: /root/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-aecc5cceac160399.rlib: /root/depstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-aecc5cceac160399.rmeta: /root/depstubs/parking_lot/src/lib.rs
+
+/root/depstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-4fdad942999c834a.d: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4fdad942999c834a.rlib: /root/depstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-4fdad942999c834a.rmeta: /root/depstubs/rand/src/lib.rs
+
+/root/depstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-83ccbc088efb5d5c.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-83ccbc088efb5d5c: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

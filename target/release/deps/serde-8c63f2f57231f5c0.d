@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8c63f2f57231f5c0.d: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8c63f2f57231f5c0.rlib: /root/depstubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8c63f2f57231f5c0.rmeta: /root/depstubs/serde/src/lib.rs
+
+/root/depstubs/serde/src/lib.rs:

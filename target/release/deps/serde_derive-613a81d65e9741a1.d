@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-613a81d65e9741a1.d: /root/depstubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-613a81d65e9741a1.so: /root/depstubs/serde_derive/src/lib.rs
+
+/root/depstubs/serde_derive/src/lib.rs:
