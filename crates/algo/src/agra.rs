@@ -11,6 +11,9 @@
 //! Optionally, a short "mini-GRA" (5–10 generations) polishes the
 //! transcribed population.
 
+use std::sync::Arc;
+
+use drp_core::telemetry::{self, Recorder};
 use drp_core::{CoreError, ObjectId, Problem, ReplicationScheme, Result, SiteId};
 use drp_ga::{ops, BitString, Engine, GaConfig, GaSpec, SamplingSpace, SelectionScheme};
 use rand::{Rng, RngCore};
@@ -99,9 +102,19 @@ pub struct AdaptiveOutcome {
 /// assert!(outcome.fitness >= 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Agra {
     config: AgraConfig,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl Default for Agra {
+    fn default() -> Self {
+        Self {
+            config: AgraConfig::default(),
+            recorder: telemetry::noop(),
+        }
+    }
 }
 
 impl Agra {
@@ -112,7 +125,21 @@ impl Agra {
 
     /// AGRA with an explicit configuration.
     pub fn with_config(config: AgraConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            recorder: telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder: each changed object closes one
+    /// `agra.micro_ga` and one `agra.transcription` span, the mini-GRA
+    /// polish (when configured) closes `agra.mini_gra`, and the micro-GA
+    /// engines forward their own `ga.*` spans. Recording never consumes
+    /// randomness, so adaptation results are unchanged.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The configuration in use.
@@ -163,10 +190,14 @@ impl Agra {
         for &object in changed {
             problem.check_object(object)?;
             // 1. Micro-GA over the object's replica set.
-            let micro = self.run_micro_ga(problem, current, &population, object, rng)?;
+            let micro = {
+                let _span = telemetry::span(self.recorder.as_ref(), "agra.micro_ga");
+                self.run_micro_ga(problem, current, &population, object, rng)?
+            };
             micro_evaluations += micro.evaluations;
 
             // 2. Transcription into the GRA population.
+            let _span = telemetry::span(self.recorder.as_ref(), "agra.transcription");
             let half = population.len().div_ceil(2);
             for (index, chromosome) in population.iter_mut().enumerate() {
                 let source = if index < half {
@@ -198,10 +229,12 @@ impl Agra {
 
         // 3. Stand-alone pick or mini-GRA polish.
         let mut outcome = if self.config.mini_gra_generations > 0 {
+            let _span = telemetry::span(self.recorder.as_ref(), "agra.mini_gra");
             let gra = Gra::with_config(GraConfig {
                 population_size: population.len(),
                 ..self.config.gra.clone()
-            });
+            })
+            .with_recorder(self.recorder.clone());
             let run = gra.evolve(problem, population, self.config.mini_gra_generations, rng)?;
             AdaptiveOutcome {
                 scheme: run.scheme,
@@ -279,6 +312,7 @@ impl Agra {
             .sampling(SamplingSpace::Regular)
             .elite_period(self.config.elite_period);
         Engine::new(config)
+            .with_recorder(self.recorder.clone())
             .run(&spec, initial, &mut RngAdapter(rng))
             .map_err(|e| CoreError::InvalidInstance {
                 reason: e.to_string(),
@@ -587,6 +621,48 @@ mod tests {
             .adapt(&problem, &scheme, &[], &[ObjectId::new(1)], &mut rng)
             .unwrap();
         outcome.scheme.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn recorded_adapt_is_identical_and_counts_rounds() {
+        use drp_core::telemetry::InMemoryRecorder;
+
+        let (problem, scheme, population) = setup(13);
+        let changed = vec![ObjectId::new(0), ObjectId::new(2), ObjectId::new(5)];
+        let bare = Agra::new()
+            .adapt(
+                &problem,
+                &scheme,
+                &population,
+                &changed,
+                &mut StdRng::seed_from_u64(14),
+            )
+            .unwrap();
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let recorded = Agra::new()
+            .with_recorder(recorder.clone())
+            .adapt(
+                &problem,
+                &scheme,
+                &population,
+                &changed,
+                &mut StdRng::seed_from_u64(14),
+            )
+            .unwrap();
+        assert_eq!(bare.scheme, recorded.scheme);
+        assert_eq!(bare.fitness, recorded.fitness);
+        // One micro-GA + one transcription round per changed object, one
+        // mini-GRA polish for the whole step.
+        assert_eq!(recorder.span_count("agra.micro_ga"), changed.len() as u64);
+        assert_eq!(
+            recorder.span_count("agra.transcription"),
+            changed.len() as u64
+        );
+        assert_eq!(recorder.span_count("agra.mini_gra"), 1);
+        assert_eq!(
+            recorder.counter("ga.evaluations"),
+            recorded.micro_evaluations + recorded.mini_evaluations
+        );
     }
 
     #[test]

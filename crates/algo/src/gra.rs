@@ -1,3 +1,6 @@
+use std::sync::Arc;
+
+use drp_core::telemetry::{self, Recorder};
 use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId};
 use drp_ga::{ops, BitString, Engine, GaConfig, GaOutcome, GaSpec, SamplingSpace, SelectionScheme};
 use rand::{Rng, RngCore};
@@ -115,9 +118,19 @@ pub struct GraRun {
 /// assert!(problem.savings_percent(&scheme) >= 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Gra {
     config: GraConfig,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl Default for Gra {
+    fn default() -> Self {
+        Self {
+            config: GraConfig::default(),
+            recorder: telemetry::noop(),
+        }
+    }
 }
 
 impl Gra {
@@ -128,7 +141,22 @@ impl Gra {
 
     /// GRA with an explicit configuration.
     pub fn with_config(config: GraConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            recorder: telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder, forwarded to the underlying GA
+    /// engine (`ga.generation` / `ga.crossover` / `ga.mutation` /
+    /// `ga.evaluate` / `ga.selection` spans, `ga.evaluations` counter); the
+    /// run itself additionally publishes a `gra.best_fitness` gauge.
+    /// Recording never consumes randomness: seeded runs stay bitwise
+    /// identical.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The configuration in use.
@@ -193,10 +221,13 @@ impl Gra {
             ..self.config.to_ga_config()
         };
         let outcome = Engine::new(ga_config)
+            .with_recorder(self.recorder.clone())
             .run(&spec, initial, &mut RngAdapter(rng))
             .map_err(|e| drp_core::CoreError::InvalidInstance {
                 reason: e.to_string(),
             })?;
+        self.recorder
+            .set_gauge("gra.best_fitness", outcome.best_fitness);
         let scheme = decode_scheme(problem, &outcome.best)?;
         Ok(GraRun {
             scheme,
@@ -635,6 +666,38 @@ mod tests {
         evaluate_population(&p, &mut serial, false);
         evaluate_population(&p, &mut parallel, true);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn seeded_run_reports_exact_span_counts() {
+        use drp_core::telemetry::InMemoryRecorder;
+
+        let p = problem(16);
+        let bare = Gra::with_config(small_config())
+            .solve_detailed(&p, &mut StdRng::seed_from_u64(17))
+            .unwrap();
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let run = Gra::with_config(small_config())
+            .with_recorder(recorder.clone())
+            .solve_detailed(&p, &mut StdRng::seed_from_u64(17))
+            .unwrap();
+
+        // Recording must not perturb the evolution.
+        assert_eq!(bare.scheme, run.scheme);
+        assert_eq!(bare.fitness, run.fitness);
+        assert_eq!(bare.outcome.evaluations, run.outcome.evaluations);
+
+        // history[0] is generation 0, so evolved generations = len − 1;
+        // each one closes exactly one span per sub-phase, and generation 0
+        // adds one extra evaluate batch.
+        let generations = (run.outcome.history.len() - 1) as u64;
+        assert_eq!(recorder.span_count("ga.generation"), generations);
+        assert_eq!(recorder.span_count("ga.crossover"), generations);
+        assert_eq!(recorder.span_count("ga.mutation"), generations);
+        assert_eq!(recorder.span_count("ga.selection"), generations);
+        assert_eq!(recorder.span_count("ga.evaluate"), generations + 1);
+        assert_eq!(recorder.counter("ga.evaluations"), run.outcome.evaluations);
+        assert_eq!(recorder.gauge("gra.best_fitness"), Some(run.fitness));
     }
 
     #[test]

@@ -152,7 +152,10 @@ impl ReplicationMonitor {
 
     /// Daytime path: compares `fresh` statistics with the reference ones
     /// and adapts with AGRA when objects drifted past the threshold. The
-    /// fresh statistics become the new reference either way.
+    /// reference statistics are only replaced when an adaptation (or a
+    /// [`nightly_rebuild`](Self::nightly_rebuild)) happens, so a slow drift
+    /// that stays below the threshold per ingest still accumulates against
+    /// the scheme it was actually built for and eventually triggers AGRA.
     ///
     /// # Errors
     ///
@@ -173,7 +176,6 @@ impl ReplicationMonitor {
         let changed =
             detect_changed_objects(&self.problem, &fresh, self.config.change_threshold_percent);
         if changed.is_empty() {
-            self.problem = fresh;
             return Ok(MonitorAction::NoChange);
         }
         let agra = Agra::with_config(self.config.agra.clone());
@@ -261,6 +263,49 @@ mod tests {
         );
         assert!(shifted.savings_percent(monitor.scheme()) >= stale - 1e-9);
         assert_eq!(monitor.problem(), &shifted);
+    }
+
+    #[test]
+    fn slow_cumulative_drift_eventually_adapts() {
+        // Each ingest surges reads by 40% relative to the *previous* step —
+        // always below the 100% threshold step-over-step. The reference must
+        // stay pinned at the last rebuild so the drift accumulates: by the
+        // third step the cumulative move is 1.4^3 - 1 ≈ 174% and AGRA fires.
+        // (The old behavior re-baselined on every NoChange and never adapted.)
+        let mut rng = StdRng::seed_from_u64(5);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut monitor =
+            ReplicationMonitor::bootstrap(problem.clone(), config(), &mut rng).unwrap();
+        let step = PatternChange {
+            change_percent: 40.0,
+            objects_percent: 100.0,
+            read_share: 1.0,
+        };
+        let mut current = problem;
+        let mut adapted = false;
+        for ingest in 1..=4 {
+            current = step.apply(&current, &mut rng).unwrap().problem;
+            match monitor
+                .ingest_statistics(current.clone(), &mut rng)
+                .unwrap()
+            {
+                MonitorAction::NoChange => {
+                    assert!(ingest < 3, "drift past 100% by step 3 must adapt");
+                }
+                MonitorAction::Adapted {
+                    changed_objects, ..
+                } => {
+                    assert!(changed_objects > 0);
+                    adapted = true;
+                    break;
+                }
+            }
+        }
+        assert!(adapted, "cumulative sub-threshold drift never adapted");
+        // After adapting, the reference is re-pinned to the fresh statistics.
+        assert_eq!(monitor.problem(), &current);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use drp_core::telemetry::{self, Recorder};
 use drp_core::{
     CoreError, CostEvaluator, DegradationReport, ObjectId, Problem, ReplicationScheme, Result,
     SiteId,
@@ -175,6 +176,7 @@ struct Shared<'p> {
     /// keeping the cached nearest/second-nearest arrays warm for readers.
     directory: Mutex<CostEvaluator<'p>>,
     ledger: Mutex<Ledger>,
+    recorder: Arc<dyn Recorder>,
 }
 
 struct PendingReq {
@@ -418,6 +420,7 @@ impl<'p> SiteActor<'p> {
     /// stale or expired replicas.
     fn repair_sweep(&mut self, ctx: &mut Context<'_, RepairMsg>) {
         let shared = Arc::clone(&self.shared);
+        let _span = telemetry::span(shared.recorder.as_ref(), "repair.sweep");
         let problem = shared.problem;
         let n = problem.num_objects();
         let now = ctx.now();
@@ -713,6 +716,27 @@ pub fn run_faulted(
     plan: Option<FaultPlan>,
     config: RepairConfig,
 ) -> Result<FaultedRun> {
+    run_faulted_recorded(problem, scheme, plan, config, telemetry::noop())
+}
+
+/// [`run_faulted`] with telemetry: each coordinator sweep closes a
+/// `repair.sweep` span, the simulator publishes its `sim.*` / `fault.*`
+/// counters (see
+/// [`Simulator::set_recorder`](drp_net::sim::Simulator::set_recorder)),
+/// and the replica directory's flip/rescan totals land in
+/// `evaluator.flips` / `evaluator.rescans`. Recording changes nothing:
+/// the run stays bitwise identical per plan.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_faulted`].
+pub fn run_faulted_recorded(
+    problem: &Problem,
+    scheme: &ReplicationScheme,
+    plan: Option<FaultPlan>,
+    config: RepairConfig,
+    recorder: Arc<dyn Recorder>,
+) -> Result<FaultedRun> {
     scheme.validate(problem)?;
     if config.rpc_timeout == 0
         || config.repair_interval == 0
@@ -749,6 +773,7 @@ pub fn run_faulted(
             fetch_pending: vec![None; m * n],
             restored_at: None,
         }),
+        recorder: Arc::clone(&recorder),
     });
 
     let nodes: Vec<Box<dyn Node<RepairMsg> + '_>> = (0..m)
@@ -758,6 +783,7 @@ pub fn run_faulted(
         })
         .collect();
     let mut sim = Simulator::new(problem.costs().clone(), nodes)?;
+    sim.set_recorder(Arc::clone(&recorder));
     if let Some(plan) = plan {
         sim.set_fault_plan(plan);
     }
@@ -774,6 +800,10 @@ pub fn run_faulted(
         .unwrap_or_else(|_| unreachable!("all node references died with the simulator"));
     let directory = shared.directory.into_inner().expect("directory poisoned");
     let mut ledger = shared.ledger.into_inner().expect("ledger poisoned");
+    if recorder.enabled() {
+        recorder.add_counter("evaluator.flips", directory.flips());
+        recorder.add_counter("evaluator.rescans", directory.rescans());
+    }
 
     // Close open staleness windows at quiescence.
     let final_scheme = directory.into_scheme();
@@ -933,6 +963,39 @@ mod tests {
         assert!(r.reads_balanced(), "{r}");
         assert_eq!(r.reads_lost, 0, "{r}");
         assert!(r.reads_degraded > 0);
+        Ok(())
+    }
+
+    #[test]
+    fn recorded_run_is_identical_and_publishes_counters() -> TestResult {
+        use drp_core::telemetry::InMemoryRecorder;
+
+        let p = problem();
+        let s = scheme_with_degree_2(&p);
+        let plan = FaultPlan::new(7).crash(1, 40, 300).jitter(2);
+        let bare = run_faulted(&p, &s, Some(plan.clone()), RepairConfig::default())?;
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let recorded = run_faulted_recorded(
+            &p,
+            &s,
+            Some(plan),
+            RepairConfig::default(),
+            recorder.clone(),
+        )?;
+        assert_eq!(bare.report, recorded.report);
+        assert_eq!(bare.traffic, recorded.traffic);
+        assert_eq!(bare.events, recorded.events);
+        assert!(recorder.span_count("repair.sweep") > 0);
+        assert_eq!(recorder.span_count("sim.run"), 1);
+        assert_eq!(recorder.counter("sim.events"), recorded.events);
+        assert_eq!(
+            recorder.counter("fault.crashes"),
+            recorded.fault_stats.crashes
+        );
+        assert_eq!(
+            recorder.counter("evaluator.flips"),
+            recorded.report.repair_replicas_created
+        );
         Ok(())
     }
 

@@ -1,3 +1,4 @@
+use drp_core::telemetry::{self, Recorder};
 use drp_core::{
     CostEvaluator, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId,
 };
@@ -59,14 +60,22 @@ impl Sra {
     pub fn order(&self) -> SiteOrder {
         self.order
     }
-}
 
-impl ReplicationAlgorithm for Sra {
-    fn name(&self) -> &str {
-        "SRA"
-    }
-
-    fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
+    /// [`solve`](ReplicationAlgorithm::solve) with telemetry: each
+    /// benefit-sweep iteration (one site's turn) closes an `sra.sweep`
+    /// span, and the evaluator's flip/rescan totals land in
+    /// `evaluator.flips` / `evaluator.rescans` counters. Instrumentation
+    /// reads no randomness, so results are identical to `solve`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`solve`](ReplicationAlgorithm::solve).
+    pub fn solve_recorded(
+        &self,
+        problem: &Problem,
+        rng: &mut dyn RngCore,
+        recorder: &dyn Recorder,
+    ) -> Result<ReplicationScheme> {
         let m = problem.num_sites();
         let n = problem.num_objects();
         // The evaluator's cached nearest-replicator costs replace the
@@ -87,6 +96,7 @@ impl ReplicationAlgorithm for Sra {
 
         let mut cursor = 0usize;
         while !ls.is_empty() {
+            let _sweep = telemetry::span(recorder, "sra.sweep");
             let slot = match self.order {
                 SiteOrder::RoundRobin => {
                     let s = cursor % ls.len();
@@ -137,7 +147,21 @@ impl ReplicationAlgorithm for Sra {
                 }
             }
         }
+        if recorder.enabled() {
+            recorder.add_counter("evaluator.flips", eval.flips());
+            recorder.add_counter("evaluator.rescans", eval.rescans());
+        }
         Ok(eval.into_scheme())
+    }
+}
+
+impl ReplicationAlgorithm for Sra {
+    fn name(&self) -> &str {
+        "SRA"
+    }
+
+    fn solve(&self, problem: &Problem, rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
+        self.solve_recorded(problem, rng, &telemetry::NoopRecorder)
     }
 }
 
@@ -256,6 +280,27 @@ mod tests {
             s.validate(&p).unwrap();
             assert!(p.total_cost(&s) <= p.d_prime());
         }
+    }
+
+    #[test]
+    fn recorded_solve_matches_plain_solve_and_counts_sweeps() {
+        use drp_core::telemetry::InMemoryRecorder;
+
+        let p = WorkloadSpec::paper(10, 15, 5.0, 15.0)
+            .generate(&mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let plain = Sra::new().solve(&p, &mut StdRng::seed_from_u64(1)).unwrap();
+        let recorder = InMemoryRecorder::new();
+        let recorded = Sra::new()
+            .solve_recorded(&p, &mut StdRng::seed_from_u64(1), &recorder)
+            .unwrap();
+        assert_eq!(plain, recorded, "recording must not perturb the result");
+        assert!(recorder.span_count("sra.sweep") > 0);
+        // Every extra replica is one evaluator flip.
+        assert_eq!(
+            recorder.counter("evaluator.flips"),
+            recorded.extra_replica_count() as u64
+        );
     }
 
     #[test]

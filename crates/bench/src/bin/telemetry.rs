@@ -1,0 +1,219 @@
+//! Machine-readable telemetry-overhead check: `cargo run --release -p
+//! drp-bench --bin telemetry [out.json]` writes `BENCH_telemetry.json`.
+//!
+//! The observability layer promises to be free when nobody listens. This
+//! bin prices that promise on the `cost_eval` workload — the evaluator
+//! flip loop every solver hammers — by timing three variants:
+//!
+//! * **baseline** — the bare `apply_add`/`undo` flip pair, no telemetry
+//!   calls at all;
+//! * **noop** — the same pair wrapped in a [`NoopRecorder`] span plus a
+//!   counter bump, i.e. instrumented code with recording disarmed (the
+//!   generic [`telemetry::span`] monomorphises this away);
+//! * **noop_dyn** — the disarmed pair through `&dyn Recorder`, the
+//!   dispatch the solvers' `Arc<dyn Recorder>` defaults use — kept for
+//!   transparency; real spans there bracket whole sweeps/generations, so
+//!   the per-span virtual load vanishes at that granularity;
+//! * **armed** — the same pair recording into an [`InMemoryRecorder`],
+//!   the price a `--trace-out` run actually pays.
+//!
+//! The headline figure is `max_noop_overhead_percent`: the worst
+//! noop-vs-baseline gap across instance sizes, expected to stay within
+//! the 2% budget (`noop_within_budget`). A GRA end-to-end comparison
+//! (default noop engine vs recorder armed) rides along for context.
+
+use drp_algo::{Gra, GraConfig};
+use drp_bench::{instance, rng};
+use drp_core::telemetry::{self, InMemoryRecorder, NoopRecorder, Recorder};
+use drp_core::{CostEvaluator, ObjectId, Problem, ReplicationScheme, SiteId};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The noop path must cost no more than this over the bare loop.
+const BUDGET_PERCENT: f64 = 2.0;
+
+/// Timed passes per variant; the minimum is kept. A flip pair costs a few
+/// hundred nanoseconds while the effect under test (two devirtualised
+/// `enabled()` calls) costs single digits, so one pass drowns in scheduler
+/// noise — the best-of-N floor is the stable estimator.
+const PASSES: usize = 7;
+
+/// Times `f` once, calibrating the iteration count to ~20ms of wall clock.
+fn measure_once<F: FnMut()>(mut f: F) -> f64 {
+    let warm = Instant::now();
+    f();
+    let once = (warm.elapsed().as_nanos() as u64).max(1);
+    let iters = (20_000_000 / once).clamp(1, 5_000_000) as u32;
+    let timed = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    timed.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Best-of-[`PASSES`] timing of `f`.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    (0..PASSES)
+        .map(|_| measure_once(&mut f))
+        .fold(f64::MAX, f64::min)
+}
+
+fn feasible_add(problem: &Problem, scheme: &ReplicationScheme) -> Option<(SiteId, ObjectId)> {
+    problem
+        .sites()
+        .flat_map(|i| problem.objects().map(move |k| (i, k)))
+        .find(|&(i, k)| {
+            !scheme.holds(i, k) && problem.object_size(k) <= scheme.free_capacity(problem, i)
+        })
+}
+
+/// One flip pair, optionally wrapped the way the solvers wrap it.
+fn flip_pair(eval: &mut CostEvaluator<'_>, site: SiteId, object: ObjectId) {
+    eval.apply_add(site, object).unwrap();
+    eval.undo().unwrap();
+    std::hint::black_box(eval.total());
+}
+
+struct Row {
+    sites: usize,
+    objects: usize,
+    baseline_ns: f64,
+    noop_ns: f64,
+    noop_dyn_ns: f64,
+    armed_ns: f64,
+}
+
+impl Row {
+    fn overhead_percent(&self, variant_ns: f64) -> f64 {
+        100.0 * (variant_ns - self.baseline_ns) / self.baseline_ns
+    }
+}
+
+fn bench_size(sites: usize, objects: usize) -> Row {
+    let problem = instance(sites, objects, 5.0);
+    let scheme = ReplicationScheme::primary_only(&problem);
+    let (site, object) = feasible_add(&problem, &scheme)
+        .expect("paper instances leave room for at least one extra replica");
+
+    let mut eval = CostEvaluator::new(&problem, scheme.clone());
+    let baseline_ns = measure(|| flip_pair(&mut eval, site, object));
+
+    let noop = NoopRecorder;
+    let mut eval = CostEvaluator::new(&problem, scheme.clone());
+    let noop_ns = measure(|| {
+        let _span = telemetry::span(&noop, "bench.flip");
+        noop.add_counter("bench.flips", 1);
+        flip_pair(&mut eval, site, object);
+    });
+
+    let noop_dyn: &dyn Recorder = &NoopRecorder;
+    let mut eval = CostEvaluator::new(&problem, scheme.clone());
+    let noop_dyn_ns = measure(|| {
+        let _span = telemetry::span(noop_dyn, "bench.flip");
+        noop_dyn.add_counter("bench.flips", 1);
+        flip_pair(&mut eval, site, object);
+    });
+
+    let armed = InMemoryRecorder::new();
+    let mut eval = CostEvaluator::new(&problem, scheme);
+    let armed_ns = measure(|| {
+        let _span = telemetry::span(&armed, "bench.flip");
+        armed.add_counter("bench.flips", 1);
+        flip_pair(&mut eval, site, object);
+    });
+
+    Row {
+        sites,
+        objects,
+        baseline_ns,
+        noop_ns,
+        noop_dyn_ns,
+        armed_ns,
+    }
+}
+
+/// Wall clock of one seeded GRA solve with the given recorder wiring.
+fn gra_run_ns(problem: &Problem, recorder: Option<Arc<dyn Recorder>>) -> f64 {
+    let config = GraConfig {
+        population_size: 16,
+        generations: 20,
+        ..GraConfig::default()
+    };
+    let mut gra = Gra::with_config(config);
+    if let Some(rec) = recorder {
+        gra = gra.with_recorder(rec);
+    }
+    let started = Instant::now();
+    let run = gra.solve_detailed(problem, &mut rng()).unwrap();
+    std::hint::black_box(run.fitness);
+    started.elapsed().as_nanos() as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_telemetry.json".to_string());
+
+    let rows: Vec<Row> = [(20, 50), (50, 100), (100, 200)]
+        .into_iter()
+        .map(|(m, n)| bench_size(m, n))
+        .collect();
+    let max_noop = rows
+        .iter()
+        .map(|r| r.overhead_percent(r.noop_ns))
+        .fold(f64::MIN, f64::max);
+
+    let gra_problem = instance(30, 60, 5.0);
+    let gra_noop_ns = gra_run_ns(&gra_problem, None);
+    let gra_armed_ns = gra_run_ns(
+        &gra_problem,
+        Some(Arc::new(InMemoryRecorder::new()) as Arc<dyn Recorder>),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"telemetry\",");
+    let _ = writeln!(json, "  \"unit\": \"ns_per_flip_pair\",");
+    let _ = writeln!(json, "  \"budget_percent\": {BUDGET_PERCENT},");
+    json.push_str("  \"instances\": [\n");
+    for (idx, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"sites\": {}, \"objects\": {}, \"baseline_ns\": {:.1}, \
+             \"noop_ns\": {:.1}, \"noop_dyn_ns\": {:.1}, \"armed_ns\": {:.1}, \
+             \"noop_overhead_percent\": {:.2}, \"noop_dyn_overhead_percent\": {:.2}, \
+             \"armed_overhead_percent\": {:.2}}}",
+            row.sites,
+            row.objects,
+            row.baseline_ns,
+            row.noop_ns,
+            row.noop_dyn_ns,
+            row.armed_ns,
+            row.overhead_percent(row.noop_ns),
+            row.overhead_percent(row.noop_dyn_ns),
+            row.overhead_percent(row.armed_ns),
+        );
+        json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"max_noop_overhead_percent\": {max_noop:.2},");
+    let _ = writeln!(
+        json,
+        "  \"noop_within_budget\": {},",
+        max_noop <= BUDGET_PERCENT
+    );
+    let _ = writeln!(
+        json,
+        "  \"gra_end_to_end\": {{\"noop_ms\": {:.1}, \"armed_ms\": {:.1}, \
+         \"armed_overhead_percent\": {:.2}}}",
+        gra_noop_ns / 1e6,
+        gra_armed_ns / 1e6,
+        100.0 * (gra_armed_ns - gra_noop_ns) / gra_noop_ns
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("wrote {out_path}");
+    print!("{json}");
+}

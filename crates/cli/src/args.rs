@@ -102,6 +102,8 @@ pub enum Command {
         generations: usize,
         /// Scheme output file (omitted = report only).
         output: Option<PathBuf>,
+        /// Telemetry JSONL output file.
+        trace_out: Option<PathBuf>,
     },
     /// Evaluate a scheme against an instance.
     Evaluate {
@@ -141,6 +143,8 @@ pub enum Command {
         min_degree: usize,
         /// Client workload horizon.
         horizon: u64,
+        /// Telemetry JSONL output file.
+        trace_out: Option<PathBuf>,
     },
     /// Adapt a scheme to a shifted instance with AGRA.
     Adapt {
@@ -292,6 +296,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut population = 50usize;
             let mut generations = 80usize;
             let mut output = None;
+            let mut trace_out = None;
             stream.index = 1;
             while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
                 match flag {
@@ -302,6 +307,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--gens" => generations = parse_num(stream.next_value(flag)?, flag)?,
                     "-o" | "--output" => {
                         output = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(stream.next_value(flag)?));
                     }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
@@ -314,6 +322,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 population,
                 generations,
                 output,
+                trace_out,
             })
         }
         "faults" => {
@@ -325,6 +334,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut seed = 0u64;
             let mut min_degree = 2usize;
             let mut horizon = 1_000u64;
+            let mut trace_out = None;
             stream.index = 1;
             while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
                 match flag {
@@ -336,6 +346,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--seed" => seed = parse_num(stream.next_value(flag)?, flag)?,
                     "--min-degree" => min_degree = parse_num(stream.next_value(flag)?, flag)?,
                     "--horizon" => horizon = parse_num(stream.next_value(flag)?, flag)?,
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -354,6 +367,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 min_degree,
                 horizon,
+                trace_out,
             })
         }
         "evaluate" | "inspect" | "adapt" | "distributed" => {
@@ -506,6 +520,28 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_trace_out_on_solve_and_faults() {
+        let cmd = parse(&argv(
+            "solve --instance net.drp --algorithm sra --trace-out t.jsonl",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Solve { trace_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cmd = parse(&argv("faults --instance net.drp --trace-out t.jsonl")).unwrap();
+        match cmd {
+            Command::Faults { trace_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("solve --instance a.drp --algorithm sra --trace-out")).is_err());
     }
 
     #[test]

@@ -1,17 +1,19 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use drp_algo::baselines::{HillClimb, PrimaryOnly, RandomFill};
 use drp_algo::exact::BranchBound;
 use drp_algo::fault_tolerance::ensure_min_degree;
-use drp_algo::repair::{run_faulted, RepairConfig};
+use drp_algo::repair::{run_faulted, run_faulted_recorded, RepairConfig};
 use drp_algo::{detect_changed_objects, Agra, AgraConfig, Gra, GraConfig, Sra};
 use drp_core::format::{read_instance, read_scheme, write_instance, write_scheme};
+use drp_core::telemetry::{InMemoryRecorder, Recorder};
 use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme};
 use drp_net::sim::FaultPlan;
 use drp_workload::WorkloadSpec;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::args::{CliError, Command, SolverKind};
 
@@ -47,6 +49,38 @@ fn emit_scheme(
         None => out.push_str(&body),
     }
     Ok(())
+}
+
+/// Dumps a recorder as JSONL and notes the path in the report.
+fn write_trace(out: &mut String, recorder: &InMemoryRecorder, path: &Path) -> Result<(), CliError> {
+    recorder.write_jsonl(path).map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let _ = writeln!(out, "trace written to {}", path.display());
+    Ok(())
+}
+
+/// Lets the trait-object dispatch in `solve` record SRA telemetry:
+/// [`Sra`] is `Copy` and keeps no recorder, so this pairs one with it.
+struct RecordedSra {
+    inner: Sra,
+    recorder: Arc<InMemoryRecorder>,
+}
+
+impl ReplicationAlgorithm for RecordedSra {
+    fn name(&self) -> &str {
+        "SRA"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem,
+        rng: &mut dyn RngCore,
+    ) -> drp_core::Result<ReplicationScheme> {
+        self.inner
+            .solve_recorded(problem, rng, self.recorder.as_ref())
+    }
 }
 
 /// Executes a parsed [`Command`], returning its stdout text.
@@ -97,16 +131,34 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
             population,
             generations,
             output,
+            trace_out,
         } => {
             let problem = load_instance(&instance)?;
             let mut rng = StdRng::seed_from_u64(seed);
+            // Armed only when --trace-out asks for it; SRA and GRA are the
+            // instrumented solvers, the baselines leave the trace empty.
+            let trace = trace_out
+                .as_ref()
+                .map(|_| Arc::new(InMemoryRecorder::new()));
             let algorithm: Box<dyn ReplicationAlgorithm> = match solver {
-                SolverKind::Sra => Box::new(Sra::new()),
-                SolverKind::Gra => Box::new(Gra::with_config(GraConfig {
-                    population_size: population,
-                    generations,
-                    ..GraConfig::default()
-                })),
+                SolverKind::Sra => match &trace {
+                    Some(rec) => Box::new(RecordedSra {
+                        inner: Sra::new(),
+                        recorder: Arc::clone(rec),
+                    }),
+                    None => Box::new(Sra::new()),
+                },
+                SolverKind::Gra => {
+                    let mut gra = Gra::with_config(GraConfig {
+                        population_size: population,
+                        generations,
+                        ..GraConfig::default()
+                    });
+                    if let Some(rec) = &trace {
+                        gra = gra.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+                    }
+                    Box::new(gra)
+                }
                 SolverKind::Hill => Box::new(HillClimb::default()),
                 SolverKind::Random => Box::new(RandomFill::default()),
                 SolverKind::Optimal => Box::new(BranchBound::default()),
@@ -117,6 +169,9 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                 .map_err(|e| CliError::Run(e.to_string()))?;
             let _ = writeln!(out, "{report}");
             emit_scheme(&mut out, &scheme, output.as_ref())?;
+            if let (Some(rec), Some(path)) = (&trace, &trace_out) {
+                write_trace(&mut out, rec, path)?;
+            }
         }
         Command::Evaluate { instance, scheme } => {
             let problem = load_instance(&instance)?;
@@ -203,6 +258,7 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
             seed,
             min_degree,
             horizon,
+            trace_out,
         } => {
             let problem = load_instance(&instance)?;
             for &(site, _, _) in &crashes {
@@ -242,8 +298,20 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                 horizon,
                 ..RepairConfig::default()
             };
-            let run = run_faulted(&problem, &scheme, plan, config)
-                .map_err(|e| CliError::Run(e.to_string()))?;
+            let trace = trace_out
+                .as_ref()
+                .map(|_| Arc::new(InMemoryRecorder::new()));
+            let run = match &trace {
+                Some(rec) => run_faulted_recorded(
+                    &problem,
+                    &scheme,
+                    plan,
+                    config,
+                    Arc::clone(rec) as Arc<dyn Recorder>,
+                ),
+                None => run_faulted(&problem, &scheme, plan, config),
+            }
+            .map_err(|e| CliError::Run(e.to_string()))?;
             let _ = writeln!(out, "{}", run.report);
             let fs = run.fault_stats;
             let _ = writeln!(
@@ -263,6 +331,9 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                 "sim: events={} messages={} data-units={} transfer-cost={}",
                 run.events, run.stats.messages, run.stats.data_units, run.stats.transfer_cost
             );
+            if let (Some(rec), Some(path)) = (&trace, &trace_out) {
+                write_trace(&mut out, rec, path)?;
+            }
         }
         Command::Adapt {
             instance,
@@ -517,6 +588,53 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.to_string().contains("out of range"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn trace_out_writes_jsonl_without_changing_results() {
+        let dir = tempdir("trace");
+        let net = dir.join("net.drp");
+        let trace = dir.join("solve.trace.jsonl");
+        run(&argv(&format!(
+            "generate --sites 8 --objects 10 --capacity 20 --seed 3 -o {}",
+            net.display()
+        )))
+        .unwrap();
+
+        let solve = format!(
+            "solve --instance {} --algorithm gra --pop 8 --gens 10 --seed 4",
+            net.display()
+        );
+        let bare = run(&argv(&solve)).unwrap();
+        let traced = run(&argv(&format!("{solve} --trace-out {}", trace.display()))).unwrap();
+        assert!(traced.contains("trace written to"), "{traced}");
+        // The wall-clock field varies run to run; the cost must not.
+        let cost = |s: &str| {
+            s.split("cost=")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(cost(&bare), cost(&traced));
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains(r#""name":"ga.generation""#), "{body}");
+        assert!(body.contains(r#""name":"gra.best_fitness""#), "{body}");
+
+        let ftrace = dir.join("faults.trace.jsonl");
+        let out = run(&argv(&format!(
+            "faults --instance {} --crash 2@80..380 --seed 17 --horizon 400 --trace-out {}",
+            net.display(),
+            ftrace.display()
+        )))
+        .unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        let body = std::fs::read_to_string(&ftrace).unwrap();
+        assert!(body.contains(r#""name":"sim.run""#), "{body}");
+        assert!(body.contains(r#""name":"fault.crashes""#), "{body}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -26,13 +26,13 @@ usage:
                [--topology complete|ring|tree|grid|er|waxman] [--zipf S]
                [--seed N] [-o FILE]
   drp solve    --instance FILE --algorithm sra|gra|hill|random|optimal|primary
-               [--seed N] [--pop N] [--gens N] [-o FILE]
+               [--seed N] [--pop N] [--gens N] [-o FILE] [--trace-out FILE]
   drp evaluate --instance FILE --scheme FILE
   drp inspect  --instance FILE
   drp distributed --instance FILE [-o FILE]
   drp faults   --instance FILE [--scheme FILE] [--crash SITE@FROM..UNTIL]...
                [--drop P] [--jitter J] [--seed N] [--min-degree D]
-               [--horizon T]
+               [--horizon T] [--trace-out FILE]
   drp adapt    --instance FILE --new-instance FILE --scheme FILE
                [--mini N] [--threshold PCT] [--seed N] [-o FILE]";
 

@@ -101,6 +101,12 @@ pub struct CostEvaluator<'p> {
     total: u64,
     /// Flip log consumed by [`undo`](Self::undo).
     log: Vec<FlipRecord>,
+    /// Replica flips applied so far (adds, removes and undos alike).
+    flips: u64,
+    /// Second-nearest rescans performed — the only super-O(M) step of a
+    /// flip, so the ratio `rescans / flips` tells how often a removal hits
+    /// the cached top-2.
+    rescans: u64,
 }
 
 impl<'p> CostEvaluator<'p> {
@@ -129,6 +135,8 @@ impl<'p> CostEvaluator<'p> {
             object_cost: vec![0; n],
             total: 0,
             log: Vec::new(),
+            flips: 0,
+            rescans: 0,
         };
         for k in 0..n {
             eval.rebuild_object(k);
@@ -227,6 +235,20 @@ impl<'p> CostEvaluator<'p> {
     /// Number of flips recorded for [`undo`](Self::undo).
     pub fn history_len(&self) -> usize {
         self.log.len()
+    }
+
+    /// Lifetime count of replica flips applied through this evaluator
+    /// (adds, removes and undos alike). Plain always-on counters: callers
+    /// publish them to a telemetry [`Recorder`](crate::telemetry::Recorder)
+    /// after a run.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Lifetime count of O(|R_k|) second-nearest rescans triggered by
+    /// removals whose replica sat in a cached top-2 slot.
+    pub fn rescans(&self) -> u64 {
+        self.rescans
     }
 
     /// Forgets the undo history (the cache itself is unaffected).
@@ -329,6 +351,7 @@ impl<'p> CostEvaluator<'p> {
     /// duplicate replica); the cache is untouched on error.
     pub fn apply_add(&mut self, site: SiteId, object: ObjectId) -> Result<i64> {
         self.scheme.add_replica(self.problem, site, object)?;
+        self.flips += 1;
         let delta = self.integrate_add(site.index(), object.index());
         self.log.push(FlipRecord {
             added: true,
@@ -348,6 +371,7 @@ impl<'p> CostEvaluator<'p> {
     /// replica, primary); the cache is untouched on error.
     pub fn apply_remove(&mut self, site: SiteId, object: ObjectId) -> Result<i64> {
         self.scheme.remove_replica(self.problem, site, object)?;
+        self.flips += 1;
         let delta = self.integrate_remove(site.index(), object.index());
         self.log.push(FlipRecord {
             added: false,
@@ -365,6 +389,7 @@ impl<'p> CostEvaluator<'p> {
     /// the module docs), the inverse flip restores it exactly.
     pub fn undo(&mut self) -> Option<i64> {
         let record = self.log.pop()?;
+        self.flips += 1;
         let site = SiteId::new(record.site as usize);
         let object = ObjectId::new(record.object as usize);
         let delta = if record.added {
@@ -541,6 +566,7 @@ impl<'p> CostEvaluator<'p> {
     /// Recomputes `second(k, x)` by scanning the replicator list, excluding
     /// the current best. O(|R_k|).
     fn rescan_second(&mut self, k: usize, x: usize) {
+        self.rescans += 1;
         let m = self.problem.num_sites();
         let idx = k * m + x;
         let best_site = self.best_site[idx];
@@ -716,6 +742,27 @@ mod tests {
         assert_eq!(eval.total(), snapshot.total());
         assert_eq!(eval.scheme(), snapshot.scheme());
         assert_eq!(eval.history_len(), 0);
+    }
+
+    #[test]
+    fn flip_and_rescan_counters_track_operations() {
+        let p = problem();
+        let mut eval = CostEvaluator::primary_only(&p);
+        assert_eq!((eval.flips(), eval.rescans()), (0, 0));
+        eval.apply_add(SiteId::new(2), ObjectId::new(0)).unwrap();
+        eval.apply_add(SiteId::new(1), ObjectId::new(0)).unwrap();
+        assert_eq!(eval.flips(), 2);
+        assert_eq!(eval.rescans(), 0, "adds never rescan");
+        eval.apply_remove(SiteId::new(1), ObjectId::new(0)).unwrap();
+        assert_eq!(eval.flips(), 3);
+        assert!(eval.rescans() > 0, "removing a cached replicator rescans");
+        let before = eval.flips();
+        eval.undo().unwrap();
+        assert_eq!(eval.flips(), before + 1, "undo is a flip too");
+        // Failed operations leave the counters alone.
+        let (f, r) = (eval.flips(), eval.rescans());
+        assert!(eval.apply_add(SiteId::new(0), ObjectId::new(0)).is_err());
+        assert_eq!((eval.flips(), eval.rescans()), (f, r));
     }
 
     #[test]

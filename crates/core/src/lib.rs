@@ -66,6 +66,7 @@ pub mod migration;
 mod problem;
 pub mod replay;
 mod scheme;
+pub mod telemetry;
 
 pub use algorithm::ReplicationAlgorithm;
 pub use error::CoreError;

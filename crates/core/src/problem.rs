@@ -455,6 +455,36 @@ impl ProblemBuilder {
         let total_reads: Vec<u64> = (0..n).map(|k| reads.column_sum(k)).collect();
         let total_writes: Vec<u64> = (0..n).map(|k| writes.column_sum(k)).collect();
 
+        // Eq. 4 multiplies a frequency total by an object size and a link
+        // cost, and the update broadcast repeats such a term up to M times.
+        // The cost kernels use plain arithmetic, so reject any instance
+        // whose extreme values could wrap u64 in release builds.
+        let max_rw = (0..n)
+            .map(|k| total_reads[k].saturating_add(total_writes[k]))
+            .max()
+            .unwrap_or(0);
+        let max_size = self.object_sizes.iter().copied().max().unwrap_or(0);
+        let max_cost = (0..m)
+            .flat_map(|i| {
+                let costs = &self.costs;
+                (0..m).map(move |j| costs.cost(i, j))
+            })
+            .max()
+            .unwrap_or(0);
+        let fits = max_rw
+            .checked_mul(max_size)
+            .and_then(|x| x.checked_mul(max_cost))
+            .and_then(|x| x.checked_mul(m as u64))
+            .is_some();
+        if !fits {
+            return Err(CoreError::InvalidInstance {
+                reason: format!(
+                    "cost terms may overflow u64: max access total {max_rw} x max object \
+                     size {max_size} x max link cost {max_cost} x {m} sites"
+                ),
+            });
+        }
+
         // D_prime / V_prime: with only primaries, every non-primary site pays
         // (r + w) · o · C(i, SP) and the primary itself pays nothing.
         let mut d_prime = 0u64;
@@ -570,6 +600,34 @@ mod tests {
             .object(6, SiteId::new(0))
             .build();
         assert!(matches!(err, Err(CoreError::InvalidInstance { .. })));
+    }
+
+    #[test]
+    fn build_rejects_instances_whose_costs_could_overflow() {
+        // max_rw · max_size · max_cost · M must fit in u64. With link cost 3,
+        // M = 3 and size 1 << 32, a read total of 1 << 31 pushes the product
+        // past u64::MAX (2^31 · 2^32 · 3 · 3 ≈ 2^66.2).
+        let err = Problem::builder(line_costs())
+            .capacities(vec![u64::MAX, u64::MAX, u64::MAX])
+            .object(1 << 32, SiteId::new(0))
+            .reads(vec![0, 1 << 31, 0])
+            .build();
+        match err {
+            Err(CoreError::InvalidInstance { reason }) => {
+                assert!(reason.contains("overflow"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected InvalidInstance, got {other:?}"),
+        }
+
+        // Just inside the limit builds fine: 2^30 · 2^32 · 1 · 3 < 2^64 with
+        // unit link costs.
+        let unit_costs = CostMatrix::from_rows(3, vec![0, 1, 1, 1, 0, 1, 1, 1, 0]).unwrap();
+        let ok = Problem::builder(unit_costs)
+            .capacities(vec![u64::MAX, u64::MAX, u64::MAX])
+            .object(1 << 32, SiteId::new(0))
+            .reads(vec![0, 1 << 30, 0])
+            .build();
+        assert!(ok.is_ok(), "near-limit instance should build: {ok:?}");
     }
 
     #[test]

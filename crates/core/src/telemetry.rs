@@ -1,0 +1,9 @@
+//! Re-export of the observability layer.
+//!
+//! The canonical implementation lives in [`drp_net::telemetry`] — the
+//! bottom of the workspace dependency DAG — so the simulator can use the
+//! same [`Recorder`] trait as the solvers without a dependency cycle.
+//! Everything above `drp-net` should import from here
+//! (`drp_core::telemetry`).
+
+pub use drp_net::telemetry::*;

@@ -10,8 +10,10 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
+use drp_core::telemetry::{InMemoryRecorder, Recorder};
 use drp_experiments::figures::{ablation, convergence, faults, fig1, fig2, fig3, fig4, gap, trees};
 use drp_experiments::{Scale, Table};
 
@@ -90,6 +92,12 @@ fn main() -> ExitCode {
     };
     eprintln!("repro: target={} {}", args.target, args.scale.describe());
     let started = Instant::now();
+    // Every figure run records into this and dumps
+    // `telemetry_<target>.jsonl` next to the CSVs; the sweeps with deep
+    // hooks (fig1/fig2 GRA runs, the faults pipeline) feed it solver and
+    // simulator internals, the rest at least leave run-level marks.
+    let recorder = Arc::new(InMemoryRecorder::new());
+    let dyn_recorder = || Arc::clone(&recorder) as Arc<dyn Recorder>;
 
     match args.target.as_str() {
         "fig1" => {
@@ -98,7 +106,7 @@ fn main() -> ExitCode {
                 args.instances,
                 |p, n| p.instances = n,
             );
-            emit(fig1::run(&params), &args.out);
+            emit(fig1::run_recorded(&params, dyn_recorder()), &args.out);
         }
         "fig1-sites" => {
             let params = with_instances(
@@ -106,7 +114,7 @@ fn main() -> ExitCode {
                 args.instances,
                 |p, n| p.instances = n,
             );
-            let [a, b, t1, t2] = fig1::sites_sweep(&params);
+            let [a, b, t1, t2] = fig1::sites_sweep_recorded(&params, dyn_recorder());
             emit(vec![a, b, t1, t2], &args.out);
         }
         "fig1-objects" => {
@@ -115,7 +123,7 @@ fn main() -> ExitCode {
                 args.instances,
                 |p, n| p.instances = n,
             );
-            let [c, d] = fig1::objects_sweep(&params);
+            let [c, d] = fig1::objects_sweep_recorded(&params, dyn_recorder());
             emit(vec![c, d], &args.out);
         }
         "fig2" => {
@@ -124,7 +132,7 @@ fn main() -> ExitCode {
                 args.instances,
                 |p, n| p.instances = n,
             );
-            emit(fig2::run(&params), &args.out);
+            emit(fig2::run_recorded(&params, dyn_recorder()), &args.out);
         }
         "fig3" => {
             let params = with_instances(
@@ -180,7 +188,7 @@ fn main() -> ExitCode {
                 args.instances,
                 |p, n| p.instances = n,
             );
-            emit(faults::run(&params), &args.out);
+            emit(faults::run_recorded(&params, dyn_recorder()), &args.out);
         }
         "extras" => {
             // The three reproduction extensions in one go.
@@ -210,8 +218,8 @@ fn main() -> ExitCode {
                 args.instances,
                 |p, n| p.instances = n,
             );
-            let [a, b, t1, t2] = fig1::sites_sweep(&params);
-            let [c, d] = fig1::objects_sweep(&params);
+            let [a, b, t1, t2] = fig1::sites_sweep_recorded(&params, dyn_recorder());
+            let [c, d] = fig1::objects_sweep_recorded(&params, dyn_recorder());
             emit(vec![a, b, c, d, t1, t2], &args.out);
             let params = with_instances(
                 fig3::Params::from_scale(args.scale, args.seed),
@@ -227,6 +235,13 @@ fn main() -> ExitCode {
             emit(fig4::run(&params), &args.out);
         }
         _ => return usage(),
+    }
+
+    recorder.set_gauge("repro.elapsed_seconds", started.elapsed().as_secs_f64());
+    let trace = args.out.join(format!("telemetry_{}.jsonl", args.target));
+    match recorder.write_jsonl(&trace) {
+        Ok(()) => eprintln!("  wrote {}", trace.display()),
+        Err(e) => eprintln!("  failed to write {}: {e}", trace.display()),
     }
 
     eprintln!("repro: finished in {:.1}s", started.elapsed().as_secs_f64());

@@ -10,9 +10,12 @@
 //! repair loop created, the NTC it spent doing so, and how long the system
 //! stayed below its replication floor.
 
+use std::sync::Arc;
+
 use drp_algo::fault_tolerance::ensure_min_degree;
-use drp_algo::repair::{run_faulted, RepairConfig};
+use drp_algo::repair::{run_faulted_recorded, RepairConfig};
 use drp_algo::Sra;
+use drp_core::telemetry::{self, Recorder};
 use drp_core::ReplicationAlgorithm;
 use drp_net::sim::FaultPlan;
 use drp_workload::WorkloadSpec;
@@ -80,6 +83,13 @@ fn plan_for(seed: u64, count: usize, num_sites: usize, drop: f64) -> Option<Faul
 
 /// Runs the fault study: client-observed degradation vs crashed sites.
 pub fn run(params: &Params) -> Vec<Table> {
+    run_recorded(params, telemetry::noop())
+}
+
+/// [`run`] with a telemetry recorder observing every simulator run: one
+/// `faults.point` span per crash count plus the aggregated `sim.*` /
+/// `fault.*` / `repair.sweep` telemetry of every repair pipeline run.
+pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> {
     let (m, n) = params.size;
     let mut table = Table::new(
         "degradation_vs_crashed_sites",
@@ -95,6 +105,7 @@ pub fn run(params: &Params) -> Vec<Table> {
         ],
     );
     for &count in &params.crash_counts {
+        let _point = telemetry::span(recorder.as_ref(), "faults.point");
         let spec = WorkloadSpec::paper(m, n, 8.0, params.capacity);
         let runs = run_parallel(params.instances, |instance| {
             let seed = mix_seed(&[params.seed, 0xFA17, count as u64, instance as u64]);
@@ -107,7 +118,8 @@ pub fn run(params: &Params) -> Vec<Table> {
                 min_degree: params.min_degree,
                 ..RepairConfig::default()
             };
-            let run = run_faulted(&problem, &scheme, plan, config).expect("repair run");
+            let run = run_faulted_recorded(&problem, &scheme, plan, config, Arc::clone(&recorder))
+                .expect("repair run");
             let r = run.report;
             assert!(r.reads_balanced() && r.writes_balanced(), "{r}");
             [
@@ -167,5 +179,29 @@ mod tests {
         let a = run(&tiny_params());
         let b = run(&tiny_params());
         assert_eq!(a[0].rows, b[0].rows);
+    }
+
+    #[test]
+    fn recorded_study_matches_plain_and_aggregates_telemetry() {
+        use drp_core::telemetry::InMemoryRecorder;
+
+        let params = tiny_params();
+        let plain = run(&params);
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let recorded = run_recorded(&params, recorder.clone());
+        assert_eq!(
+            plain[0].rows, recorded[0].rows,
+            "recording must not perturb results"
+        );
+        assert_eq!(
+            recorder.span_count("faults.point"),
+            params.crash_counts.len() as u64
+        );
+        // Every (crash count, instance) pair is one simulator run.
+        assert_eq!(
+            recorder.span_count("sim.run"),
+            (params.crash_counts.len() * params.instances) as u64
+        );
+        assert!(recorder.counter("sim.events") > 0);
     }
 }

@@ -11,7 +11,10 @@
 //! (exploiting the added capacity) while SRA's stays flat; GRA pays orders
 //! of magnitude more time.
 
+use std::sync::Arc;
+
 use drp_algo::{Gra, GraConfig, Sra};
+use drp_core::telemetry::{self, Recorder};
 use drp_core::ReplicationAlgorithm;
 use drp_workload::WorkloadSpec;
 use rand::rngs::StdRng;
@@ -70,7 +73,19 @@ struct PointMetrics {
 }
 
 /// Measures SRA and GRA on `instances` fresh networks of the given shape.
-fn measure_point(params: &Params, m: usize, n: usize, u: f64, tag: u64) -> [PointMetrics; 2] {
+///
+/// The `recorder` observes every GRA run of the point (generation spans,
+/// evaluation counters) and closes one `fig1.point` span per data point;
+/// a disarmed recorder leaves the timing columns untouched.
+fn measure_point(
+    params: &Params,
+    m: usize,
+    n: usize,
+    u: f64,
+    tag: u64,
+    recorder: &Arc<dyn Recorder>,
+) -> [PointMetrics; 2] {
+    let _point = telemetry::span(recorder.as_ref(), "fig1.point");
     let spec = WorkloadSpec::paper(m, n, u, params.capacity_percent);
     let gra_config = params.gra.clone();
     let runs = run_parallel(params.instances, |instance| {
@@ -88,6 +103,7 @@ fn measure_point(params: &Params, m: usize, n: usize, u: f64, tag: u64) -> [Poin
             .solve_report(&problem, &mut rng)
             .expect("SRA cannot fail on a valid instance");
         let (gra_scheme, gra_report) = Gra::with_config(gra_config.clone())
+            .with_recorder(Arc::clone(recorder))
             .solve_report(&problem, &mut rng)
             .expect("GRA cannot fail on a valid instance");
         [
@@ -127,6 +143,11 @@ fn sweep_columns(first: &str, update_ratios: &[f64]) -> Vec<String> {
 
 /// The site sweep: returns `[fig1a, fig1b, fig2a, fig2b]`.
 pub fn sites_sweep(params: &Params) -> [Table; 4] {
+    sites_sweep_recorded(params, telemetry::noop())
+}
+
+/// [`sites_sweep`] with a telemetry recorder observing every GRA run.
+pub fn sites_sweep_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> [Table; 4] {
     let mut fig1a = Table::new(
         "fig1a_savings_vs_sites",
         sweep_columns("sites", &params.update_ratios),
@@ -161,7 +182,7 @@ pub fn sites_sweep(params: &Params) -> [Table; 4] {
         let per_u: Vec<[PointMetrics; 2]> = params
             .update_ratios
             .iter()
-            .map(|&u| measure_point(params, m, params.objects_fixed, u, 0x516))
+            .map(|&u| measure_point(params, m, params.objects_fixed, u, 0x516, &recorder))
             .collect();
         let row = |select: &dyn Fn(&PointMetrics) -> f64| -> Vec<String> {
             let mut row = vec![m.to_string()];
@@ -192,6 +213,11 @@ pub fn sites_sweep(params: &Params) -> [Table; 4] {
 
 /// The object sweep: returns `[fig1c, fig1d]`.
 pub fn objects_sweep(params: &Params) -> [Table; 2] {
+    objects_sweep_recorded(params, telemetry::noop())
+}
+
+/// [`objects_sweep`] with a telemetry recorder observing every GRA run.
+pub fn objects_sweep_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> [Table; 2] {
     let mut fig1c = Table::new(
         "fig1c_savings_vs_objects",
         sweep_columns("objects", &params.update_ratios),
@@ -204,7 +230,7 @@ pub fn objects_sweep(params: &Params) -> [Table; 2] {
         let per_u: Vec<[PointMetrics; 2]> = params
             .update_ratios
             .iter()
-            .map(|&u| measure_point(params, params.sites_fixed, n, u, 0x0b7))
+            .map(|&u| measure_point(params, params.sites_fixed, n, u, 0x0b7, &recorder))
             .collect();
         let row = |select: &dyn Fn(&PointMetrics) -> f64| -> Vec<String> {
             let mut row = vec![n.to_string()];
@@ -224,8 +250,13 @@ pub fn objects_sweep(params: &Params) -> [Table; 2] {
 
 /// Runs both sweeps (Figures 1(a)–(d)).
 pub fn run(params: &Params) -> Vec<Table> {
-    let [a, b, _, _] = sites_sweep(params);
-    let [c, d] = objects_sweep(params);
+    run_recorded(params, telemetry::noop())
+}
+
+/// [`run`] with a telemetry recorder observing every GRA run.
+pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> {
+    let [a, b, _, _] = sites_sweep_recorded(params, Arc::clone(&recorder));
+    let [c, d] = objects_sweep_recorded(params, recorder);
     vec![a, b, c, d]
 }
 

@@ -10,12 +10,21 @@
 //! the paper's 200 MHz UltraSPARC-2, the ratio and the growth shape should
 //! not.
 
+use std::sync::Arc;
+
+use drp_core::telemetry::{self, Recorder};
+
 use crate::figures::fig1;
 use crate::{Scale, Table};
 
 /// Runs the site sweep and returns `[fig2a, fig2b]`.
 pub fn run(params: &fig1::Params) -> Vec<Table> {
-    let [_, _, a, b] = fig1::sites_sweep(params);
+    run_recorded(params, telemetry::noop())
+}
+
+/// [`run`] with a telemetry recorder observing every GRA run.
+pub fn run_recorded(params: &fig1::Params, recorder: Arc<dyn Recorder>) -> Vec<Table> {
+    let [_, _, a, b] = fig1::sites_sweep_recorded(params, recorder);
     vec![a, b]
 }
 

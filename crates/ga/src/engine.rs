@@ -1,3 +1,6 @@
+use std::sync::Arc;
+
+use drp_net::telemetry::{self, Recorder};
 use rand::{Rng, RngCore};
 
 use crate::config::{GaConfig, SamplingSpace};
@@ -27,12 +30,27 @@ pub struct GaOutcome {
 #[derive(Debug, Clone)]
 pub struct Engine {
     config: GaConfig,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(config: GaConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            recorder: telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder. Each generation emits a
+    /// `ga.generation` span with `ga.crossover` / `ga.mutation` /
+    /// `ga.evaluate` / `ga.selection` sub-phases and a `ga.evaluations`
+    /// counter. Instrumentation never consumes randomness, so a seeded run
+    /// is bitwise identical with any recorder armed.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The configuration this engine runs.
@@ -71,6 +89,7 @@ impl Engine {
 
         let np = self.config.population_size;
         let mut evaluations: u64 = 0;
+        let rec = self.recorder.as_ref();
 
         // Resize and evaluate generation 0. All scoring goes through
         // `evaluate_batch` so specs can parallelize; offspring are always
@@ -84,7 +103,11 @@ impl Engine {
             .map(|c| (c, 0.0))
             .collect();
         evaluations += population.len() as u64;
-        spec.evaluate_batch(&mut population);
+        rec.add_counter("ga.evaluations", population.len() as u64);
+        {
+            let _span = telemetry::span(rec, "ga.evaluate");
+            spec.evaluate_batch(&mut population);
+        }
 
         let mut best_ever = population
             .iter()
@@ -102,50 +125,75 @@ impl Engine {
 
         let mut stagnant = 0usize;
         for generation in 1..=self.config.generations {
+            let _gen_span = telemetry::span(rec, "ga.generation");
             let mut pool: Vec<(BitString, f64)> = match self.config.sampling {
                 SamplingSpace::Enlarged => {
                     let mut pool = population.clone();
                     let fresh_from = pool.len();
-                    // Crossover subpopulation.
-                    let order = shuffled_indices(np, rng);
-                    for pair in order.chunks_exact(2) {
-                        if rng.random_bool(self.config.crossover_rate) {
-                            let (c1, c2) =
-                                spec.crossover(&population[pair[0]].0, &population[pair[1]].0, rng);
-                            pool.push((c1, 0.0));
-                            pool.push((c2, 0.0));
+                    {
+                        // Crossover subpopulation.
+                        let _span = telemetry::span(rec, "ga.crossover");
+                        let order = shuffled_indices(np, rng);
+                        for pair in order.chunks_exact(2) {
+                            if rng.random_bool(self.config.crossover_rate) {
+                                let (c1, c2) = spec.crossover(
+                                    &population[pair[0]].0,
+                                    &population[pair[1]].0,
+                                    rng,
+                                );
+                                pool.push((c1, 0.0));
+                                pool.push((c2, 0.0));
+                            }
                         }
                     }
-                    // Mutation subpopulation.
-                    for parent in population.iter().take(np) {
-                        let mut m = parent.0.clone();
-                        spec.mutate(&mut m, self.config.mutation_rate, rng);
-                        pool.push((m, 0.0));
+                    {
+                        // Mutation subpopulation.
+                        let _span = telemetry::span(rec, "ga.mutation");
+                        for parent in population.iter().take(np) {
+                            let mut m = parent.0.clone();
+                            spec.mutate(&mut m, self.config.mutation_rate, rng);
+                            pool.push((m, 0.0));
+                        }
                     }
                     // Parents keep their generation-(g−1) fitness; only the
                     // fresh offspring need scoring.
                     evaluations += (pool.len() - fresh_from) as u64;
-                    spec.evaluate_batch(&mut pool[fresh_from..]);
+                    rec.add_counter("ga.evaluations", (pool.len() - fresh_from) as u64);
+                    {
+                        let _span = telemetry::span(rec, "ga.evaluate");
+                        spec.evaluate_batch(&mut pool[fresh_from..]);
+                    }
                     pool
                 }
                 SamplingSpace::Regular => {
                     // Offspring replace parents in place; untouched parents
                     // survive into the pool.
                     let mut pool = population.clone();
-                    let order = shuffled_indices(np, rng);
-                    for pair in order.chunks_exact(2) {
-                        if rng.random_bool(self.config.crossover_rate) {
-                            let (c1, c2) = spec.crossover(&pool[pair[0]].0, &pool[pair[1]].0, rng);
-                            pool[pair[0]].0 = c1;
-                            pool[pair[1]].0 = c2;
+                    {
+                        let _span = telemetry::span(rec, "ga.crossover");
+                        let order = shuffled_indices(np, rng);
+                        for pair in order.chunks_exact(2) {
+                            if rng.random_bool(self.config.crossover_rate) {
+                                let (c1, c2) =
+                                    spec.crossover(&pool[pair[0]].0, &pool[pair[1]].0, rng);
+                                pool[pair[0]].0 = c1;
+                                pool[pair[1]].0 = c2;
+                            }
                         }
                     }
-                    for slot in &mut pool {
-                        spec.mutate(&mut slot.0, self.config.mutation_rate, rng);
+                    {
+                        let _span = telemetry::span(rec, "ga.mutation");
+                        for slot in &mut pool {
+                            spec.mutate(&mut slot.0, self.config.mutation_rate, rng);
+                        }
                     }
                     // Every slot mutated, so every slot is re-scored.
                     evaluations += pool.len() as u64;
-                    spec.evaluate_batch(&mut pool);
+                    rec.add_counter("ga.evaluations", pool.len() as u64);
+                    {
+                        let _span = telemetry::span(rec, "ga.evaluate");
+                        spec.evaluate_batch(&mut pool);
+                    }
                     pool
                 }
             };
@@ -166,7 +214,10 @@ impl Engine {
 
             // Offspring allocation over the pool.
             let fitness = fitness_of(&pool);
-            let picks = self.config.selection.allocate(&fitness, np, rng);
+            let picks = {
+                let _span = telemetry::span(rec, "ga.selection");
+                self.config.selection.allocate(&fitness, np, rng)
+            };
             let mut next: Vec<(BitString, f64)> =
                 picks.into_iter().map(|i| pool[i].clone()).collect();
             pool.clear();
@@ -405,6 +456,42 @@ mod tests {
             assert_eq!(base.best_fitness, batched.best_fitness);
             assert_eq!(base.evaluations, batched.evaluations);
             assert_eq!(base.final_population, batched.final_population);
+        }
+    }
+
+    #[test]
+    fn recorder_counts_match_engine_accounting_and_preserve_determinism() {
+        use drp_net::telemetry::InMemoryRecorder;
+
+        for sampling in [SamplingSpace::Enlarged, SamplingSpace::Regular] {
+            let config = GaConfig::new(14, 25).sampling(sampling);
+            let mut rng1 = StdRng::seed_from_u64(77);
+            let mut rng2 = StdRng::seed_from_u64(77);
+            let bare = Engine::new(config.clone())
+                .run(&OneMax, initial(14, 32, 78), &mut rng1)
+                .unwrap();
+            let recorder = Arc::new(InMemoryRecorder::new());
+            let recorded = Engine::new(config)
+                .with_recorder(recorder.clone())
+                .run(&OneMax, initial(14, 32, 78), &mut rng2)
+                .unwrap();
+
+            // Instrumentation must not perturb the run in any way.
+            assert_eq!(bare.best, recorded.best);
+            assert_eq!(bare.evaluations, recorded.evaluations);
+            assert_eq!(bare.final_population, recorded.final_population);
+
+            // Exact, deterministic span/counter accounting: one generation
+            // span per evolved generation, one evaluate span per batch
+            // (generation 0 included), evaluations counter equal to the
+            // engine's own tally.
+            let generations = (recorded.history.len() - 1) as u64;
+            assert_eq!(recorder.span_count("ga.generation"), generations);
+            assert_eq!(recorder.span_count("ga.evaluate"), generations + 1);
+            assert_eq!(recorder.span_count("ga.crossover"), generations);
+            assert_eq!(recorder.span_count("ga.mutation"), generations);
+            assert_eq!(recorder.span_count("ga.selection"), generations);
+            assert_eq!(recorder.counter("ga.evaluations"), recorded.evaluations);
         }
     }
 

@@ -37,6 +37,7 @@ mod graph;
 mod routes;
 pub mod shortest;
 pub mod sim;
+pub mod telemetry;
 pub mod topology;
 
 pub use cost::CostMatrix;

@@ -1,3 +1,6 @@
+use std::sync::Arc;
+
+use crate::telemetry::{self, Recorder};
 use crate::{CostMatrix, NetError, Result};
 
 use super::error::SimError;
@@ -131,6 +134,10 @@ pub struct Simulator<'a, P> {
     now: Time,
     started: bool,
     events_processed: u64,
+    recorder: Arc<dyn Recorder>,
+    /// `recorder.enabled()`, cached so the event loop never pays a virtual
+    /// call per event when telemetry is off.
+    rec_enabled: bool,
 }
 
 impl<P> std::fmt::Debug for Simulator<'_, P> {
@@ -174,7 +181,27 @@ impl<'a, P> Simulator<'a, P> {
             now: 0,
             started: false,
             events_processed: 0,
+            recorder: telemetry::noop(),
+            rec_enabled: false,
         })
+    }
+
+    /// Attaches a telemetry recorder. Each [`run_for_events`] /
+    /// [`run_to_completion`] call closes a `sim.run` span and publishes
+    /// what that run did as counters: `sim.events`, `sim.messages`,
+    /// `sim.data_units`, `sim.transfer_cost`, `sim.timers` and the
+    /// [`FaultStats`] breakdown (`fault.dropped_random`,
+    /// `fault.dropped_partition`, `fault.lost_arrivals`,
+    /// `fault.lost_timers`, `fault.suppressed_effects`, `fault.crashes`,
+    /// `fault.recoveries`, `fault.extra_delay`). The per-event hot loop is
+    /// untouched, so an armed [`NoopRecorder`](telemetry::NoopRecorder)
+    /// costs nothing.
+    ///
+    /// [`run_for_events`]: Self::run_for_events
+    /// [`run_to_completion`]: Self::run_to_completion
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.rec_enabled = recorder.enabled();
+        self.recorder = recorder;
     }
 
     /// Arms a [`FaultPlan`]: crash/recover transitions are scheduled as
@@ -433,21 +460,70 @@ impl<'a, P> Simulator<'a, P> {
     /// Returns [`SimError::EventBudgetExhausted`] if the budget runs out
     /// with events still queued.
     pub fn run_for_events(&mut self, max_events: u64) -> std::result::Result<(), SimError> {
+        let before_events = self.events_processed;
+        let before_stats = self.stats;
+        let before_faults = self.fault_stats;
+        // Cloning the handle keeps the guard's borrow off `self` so the
+        // loop below can take `&mut self`.
+        let recorder = Arc::clone(&self.recorder);
+        let _span = telemetry::span(recorder.as_ref(), "sim.run");
         let mut budget = max_events;
-        while budget > 0 {
+        let result = loop {
+            if budget == 0 {
+                if self.queue.len() > 0 {
+                    break Err(SimError::EventBudgetExhausted {
+                        budget: max_events,
+                        events_processed: self.events_processed,
+                        queue_depth: self.queue.len(),
+                    });
+                }
+                break Ok(());
+            }
             if !self.step() {
-                return Ok(());
+                break Ok(());
             }
             budget -= 1;
+        };
+        if self.rec_enabled {
+            self.publish_run_counters(before_events, before_stats, before_faults);
         }
-        if self.queue.len() > 0 {
-            return Err(SimError::EventBudgetExhausted {
-                budget: max_events,
-                events_processed: self.events_processed,
-                queue_depth: self.queue.len(),
-            });
-        }
-        Ok(())
+        result
+    }
+
+    /// Publishes what the just-finished run did, as counter deltas against
+    /// the snapshots taken at its start (runs are resumable, so lifetime
+    /// totals would double-count across calls).
+    fn publish_run_counters(&self, events: u64, stats: TrafficStats, faults: FaultStats) {
+        let rec = self.recorder.as_ref();
+        rec.add_counter("sim.events", self.events_processed - events);
+        rec.add_counter("sim.messages", self.stats.messages - stats.messages);
+        rec.add_counter("sim.data_units", self.stats.data_units - stats.data_units);
+        rec.add_counter(
+            "sim.transfer_cost",
+            self.stats.transfer_cost - stats.transfer_cost,
+        );
+        rec.add_counter("sim.timers", self.stats.timers - stats.timers);
+        let f = self.fault_stats;
+        rec.add_counter(
+            "fault.dropped_random",
+            f.dropped_random - faults.dropped_random,
+        );
+        rec.add_counter(
+            "fault.dropped_partition",
+            f.dropped_partition - faults.dropped_partition,
+        );
+        rec.add_counter(
+            "fault.lost_arrivals",
+            f.lost_arrivals - faults.lost_arrivals,
+        );
+        rec.add_counter("fault.lost_timers", f.lost_timers - faults.lost_timers);
+        rec.add_counter(
+            "fault.suppressed_effects",
+            f.suppressed_effects - faults.suppressed_effects,
+        );
+        rec.add_counter("fault.crashes", f.crashes - faults.crashes);
+        rec.add_counter("fault.recoveries", f.recoveries - faults.recoveries);
+        rec.add_counter("fault.extra_delay", f.extra_delay - faults.extra_delay);
     }
 }
 
@@ -702,6 +778,33 @@ mod tests {
         sim.set_fault_plan(FaultPlan::new(11).jitter(9));
         sim.run_to_completion()?;
         assert_eq!(sim.stats().data_units, 8);
+        Ok(())
+    }
+
+    #[test]
+    fn recorder_publishes_event_and_fault_counters() -> TestResult {
+        use crate::telemetry::InMemoryRecorder;
+
+        let mut sim = Simulator::new(
+            two_site_costs()?,
+            vec![Box::new(Ticker::new(1, 10)), Box::new(Ticker::new(0, 0))],
+        )?;
+        sim.set_fault_plan(FaultPlan::new(0).crash(1, 0, 1_000));
+        let recorder = Arc::new(InMemoryRecorder::new());
+        sim.set_recorder(recorder.clone());
+        sim.run_to_completion()?;
+        assert_eq!(recorder.span_count("sim.run"), 1);
+        assert_eq!(recorder.counter("sim.events"), sim.events_processed());
+        assert_eq!(recorder.counter("sim.data_units"), sim.stats().data_units);
+        assert_eq!(
+            recorder.counter("fault.lost_arrivals"),
+            sim.fault_stats().lost_arrivals
+        );
+        assert_eq!(recorder.counter("fault.crashes"), 1);
+        // A second (empty) run adds a span but no new events.
+        sim.run_to_completion()?;
+        assert_eq!(recorder.span_count("sim.run"), 2);
+        assert_eq!(recorder.counter("sim.events"), sim.events_processed());
         Ok(())
     }
 

@@ -184,7 +184,13 @@ impl FaultPlan {
             }
         }
         let extra = if self.max_jitter > 0 {
-            self.next_draw() % (self.max_jitter + 1)
+            let draw = self.next_draw();
+            match self.max_jitter.checked_add(1) {
+                Some(modulus) => draw % modulus,
+                // max_jitter == Time::MAX: every u64 draw is already in
+                // 0..=max_jitter, so use it directly.
+                None => draw,
+            }
         } else {
             0
         };
@@ -290,6 +296,24 @@ mod tests {
                 Verdict::Deliver { extra_delay } => assert!(extra_delay <= 4),
                 v => panic!("unexpected verdict {v:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn jitter_at_time_max_does_not_overflow() {
+        // max_jitter + 1 used to overflow u64 (debug panic, % 0 in release).
+        let mut plan = FaultPlan::new(11).jitter(Time::MAX);
+        for i in 0..50 {
+            match plan.verdict(0, 1, i) {
+                Verdict::Deliver { .. } => {}
+                v => panic!("unexpected verdict {v:?}"),
+            }
+        }
+        // One below the boundary still goes through the modulus path.
+        let mut plan = FaultPlan::new(11).jitter(Time::MAX - 1);
+        match plan.verdict(0, 1, 0) {
+            Verdict::Deliver { extra_delay } => assert!(extra_delay < Time::MAX),
+            v => panic!("unexpected verdict {v:?}"),
         }
     }
 
