@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use drp_core::telemetry::{self, Recorder};
-use drp_core::{CoreError, ObjectId, Problem, ReplicationScheme, Result, SiteId};
+use drp_core::{kernels, CoreError, ObjectId, Problem, ReplicationScheme, Result, SiteId};
 use drp_ga::{ops, BitString, Engine, GaConfig, GaSpec, SamplingSpace, SelectionScheme};
 use rand::{Rng, RngCore};
 
@@ -300,7 +300,8 @@ impl Agra {
             initial.push(BitString::random(m, rng));
         }
 
-        let spec = MicroSpec::new(problem, object);
+        let spec =
+            MicroSpec::new(problem, object).parallel_fitness(self.config.gra.parallel_fitness);
         for chromosome in &mut initial {
             chromosome.set(spec.primary_bit, true);
         }
@@ -430,6 +431,7 @@ struct MicroSpec<'a> {
     object: ObjectId,
     primary_bit: usize,
     v_prime: u64,
+    parallel: bool,
 }
 
 impl<'a> MicroSpec<'a> {
@@ -439,43 +441,46 @@ impl<'a> MicroSpec<'a> {
             object,
             primary_bit: problem.primary(object).index(),
             v_prime: problem.v_prime(object),
+            parallel: false,
         }
+    }
+
+    /// Scores batches on the shared [`WorkerPool`](drp_core::pool::WorkerPool)
+    /// when set. Micro-GA fitness is a pure per-chromosome function, so the
+    /// flag never changes results — only wall-clock.
+    fn parallel_fitness(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// `V_k` of a replica set given as an M-bit string (capacity ignored —
     /// AGRA solves the unconstrained problem and repairs later). `nearest`
     /// is caller-owned scratch, overwritten on every call.
+    ///
+    /// Streams the contiguous per-object `r_k(·)` / `w_k(·)` rows through
+    /// the shared kernels. Replicators have a zero nearest distance (their
+    /// own cost-row diagonal), so the full-width [`kernels::traffic_scan`]
+    /// only over-charges their write terms, subtracted exactly below —
+    /// bitwise-identical to the per-site branchy sum by `u64`
+    /// distributivity under the instance overflow guard.
     fn replica_set_cost_with(&self, bits: &BitString, nearest: &mut [u64]) -> u64 {
         let problem = self.problem;
         let object = self.object;
-        let m = problem.num_sites();
-        let o = problem.object_size(object);
-        let sp = self.primary_bit;
-        let w_tot = problem.total_writes(object);
-        let sp_row = problem.costs().row(sp);
+        let sp_row = problem.costs().row(self.primary_bit);
+        let r_row = problem.object_reads(object);
+        let w_row = problem.object_writes(object);
 
         let mut broadcast = 0u64;
+        let mut replica_writes = 0u64;
         nearest.fill(u64::MAX);
         for j in bits.iter_ones() {
             broadcast += sp_row[j];
-            let row = problem.costs().row(j);
-            for (i, slot) in nearest.iter_mut().enumerate() {
-                if row[i] < *slot {
-                    *slot = row[i];
-                }
-            }
+            replica_writes += w_row[j] * sp_row[j];
+            kernels::min_scan(nearest, problem.costs().row(j));
         }
-        let mut cost = w_tot * o * broadcast;
-        for i in 0..m {
-            if bits.get(i) {
-                continue;
-            }
-            let site = SiteId::new(i);
-            cost += o
-                * (problem.reads(site, object) * nearest[i]
-                    + problem.writes(site, object) * sp_row[i]);
-        }
-        cost
+        let traffic = kernels::traffic_scan(r_row, w_row, nearest, sp_row);
+        problem.write_volume(object) * broadcast
+            + problem.object_size(object) * (traffic - replica_writes)
     }
 
     /// The micro-GA fitness `(V′_k − V_k) / V′_k` with the reset rule.
@@ -502,11 +507,30 @@ impl GaSpec for MicroSpec<'_> {
     }
 
     fn evaluate_batch(&self, population: &mut [(BitString, f64)]) {
-        // One nearest-cost buffer serves the whole batch.
-        let mut nearest = vec![u64::MAX; self.problem.num_sites()];
-        for (chromosome, fitness) in population.iter_mut() {
-            *fitness = self.score(chromosome, &mut nearest);
+        let pool = drp_core::pool::WorkerPool::global();
+        let workers = if self.parallel && population.len() >= crate::gra::MIN_PARALLEL_BATCH {
+            pool.threads().min(population.len())
+        } else {
+            1
+        };
+        if workers <= 1 {
+            // One nearest-cost buffer serves the whole batch.
+            let mut nearest = vec![u64::MAX; self.problem.num_sites()];
+            for (chromosome, fitness) in population.iter_mut() {
+                *fitness = self.score(chromosome, &mut nearest);
+            }
+            return;
         }
+        // Chunk boundaries depend only on the batch length, and scoring is
+        // a pure per-chromosome function, so the fan-out is bitwise
+        // deterministic for every pool size.
+        let chunk = population.len().div_ceil(workers);
+        pool.for_each_chunk_mut(population, chunk, |_, slice| {
+            let mut nearest = vec![u64::MAX; self.problem.num_sites()];
+            for (chromosome, fitness) in slice.iter_mut() {
+                *fitness = self.score(chromosome, &mut nearest);
+            }
+        });
     }
 
     fn crossover(

@@ -94,6 +94,8 @@ impl ReplicationAlgorithm for HillClimb {
 
     fn solve(&self, problem: &Problem, _rng: &mut dyn RngCore) -> Result<ReplicationScheme> {
         let mut scheme = ReplicationScheme::primary_only(problem);
+        // One nearest-cost buffer serves the whole move scan.
+        let mut nearest = vec![0u64; problem.num_sites()];
         for _ in 0..self.max_steps {
             let mut best: Option<(i64, SiteId, ObjectId, bool)> = None;
             for k in problem.objects() {
@@ -106,7 +108,7 @@ impl ReplicationAlgorithm for HillClimb {
                             }
                         }
                     } else if problem.object_size(k) <= scheme.free_capacity(problem, i) {
-                        let delta = problem.delta_add_replica(&scheme, i, k);
+                        let delta = problem.delta_add_replica_with(&scheme, i, k, &mut nearest);
                         if delta < best.map_or(0, |(d, ..)| d) {
                             best = Some((delta, i, k, true));
                         }

@@ -39,11 +39,21 @@ pub fn decode_scheme(problem: &Problem, chromosome: &BitString) -> Result<Replic
     })
 }
 
-/// Reusable buffers for [`chromosome_cost_with`]: a sorted replica list and
-/// a nearest-cost array, both sized for one instance. One scratch per
-/// worker thread keeps the GA fitness path allocation-free.
+/// Reusable buffers for [`chromosome_cost_with`]: per-object replica
+/// buckets (counting-sort style counts/offsets plus a flat site array), a
+/// spare replica list for primary splicing, and a nearest-cost array, all
+/// sized for one instance. One scratch per worker thread keeps the GA
+/// fitness path allocation-free.
 #[derive(Debug, Clone)]
 pub struct EvalScratch {
+    /// Cursor array of the bucket fill; after the fill, `counts[k]` is the
+    /// end offset of object `k`'s bucket.
+    counts: Vec<usize>,
+    /// Start offset of each object's bucket in `sites` (length `n + 1`).
+    offsets: Vec<usize>,
+    /// Flat bucket storage: the replicator sites of object `k`, ascending,
+    /// at `sites[offsets[k]..offsets[k + 1]]`.
+    sites: Vec<usize>,
     replicas: Vec<usize>,
     nearest: Vec<u64>,
 }
@@ -52,7 +62,11 @@ impl EvalScratch {
     /// Buffers sized for `problem`.
     pub fn new(problem: &Problem) -> Self {
         let m = problem.num_sites();
+        let n = problem.num_objects();
         Self {
+            counts: vec![0; n],
+            offsets: vec![0; n + 1],
+            sites: Vec::new(),
             replicas: Vec::with_capacity(m),
             nearest: vec![0; m],
         }
@@ -87,27 +101,54 @@ pub fn chromosome_cost_with(
     let n = problem.num_objects();
     assert_eq!(chromosome.len(), m * n, "chromosome length mismatch");
 
+    // Bucket the set bits by object with a two-pass counting sort over
+    // `iter_ones()`: sparse chromosomes then cost O(ones) word-scans
+    // instead of the M·N strided `get(i·n + k)` probes of the naive loop.
+    // Bits arrive in ascending site-major order, so each object's bucket
+    // comes out already sorted by site.
+    scratch.counts.fill(0);
+    let mut total_ones = 0usize;
+    for one in chromosome.iter_ones() {
+        scratch.counts[one % n] += 1;
+        total_ones += 1;
+    }
+    let mut acc = 0usize;
+    for k in 0..n {
+        scratch.offsets[k] = acc;
+        acc += scratch.counts[k];
+        // Reuse `counts` as the fill cursor of pass two.
+        scratch.counts[k] = scratch.offsets[k];
+    }
+    scratch.offsets[n] = acc;
+    scratch.sites.resize(total_ones, 0);
+    for one in chromosome.iter_ones() {
+        let (i, k) = (one / n, one % n);
+        scratch.sites[scratch.counts[k]] = i;
+        scratch.counts[k] += 1;
+    }
+
     let mut total = 0u64;
     for k in 0..n {
         let object = ObjectId::new(k);
         let sp = problem.primary(object).index();
-        scratch.replicas.clear();
-        for i in 0..m {
-            if chromosome.get(i * n + k) {
-                scratch.replicas.push(i);
-            }
-        }
+        let bucket = &scratch.sites[scratch.offsets[k]..scratch.offsets[k + 1]];
         // Primary copies are undeletable; tolerate chromosomes that lost the
         // bit by splicing the primary into its sorted slot.
-        let sp_at = scratch.replicas.partition_point(|&j| j < sp);
-        if scratch.replicas.get(sp_at) != Some(&sp) {
-            scratch.replicas.insert(sp_at, sp);
-        }
-        if scratch.replicas.len() == 1 {
+        let sp_at = bucket.partition_point(|&j| j < sp);
+        let replicas: &[usize] = if bucket.get(sp_at) == Some(&sp) {
+            bucket
+        } else {
+            scratch.replicas.clear();
+            scratch.replicas.extend_from_slice(&bucket[..sp_at]);
+            scratch.replicas.push(sp);
+            scratch.replicas.extend_from_slice(&bucket[sp_at..]);
+            &scratch.replicas
+        };
+        if replicas.len() == 1 {
             total += problem.v_prime(object);
             continue;
         }
-        total += problem.object_cost_from_replicas(object, &scratch.replicas, &mut scratch.nearest);
+        total += problem.object_cost_from_replicas(object, replicas, &mut scratch.nearest);
     }
     total
 }

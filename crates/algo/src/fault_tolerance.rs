@@ -55,6 +55,8 @@ pub fn ensure_min_degree(
 ) -> Result<MinDegreeReport> {
     let target = degree.min(problem.num_sites());
     let mut report = MinDegreeReport::default();
+    // One nearest-cost buffer serves every candidate evaluation.
+    let mut nearest = vec![0u64; problem.num_sites()];
     for k in problem.objects() {
         while scheme.replica_degree(k) < target {
             let candidate = problem
@@ -63,7 +65,7 @@ pub fn ensure_min_degree(
                     !scheme.holds(i, k)
                         && problem.object_size(k) <= scheme.free_capacity(problem, i)
                 })
-                .min_by_key(|&i| problem.delta_add_replica(scheme, i, k));
+                .min_by_key(|&i| problem.delta_add_replica_with(scheme, i, k, &mut nearest));
             match candidate {
                 Some(site) => {
                     scheme.add_replica(problem, site, k)?;

@@ -304,19 +304,22 @@ fn try_flip(
 /// slot — the standalone form of GRA's fitness function (including the
 /// paper's reset-to-primary-only rule for negative fitness).
 ///
-/// With `parallel` set, chromosomes are scored on `std::thread::scope`
-/// worker threads over disjoint chunks, each with its own scratch buffers.
-/// Fitness is a pure per-chromosome function, so the results (values *and*
-/// repairs) are bitwise-identical to the serial path — callers may flip
-/// `parallel` freely without perturbing a seeded run.
+/// With `parallel` set, chromosomes are scored on the persistent
+/// [`WorkerPool`](drp_core::pool::WorkerPool) over disjoint chunks, each
+/// with its own scratch buffers — the pool threads are spawned once per
+/// process and reused across every generation, so no spawn cost recurs.
+/// Fitness is a pure per-chromosome function and chunk boundaries depend
+/// only on the population length, so the results (values *and* repairs)
+/// are bitwise-identical to the serial path — callers may flip `parallel`
+/// freely without perturbing a seeded run.
 pub fn evaluate_population(problem: &Problem, population: &mut [(BitString, f64)], parallel: bool) {
     let primary_only = encode_scheme(problem, &ReplicationScheme::primary_only(problem));
     evaluate_population_with(problem, &primary_only, population, parallel);
 }
 
-/// Don't fan out below this many chromosomes: thread spawn overhead beats
-/// the win on tiny batches.
-const MIN_PARALLEL_BATCH: usize = 8;
+/// Don't fan out below this many chromosomes: hand-off overhead beats the
+/// win on tiny batches.
+pub(crate) const MIN_PARALLEL_BATCH: usize = 8;
 
 fn evaluate_population_with(
     problem: &Problem,
@@ -324,11 +327,9 @@ fn evaluate_population_with(
     population: &mut [(BitString, f64)],
     parallel: bool,
 ) {
+    let pool = drp_core::pool::WorkerPool::global();
     let workers = if parallel && population.len() >= MIN_PARALLEL_BATCH {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(population.len())
+        pool.threads().min(population.len())
     } else {
         1
     };
@@ -340,14 +341,10 @@ fn evaluate_population_with(
         return;
     }
     let chunk = population.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        for slice in population.chunks_mut(chunk) {
-            scope.spawn(move || {
-                let mut scratch = EvalScratch::new(problem);
-                for (chromosome, fitness) in slice.iter_mut() {
-                    *fitness = score_chromosome(problem, primary_only, chromosome, &mut scratch);
-                }
-            });
+    pool.for_each_chunk_mut(population, chunk, |_, slice| {
+        let mut scratch = EvalScratch::new(problem);
+        for (chromosome, fitness) in slice.iter_mut() {
+            *fitness = score_chromosome(problem, primary_only, chromosome, &mut scratch);
         }
     });
 }

@@ -108,6 +108,12 @@ impl Sra {
             let i = ls[slot];
             let site = SiteId::new(i);
             let free = eval.scheme().free_capacity(problem, site);
+            // The sweep walks objects for a fixed site, so the site-major
+            // `r_x(i, ·)` / `w_x(i, ·)` rows and the cost row `C(i, ·)` are
+            // the contiguous ones — hoist them out of the retain closure.
+            let r_row = problem.read_matrix().row(i);
+            let w_row = problem.write_matrix().row(i);
+            let c_row = problem.costs().row(i);
 
             // One pass: find the best positive benefit that fits and prune
             // candidates that are dead (non-positive benefit or oversize).
@@ -118,11 +124,9 @@ impl Sra {
                 if size > free {
                     return false;
                 }
-                let c_sp = problem.costs().cost(i, problem.primary(object).index());
-                let benefit = problem.reads(site, object) as i64
-                    * eval.nearest_cost(site, object) as i64
-                    + (problem.writes(site, object) as i64 - problem.total_writes(object) as i64)
-                        * c_sp as i64;
+                let c_sp = c_row[problem.primary(object).index()];
+                let benefit = r_row[k] as i64 * eval.nearest_cost(site, object) as i64
+                    + (w_row[k] as i64 - problem.total_writes(object) as i64) * c_sp as i64;
                 if benefit <= 0 {
                     return false;
                 }

@@ -2,9 +2,9 @@
 //! scoring on worker threads must be bit-for-bit identical to the serial
 //! path — same fitness values, same repaired chromosomes, same GA runs.
 
-use drp_algo::{chromosome_cost, evaluate_population, Gra, GraConfig};
+use drp_algo::{chromosome_cost, evaluate_population, Agra, AgraConfig, Gra, GraConfig};
 use drp_ga::BitString;
-use drp_workload::WorkloadSpec;
+use drp_workload::{PatternChange, WorkloadSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,6 +44,66 @@ proptest! {
             parallel.outcome.final_population
         );
         prop_assert_eq!(serial.outcome.history.len(), parallel.outcome.history.len());
+    }
+}
+
+proptest! {
+    // Each case runs a GRA seed plus two full adaptation passes.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn agra_adaptation_is_identical_serial_vs_parallel(
+        instance_seed in 0u64..30,
+        run_seed in 0u64..1000,
+    ) {
+        let problem = paper_problem(instance_seed);
+        let gra = Gra::with_config(GraConfig {
+            population_size: 12,
+            generations: 6,
+            ..GraConfig::default()
+        });
+        let run = gra
+            .solve_detailed(&problem, &mut StdRng::seed_from_u64(run_seed))
+            .unwrap();
+        let change = PatternChange {
+            change_percent: 250.0,
+            objects_percent: 30.0,
+            read_share: 0.7,
+        };
+        let shift = change
+            .apply(&problem, &mut StdRng::seed_from_u64(run_seed.wrapping_add(1)))
+            .unwrap();
+        let changed: Vec<_> = shift.changed.iter().map(|(k, _)| *k).collect();
+        prop_assume!(!changed.is_empty());
+        let population: Vec<BitString> = run
+            .outcome
+            .final_population
+            .iter()
+            .map(|(c, _)| c.clone())
+            .collect();
+        let adapt = |parallel: bool| {
+            let config = AgraConfig {
+                gra: GraConfig { parallel_fitness: parallel, ..GraConfig::default() },
+                ..AgraConfig::default()
+            };
+            Agra::with_config(config)
+                .adapt(
+                    &shift.problem,
+                    &run.scheme,
+                    &population,
+                    &changed,
+                    &mut StdRng::seed_from_u64(run_seed.wrapping_add(2)),
+                )
+                .unwrap()
+        };
+        let serial = adapt(false);
+        let parallel = adapt(true);
+        // Micro-GA batches and the mini-GRA polish both fan out on the
+        // worker pool; results must be bit-for-bit identical either way.
+        prop_assert_eq!(serial.scheme, parallel.scheme);
+        prop_assert_eq!(serial.fitness, parallel.fitness);
+        prop_assert_eq!(serial.population, parallel.population);
+        prop_assert_eq!(serial.micro_evaluations, parallel.micro_evaluations);
+        prop_assert_eq!(serial.mini_evaluations, parallel.mini_evaluations);
     }
 }
 

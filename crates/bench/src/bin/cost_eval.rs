@@ -11,14 +11,14 @@
 //! * **serial/parallel population** — `evaluate_population` over a
 //!   GA-generation-sized batch, per chromosome.
 //!
-//! The JSON is hand-rolled (no serialization dependency) and stable in
-//! shape so EXPERIMENTS.md tooling can diff runs.
+//! The artifact uses the shared [`drp_bench::report`] shape so
+//! EXPERIMENTS.md tooling can diff runs.
 
 use drp_algo::{encode_scheme, evaluate_population, Sra};
+use drp_bench::report::{Budget, Fields, Report};
 use drp_bench::{instance, rng};
 use drp_core::{CostEvaluator, ObjectId, Problem, ReplicationAlgorithm, ReplicationScheme, SiteId};
 use drp_ga::{ops, BitString};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Chromosomes per timed population pass — a typical GRA generation.
@@ -113,41 +113,52 @@ fn main() {
         .map(|(m, n)| bench_size(m, n))
         .collect();
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"cost_eval\",");
-    let _ = writeln!(json, "  \"unit\": \"ns_per_eval\",");
-    let _ = writeln!(json, "  \"population\": {POPULATION},");
     // Parallel-vs-serial is bounded by the cores the host grants; record
     // it so a ~1.0 ratio on a single-core runner reads as expected.
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    let _ = writeln!(json, "  \"available_parallelism\": {threads},");
-    json.push_str("  \"instances\": [\n");
-    for (idx, row) in rows.iter().enumerate() {
-        let speedup_incremental = row.full_eval_ns / row.incremental_flip_ns;
-        let speedup_parallel =
-            row.serial_population_ns_per_eval / row.parallel_population_ns_per_eval;
-        let _ = write!(
-            json,
-            "    {{\"sites\": {}, \"objects\": {}, \"full_eval_ns\": {:.1}, \
-             \"incremental_flip_ns\": {:.1}, \"serial_population_ns_per_eval\": {:.1}, \
-             \"parallel_population_ns_per_eval\": {:.1}, \
-             \"speedup_incremental_vs_full\": {:.2}, \
-             \"speedup_parallel_vs_serial\": {:.2}}}",
-            row.sites,
-            row.objects,
-            row.full_eval_ns,
-            row.incremental_flip_ns,
-            row.serial_population_ns_per_eval,
-            row.parallel_population_ns_per_eval,
-            speedup_incremental,
-            speedup_parallel,
+    let config = Fields::new()
+        .text("unit", "ns_per_eval")
+        .int("population", POPULATION as u64)
+        .int("available_parallelism", threads as u64);
+    // The evaluator's O(M) flip must beat the full O(M²N) rescan on every
+    // size — the claim the incremental design rests on.
+    let min_speedup = rows
+        .iter()
+        .map(|r| r.full_eval_ns / r.incremental_flip_ns)
+        .fold(f64::MAX, f64::min);
+    let mut report = Report::new(
+        "cost_eval",
+        config,
+        Budget::at_least("min_speedup_incremental_vs_full", 1.0, min_speedup),
+    );
+    for row in &rows {
+        report.sample(
+            Fields::new()
+                .int("sites", row.sites as u64)
+                .int("objects", row.objects as u64)
+                .float("full_eval_ns", row.full_eval_ns, 1)
+                .float("incremental_flip_ns", row.incremental_flip_ns, 1)
+                .float(
+                    "serial_population_ns_per_eval",
+                    row.serial_population_ns_per_eval,
+                    1,
+                )
+                .float(
+                    "parallel_population_ns_per_eval",
+                    row.parallel_population_ns_per_eval,
+                    1,
+                )
+                .float(
+                    "speedup_incremental_vs_full",
+                    row.full_eval_ns / row.incremental_flip_ns,
+                    2,
+                )
+                .float(
+                    "speedup_parallel_vs_serial",
+                    row.serial_population_ns_per_eval / row.parallel_population_ns_per_eval,
+                    2,
+                ),
         );
-        json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("wrote {out_path}");
-    print!("{json}");
+    report.write(&out_path);
 }

@@ -13,17 +13,21 @@
 //! * **active plan** — two crashes plus 1% drops and jitter: the full
 //!   machinery including retries and repair.
 //!
-//! The JSON is hand-rolled (no serialization dependency) and stable in
-//! shape so CI can assert the off-vs-empty overhead stays small.
+//! The artifact uses the shared [`drp_bench::report`] shape; the budget
+//! block asserts the off-vs-empty overhead stays small.
 
 use drp_algo::fault_tolerance::ensure_min_degree;
 use drp_algo::repair::{run_faulted, FaultedRun, RepairConfig};
 use drp_algo::Sra;
+use drp_bench::report::{Budget, Fields, Report};
 use drp_bench::{instance, rng};
 use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme};
 use drp_net::sim::FaultPlan;
-use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The armed-but-inert injector must cost no more than this over the
+/// injector-off baseline (generous: single-core CI runners are noisy).
+const OVERHEAD_BUDGET_PERCENT: f64 = 15.0;
 
 /// Timed repetitions per configuration (repair runs are milliseconds).
 const REPS: u32 = 30;
@@ -96,38 +100,37 @@ fn main() {
         .map(|(m, n)| bench_size(m, n))
         .collect();
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"faults\",");
-    let _ = writeln!(json, "  \"unit\": \"events_per_sec\",");
-    let _ = writeln!(json, "  \"reps\": {REPS},");
-    json.push_str("  \"instances\": [\n");
-    for (idx, row) in rows.iter().enumerate() {
-        // Injector-off vs armed-but-inert: the pure cost of consulting the
-        // plan on every send. Active runs also do more *work* (retries,
-        // repair), so their events/sec is reported but not an overhead.
-        let overhead =
-            100.0 * (row.off_events_per_sec - row.empty_events_per_sec) / row.off_events_per_sec;
-        let _ = write!(
-            json,
-            "    {{\"sites\": {}, \"objects\": {}, \"events_off\": {}, \
-             \"events_active\": {}, \"off_events_per_sec\": {:.0}, \
-             \"empty_plan_events_per_sec\": {:.0}, \"active_events_per_sec\": {:.0}, \
-             \"injector_overhead_percent\": {:.2}}}",
-            row.sites,
-            row.objects,
-            row.events_off,
-            row.events_active,
-            row.off_events_per_sec,
-            row.empty_events_per_sec,
-            row.active_events_per_sec,
-            overhead,
+    // Injector-off vs armed-but-inert: the pure cost of consulting the
+    // plan on every send. Active runs also do more *work* (retries,
+    // repair), so their events/sec is reported but not an overhead.
+    let overhead = |row: &Row| -> f64 {
+        100.0 * (row.off_events_per_sec - row.empty_events_per_sec) / row.off_events_per_sec
+    };
+    let max_overhead = rows.iter().map(overhead).fold(f64::MIN, f64::max);
+    let config = Fields::new()
+        .text("unit", "events_per_sec")
+        .int("reps", u64::from(REPS));
+    let mut report = Report::new(
+        "faults",
+        config,
+        Budget::at_most(
+            "max_injector_overhead_percent",
+            OVERHEAD_BUDGET_PERCENT,
+            max_overhead,
+        ),
+    );
+    for row in &rows {
+        report.sample(
+            Fields::new()
+                .int("sites", row.sites as u64)
+                .int("objects", row.objects as u64)
+                .int("events_off", row.events_off)
+                .int("events_active", row.events_active)
+                .float("off_events_per_sec", row.off_events_per_sec, 0)
+                .float("empty_plan_events_per_sec", row.empty_events_per_sec, 0)
+                .float("active_events_per_sec", row.active_events_per_sec, 0)
+                .float("injector_overhead_percent", overhead(row), 2),
         );
-        json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("wrote {out_path}");
-    print!("{json}");
+    report.write(&out_path);
 }

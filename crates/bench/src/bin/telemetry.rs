@@ -17,16 +17,16 @@
 //! * **armed** — the same pair recording into an [`InMemoryRecorder`],
 //!   the price a `--trace-out` run actually pays.
 //!
-//! The headline figure is `max_noop_overhead_percent`: the worst
-//! noop-vs-baseline gap across instance sizes, expected to stay within
-//! the 2% budget (`noop_within_budget`). A GRA end-to-end comparison
-//! (default noop engine vs recorder armed) rides along for context.
+//! The headline figure is the budget block's `max_noop_overhead_percent`:
+//! the worst noop-vs-baseline gap across instance sizes, expected to stay
+//! within the 2% budget. A GRA end-to-end comparison (default noop engine
+//! vs recorder armed) rides along in the config block for context.
 
 use drp_algo::{Gra, GraConfig};
+use drp_bench::report::{Budget, Fields, Report};
 use drp_bench::{instance, rng};
 use drp_core::telemetry::{self, InMemoryRecorder, NoopRecorder, Recorder};
 use drp_core::{CostEvaluator, ObjectId, Problem, ReplicationScheme, SiteId};
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -171,49 +171,46 @@ fn main() {
         Some(Arc::new(InMemoryRecorder::new()) as Arc<dyn Recorder>),
     );
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"telemetry\",");
-    let _ = writeln!(json, "  \"unit\": \"ns_per_flip_pair\",");
-    let _ = writeln!(json, "  \"budget_percent\": {BUDGET_PERCENT},");
-    json.push_str("  \"instances\": [\n");
-    for (idx, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"sites\": {}, \"objects\": {}, \"baseline_ns\": {:.1}, \
-             \"noop_ns\": {:.1}, \"noop_dyn_ns\": {:.1}, \"armed_ns\": {:.1}, \
-             \"noop_overhead_percent\": {:.2}, \"noop_dyn_overhead_percent\": {:.2}, \
-             \"armed_overhead_percent\": {:.2}}}",
-            row.sites,
-            row.objects,
-            row.baseline_ns,
-            row.noop_ns,
-            row.noop_dyn_ns,
-            row.armed_ns,
-            row.overhead_percent(row.noop_ns),
-            row.overhead_percent(row.noop_dyn_ns),
-            row.overhead_percent(row.armed_ns),
+    let config = Fields::new()
+        .text("unit", "ns_per_flip_pair")
+        .int("passes", PASSES as u64)
+        .float("gra_noop_ms", gra_noop_ns / 1e6, 1)
+        .float("gra_armed_ms", gra_armed_ns / 1e6, 1)
+        .float(
+            "gra_armed_overhead_percent",
+            100.0 * (gra_armed_ns - gra_noop_ns) / gra_noop_ns,
+            2,
         );
-        json.push_str(if idx + 1 < rows.len() { ",\n" } else { "\n" });
+    let mut report = Report::new(
+        "telemetry",
+        config,
+        Budget::at_most("max_noop_overhead_percent", BUDGET_PERCENT, max_noop),
+    );
+    for row in &rows {
+        report.sample(
+            Fields::new()
+                .int("sites", row.sites as u64)
+                .int("objects", row.objects as u64)
+                .float("baseline_ns", row.baseline_ns, 1)
+                .float("noop_ns", row.noop_ns, 1)
+                .float("noop_dyn_ns", row.noop_dyn_ns, 1)
+                .float("armed_ns", row.armed_ns, 1)
+                .float(
+                    "noop_overhead_percent",
+                    row.overhead_percent(row.noop_ns),
+                    2,
+                )
+                .float(
+                    "noop_dyn_overhead_percent",
+                    row.overhead_percent(row.noop_dyn_ns),
+                    2,
+                )
+                .float(
+                    "armed_overhead_percent",
+                    row.overhead_percent(row.armed_ns),
+                    2,
+                ),
+        );
     }
-    json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"max_noop_overhead_percent\": {max_noop:.2},");
-    let _ = writeln!(
-        json,
-        "  \"noop_within_budget\": {},",
-        max_noop <= BUDGET_PERCENT
-    );
-    let _ = writeln!(
-        json,
-        "  \"gra_end_to_end\": {{\"noop_ms\": {:.1}, \"armed_ms\": {:.1}, \
-         \"armed_overhead_percent\": {:.2}}}",
-        gra_noop_ns / 1e6,
-        gra_armed_ns / 1e6,
-        100.0 * (gra_armed_ns - gra_noop_ns) / gra_noop_ns
-    );
-    json.push_str("}\n");
-
-    std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("wrote {out_path}");
-    print!("{json}");
+    report.write(&out_path);
 }

@@ -8,6 +8,11 @@
 //!   objects (Figures 2(a)/2(b));
 //! * `adaptive` — AGRA variants versus warm/fresh GRA (Figure 4(d));
 //! * `ga_ops` — the genetic operators and selection schemes in isolation.
+//!
+//! The machine-readable `BENCH_*.json` bins (`cost_eval`, `faults`,
+//! `telemetry`, `scale`) all emit the shared [`report`] shape.
+
+pub mod report;
 
 use drp_core::Problem;
 use drp_workload::WorkloadSpec;

@@ -1,0 +1,239 @@
+//! Shared JSON emission for the machine-readable `BENCH_*.json` bins.
+//!
+//! Every benchmark artifact has the same top-level shape, so the
+//! EXPERIMENTS.md tooling and the CI asserts read any of them the same
+//! way:
+//!
+//! ```json
+//! {
+//!   "bench": "<name>",
+//!   "config": { "unit": "...", ... },
+//!   "samples": [ { ... }, ... ],
+//!   "budget": { "metric": "...", "limit": x, "actual": y,
+//!               "within_budget": true }
+//! }
+//! ```
+//!
+//! The JSON is hand-rolled (no serialization dependency): values are
+//! rendered eagerly into JSON fragments, so a [`Fields`] object is just an
+//! ordered list of key/fragment pairs and emission is a straight print.
+
+use std::fmt::Write as _;
+
+/// An ordered JSON object under construction; keys keep insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct Fields(Vec<(String, String)>);
+
+impl Fields {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.0.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a float field rendered with `decimals` fraction digits.
+    #[must_use]
+    pub fn float(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.0
+            .push((key.to_string(), format!("{value:.decimals$}")));
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn flag(mut self, key: &str, value: bool) -> Self {
+        self.0.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a string field.
+    #[must_use]
+    pub fn text(mut self, key: &str, value: &str) -> Self {
+        self.0.push((key.to_string(), quoted(value)));
+        self
+    }
+
+    /// Renders as a single-line `{"k": v, ...}` object.
+    fn render_inline(&self) -> String {
+        let mut out = String::from("{");
+        for (index, (key, value)) in self.0.iter().enumerate() {
+            if index > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {value}", quoted(key));
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn quoted(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The pass/fail claim a benchmark artifact carries, with the direction of
+/// the comparison baked in at construction.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    metric: String,
+    limit: f64,
+    actual: f64,
+    within_budget: bool,
+}
+
+impl Budget {
+    /// A ceiling: within budget iff `actual <= limit` (e.g. an overhead
+    /// percentage).
+    pub fn at_most(metric: &str, limit: f64, actual: f64) -> Self {
+        Self {
+            metric: metric.to_string(),
+            limit,
+            actual,
+            within_budget: actual <= limit,
+        }
+    }
+
+    /// A floor: within budget iff `actual >= limit` (e.g. a speedup ratio).
+    pub fn at_least(metric: &str, limit: f64, actual: f64) -> Self {
+        Self {
+            metric: metric.to_string(),
+            limit,
+            actual,
+            within_budget: actual >= limit,
+        }
+    }
+
+    /// Whether the claim held.
+    pub fn within(&self) -> bool {
+        self.within_budget
+    }
+}
+
+/// A complete benchmark artifact.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    config: Fields,
+    samples: Vec<Fields>,
+    budget: Budget,
+}
+
+impl Report {
+    /// A report with its fixed run configuration and budget claim.
+    pub fn new(name: &str, config: Fields, budget: Budget) -> Self {
+        Self {
+            name: name.to_string(),
+            config,
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Appends one measured sample (typically one instance size).
+    pub fn sample(&mut self, fields: Fields) {
+        self.samples.push(fields);
+    }
+
+    /// Renders the artifact as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": {},", quoted(&self.name));
+        json.push_str("  \"config\": {\n");
+        for (index, (key, value)) in self.config.0.iter().enumerate() {
+            let comma = if index + 1 < self.config.0.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(json, "    {}: {value}{comma}", quoted(key));
+        }
+        json.push_str("  },\n");
+        json.push_str("  \"samples\": [\n");
+        for (index, sample) in self.samples.iter().enumerate() {
+            let comma = if index + 1 < self.samples.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(json, "    {}{comma}", sample.render_inline());
+        }
+        json.push_str("  ],\n");
+        let _ = writeln!(
+            json,
+            "  \"budget\": {{\"metric\": {}, \"limit\": {}, \"actual\": {:.4}, \
+             \"within_budget\": {}}}",
+            quoted(&self.budget.metric),
+            self.budget.limit,
+            self.budget.actual,
+            self.budget.within_budget,
+        );
+        json.push_str("}\n");
+        json
+    }
+
+    /// Writes the artifact to `path` and echoes it to stdout, the contract
+    /// every `BENCH_*` bin follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write(&self, path: &str) {
+        let json = self.render();
+        std::fs::write(path, &json).expect("write benchmark json");
+        println!("wrote {path}");
+        print!("{json}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_shared_shape() {
+        let mut report = Report::new(
+            "demo",
+            Fields::new().text("unit", "ns").int("reps", 3),
+            Budget::at_most("overhead_percent", 2.0, 1.25),
+        );
+        report.sample(Fields::new().int("sites", 10).float("ns", 12.5, 1));
+        report.sample(Fields::new().int("sites", 20).flag("ok", true));
+        let json = report.render();
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"unit\": \"ns\""));
+        assert!(json.contains("{\"sites\": 10, \"ns\": 12.5}"));
+        assert!(json.contains("{\"sites\": 20, \"ok\": true}"));
+        assert!(json.contains("\"within_budget\": true"));
+    }
+
+    #[test]
+    fn budget_directions() {
+        assert!(Budget::at_most("x", 2.0, 2.0).within());
+        assert!(!Budget::at_most("x", 2.0, 2.1).within());
+        assert!(Budget::at_least("x", 3.0, 3.0).within());
+        assert!(!Budget::at_least("x", 3.0, 2.9).within());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let fields = Fields::new().text("note", "a \"b\"\\c");
+        assert_eq!(fields.render_inline(), r#"{"note": "a \"b\"\\c"}"#);
+    }
+}

@@ -5,24 +5,13 @@
 //! integral, so the NTC is too. Savings percentages are the only floating
 //! point values.
 
-use crate::{ObjectId, Problem, ReplicationScheme, SiteId};
+use crate::{kernels, ObjectId, Problem, ReplicationScheme, SiteId};
 
 impl Problem {
-    /// Nearest-replica transfer cost from every site for one object:
-    /// `out[i] = min { C(i, j) : X_jk = 1 }` in O(M · |R_k|).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `object` is out of range or the scheme shape mismatches.
-    pub fn nearest_costs(&self, scheme: &ReplicationScheme, object: ObjectId) -> Vec<u64> {
-        let mut out = vec![u64::MAX; self.num_sites()];
-        self.nearest_costs_into(scheme.replicator_indices(object.index()), &mut out);
-        out
-    }
-
     /// Fills `nearest[i] = min { C(i, j) : j ∈ replicas }` without
-    /// allocating. `replicas` may be in any order; an empty list leaves
-    /// every slot at [`u64::MAX`].
+    /// allocating — one [`kernels::min_scan`] per replica row. `replicas`
+    /// may be in any order; an empty list leaves every slot at
+    /// [`u64::MAX`].
     ///
     /// # Panics
     ///
@@ -32,12 +21,7 @@ impl Problem {
         assert_eq!(nearest.len(), self.num_sites());
         nearest.fill(u64::MAX);
         for &j in replicas {
-            let row = self.costs().row(j);
-            for (slot, &c) in nearest.iter_mut().zip(row) {
-                if c < *slot {
-                    *slot = c;
-                }
-            }
+            kernels::min_scan(nearest, self.costs().row(j));
         }
     }
 
@@ -61,30 +45,28 @@ impl Problem {
         debug_assert!(replicas.windows(2).all(|w| w[0] < w[1]));
         let o = self.object_size(object);
         let sp = self.primary(object).index();
-        let w_tot = self.total_writes(object);
         let sp_row = self.costs().row(sp);
+        let r_row = self.object_reads(object);
+        let w_row = self.object_writes(object);
 
-        // Update broadcast: every replicator receives every write.
-        let mut cost = 0u64;
-        for &j in replicas {
-            cost += w_tot * o * sp_row[j];
-        }
-
-        // Non-replicators: reads from the nearest replica, writes to SP.
-        // Walking the sorted replica list with a cursor skips replicators
-        // without per-site membership tests.
+        // Update broadcast: every replicator receives every write —
+        // write_volume(k) = Σ_x w_k(x) · o_k per unit of distance to SP.
+        // Replicators also don't ship their own writes to the primary, so
+        // collect their w·C(j, SP) terms to subtract from the full scan.
         self.nearest_costs_into(replicas, nearest);
-        let mut cursor = 0;
-        for i in 0..self.num_sites() {
-            if cursor < replicas.len() && replicas[cursor] == i {
-                cursor += 1;
-                continue;
-            }
-            let r = self.reads(SiteId::new(i), object);
-            let w = self.writes(SiteId::new(i), object);
-            cost += o * (r * nearest[i] + w * sp_row[i]);
+        let mut broadcast = 0u64;
+        let mut replica_writes = 0u64;
+        for &j in replicas {
+            broadcast += sp_row[j];
+            replica_writes += w_row[j] * sp_row[j];
         }
-        cost
+
+        // Reads from the nearest replica plus writes to SP, streamed
+        // branchlessly over every site: replicators contribute zero read
+        // traffic (their nearest distance is 0) and their write terms were
+        // collected above, so no per-site membership test is needed.
+        let traffic = kernels::traffic_scan(r_row, w_row, nearest, sp_row);
+        self.write_volume(object) * broadcast + o * (traffic - replica_writes)
     }
 
     /// Per-object NTC `V_k` (Eq. 4 restricted to one object): the reads of
@@ -149,6 +131,25 @@ impl Problem {
         site: SiteId,
         object: ObjectId,
     ) -> i64 {
+        let mut nearest = vec![u64::MAX; self.num_sites()];
+        self.delta_add_replica_with(scheme, site, object, &mut nearest)
+    }
+
+    /// [`delta_add_replica`](Self::delta_add_replica) with a caller-owned
+    /// scratch buffer (`nearest` is overwritten) — the zero-allocation
+    /// variant for callers probing many candidate sites in a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` already replicates `object`, ids are out of range,
+    /// or `nearest.len() != num_sites()`.
+    pub fn delta_add_replica_with(
+        &self,
+        scheme: &ReplicationScheme,
+        site: SiteId,
+        object: ObjectId,
+        nearest: &mut [u64],
+    ) -> i64 {
         assert!(
             !scheme.holds(site, object),
             "delta_add_replica requires a non-replicator site"
@@ -158,14 +159,14 @@ impl Problem {
         let sp = self.primary(object).index();
         let c_isp = self.costs().cost(i, sp);
         let w_tot = self.total_writes(object);
-        let nearest = self.nearest_costs(scheme, object);
+        self.nearest_costs_into(scheme.replicator_indices(object.index()), nearest);
         let i_row = self.costs().row(i);
+        let r_row = self.object_reads(object);
+        let w_i = self.object_writes(object)[i];
 
         // Site i stops reading remotely and shipping writes, starts
         // receiving the update broadcast.
-        let r_i = self.reads(site, object);
-        let w_i = self.writes(site, object);
-        let old_i = o * (r_i * nearest[i] + w_i * c_isp);
+        let old_i = o * (r_row[i] * nearest[i] + w_i * c_isp);
         let new_i = w_tot * o * c_isp;
         let mut delta = new_i as i64 - old_i as i64;
 
@@ -176,8 +177,7 @@ impl Problem {
             }
             let c_ji = i_row[j];
             if c_ji < nearest[j] {
-                let r_j = self.reads(SiteId::new(j), object);
-                delta -= (r_j * o * (nearest[j] - c_ji)) as i64;
+                delta -= (r_row[j] * o * (nearest[j] - c_ji)) as i64;
             }
         }
         delta
@@ -219,31 +219,18 @@ impl Problem {
         let mut nearest_with = vec![u64::MAX; m];
         for &j in scheme.replicator_indices(k) {
             let row = self.costs().row(j);
-            if j == i {
-                for (x, slot) in nearest_with.iter_mut().enumerate() {
-                    if row[x] < *slot {
-                        *slot = row[x];
-                    }
-                }
-            } else {
-                for x in 0..m {
-                    let c = row[x];
-                    if c < nearest_with[x] {
-                        nearest_with[x] = c;
-                    }
-                    if c < nearest_without[x] {
-                        nearest_without[x] = c;
-                    }
-                }
+            kernels::min_scan(&mut nearest_with, row);
+            if j != i {
+                kernels::min_scan(&mut nearest_without, row);
             }
         }
 
         // Site i resumes remote reads and write shipping, stops receiving
         // the broadcast.
-        let r_i = self.reads(site, object);
-        let w_i = self.writes(site, object);
+        let r_row = self.object_reads(object);
+        let w_i = self.object_writes(object)[i];
         let old_i = w_tot * o * c_isp;
-        let new_i = o * (r_i * nearest_without[i] + w_i * c_isp);
+        let new_i = o * (r_row[i] * nearest_without[i] + w_i * c_isp);
         let mut delta = new_i as i64 - old_i as i64;
 
         // Other non-replicators whose nearest replica was site i re-route.
@@ -252,8 +239,7 @@ impl Problem {
                 continue;
             }
             if nearest_without[j] > nearest_with[j] {
-                let r_j = self.reads(SiteId::new(j), object);
-                delta += (r_j * o * (nearest_without[j] - nearest_with[j])) as i64;
+                delta += (r_row[j] * o * (nearest_without[j] - nearest_with[j])) as i64;
             }
         }
         delta
@@ -313,9 +299,31 @@ mod tests {
     fn nearest_costs_reflect_replicas() {
         let p = problem();
         let mut s = ReplicationScheme::primary_only(&p);
-        assert_eq!(p.nearest_costs(&s, ObjectId::new(0)), vec![0, 1, 2]);
+        let mut nearest = vec![u64::MAX; p.num_sites()];
+        p.nearest_costs_into(s.replicator_indices(0), &mut nearest);
+        assert_eq!(nearest, vec![0, 1, 2]);
         s.add_replica(&p, SiteId::new(2), ObjectId::new(0)).unwrap();
-        assert_eq!(p.nearest_costs(&s, ObjectId::new(0)), vec![0, 1, 0]);
+        p.nearest_costs_into(s.replicator_indices(0), &mut nearest);
+        assert_eq!(nearest, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn delta_add_with_scratch_matches_allocating_variant() {
+        let p = problem();
+        let s = ReplicationScheme::primary_only(&p);
+        let mut nearest = vec![0u64; p.num_sites()];
+        for k in p.objects() {
+            for i in p.sites() {
+                if s.holds(i, k) {
+                    continue;
+                }
+                assert_eq!(
+                    p.delta_add_replica_with(&s, i, k, &mut nearest),
+                    p.delta_add_replica(&s, i, k),
+                    "({i}, {k})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! and peek paths perform no allocations (the undo log amortizes like any
 //! `Vec` push).
 
-use crate::{ObjectId, Problem, ReplicationScheme, Result, SiteId};
+use crate::{kernels, ObjectId, Problem, ReplicationScheme, Result, SiteId};
 
 /// Sentinel site index for "no second-nearest replicator".
 const NO_SITE: u32 = u32::MAX;
@@ -276,10 +276,10 @@ impl<'p> CostEvaluator<'p> {
         let c_isp = self.problem.costs().cost(i, sp);
         let w_tot = self.problem.total_writes(object);
         let i_row = self.problem.costs().row(i);
+        let r_row = self.problem.object_reads(object);
+        let w_i = self.problem.object_writes(object)[i];
 
-        let r_i = self.problem.reads(site, object);
-        let w_i = self.problem.writes(site, object);
-        let old_i = o * (r_i * self.best_cost[base + i] + w_i * c_isp);
+        let old_i = o * (r_row[i] * self.best_cost[base + i] + w_i * c_isp);
         let new_i = w_tot * o * c_isp;
         let mut delta = new_i as i64 - old_i as i64;
 
@@ -290,7 +290,7 @@ impl<'p> CostEvaluator<'p> {
             }
             let bc = self.best_cost[base + x];
             if c < bc {
-                delta -= (self.problem.reads(SiteId::new(x), object) * o * (bc - c)) as i64;
+                delta -= (r_row[x] * o * (bc - c)) as i64;
             }
         }
         delta
@@ -321,21 +321,20 @@ impl<'p> CostEvaluator<'p> {
         let sp = self.problem.primary(object).index();
         let c_isp = self.problem.costs().cost(i, sp);
         let w_tot = self.problem.total_writes(object);
+        let r_row = self.problem.object_reads(object);
+        let w_i = self.problem.object_writes(object)[i];
 
-        let r_i = self.problem.reads(site, object);
-        let w_i = self.problem.writes(site, object);
         // Site i itself re-routes to its second-nearest (it exists: the
         // primary is always a distinct replicator here).
         let old_i = w_tot * o * c_isp;
-        let new_i = o * (r_i * self.second_cost[base + i] + w_i * c_isp);
+        let new_i = o * (r_row[i] * self.second_cost[base + i] + w_i * c_isp);
         let mut delta = new_i as i64 - old_i as i64;
 
-        for x in 0..m {
+        for (x, &r_x) in r_row.iter().enumerate().take(m) {
             if x == i || self.scheme.holds(SiteId::new(x), object) {
                 continue;
             }
             if self.best_site[base + x] as usize == i {
-                let r_x = self.problem.reads(SiteId::new(x), object);
                 delta += (r_x * o * (self.second_cost[base + x] - self.best_cost[base + x])) as i64;
             }
         }
@@ -444,16 +443,18 @@ impl<'p> CostEvaluator<'p> {
             }
         }
 
-        let mut cost = w_tot * o * broadcast;
-        for (x, &c_xsp) in sp_row.iter().enumerate() {
-            let site = SiteId::new(x);
-            if self.scheme.holds(site, object) {
-                continue;
-            }
-            cost += o
-                * (self.problem.reads(site, object) * self.best_cost[base + x]
-                    + self.problem.writes(site, object) * c_xsp);
+        // Branchless V_k: stream the contiguous per-object rows over every
+        // site, then subtract the replicator write terms collected above —
+        // replicators contribute zero read traffic (their cached nearest
+        // distance is 0), so no per-site membership test is needed.
+        let r_row = self.problem.object_reads(object);
+        let w_row = self.problem.object_writes(object);
+        let mut replica_writes = 0u64;
+        for &j in self.scheme.replicator_indices(k) {
+            replica_writes += w_row[j] * sp_row[j];
         }
+        let traffic = kernels::traffic_scan(r_row, w_row, &self.best_cost[base..base + m], sp_row);
+        let cost = w_tot * o * broadcast + o * (traffic - replica_writes);
         self.total = self.total - self.object_cost[k] + cost;
         self.object_cost[k] = cost;
     }
@@ -495,6 +496,8 @@ impl<'p> CostEvaluator<'p> {
         let c_isp = self.problem.costs().cost(i, sp);
         let w_tot = self.problem.total_writes(object);
         let i_row = self.problem.costs().row(i);
+        let r_row = self.problem.object_reads(object);
+        let w_i = self.problem.object_writes(object)[i];
 
         let mut delta: i64 = 0;
         for (x, &c_ix) in i_row.iter().enumerate() {
@@ -510,13 +513,11 @@ impl<'p> CostEvaluator<'p> {
             );
             if x == i {
                 // Stops remote reads and write shipping, joins the broadcast.
-                let r_i = self.problem.reads(SiteId::new(i), object);
-                let w_i = self.problem.writes(SiteId::new(i), object);
-                delta += (w_tot * o * c_isp) as i64 - (o * (r_i * old_best + w_i * c_isp)) as i64;
+                delta +=
+                    (w_tot * o * c_isp) as i64 - (o * (r_row[i] * old_best + w_i * c_isp)) as i64;
             } else if replaced_best && !self.scheme.holds(SiteId::new(x), object) {
                 // A non-replicator re-routes its reads to the new replica.
-                let r_x = self.problem.reads(SiteId::new(x), object);
-                delta -= (r_x * o * (old_best - self.best_cost[idx])) as i64;
+                delta -= (r_row[x] * o * (old_best - self.best_cost[idx])) as i64;
             }
         }
         self.apply_object_delta(k, delta);
@@ -533,6 +534,8 @@ impl<'p> CostEvaluator<'p> {
         let sp = self.problem.primary(object).index();
         let c_isp = self.problem.costs().cost(i, sp);
         let w_tot = self.problem.total_writes(object);
+        let r_row = self.problem.object_reads(object);
+        let w_i = self.problem.object_writes(object)[i];
 
         let mut delta: i64 = 0;
         for x in 0..m {
@@ -547,13 +550,10 @@ impl<'p> CostEvaluator<'p> {
                 self.rescan_second(k, x);
                 if x == i {
                     // Resumes remote reads/writes, leaves the broadcast.
-                    let r_i = self.problem.reads(SiteId::new(i), object);
-                    let w_i = self.problem.writes(SiteId::new(i), object);
-                    delta += (o * (r_i * self.best_cost[idx] + w_i * c_isp)) as i64
+                    delta += (o * (r_row[i] * self.best_cost[idx] + w_i * c_isp)) as i64
                         - (w_tot * o * c_isp) as i64;
                 } else if !self.scheme.holds(SiteId::new(x), object) {
-                    let r_x = self.problem.reads(SiteId::new(x), object);
-                    delta += (r_x * o * (self.best_cost[idx] - old_best)) as i64;
+                    delta += (r_row[x] * o * (self.best_cost[idx] - old_best)) as i64;
                 }
             } else if self.second_site[idx] as usize == i {
                 self.rescan_second(k, x);

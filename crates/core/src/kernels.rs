@@ -1,0 +1,74 @@
+//! Cache-friendly scalar kernels shared by the cost model, the
+//! incremental evaluator and the solvers.
+//!
+//! Every Eq. 4 evaluation reduces to streaming over contiguous `M`-length
+//! rows: a cost-matrix row per replicator and the per-object `r_k(·)` /
+//! `w_k(·)` rows of [`Problem::object_reads`] /
+//! [`Problem::object_writes`]. Keeping the inner loops here — branchless,
+//! slice-to-slice, bounds-checks hoisted by `zip` — gives the compiler
+//! straight-line code it can unroll and vectorise, and gives the humans
+//! one place to reason about it.
+//!
+//! [`Problem::object_reads`]: crate::Problem::object_reads
+//! [`Problem::object_writes`]: crate::Problem::object_writes
+
+/// Folds one cost-matrix row into the running nearest-replicator
+/// distances: `nearest[i] = min(nearest[i], row[i])` for every site.
+///
+/// This is the nearest-replicator min-scan: calling it once per
+/// replicator row leaves `nearest[i] = min_{j ∈ R_k} C(i, j)`, the
+/// `C(i, SN_k(i))` term of Eq. 4. `min` on unsigned integers compiles to
+/// a branchless `cmov`/`pminub`-style select, so the scan costs one pass
+/// of sequential memory traffic per replicator with no mispredictions.
+///
+/// Only the first `min(nearest.len(), row.len())` entries are touched;
+/// callers in this workspace always pass equal-length `M` slices.
+#[inline]
+pub fn min_scan(nearest: &mut [u64], row: &[u64]) {
+    for (slot, &cost) in nearest.iter_mut().zip(row) {
+        *slot = (*slot).min(cost);
+    }
+}
+
+/// The read-plus-write traffic of one object over all sites, given the
+/// per-site nearest-replicator distances: `Σ_i r[i]·nearest[i] +
+/// w[i]·sp_row[i]`, i.e. the non-broadcast half of Eq. 4 *before* scaling
+/// by the object size. Replicator sites must have `nearest[i] == 0`
+/// (their own distance), which also zeroes their read term; their write
+/// term is the ordinary "send the update to the primary" cost, which
+/// Eq. 4 only charges to non-replicators — callers subtract or skip those
+/// sites themselves when required.
+#[inline]
+pub fn traffic_scan(reads: &[u64], writes: &[u64], nearest: &[u64], sp_row: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for (((&r, &w), &near), &sp) in reads.iter().zip(writes).zip(nearest).zip(sp_row) {
+        total += r * near + w * sp;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_scan_keeps_the_pointwise_minimum() {
+        let mut nearest = vec![u64::MAX, 5, 0, 7];
+        min_scan(&mut nearest, &[3, 9, 2, 7]);
+        assert_eq!(nearest, vec![3, 5, 0, 7]);
+        min_scan(&mut nearest, &[4, 1, 1, 1]);
+        assert_eq!(nearest, vec![3, 1, 0, 1]);
+    }
+
+    #[test]
+    fn traffic_scan_matches_the_naive_sum() {
+        let reads = [2, 0, 5];
+        let writes = [1, 3, 0];
+        let nearest = [0, 4, 2];
+        let sp = [0, 7, 9];
+        let naive: u64 = (0..3)
+            .map(|i| reads[i] * nearest[i] + writes[i] * sp[i])
+            .sum();
+        assert_eq!(traffic_scan(&reads, &writes, &nearest, &sp), naive);
+    }
+}

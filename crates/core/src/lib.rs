@@ -60,9 +60,11 @@ mod error;
 mod evaluator;
 pub mod format;
 mod ids;
+pub mod kernels;
 mod matrix;
 mod metrics;
 pub mod migration;
+pub mod pool;
 mod problem;
 pub mod replay;
 mod scheme;

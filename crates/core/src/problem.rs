@@ -27,8 +27,16 @@ pub struct Problem {
     capacities: Vec<u64>,
     reads: DenseMatrix<u64>,
     writes: DenseMatrix<u64>,
+    /// Object-major (`N × M`) transpose of `reads`: row `k` is the
+    /// contiguous `r_k(i)` vector the cost kernels stream over.
+    reads_by_object: DenseMatrix<u64>,
+    /// Object-major (`N × M`) transpose of `writes`.
+    writes_by_object: DenseMatrix<u64>,
     total_reads: Vec<u64>,
     total_writes: Vec<u64>,
+    /// Per-object update volume `Σ_x w_k(x) · o_k`: the factor every
+    /// replica of `k` multiplies its primary-distance by in Eq. 4.
+    write_volumes: Vec<u64>,
     d_prime: u64,
     v_prime: Vec<u64>,
 }
@@ -120,6 +128,40 @@ impl Problem {
     /// Combined size of all objects, `Σ_k o_k`.
     pub fn total_object_size(&self) -> u64 {
         self.object_sizes.iter().sum()
+    }
+
+    /// Contiguous per-site read counts `r_k(·)` of one object — the
+    /// structure-of-arrays row the cost kernels stream over instead of
+    /// striding through the sites × objects table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    #[inline]
+    pub fn object_reads(&self, object: ObjectId) -> &[u64] {
+        self.reads_by_object.row(object.index())
+    }
+
+    /// Contiguous per-site write counts `w_k(·)` of one object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    #[inline]
+    pub fn object_writes(&self, object: ObjectId) -> &[u64] {
+        self.writes_by_object.row(object.index())
+    }
+
+    /// Precomputed update volume `Σ_x w_k(x) · o_k` of one object: what
+    /// each replica site `j` contributes to Eq. 4 per unit of distance
+    /// `C(j, SP_k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` is out of range.
+    #[inline]
+    pub fn write_volume(&self, object: ObjectId) -> u64 {
+        self.write_volumes[object.index()]
     }
 
     /// The full read table (sites × objects).
@@ -452,8 +494,23 @@ impl ProblemBuilder {
             }
         }
 
-        let total_reads: Vec<u64> = (0..n).map(|k| reads.column_sum(k)).collect();
-        let total_writes: Vec<u64> = (0..n).map(|k| writes.column_sum(k)).collect();
+        // Object-major transposes: one contiguous row per object for the
+        // cache-friendly cost kernels.
+        let mut reads_by_object = DenseMatrix::zeros(n, m);
+        let mut writes_by_object = DenseMatrix::zeros(n, m);
+        for i in 0..m {
+            for k in 0..n {
+                reads_by_object.set(k, i, *reads.get(i, k));
+                writes_by_object.set(k, i, *writes.get(i, k));
+            }
+        }
+
+        let total_reads: Vec<u64> = (0..n)
+            .map(|k| reads_by_object.row(k).iter().sum())
+            .collect();
+        let total_writes: Vec<u64> = (0..n)
+            .map(|k| writes_by_object.row(k).iter().sum())
+            .collect();
 
         // Eq. 4 multiplies a frequency total by an object size and a link
         // cost, and the update broadcast repeats such a term up to M times.
@@ -485,19 +542,24 @@ impl ProblemBuilder {
             });
         }
 
+        // Per-object update volumes Σ_x w_k(x) · o_k; the overflow guard
+        // above bounds total_writes · size, so plain multiplication is safe.
+        let write_volumes: Vec<u64> = (0..n)
+            .map(|k| total_writes[k] * self.object_sizes[k])
+            .collect();
+
         // D_prime / V_prime: with only primaries, every non-primary site pays
         // (r + w) · o · C(i, SP) and the primary itself pays nothing.
         let mut d_prime = 0u64;
         let mut v_prime = vec![0u64; n];
         for (k, &primary) in self.primaries.iter().enumerate() {
             let o = self.object_sizes[k];
+            let sp_row = self.costs.row(primary.index());
+            let r_row = reads_by_object.row(k);
+            let w_row = writes_by_object.row(k);
             let mut v = 0u64;
             for i in 0..m {
-                if i == primary.index() {
-                    continue;
-                }
-                let c = self.costs.cost(i, primary.index());
-                v += (reads.get(i, k) + writes.get(i, k)) * o * c;
+                v += (r_row[i] + w_row[i]) * o * sp_row[i];
             }
             v_prime[k] = v;
             d_prime += v;
@@ -510,8 +572,11 @@ impl ProblemBuilder {
             capacities,
             reads,
             writes,
+            reads_by_object,
+            writes_by_object,
             total_reads,
             total_writes,
+            write_volumes,
             d_prime,
             v_prime,
         })
@@ -551,6 +616,18 @@ mod tests {
         assert_eq!(p.total_reads(ObjectId::new(0)), 10);
         assert_eq!(p.total_writes(ObjectId::new(0)), 3);
         assert_eq!(p.total_object_size(), 15);
+    }
+
+    #[test]
+    fn object_major_rows_mirror_the_site_major_tables() {
+        let p = sample();
+        assert_eq!(p.object_reads(ObjectId::new(0)), &[0, 4, 6]);
+        assert_eq!(p.object_writes(ObjectId::new(0)), &[1, 2, 0]);
+        assert_eq!(p.object_reads(ObjectId::new(1)), &[3, 0, 0]);
+        assert_eq!(p.object_writes(ObjectId::new(1)), &[0, 0, 1]);
+        // write_volume = total_writes · size.
+        assert_eq!(p.write_volume(ObjectId::new(0)), 3 * 10);
+        assert_eq!(p.write_volume(ObjectId::new(1)), 5);
     }
 
     #[test]

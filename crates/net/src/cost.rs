@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use crate::pool::WorkerPool;
 use crate::{shortest, Graph, NetError, Result};
 
 /// The symmetric per-unit transfer cost table `C(i, j)` of the paper.
@@ -61,16 +62,25 @@ impl CostMatrix {
     ///
     /// Returns [`NetError::Disconnected`] if some pair of sites has no path.
     pub fn from_graph(graph: &Graph) -> Result<Self> {
+        Self::from_graph_with_pool(graph, WorkerPool::global())
+    }
+
+    /// [`from_graph`](Self::from_graph) with an explicit worker pool.
+    ///
+    /// The result is bitwise-identical for every pool size (each source
+    /// site owns one disjoint row of the matrix); benchmarks pass
+    /// `WorkerPool::new(1)` to time the sequential reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if some pair of sites has no path.
+    pub fn from_graph_with_pool(graph: &Graph, pool: &WorkerPool) -> Result<Self> {
         let m = graph.num_sites();
-        let table = shortest::all_pairs(graph)?;
-        let mut costs = Vec::with_capacity(m * m);
-        for (i, row) in table.iter().enumerate() {
-            for (j, entry) in row.iter().enumerate() {
-                match entry {
-                    Some(c) => costs.push(*c),
-                    None => return Err(NetError::Disconnected { pair: (i, j) }),
-                }
-            }
+        let costs = shortest::all_pairs_flat(graph, pool);
+        if let Some(flat) = costs.iter().position(|&c| c == shortest::UNREACHABLE) {
+            return Err(NetError::Disconnected {
+                pair: (flat / m, flat % m),
+            });
         }
         Ok(Self {
             num_sites: m,

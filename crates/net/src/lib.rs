@@ -10,6 +10,9 @@
 //!   shortest path between sites `i` and `j`).
 //! * [`topology`] — random and regular topology generators, including the
 //!   paper's complete graph with Uniform(1, 10) link costs.
+//! * [`pool`] — a persistent, deterministic worker pool that the parallel
+//!   kernels (all-pairs shortest paths here, population fitness in
+//!   `drp-algo`) share instead of re-spawning scoped threads.
 //! * [`sim`] — a deterministic discrete-event message simulator used to run
 //!   the distributed version of the greedy algorithm and to replay request
 //!   traces against a replication scheme, cross-checking the analytic cost
@@ -34,6 +37,7 @@
 mod cost;
 mod error;
 mod graph;
+pub mod pool;
 mod routes;
 pub mod shortest;
 pub mod sim;

@@ -10,7 +10,12 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::pool::WorkerPool;
 use crate::{Graph, NetError, Result};
+
+/// Sentinel distance for unreachable pairs in the flat representation
+/// returned by [`all_pairs_flat`].
+pub const UNREACHABLE: u64 = u64::MAX;
 
 /// Single-source shortest path costs from `src` to every site (Dijkstra).
 ///
@@ -41,23 +46,180 @@ pub fn dijkstra(graph: &Graph, src: usize) -> Result<Vec<Option<u64>>> {
             num_sites: m,
         });
     }
-    let mut dist: Vec<Option<u64>> = vec![None; m];
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    dist[src] = Some(0);
+    let mut dist = vec![UNREACHABLE; m];
+    let mut heap = BinaryHeap::new();
+    dijkstra_into(graph, src, &mut dist, &mut heap);
+    Ok(dist
+        .into_iter()
+        .map(|d| (d != UNREACHABLE).then_some(d))
+        .collect())
+}
+
+/// Single-source Dijkstra writing into a caller-owned row, with a reusable
+/// heap. Unreachable sites are left at [`UNREACHABLE`]; `dist` is
+/// overwritten, not accumulated. The flat-row form is what
+/// [`all_pairs_flat`] fans over the worker pool — each source writes its
+/// own disjoint row of the output matrix.
+///
+/// `src` must be a valid site index and `dist.len()` must equal the number
+/// of sites (callers in this module guarantee both).
+fn dijkstra_into(
+    graph: &Graph,
+    src: usize,
+    dist: &mut [u64],
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+) {
+    dist.fill(UNREACHABLE);
+    heap.clear();
+    dist[src] = 0;
     heap.push(Reverse((0, src)));
     while let Some(Reverse((d, u))) = heap.pop() {
-        if dist[u] != Some(d) {
+        if dist[u] != d {
             continue; // stale entry
         }
         for (v, w) in graph.neighbors(u) {
             let nd = d + w;
-            if dist[v].is_none_or(|cur| nd < cur) {
-                dist[v] = Some(nd);
+            if nd < dist[v] {
+                dist[v] = nd;
                 heap.push(Reverse((nd, v)));
             }
         }
     }
-    Ok(dist)
+}
+
+/// Internal "infinity" of the narrow [`floyd_warshall_flat`] kernel:
+/// large enough that no real path cost comes near it (the kernel is only
+/// selected when every possible path provably stays below it), small
+/// enough that one relaxation sum of two entries cannot wrap a `u32`.
+const FW_INF32: u32 = u32::MAX / 4;
+
+/// Parallel flat Floyd–Warshall over a min-cost adjacency matrix — the
+/// dense path of [`all_pairs_flat`]. `dist` starts as the adjacency
+/// matrix (with [`UNREACHABLE`] holes) and ends as the all-pairs table.
+///
+/// At pivot `k`, row `k` is invariant (`dist[k][j]` relaxes against
+/// `dist[k][k] + dist[k][j]`, i.e. itself), so every row can relax
+/// independently against a snapshot of the pivot row: the per-pivot sweep
+/// fans disjoint row chunks over the pool with no cross-row writes, which
+/// keeps the result bitwise-identical for every pool size.
+///
+/// When every shortest path provably fits (any path has at most `M − 1`
+/// hops of at most the largest edge weight), the sweep runs over a `u32`
+/// copy of the matrix: half the memory traffic of the `u64` table — the
+/// binding resource at M ≈ 1000, where the 8·M² working set dwarfs every
+/// cache — and a native SIMD unsigned-min. Unreachable pairs ride through
+/// as [`FW_INF32`] (plain adds cannot wrap it, and any path over an
+/// unreachable hop stays at least `FW_INF32` while no real path gets
+/// close, so clamping at the end is exact). Wider weights fall back to
+/// the same sweep in `u64` with a saturating add. Either way the math is
+/// exact integer shortest paths, so kernel choice — a pure function of
+/// the input — never changes results.
+fn floyd_warshall_flat(dist: &mut [u64], m: usize, pool: &WorkerPool) {
+    let max_edge = dist
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let path_bound = (m as u64).saturating_sub(1).saturating_mul(max_edge);
+    if path_bound < u64::from(FW_INF32) {
+        let mut narrow: Vec<u32> = dist
+            .iter()
+            .map(|&d| if d == UNREACHABLE { FW_INF32 } else { d as u32 })
+            .collect();
+        floyd_warshall_sweep(&mut narrow, m, pool, |a, b| a + b);
+        for (slot, &d) in dist.iter_mut().zip(&narrow) {
+            *slot = if d >= FW_INF32 {
+                UNREACHABLE
+            } else {
+                u64::from(d)
+            };
+        }
+    } else {
+        floyd_warshall_sweep(dist, m, pool, u64::saturating_add);
+    }
+}
+
+/// The pivot sweep shared by both [`floyd_warshall_flat`] kernels.
+/// `relax` must be monotone addition with an absorbing top value
+/// (saturating for `u64`, plain for the bounded `u32` domain).
+fn floyd_warshall_sweep<T>(
+    dist: &mut [T],
+    m: usize,
+    pool: &WorkerPool,
+    relax: impl Fn(T, T) -> T + Sync,
+) where
+    T: Copy + Ord + Send + Sync,
+{
+    let relax = &relax;
+    let rows_per_task = m.div_ceil(pool.threads().min(m));
+    let chunk = rows_per_task * m;
+    let mut pivot_row = Vec::with_capacity(m);
+    for k in 0..m {
+        pivot_row.clear();
+        pivot_row.extend_from_slice(&dist[k * m..(k + 1) * m]);
+        let pivot = &pivot_row;
+        pool.for_each_chunk_mut(dist, chunk, |_, rows| {
+            for row in rows.chunks_mut(m) {
+                let through = row[k];
+                for (slot, &pk) in row.iter_mut().zip(pivot) {
+                    *slot = (*slot).min(relax(through, pk));
+                }
+            }
+        });
+    }
+}
+
+/// Flat min-cost adjacency matrix: `adj[a * m + b]` is the cheapest direct
+/// edge between `a` and `b` ([`UNREACHABLE`] if none, 0 on the diagonal).
+fn flat_adjacency(graph: &Graph) -> Vec<u64> {
+    let m = graph.num_sites();
+    let mut adj = vec![UNREACHABLE; m * m];
+    for i in 0..m {
+        adj[i * m + i] = 0;
+    }
+    for e in graph.edges() {
+        let best = e.cost.min(adj[e.a * m + e.b]);
+        adj[e.a * m + e.b] = best;
+        adj[e.b * m + e.a] = best;
+    }
+    adj
+}
+
+/// All-pairs shortest paths as a flat row-major `M × M` matrix, with
+/// Dijkstra-from-every-source fanned over `pool`.
+///
+/// Entry `i * m + j` is the cheapest path cost from `i` to `j`, or
+/// [`UNREACHABLE`]. Sparse graphs fan binary-heap Dijkstra per source over
+/// the pool (each source owns one disjoint output row); dense ones (the
+/// paper's complete topologies) run [`floyd_warshall_flat`] over the flat
+/// adjacency matrix, fanning the per-pivot row sweep. Both assignments
+/// depend only on the instance, so the result is bitwise-identical for
+/// every pool size, including the inline `WorkerPool::new(1)`.
+pub fn all_pairs_flat(graph: &Graph, pool: &WorkerPool) -> Vec<u64> {
+    let m = graph.num_sites();
+    let e = graph.num_edges();
+    if m == 0 {
+        return Vec::new();
+    }
+    // Rough crossover: heap Dijkstra is O(E·logM) per source, the flat FW
+    // sweep O(M²) per pivot; prefer the sweep once E·logM outgrows M².
+    let dense = e.saturating_mul((64 - (m as u64).leading_zeros()) as usize) > m * m;
+    if dense {
+        let mut out = flat_adjacency(graph);
+        floyd_warshall_flat(&mut out, m, pool);
+        return out;
+    }
+    let mut out = vec![UNREACHABLE; m * m];
+    let rows_per_task = m.div_ceil(pool.threads().min(m));
+    pool.for_each_chunk_mut(&mut out, rows_per_task * m, |chunk_index, rows| {
+        let mut heap = BinaryHeap::new();
+        for (offset, dist) in rows.chunks_mut(m).enumerate() {
+            let src = chunk_index * rows_per_task + offset;
+            dijkstra_into(graph, src, dist, &mut heap);
+        }
+    });
+    out
 }
 
 /// All-pairs shortest path costs via Floyd–Warshall, O(M^3).
@@ -91,20 +253,23 @@ pub fn floyd_warshall(graph: &Graph) -> Vec<Vec<Option<u64>>> {
     dist
 }
 
-/// All-pairs shortest paths, choosing the asymptotically better algorithm.
+/// All-pairs shortest paths in the nested `Option` representation.
 ///
-/// Uses Dijkstra from every source when the graph is sparse
-/// (`E · log M ≪ M²`), Floyd–Warshall otherwise.
+/// Compatibility wrapper over [`all_pairs_flat`] on the global worker
+/// pool; [`floyd_warshall`] remains as the independent sequential
+/// reference the property tests compare against.
 pub fn all_pairs(graph: &Graph) -> Result<Vec<Vec<Option<u64>>>> {
     let m = graph.num_sites();
-    let e = graph.num_edges();
-    // Rough crossover: Dijkstra-all is O(M·E·logM), FW is O(M^3).
-    let dense = e.saturating_mul((64 - (m as u64).leading_zeros()) as usize) > m * m;
-    if dense {
-        Ok(floyd_warshall(graph))
-    } else {
-        (0..m).map(|src| dijkstra(graph, src)).collect()
-    }
+    let flat = all_pairs_flat(graph, WorkerPool::global());
+    Ok(flat
+        .chunks(m.max(1))
+        .take(m)
+        .map(|row| {
+            row.iter()
+                .map(|&d| (d != UNREACHABLE).then_some(d))
+                .collect()
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -162,6 +327,53 @@ mod tests {
     fn all_pairs_agrees_with_floyd_warshall() {
         let g = diamond();
         assert_eq!(all_pairs(&g).unwrap(), floyd_warshall(&g));
+    }
+
+    #[test]
+    fn all_pairs_flat_matches_floyd_warshall_for_any_pool_size() {
+        let g = diamond();
+        let m = g.num_sites();
+        let fw = floyd_warshall(&g);
+        for threads in [1, 2, 4] {
+            let flat = all_pairs_flat(&g, &WorkerPool::new(threads));
+            for i in 0..m {
+                for j in 0..m {
+                    let expect = fw[i][j].unwrap_or(UNREACHABLE);
+                    assert_eq!(flat[i * m + j], expect, "({i},{j}) at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_flat_marks_unreachable_pairs() {
+        let mut g = Graph::new(3).unwrap();
+        g.add_edge(0, 1, 2).unwrap();
+        let flat = all_pairs_flat(&g, &WorkerPool::new(1));
+        assert_eq!(flat[2], UNREACHABLE, "0 -> 2");
+        assert_eq!(flat[2 * 3], UNREACHABLE, "2 -> 0");
+        assert_eq!(flat[1], 2, "0 -> 1");
+        assert_eq!(flat[2 * 3 + 2], 0, "2 -> 2");
+    }
+
+    #[test]
+    fn dense_kernel_handles_parallel_edges_and_self_distance() {
+        // Force the dense path: complete-ish multigraph on 4 sites.
+        let mut g = Graph::new(4).unwrap();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b, 7).unwrap();
+                g.add_edge(a, b, (a + b + 1) as u64).unwrap();
+            }
+        }
+        let m = 4;
+        let flat = all_pairs_flat(&g, &WorkerPool::new(2));
+        let fw = floyd_warshall(&g);
+        for i in 0..m {
+            for j in 0..m {
+                assert_eq!(flat[i * m + j], fw[i][j].unwrap(), "({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Property-based tests of the network substrate.
 
+use drp_net::pool::WorkerPool;
 use drp_net::{shortest, topology, CostMatrix, Graph};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -33,6 +34,27 @@ proptest! {
         for (src, row) in fw.iter().enumerate() {
             let d = shortest::dijkstra(&g, src).unwrap();
             prop_assert_eq!(&d, row, "row {}", src);
+        }
+    }
+
+    #[test]
+    fn parallel_all_pairs_agrees_with_floyd_warshall(
+        g in arb_connected_graph(),
+        threads in 1usize..5,
+    ) {
+        // The pool-fanned Dijkstra sweep must reproduce the sequential
+        // Floyd–Warshall reference exactly, for every pool size.
+        let fw = shortest::floyd_warshall(&g);
+        let pool = WorkerPool::new(threads);
+        let flat = shortest::all_pairs_flat(&g, &pool);
+        let m = g.num_sites();
+        prop_assert_eq!(flat.len(), m * m);
+        for (src, row) in fw.iter().enumerate() {
+            for (dst, &want) in row.iter().enumerate() {
+                let raw = flat[src * m + dst];
+                let got = (raw != shortest::UNREACHABLE).then_some(raw);
+                prop_assert_eq!(got, want, "pair ({}, {})", src, dst);
+            }
         }
     }
 
