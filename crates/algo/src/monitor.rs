@@ -150,6 +150,32 @@ impl ReplicationMonitor {
         Ok(())
     }
 
+    /// Nightly maintenance against *new* statistics: replaces the
+    /// reference instance with `fresh` and re-runs the full GRA — the
+    /// `drp-serve` runtime's night path, where the day's observed window
+    /// is the truth the rebuild should tune for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInstance`] when `fresh` has a different
+    /// shape than the reference instance, and propagates GRA failures.
+    pub fn nightly_rebuild_with(&mut self, fresh: Problem, rng: &mut dyn RngCore) -> Result<()> {
+        self.check_shape(&fresh)?;
+        self.problem = fresh;
+        self.nightly_rebuild(rng)
+    }
+
+    fn check_shape(&self, fresh: &Problem) -> Result<()> {
+        if fresh.num_sites() != self.problem.num_sites()
+            || fresh.num_objects() != self.problem.num_objects()
+        {
+            return Err(CoreError::InvalidInstance {
+                reason: "statistics shape differs from the monitored instance".into(),
+            });
+        }
+        Ok(())
+    }
+
     /// Daytime path: compares `fresh` statistics with the reference ones
     /// and adapts with AGRA when objects drifted past the threshold. The
     /// reference statistics are only replaced when an adaptation (or a
@@ -166,13 +192,7 @@ impl ReplicationMonitor {
         fresh: Problem,
         rng: &mut dyn RngCore,
     ) -> Result<MonitorAction> {
-        if fresh.num_sites() != self.problem.num_sites()
-            || fresh.num_objects() != self.problem.num_objects()
-        {
-            return Err(CoreError::InvalidInstance {
-                reason: "statistics shape differs from the monitored instance".into(),
-            });
-        }
+        self.check_shape(&fresh)?;
         let changed =
             detect_changed_objects(&self.problem, &fresh, self.config.change_threshold_percent);
         if changed.is_empty() {
@@ -347,5 +367,94 @@ mod tests {
             .unwrap();
         let mut monitor = ReplicationMonitor::bootstrap(problem, config(), &mut rng).unwrap();
         assert!(monitor.ingest_statistics(other, &mut rng).is_err());
+    }
+
+    #[test]
+    fn object_count_mismatch_is_a_typed_error_not_a_panic() {
+        // A statistics window for a different object census would trip the
+        // shape assert in `detect_changed_objects` if it ever got that far;
+        // the monitor must surface it as a typed error instead.
+        let mut rng = StdRng::seed_from_u64(6);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let other = WorkloadSpec::paper(10, 12, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut monitor =
+            ReplicationMonitor::bootstrap(problem.clone(), config(), &mut rng).unwrap();
+        let err = monitor
+            .ingest_statistics(other.clone(), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInstance { .. }), "{err}");
+        let err = monitor.nightly_rebuild_with(other, &mut rng).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInstance { .. }), "{err}");
+        // The reference instance and scheme are untouched by the rejection.
+        assert_eq!(monitor.problem(), &problem);
+        monitor.scheme().validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn zero_traffic_window_does_not_divide_by_zero() {
+        // An epoch where nothing was observed: every previously-busy object
+        // "moved" by exactly -100%, so a sub-100% threshold fires AGRA on an
+        // all-zero instance. The percent test must not divide by zero and
+        // the adaptation path must stay finite (V'=0 and D'=0 guards).
+        let mut rng = StdRng::seed_from_u64(7);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut low = config();
+        low.change_threshold_percent = 50.0;
+        let mut monitor = ReplicationMonitor::bootstrap(problem.clone(), low, &mut rng).unwrap();
+        let m = problem.num_sites();
+        let n = problem.num_objects();
+        let silent = problem
+            .with_patterns(
+                drp_core::DenseMatrix::zeros(m, n),
+                drp_core::DenseMatrix::zeros(m, n),
+            )
+            .unwrap();
+        let action = monitor.ingest_statistics(silent.clone(), &mut rng).unwrap();
+        assert!(
+            matches!(action, MonitorAction::Adapted { changed_objects, .. } if changed_objects > 0)
+        );
+        monitor.scheme().validate(&silent).unwrap();
+        assert!(silent.savings_percent(monitor.scheme()).is_finite());
+
+        // Symmetric edge: traffic appearing on a previously-silent object.
+        // The reference is now all-zero, so the percent base is clamped to 1.
+        let action = monitor
+            .ingest_statistics(problem.clone(), &mut rng)
+            .unwrap();
+        assert!(
+            matches!(action, MonitorAction::Adapted { changed_objects, .. } if changed_objects > 0)
+        );
+        assert!(problem.savings_percent(monitor.scheme()).is_finite());
+    }
+
+    #[test]
+    fn nightly_rebuild_with_repins_the_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let problem = WorkloadSpec::paper(10, 14, 5.0, 20.0)
+            .generate(&mut rng)
+            .unwrap();
+        let mut monitor =
+            ReplicationMonitor::bootstrap(problem.clone(), config(), &mut rng).unwrap();
+        let change = PatternChange {
+            change_percent: 600.0,
+            objects_percent: 50.0,
+            read_share: 1.0,
+        };
+        let shifted = change.apply(&problem, &mut rng).unwrap().problem;
+        monitor
+            .nightly_rebuild_with(shifted.clone(), &mut rng)
+            .unwrap();
+        assert_eq!(monitor.problem(), &shifted);
+        monitor.scheme().validate(&shifted).unwrap();
+        // Rebuilt against the shifted statistics, so identical fresh stats
+        // are quiet again.
+        let action = monitor.ingest_statistics(shifted, &mut rng).unwrap();
+        assert_eq!(action, MonitorAction::NoChange);
     }
 }

@@ -10,7 +10,7 @@
 //! * `ga_ops` — the genetic operators and selection schemes in isolation.
 //!
 //! The machine-readable `BENCH_*.json` bins (`cost_eval`, `faults`,
-//! `telemetry`, `scale`) all emit the shared [`report`] shape.
+//! `telemetry`, `scale`, `adapt`) all emit the shared [`report`] shape.
 
 pub mod report;
 

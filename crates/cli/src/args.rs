@@ -49,6 +49,17 @@ impl From<drp_core::format::FormatError> for CliError {
     }
 }
 
+/// Which adaptation policy `drp serve` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Freeze the bootstrap scheme.
+    Static,
+    /// Monitor + AGRA by day, GRA by night.
+    Monitor,
+    /// Re-run ADR every boundary (tree metrics only).
+    Adr,
+}
+
 /// Which solver `drp solve` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolverKind {
@@ -146,6 +157,35 @@ pub enum Command {
         /// Telemetry JSONL output file.
         trace_out: Option<PathBuf>,
     },
+    /// Run the closed-loop online adaptation service.
+    Serve {
+        /// Instance file.
+        instance: PathBuf,
+        /// Adaptation policy.
+        policy: ServePolicy,
+        /// Serving epochs.
+        epochs: usize,
+        /// Simulated time units per epoch.
+        period: u64,
+        /// Master seed.
+        seed: u64,
+        /// Every k-th boundary rebuilds with GRA (0 = never).
+        night_every: usize,
+        /// Per-site admitted-request cap per epoch (0 = unlimited).
+        admission_limit: u64,
+        /// Pattern drift as `(change%, objects%, read share)`.
+        drift: Option<(f64, f64, f64)>,
+        /// Crash windows as `(site, from, until)`.
+        crashes: Vec<(usize, u64, u64)>,
+        /// Per-message drop probability.
+        drop: f64,
+        /// Maximum extra delivery delay.
+        jitter: u64,
+        /// Service report JSON output file.
+        report_out: Option<PathBuf>,
+        /// Telemetry JSONL output file.
+        trace_out: Option<PathBuf>,
+    },
     /// Adapt a scheme to a shifted instance with AGRA.
     Adapt {
         /// Old instance file.
@@ -225,6 +265,47 @@ fn parse_solver(value: &str) -> Result<SolverKind, CliError> {
 }
 
 /// Parses one `--crash SITE@FROM..UNTIL` window.
+fn parse_policy(value: &str) -> Result<ServePolicy, CliError> {
+    Ok(match value {
+        "static" => ServePolicy::Static,
+        "monitor" => ServePolicy::Monitor,
+        "adr" => ServePolicy::Adr,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown policy `{other}` (expected static, monitor or adr)"
+            )))
+        }
+    })
+}
+
+fn parse_drift(value: &str) -> Result<(f64, f64, f64), CliError> {
+    let usage = || {
+        CliError::Usage(format!(
+            "bad drift `{value}` (expected CHANGE%:OBJECTS%:READSHARE, e.g. 600:30:0.8)"
+        ))
+    };
+    let mut parts = value.split(':');
+    let change = parts
+        .next()
+        .ok_or_else(usage)?
+        .parse()
+        .map_err(|_| usage())?;
+    let objects = parts
+        .next()
+        .ok_or_else(usage)?
+        .parse()
+        .map_err(|_| usage())?;
+    let read_share = parts
+        .next()
+        .ok_or_else(usage)?
+        .parse()
+        .map_err(|_| usage())?;
+    if parts.next().is_some() {
+        return Err(usage());
+    }
+    Ok((change, objects, read_share))
+}
+
 fn parse_crash(value: &str) -> Result<(usize, u64, u64), CliError> {
     let usage = || {
         CliError::Usage(format!(
@@ -367,6 +448,70 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 min_degree,
                 horizon,
+                trace_out,
+            })
+        }
+        "serve" => {
+            let mut instance = None;
+            let mut policy = ServePolicy::Monitor;
+            let mut epochs = 3usize;
+            let mut period = 256u64;
+            let mut seed = 0u64;
+            let mut night_every = 0usize;
+            let mut admission_limit = 0u64;
+            let mut drift = None;
+            let mut crashes = Vec::new();
+            let mut drop = 0.0f64;
+            let mut jitter = 0u64;
+            let mut report_out = None;
+            let mut trace_out = None;
+            stream.index = 1;
+            while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
+                match flag {
+                    "--instance" => instance = Some(PathBuf::from(stream.next_value(flag)?)),
+                    "--policy" => policy = parse_policy(stream.next_value(flag)?)?,
+                    "--epochs" => epochs = parse_num(stream.next_value(flag)?, flag)?,
+                    "--period" => period = parse_num(stream.next_value(flag)?, flag)?,
+                    "--seed" => seed = parse_num(stream.next_value(flag)?, flag)?,
+                    "--night-every" => night_every = parse_num(stream.next_value(flag)?, flag)?,
+                    "--admission-limit" => {
+                        admission_limit = parse_num(stream.next_value(flag)?, flag)?;
+                    }
+                    "--drift" => drift = Some(parse_drift(stream.next_value(flag)?)?),
+                    "--crash" => crashes.push(parse_crash(stream.next_value(flag)?)?),
+                    "--drop" => drop = parse_num(stream.next_value(flag)?, flag)?,
+                    "--jitter" => jitter = parse_num(stream.next_value(flag)?, flag)?,
+                    "--report-out" => {
+                        report_out = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(stream.next_value(flag)?));
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            if epochs == 0 {
+                return Err(CliError::Usage("--epochs must be at least 1".into()));
+            }
+            if !(0.0..=1.0).contains(&drop) {
+                return Err(CliError::Usage(format!(
+                    "--drop must be a probability in [0, 1], got {drop}"
+                )));
+            }
+            Ok(Command::Serve {
+                instance: instance
+                    .ok_or_else(|| CliError::Usage("--instance is required".into()))?,
+                policy,
+                epochs,
+                period,
+                seed,
+                night_every,
+                admission_limit,
+                drift,
+                crashes,
+                drop,
+                jitter,
+                report_out,
                 trace_out,
             })
         }

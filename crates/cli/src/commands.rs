@@ -11,11 +11,12 @@ use drp_core::format::{read_instance, read_scheme, write_instance, write_scheme}
 use drp_core::telemetry::{InMemoryRecorder, Recorder};
 use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme};
 use drp_net::sim::FaultPlan;
-use drp_workload::WorkloadSpec;
+use drp_serve::{run_service, run_service_recorded, FaultSpec, Policy, ServeConfig};
+use drp_workload::{PatternChange, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use crate::args::{CliError, Command, SolverKind};
+use crate::args::{CliError, Command, ServePolicy, SolverKind};
 
 fn read_file(path: &Path) -> Result<String, CliError> {
     std::fs::read_to_string(path).map_err(|source| CliError::Io {
@@ -335,6 +336,126 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                 write_trace(&mut out, rec, path)?;
             }
         }
+        Command::Serve {
+            instance,
+            policy,
+            epochs,
+            period,
+            seed,
+            night_every,
+            admission_limit,
+            drift,
+            crashes,
+            drop,
+            jitter,
+            report_out,
+            trace_out,
+        } => {
+            let problem = load_instance(&instance)?;
+            for &(site, _, _) in &crashes {
+                if site >= problem.num_sites() {
+                    return Err(CliError::Run(format!(
+                        "crash site {site} out of range for {} sites",
+                        problem.num_sites()
+                    )));
+                }
+            }
+            let faults = if crashes.is_empty() && drop == 0.0 && jitter == 0 {
+                None
+            } else {
+                Some(FaultSpec {
+                    crashes,
+                    drop_probability: drop,
+                    jitter,
+                })
+            };
+            let config = ServeConfig {
+                policy: match policy {
+                    ServePolicy::Static => Policy::Static,
+                    ServePolicy::Monitor => Policy::Monitor,
+                    ServePolicy::Adr => Policy::Adr,
+                },
+                epochs,
+                period,
+                seed,
+                night_every,
+                admission_limit,
+                drift: drift.map(
+                    |(change_percent, objects_percent, read_share)| PatternChange {
+                        change_percent,
+                        objects_percent,
+                        read_share,
+                    },
+                ),
+                faults,
+                ..ServeConfig::default()
+            };
+            let trace = trace_out
+                .as_ref()
+                .map(|_| Arc::new(InMemoryRecorder::new()));
+            let report = match &trace {
+                Some(rec) => {
+                    run_service_recorded(&problem, &config, Arc::clone(rec) as Arc<dyn Recorder>)
+                }
+                None => run_service(&problem, &config),
+            }
+            .map_err(|e| CliError::Run(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "policy {} | seed {} | {} epoch(s) x {} time units",
+                report.policy, report.seed, epochs, period
+            );
+            let _ = writeln!(
+                out,
+                "{:>5} {:>12} {:>12} {:>7} {:>7} {:>6} {:>6} {:>8} {:>9}",
+                "epoch",
+                "serve-ntc",
+                "migr-ntc",
+                "moves",
+                "shed",
+                "stale",
+                "lost",
+                "replicas",
+                "savings%"
+            );
+            for e in &report.epochs {
+                let mark = if e.rebuilt {
+                    " night:GRA"
+                } else if e.adapted_objects > 0 {
+                    " day:AGRA"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>12} {:>12} {:>7} {:>7} {:>6} {:>6} {:>8} {:>9.2}{}",
+                    e.epoch,
+                    e.serving_ntc,
+                    e.migration_ntc,
+                    e.migration_planned,
+                    e.shed,
+                    e.reads_stale,
+                    e.reads_lost + e.writes_lost,
+                    e.replicas,
+                    e.savings_percent,
+                    mark,
+                );
+            }
+            let t = &report.totals;
+            let _ = writeln!(
+                out,
+                "totals: serving NTC {} + migration NTC {} = {} | {} adaptation(s), {} rebuild(s), {} move(s)",
+                t.serving_ntc, t.migration_ntc, t.total_ntc, t.adaptations, t.rebuilds, t.migration_moves
+            );
+            let _ = writeln!(out, "fingerprint: {:016x}", report.fingerprint());
+            if let Some(path) = &report_out {
+                write_file(path, &report.render_json())?;
+                let _ = writeln!(out, "report written to {}", path.display());
+            }
+            if let (Some(rec), Some(path)) = (&trace, &trace_out) {
+                write_trace(&mut out, rec, path)?;
+            }
+        }
         Command::Adapt {
             instance,
             new_instance,
@@ -642,5 +763,56 @@ mod tests {
     fn missing_file_is_reported() {
         let err = run(&argv("solve --instance /nonexistent.drp --algorithm sra")).unwrap_err();
         assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn serve_runs_the_monitor_loop_end_to_end() {
+        let dir = tempdir("serve");
+        let net = dir.join("net.drp");
+        let report = dir.join("report.json");
+        run(&argv(&format!(
+            "generate --sites 6 --objects 8 --capacity 30 --seed 9 -o {}",
+            net.display()
+        )))
+        .unwrap();
+
+        let out = run(&argv(&format!(
+            "serve --instance {} --policy monitor --epochs 2 --period 128 --seed 9 \
+             --drift 500:40:0.9 --report-out {}",
+            net.display(),
+            report.display()
+        )))
+        .unwrap();
+        assert!(out.contains("policy monitor"));
+        assert!(out.contains("fingerprint: "));
+        assert!(out.contains("totals: serving NTC"));
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"policy\": \"monitor\""));
+        assert!(json.contains("\"epochs\": ["));
+
+        // Same seed, same fingerprint: the CLI surface preserves the
+        // determinism contract.
+        let again = run(&argv(&format!(
+            "serve --instance {} --policy monitor --epochs 2 --period 128 --seed 9 \
+             --drift 500:40:0.9",
+            net.display()
+        )))
+        .unwrap();
+        let fp = |text: &str| {
+            text.lines()
+                .find_map(|l| l.strip_prefix("fingerprint: ").map(str::to_string))
+                .unwrap()
+        };
+        assert_eq!(fp(&out), fp(&again));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments() {
+        assert!(run(&argv("serve")).is_err());
+        assert!(run(&argv("serve --instance x.drp --policy bogus")).is_err());
+        assert!(run(&argv("serve --instance x.drp --epochs 0")).is_err());
+        assert!(run(&argv("serve --instance x.drp --drift 1:2")).is_err());
+        assert!(run(&argv("serve --instance x.drp --drop 1.5")).is_err());
     }
 }

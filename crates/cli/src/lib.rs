@@ -10,13 +10,14 @@
 //! drp evaluate --instance net.drp --scheme scheme.drp
 //! drp adapt    --instance net.drp --new-instance shifted.drp --scheme scheme.drp
 //! drp faults   --instance net.drp --crash 2@80..380 --seed 17
+//! drp serve    --instance net.drp --policy monitor --epochs 4 --drift 600:30:0.8
 //! drp inspect  --instance net.drp
 //! ```
 
 mod args;
 mod commands;
 
-pub use args::{parse, CliError, Command};
+pub use args::{parse, CliError, Command, ServePolicy};
 pub use commands::run_command;
 
 /// Usage banner printed on argument errors.
@@ -34,7 +35,11 @@ usage:
                [--drop P] [--jitter J] [--seed N] [--min-degree D]
                [--horizon T] [--trace-out FILE]
   drp adapt    --instance FILE --new-instance FILE --scheme FILE
-               [--mini N] [--threshold PCT] [--seed N] [-o FILE]";
+               [--mini N] [--threshold PCT] [--seed N] [-o FILE]
+  drp serve    --instance FILE [--policy static|monitor|adr] [--epochs N]
+               [--period T] [--seed N] [--night-every K] [--admission-limit N]
+               [--drift CHANGE%:OBJECTS%:READSHARE] [--crash SITE@FROM..UNTIL]...
+               [--drop P] [--jitter J] [--report-out FILE] [--trace-out FILE]";
 
 /// Parses and executes one command line, returning its stdout text.
 ///

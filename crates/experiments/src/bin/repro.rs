@@ -14,7 +14,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use drp_core::telemetry::{InMemoryRecorder, Recorder};
-use drp_experiments::figures::{ablation, convergence, faults, fig1, fig2, fig3, fig4, gap, trees};
+use drp_experiments::figures::{
+    ablation, adapt, convergence, faults, fig1, fig2, fig3, fig4, gap, trees,
+};
 use drp_experiments::{Scale, Table};
 
 struct Args {
@@ -26,7 +28,7 @@ struct Args {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <all|fig1|fig1-sites|fig1-objects|fig2|fig3|fig4|ablation|gap|trees|convergence|faults|extras> [--full] [--seed N] [--out DIR] [--instances N]");
+    eprintln!("usage: repro <all|fig1|fig1-sites|fig1-objects|fig2|fig3|fig4|ablation|gap|trees|convergence|faults|adapt|extras> [--full] [--seed N] [--out DIR] [--instances N]");
     ExitCode::from(2)
 }
 
@@ -40,7 +42,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "all" | "fig1" | "fig1-sites" | "fig1-objects" | "fig2" | "fig3" | "fig4"
-            | "ablation" | "gap" | "trees" | "convergence" | "faults" | "extras"
+            | "ablation" | "gap" | "trees" | "convergence" | "faults" | "adapt" | "extras"
                 if target.is_none() =>
             {
                 target = Some(arg);
@@ -189,6 +191,14 @@ fn main() -> ExitCode {
                 |p, n| p.instances = n,
             );
             emit(faults::run_recorded(&params, dyn_recorder()), &args.out);
+        }
+        "adapt" => {
+            let params = with_instances(
+                adapt::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(adapt::run_recorded(&params, dyn_recorder()), &args.out);
         }
         "extras" => {
             // The three reproduction extensions in one go.

@@ -3,6 +3,7 @@
 //! and a `run` function returning result [`Table`](crate::Table)s.
 
 pub mod ablation;
+pub mod adapt;
 pub mod convergence;
 pub mod faults;
 pub mod fig1;

@@ -1,0 +1,592 @@
+//! One serving epoch on the discrete-event simulator.
+//!
+//! An epoch mounts the current replica *directory* (the realized scheme
+//! plus per-replica versions) on [`drp_net::sim::Simulator`] and drives it
+//! with two interleaved workloads:
+//!
+//! * **Serving** — the streaming request driver's admitted reads and
+//!   writes, replayed per site at their timestamps with the Eq. 4 message
+//!   conventions (control-sized read requests and replicator write ships,
+//!   primary update broadcasts). With no faults and no migration the
+//!   epoch's serving NTC equals [`Problem::total_cost`] exactly.
+//! * **Migration** — a [`MigrationPlan`] executed live: each addition's
+//!   target fetches the object from the plan's source (nearest old
+//!   holder), installs it at the source's version and cuts it into the
+//!   directory; an object's deallocations apply only after all its
+//!   additions have landed, so a planned source keeps serving fetches
+//!   until cutover. Fetch data is charged to a separate migration-NTC
+//!   ledger. A crashed source is tolerated by timer-driven retries that
+//!   re-source the fetch from the remaining holders in cost order;
+//!   additions still pending when the retry budget runs out are reported
+//!   as deferred and re-planned by the caller.
+//!
+//! Everything is deterministic: the simulator's event order is seeded, the
+//! shared directory is only touched from the single-threaded event loop,
+//! and the streaming driver's timestamps come from a caller-provided
+//! stream seed.
+
+use std::sync::{Arc, Mutex};
+
+use drp_core::migration::MigrationPlan;
+use drp_core::telemetry::Recorder;
+use drp_core::{DenseMatrix, ObjectId, Problem, ReplicationScheme};
+use drp_net::sim::{Context, FaultPlan, FaultStats, Message, Node, Simulator};
+use drp_workload::trace::{self, RequestKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Timer/retry knobs of the migration executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationTuning {
+    /// Extra slack beyond the round-trip added to every fetch timeout.
+    pub rpc_timeout: u64,
+    /// Cap on the exponential retry backoff.
+    pub backoff_cap: u64,
+    /// Fetch attempts per addition within one epoch before deferring.
+    pub max_attempts: u32,
+}
+
+impl Default for MigrationTuning {
+    fn default() -> Self {
+        Self {
+            rpc_timeout: 16,
+            backoff_cap: 512,
+            max_attempts: 10,
+        }
+    }
+}
+
+/// Counters harvested from one epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Counters {
+    pub offered: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub reads_issued: u64,
+    pub reads_served: u64,
+    pub reads_stale: u64,
+    pub writes_issued: u64,
+    pub writes_committed: u64,
+    pub installed: usize,
+    pub deallocated: usize,
+    pub deferred: usize,
+    pub retries: u64,
+}
+
+/// What one epoch run produced.
+#[derive(Debug, Clone)]
+pub(crate) struct EpochOutcome {
+    /// The directory at epoch end, as a scheme.
+    pub scheme: ReplicationScheme,
+    /// Observed per-(site, object) read counts — the statistics window.
+    pub observed_reads: DenseMatrix<u64>,
+    /// Observed per-(site, object) write counts.
+    pub observed_writes: DenseMatrix<u64>,
+    pub counters: Counters,
+    /// Per-site backpressure: requests shed at each site's admission gate.
+    pub shed_by_site: Vec<u64>,
+    pub serving_ntc: u64,
+    pub migration_ntc: u64,
+    pub fault_stats: FaultStats,
+    pub sim_events: u64,
+    pub completion_time: u64,
+}
+
+/// Inputs of one epoch run.
+pub(crate) struct EpochSpec<'a> {
+    pub problem: &'a Problem,
+    pub scheme: &'a ReplicationScheme,
+    pub plan: Option<&'a MigrationPlan>,
+    pub period: u64,
+    /// Per-site admitted-request cap (0 = unlimited).
+    pub admission_limit: u64,
+    pub tuning: MigrationTuning,
+    pub faults: Option<FaultPlan>,
+    /// Stream seed for the request timestamps.
+    pub seed: u64,
+    /// `false` runs migration only (no serving traffic).
+    pub traffic: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    /// Fire one queued request (timer payload carries its index).
+    Fire {
+        index: usize,
+    },
+    ReadReq {
+        object: usize,
+    },
+    ReadData {
+        object: usize,
+        stale: bool,
+    },
+    WriteShip {
+        object: usize,
+    },
+    Update {
+        object: usize,
+        version: u64,
+    },
+    /// Start this site's pending fetches (timer at epoch start).
+    MigrateKick,
+    FetchReq {
+        object: usize,
+    },
+    FetchData {
+        object: usize,
+        version: u64,
+    },
+    FetchRetry {
+        object: usize,
+        attempt: u32,
+    },
+}
+
+/// One outstanding replica addition at its target site.
+#[derive(Debug, Clone, Copy)]
+struct PendingFetch {
+    object: usize,
+    source: usize,
+}
+
+/// The live replica directory plus the epoch's mutable ledgers. Only the
+/// single-threaded event loop touches it, the mutex just satisfies `Sync`.
+struct LiveState {
+    /// Row-major `m x n` holder flags.
+    holds: Vec<bool>,
+    /// Row-major `m x n` installed versions.
+    version: Vec<u64>,
+    /// Per-object committed version at the primary.
+    committed: Vec<u64>,
+    /// Outstanding additions per target site.
+    pending: Vec<Vec<PendingFetch>>,
+    /// Outstanding additions per object (gates deallocation).
+    pending_by_object: Vec<usize>,
+    /// Removals deferred until their object's cutover.
+    removals_by_object: Vec<Vec<usize>>,
+    counters: Counters,
+    migration_ntc: u64,
+}
+
+struct Shared {
+    problem: Problem,
+    /// Per-site admitted request queues: `(time, object, is_write)`.
+    queues: Vec<Vec<(u64, usize, bool)>>,
+    tuning: MigrationTuning,
+    state: Mutex<LiveState>,
+}
+
+impl Shared {
+    fn cost(&self, a: usize, b: usize) -> u64 {
+        self.problem.costs().cost(a, b)
+    }
+
+    fn n(&self) -> usize {
+        self.problem.num_objects()
+    }
+}
+
+struct ServeNode {
+    shared: Arc<Shared>,
+}
+
+impl ServeNode {
+    /// Nearest current holder of `object` as seen from `me`: min link cost,
+    /// site id as the deterministic tie-break.
+    fn nearest_holder(&self, state: &LiveState, me: usize, object: usize) -> Option<usize> {
+        let n = self.shared.n();
+        (0..self.shared.problem.num_sites())
+            .filter(|&j| state.holds[j * n + object])
+            .min_by_key(|&j| (self.shared.cost(me, j), j))
+    }
+
+    /// Current holders other than `me`, cheapest link first — the failover
+    /// order for re-sourcing a fetch.
+    fn fetch_candidates(&self, state: &LiveState, me: usize, object: usize) -> Vec<usize> {
+        let n = self.shared.n();
+        let mut holders: Vec<usize> = (0..self.shared.problem.num_sites())
+            .filter(|&j| j != me && state.holds[j * n + object])
+            .collect();
+        holders.sort_by_key(|&j| (self.shared.cost(me, j), j));
+        holders
+    }
+
+    fn commit_write(&self, state: &mut LiveState, committer: usize, object: usize) -> u64 {
+        let n = self.shared.n();
+        state.committed[object] += 1;
+        let version = state.committed[object];
+        state.version[committer * n + object] = version;
+        state.counters.writes_committed += 1;
+        version
+    }
+
+    /// Primary's update broadcast to every other current holder.
+    fn broadcast(
+        &self,
+        ctx: &mut Context<'_, Msg>,
+        state: &LiveState,
+        object: usize,
+        version: u64,
+    ) {
+        let n = self.shared.n();
+        let size = self.shared.problem.object_size(ObjectId::new(object));
+        let me = ctx.node_id();
+        for j in 0..self.shared.problem.num_sites() {
+            if j != me && state.holds[j * n + object] {
+                ctx.send(j, size, Msg::Update { object, version });
+            }
+        }
+    }
+
+    fn issue(&self, ctx: &mut Context<'_, Msg>, object: usize, is_write: bool) {
+        let me = ctx.node_id();
+        let n = self.shared.n();
+        let k = ObjectId::new(object);
+        let mut state = self.shared.state.lock().expect("state lock");
+        if is_write {
+            let sp = self.shared.problem.primary(k).index();
+            if sp == me {
+                let version = self.commit_write(&mut state, me, object);
+                self.broadcast(ctx, &state, object, version);
+            } else {
+                let size = if state.holds[me * n + object] {
+                    0
+                } else {
+                    self.shared.problem.object_size(k)
+                };
+                ctx.send(sp, size, Msg::WriteShip { object });
+            }
+        } else {
+            match self.nearest_holder(&state, me, object) {
+                Some(j) if j == me => {
+                    state.counters.reads_served += 1;
+                    if state.version[me * n + object] < state.committed[object] {
+                        state.counters.reads_stale += 1;
+                    }
+                }
+                Some(j) => ctx.send(j, 0, Msg::ReadReq { object }),
+                // Unreachable while primaries stay pinned; drop the read
+                // (it counts as lost) rather than panic mid-epoch.
+                None => {}
+            }
+        }
+    }
+
+    /// Installs a fetched replica and, once its object has no more pending
+    /// additions, applies the deferred deallocations — the cutover step.
+    fn install(&self, state: &mut LiveState, me: usize, object: usize, version: u64) {
+        let n = self.shared.n();
+        state.pending[me].retain(|p| p.object != object);
+        state.holds[me * n + object] = true;
+        let slot = &mut state.version[me * n + object];
+        *slot = (*slot).max(version);
+        state.counters.installed += 1;
+        state.pending_by_object[object] -= 1;
+        if state.pending_by_object[object] == 0 {
+            let removals = std::mem::take(&mut state.removals_by_object[object]);
+            for site in removals {
+                state.holds[site * n + object] = false;
+                state.counters.deallocated += 1;
+            }
+        }
+    }
+
+    /// Retry delay covering the request + data round trip plus backoff.
+    fn fetch_deadline(&self, me: usize, source: usize, attempt: u32) -> u64 {
+        let rtt = 2 * self.shared.cost(me, source);
+        let backoff =
+            (self.shared.tuning.rpc_timeout << attempt.min(16)).min(self.shared.tuning.backoff_cap);
+        rtt + self.shared.tuning.rpc_timeout + backoff
+    }
+}
+
+impl Node<Msg> for ServeNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        for (index, &(time, _, _)) in self.shared.queues[ctx.node_id()].iter().enumerate() {
+            ctx.set_timer(time, Msg::Fire { index });
+        }
+        let has_pending = {
+            let state = self.shared.state.lock().expect("state lock");
+            !state.pending[ctx.node_id()].is_empty()
+        };
+        if has_pending {
+            ctx.set_timer(0, Msg::MigrateKick);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, payload: Msg) {
+        match payload {
+            Msg::Fire { index } => {
+                let (_, object, is_write) = self.shared.queues[ctx.node_id()][index];
+                self.issue(ctx, object, is_write);
+            }
+            Msg::MigrateKick => {
+                let me = ctx.node_id();
+                let fetches = {
+                    let state = self.shared.state.lock().expect("state lock");
+                    state.pending[me].clone()
+                };
+                for fetch in fetches {
+                    ctx.send(
+                        fetch.source,
+                        0,
+                        Msg::FetchReq {
+                            object: fetch.object,
+                        },
+                    );
+                    ctx.set_timer(
+                        self.fetch_deadline(me, fetch.source, 0),
+                        Msg::FetchRetry {
+                            object: fetch.object,
+                            attempt: 1,
+                        },
+                    );
+                }
+            }
+            Msg::FetchRetry { object, attempt } => {
+                let me = ctx.node_id();
+                let candidate = {
+                    let mut state = self.shared.state.lock().expect("state lock");
+                    if !state.pending[me].iter().any(|p| p.object == object) {
+                        return; // already installed
+                    }
+                    state.counters.retries += 1;
+                    let candidates = self.fetch_candidates(&state, me, object);
+                    candidates
+                        .get(attempt as usize % candidates.len().max(1))
+                        .copied()
+                };
+                let Some(source) = candidate else { return };
+                ctx.send(source, 0, Msg::FetchReq { object });
+                if attempt < self.shared.tuning.max_attempts {
+                    ctx.set_timer(
+                        self.fetch_deadline(me, source, attempt),
+                        Msg::FetchRetry {
+                            object,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Message<Msg>) {
+        let me = ctx.node_id();
+        let n = self.shared.n();
+        match msg.payload {
+            Msg::ReadReq { object } => {
+                let stale = {
+                    let state = self.shared.state.lock().expect("state lock");
+                    state.version[me * n + object] < state.committed[object]
+                };
+                let size = self.shared.problem.object_size(ObjectId::new(object));
+                ctx.send(msg.src, size, Msg::ReadData { object, stale });
+            }
+            Msg::ReadData { stale, .. } => {
+                let mut state = self.shared.state.lock().expect("state lock");
+                state.counters.reads_served += 1;
+                if stale {
+                    state.counters.reads_stale += 1;
+                }
+            }
+            Msg::WriteShip { object } => {
+                let mut state = self.shared.state.lock().expect("state lock");
+                let version = self.commit_write(&mut state, me, object);
+                self.broadcast(ctx, &state, object, version);
+            }
+            Msg::Update { object, version } => {
+                let mut state = self.shared.state.lock().expect("state lock");
+                let slot = &mut state.version[me * n + object];
+                *slot = (*slot).max(version);
+            }
+            Msg::FetchReq { object } => {
+                // Serve the fetch even after a local deallocation: the data
+                // stays on disk until overwritten, and refusing would only
+                // stall a migration that re-sourced late.
+                let (version, size) = {
+                    let mut state = self.shared.state.lock().expect("state lock");
+                    let size = self.shared.problem.object_size(ObjectId::new(object));
+                    state.migration_ntc += size * self.shared.cost(me, msg.src);
+                    (state.version[me * n + object], size)
+                };
+                ctx.send(msg.src, size, Msg::FetchData { object, version });
+            }
+            Msg::FetchData { object, version } => {
+                let mut state = self.shared.state.lock().expect("state lock");
+                if state.pending[me].iter().any(|p| p.object == object) {
+                    self.install(&mut state, me, object, version);
+                }
+            }
+            Msg::Fire { .. } | Msg::MigrateKick | Msg::FetchRetry { .. } => {}
+        }
+    }
+}
+
+/// Runs one epoch and harvests its outcome.
+pub(crate) fn run_epoch(
+    spec: &EpochSpec<'_>,
+    recorder: Arc<dyn Recorder>,
+) -> drp_core::Result<EpochOutcome> {
+    let problem = spec.problem;
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+
+    // Streaming driver: pull this period's requests incrementally, count
+    // them into the observation window, and admit up to the per-site limit
+    // in arrival order.
+    let mut observed_reads = DenseMatrix::zeros(m, n);
+    let mut observed_writes = DenseMatrix::zeros(m, n);
+    let mut arrivals: Vec<Vec<(u64, u64, usize, bool)>> = vec![Vec::new(); m];
+    let mut counters = Counters::default();
+    if spec.traffic {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        for (seq, request) in trace::stream(problem, spec.period, &mut rng).enumerate() {
+            counters.offered += 1;
+            let (i, k) = (request.site.index(), request.object.index());
+            let is_write = request.kind == RequestKind::Write;
+            if is_write {
+                *observed_writes.get_mut(i, k) += 1;
+            } else {
+                *observed_reads.get_mut(i, k) += 1;
+            }
+            arrivals[i].push((request.time, seq as u64, k, is_write));
+        }
+    }
+    let mut shed_by_site = vec![0u64; m];
+    let mut queues: Vec<Vec<(u64, usize, bool)>> = Vec::with_capacity(m);
+    for (site, mut list) in arrivals.into_iter().enumerate() {
+        list.sort_unstable();
+        let limit = if spec.admission_limit == 0 {
+            list.len()
+        } else {
+            spec.admission_limit as usize
+        };
+        shed_by_site[site] = list.len().saturating_sub(limit) as u64;
+        counters.shed += shed_by_site[site];
+        list.truncate(limit);
+        for &(_, _, _, is_write) in &list {
+            if is_write {
+                counters.writes_issued += 1;
+            } else {
+                counters.reads_issued += 1;
+            }
+        }
+        queues.push(
+            list.into_iter()
+                .map(|(time, _, object, is_write)| (time, object, is_write))
+                .collect(),
+        );
+    }
+    counters.admitted = counters.reads_issued + counters.writes_issued;
+
+    // Directory bootstrap: current holders, plus the migration plan staged
+    // as pending fetches. Objects with removals but no additions cut over
+    // immediately (there is nothing to wait for).
+    let mut holds = vec![false; m * n];
+    for k in problem.objects() {
+        for i in problem.sites() {
+            holds[i.index() * n + k.index()] = spec.scheme.holds(i, k);
+        }
+    }
+    let mut pending: Vec<Vec<PendingFetch>> = vec![Vec::new(); m];
+    let mut pending_by_object = vec![0usize; n];
+    let mut removals_by_object: Vec<Vec<usize>> = vec![Vec::new(); n];
+    if let Some(plan) = spec.plan {
+        for addition in &plan.additions {
+            pending[addition.site.index()].push(PendingFetch {
+                object: addition.object.index(),
+                source: addition.source.index(),
+            });
+            pending_by_object[addition.object.index()] += 1;
+        }
+        for &(site, object) in &plan.removals {
+            removals_by_object[object.index()].push(site.index());
+        }
+        for (object, removals) in removals_by_object.iter_mut().enumerate() {
+            if pending_by_object[object] == 0 {
+                for site in removals.drain(..) {
+                    holds[site * n + object] = false;
+                    counters.deallocated += 1;
+                }
+            }
+        }
+    }
+
+    let shared = Arc::new(Shared {
+        problem: problem.clone(),
+        queues,
+        tuning: spec.tuning,
+        state: Mutex::new(LiveState {
+            holds,
+            version: vec![0u64; m * n],
+            committed: vec![0u64; n],
+            pending,
+            pending_by_object,
+            removals_by_object,
+            counters,
+            migration_ntc: 0,
+        }),
+    });
+    let nodes: Vec<Box<dyn Node<Msg>>> = (0..m)
+        .map(|_| {
+            Box::new(ServeNode {
+                shared: Arc::clone(&shared),
+            }) as Box<dyn Node<Msg>>
+        })
+        .collect();
+    let mut sim =
+        Simulator::new(problem.costs().clone(), nodes).map_err(drp_core::CoreError::from)?;
+    sim.set_recorder(recorder);
+    if let Some(plan) = spec.faults.clone() {
+        sim.set_fault_plan(plan);
+    }
+    sim.run_to_completion().map_err(drp_core::CoreError::from)?;
+
+    let stats = sim.stats();
+    let fault_stats = sim.fault_stats();
+    let sim_events = sim.events_processed();
+    let completion_time = sim.now();
+    drop(sim);
+    let shared = Arc::into_inner(shared).expect("epoch nodes dropped with the simulator");
+    let state = shared.state.into_inner().expect("state lock");
+    let mut counters = state.counters;
+    counters.deferred = state.pending.iter().map(Vec::len).sum();
+    let mut holds = state.holds;
+    let scheme = match ReplicationScheme::from_fn(problem, |i, k| holds[i.index() * n + k.index()])
+    {
+        Ok(scheme) => scheme,
+        Err(drp_core::CoreError::InsufficientCapacity { .. }) => {
+            // A deferred cutover left some site holding both its old replica
+            // and a freshly installed one. Reclaim capacity by applying the
+            // outstanding deallocations early: what remains is a subset of
+            // the migration target plus the old scheme's survivors, which
+            // both fit. The unfinished additions stay deferred and are
+            // re-planned by the caller.
+            for (object, removals) in state.removals_by_object.iter().enumerate() {
+                for &site in removals {
+                    if holds[site * n + object] {
+                        holds[site * n + object] = false;
+                        counters.deallocated += 1;
+                    }
+                }
+            }
+            ReplicationScheme::from_fn(problem, |i, k| holds[i.index() * n + k.index()])?
+        }
+        Err(other) => return Err(other),
+    };
+    Ok(EpochOutcome {
+        scheme,
+        observed_reads,
+        observed_writes,
+        counters,
+        shed_by_site,
+        serving_ntc: stats.transfer_cost.saturating_sub(state.migration_ntc),
+        migration_ntc: state.migration_ntc,
+        fault_stats,
+        sim_events,
+        completion_time,
+    })
+}

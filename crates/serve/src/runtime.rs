@@ -1,0 +1,624 @@
+//! The closed-loop service: epochs of streamed traffic, boundary decisions,
+//! live migration of the decided scheme.
+//!
+//! [`run_service`] mounts a [`Problem`] on the epoch simulator and runs
+//! [`ServeConfig::epochs`] periods. Each epoch serves a freshly streamed
+//! window of requests against the *realized* directory while the migration
+//! executor works the directory toward the policy's current *target*
+//! scheme. At the boundary the observed per-(site, object) counters become
+//! a fresh [`Problem`] snapshot and the [`Policy`] decides:
+//!
+//! * [`Policy::Static`] — never adapts; the bootstrap GRA scheme is served
+//!   for the whole run (the frozen baseline).
+//! * [`Policy::Monitor`] — the Section 5 loop: daytime boundaries feed the
+//!   window to [`ReplicationMonitor::ingest_statistics`] (AGRA re-tune of
+//!   drifted objects), every [`ServeConfig::night_every`]-th boundary runs
+//!   a full nightly GRA rebuild instead.
+//! * [`Policy::Adr`] — re-solves the ADR tree heuristic on every window
+//!   (requires a tree cost metric).
+//!
+//! Under [`ServeConfig::drift`], the true pattern shifts every epoch, so
+//! the adaptive policies chase it while the static baseline decays.
+//!
+//! # Determinism
+//!
+//! Every random draw comes from a stream seeded by FNV-mixing the master
+//! seed with a fixed stream tag and the epoch index, the simulator is a
+//! single-threaded event loop, and the only multi-threaded component (GRA
+//! population scoring under the `parallel` feature) is bitwise-order
+//! independent. Same seed ⇒ byte-identical [`ServiceReport`], regardless
+//! of `DRP_THREADS` or the `parallel` feature.
+
+use std::sync::Arc;
+
+use drp_algo::adr::{tree_adjacency, Adr};
+use drp_algo::monitor::{MonitorAction, MonitorConfig, ReplicationMonitor};
+use drp_core::migration::{plan_migration, MigrationPlan};
+use drp_core::telemetry::{self, Recorder};
+use drp_core::{CoreError, Problem, ReplicationAlgorithm, ReplicationScheme};
+use drp_net::sim::{FaultPlan, FaultStats};
+use drp_workload::PatternChange;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use crate::epoch::MigrationTuning;
+use crate::epoch::{run_epoch, EpochSpec};
+use crate::report::{EpochReport, ServiceReport};
+
+/// How the service adapts at epoch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Serve the bootstrap scheme forever.
+    Static,
+    /// Monitor + AGRA by day, GRA by night.
+    Monitor,
+    /// Re-run the ADR tree heuristic on every window.
+    Adr,
+}
+
+impl Policy {
+    /// The name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::Monitor => "monitor",
+            Policy::Adr => "adr",
+        }
+    }
+}
+
+/// Faults injected into every serving epoch.
+///
+/// Partitions are deliberately absent: the epoch's migration ledger charges
+/// fetch data at send time, which matches the simulator's NTC accounting
+/// for delivered and randomly dropped messages but not for partition-blocked
+/// ones.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Crash windows `(site, from, until)` in epoch-local time.
+    pub crashes: Vec<(usize, u64, u64)>,
+    /// I.i.d. message drop probability.
+    pub drop_probability: f64,
+    /// Maximum extra per-message delivery delay.
+    pub jitter: u64,
+}
+
+impl FaultSpec {
+    fn plan(&self, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        for &(site, from, until) in &self.crashes {
+            plan = plan.crash(site, from, until);
+        }
+        if self.drop_probability > 0.0 {
+            plan = plan.drop_probability(self.drop_probability);
+        }
+        if self.jitter > 0 {
+            plan = plan.jitter(self.jitter);
+        }
+        plan
+    }
+}
+
+/// Configuration of one service run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Adaptation policy.
+    pub policy: Policy,
+    /// Number of serving epochs.
+    pub epochs: usize,
+    /// Simulated time units per epoch; request timestamps fall in
+    /// `[0, period)`.
+    pub period: u64,
+    /// Master seed; every internal stream derives from it.
+    pub seed: u64,
+    /// Every `k`-th boundary is a nightly GRA rebuild (0 = never).
+    pub night_every: usize,
+    /// Per-site admitted-request cap per epoch (0 = unlimited).
+    pub admission_limit: u64,
+    /// Monitor settings (GRA, AGRA, change threshold).
+    pub monitor: MonitorConfig,
+    /// Pattern drift applied to the true workload before every epoch after
+    /// the first.
+    pub drift: Option<PatternChange>,
+    /// Faults injected into every epoch.
+    pub faults: Option<FaultSpec>,
+    /// Migration executor timers.
+    pub tuning: MigrationTuning,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            policy: Policy::Monitor,
+            epochs: 3,
+            period: 256,
+            seed: 0,
+            night_every: 0,
+            admission_limit: 0,
+            monitor: MonitorConfig::default(),
+            drift: None,
+            faults: None,
+            tuning: MigrationTuning::default(),
+        }
+    }
+}
+
+/// FNV-1a over a word sequence: the seed-mixing scheme shared with the
+/// experiment harness, used to derive independent rng streams.
+fn mix(words: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+// Stream tags for `mix([seed, TAG, ...])`.
+const TAG_BOOT: u64 = 1;
+const TAG_DRIFT: u64 = 2;
+const TAG_TRACE: u64 = 3;
+const TAG_DECIDE: u64 = 4;
+const TAG_FAULT: u64 = 5;
+
+/// What [`execute_migration`] did.
+#[derive(Debug, Clone)]
+pub struct MigrationOutcome {
+    /// The directory after the final round (equals the plan's target when
+    /// the migration converged).
+    pub scheme: ReplicationScheme,
+    /// Whether the directory reached the target.
+    pub converged: bool,
+    /// Fetch rounds used (1 without faults).
+    pub rounds: usize,
+    /// Total NTC of the fetch traffic.
+    pub migration_ntc: u64,
+    /// Replica installs across all rounds.
+    pub installed: usize,
+    /// Deallocations across all rounds.
+    pub deallocated: usize,
+    /// Fetch retries across all rounds.
+    pub retries: u64,
+    /// Fault counters of the first (faulted) round.
+    pub fault_stats: FaultStats,
+}
+
+/// Executes a [`MigrationPlan`] on the simulator with no serving traffic:
+/// the standalone form of the live migration executor, used to study its
+/// fault tolerance.
+///
+/// Faults apply to the first round only — they model a crash *during* the
+/// migration; once the fault window has passed, the remaining additions are
+/// re-planned against the surviving directory and fetched cleanly, so a
+/// valid plan always converges.
+///
+/// # Errors
+///
+/// Propagates shape errors from re-planning and simulator construction.
+pub fn execute_migration(
+    problem: &Problem,
+    scheme: &ReplicationScheme,
+    plan: &MigrationPlan,
+    faults: Option<FaultPlan>,
+    tuning: MigrationTuning,
+) -> drp_core::Result<MigrationOutcome> {
+    let target = plan.apply(problem, scheme)?;
+    let mut current = scheme.clone();
+    let mut outcome = MigrationOutcome {
+        scheme: current.clone(),
+        converged: false,
+        rounds: 0,
+        migration_ntc: 0,
+        installed: 0,
+        deallocated: 0,
+        retries: 0,
+        fault_stats: FaultStats::default(),
+    };
+    const MAX_ROUNDS: usize = 16;
+    for round in 0..MAX_ROUNDS {
+        let step = plan_migration(problem, &current, &target)?;
+        if step.moves() == 0 {
+            outcome.converged = true;
+            break;
+        }
+        let epoch = run_epoch(
+            &EpochSpec {
+                problem,
+                scheme: &current,
+                plan: Some(&step),
+                period: 0,
+                admission_limit: 0,
+                tuning,
+                faults: if round == 0 { faults.clone() } else { None },
+                seed: 0,
+                traffic: false,
+            },
+            telemetry::noop(),
+        )?;
+        outcome.rounds += 1;
+        outcome.migration_ntc += epoch.migration_ntc;
+        outcome.installed += epoch.counters.installed;
+        outcome.deallocated += epoch.counters.deallocated;
+        outcome.retries += epoch.counters.retries;
+        if round == 0 {
+            outcome.fault_stats = epoch.fault_stats;
+        }
+        current = epoch.scheme;
+    }
+    if plan_migration(problem, &current, &target)?.moves() == 0 {
+        outcome.converged = true;
+    }
+    outcome.scheme = current;
+    Ok(outcome)
+}
+
+/// Runs the service without telemetry.
+///
+/// # Errors
+///
+/// Propagates instance-shape, solver and simulator errors; rejects
+/// [`Policy::Adr`] on non-tree cost metrics up front.
+pub fn run_service(problem: &Problem, config: &ServeConfig) -> drp_core::Result<ServiceReport> {
+    run_service_recorded(problem, config, telemetry::noop())
+}
+
+/// Runs the service, emitting `serve.*` spans and counters to `recorder`.
+///
+/// # Errors
+///
+/// See [`run_service`].
+pub fn run_service_recorded(
+    problem: &Problem,
+    config: &ServeConfig,
+    recorder: Arc<dyn Recorder>,
+) -> drp_core::Result<ServiceReport> {
+    let _run_span = telemetry::span(recorder.as_ref(), "serve.run");
+    if config.policy == Policy::Adr && tree_adjacency(problem.costs()).is_none() {
+        return Err(CoreError::InvalidInstance {
+            reason: "the adr policy requires a tree cost metric".into(),
+        });
+    }
+    if let Some(drift) = &config.drift {
+        drift.validate().map_err(|e| CoreError::InvalidInstance {
+            reason: format!("bad drift spec: {e}"),
+        })?;
+    }
+
+    // Bootstrap: one GRA build shared by every policy, so all runs start
+    // from the same realized scheme and differ only in how they adapt.
+    let mut boot_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_BOOT]));
+    let mut monitor =
+        ReplicationMonitor::bootstrap(problem.clone(), config.monitor.clone(), &mut boot_rng)?;
+    let mut truth = problem.clone();
+    let mut realized = monitor.scheme().clone();
+    let mut target = realized.clone();
+
+    let mut epochs: Vec<EpochReport> = Vec::with_capacity(config.epochs);
+    let mut adaptations = 0u64;
+    let mut rebuilds = 0u64;
+
+    for e in 0..config.epochs {
+        let _epoch_span = telemetry::span(recorder.as_ref(), "serve.epoch");
+        if e > 0 {
+            if let Some(drift) = &config.drift {
+                let mut drift_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_DRIFT, e as u64]));
+                truth = drift
+                    .apply(&truth, &mut drift_rng)
+                    .map_err(|err| CoreError::InvalidInstance {
+                        reason: format!("drift failed: {err}"),
+                    })?
+                    .problem;
+            }
+        }
+
+        let plan = if realized != target {
+            Some(plan_migration(&truth, &realized, &target)?)
+        } else {
+            None
+        };
+        let outcome = run_epoch(
+            &EpochSpec {
+                problem: &truth,
+                scheme: &realized,
+                plan: plan.as_ref(),
+                period: config.period,
+                admission_limit: config.admission_limit,
+                tuning: config.tuning,
+                faults: config
+                    .faults
+                    .as_ref()
+                    .map(|f| f.plan(mix(&[config.seed, TAG_FAULT, e as u64]))),
+                seed: mix(&[config.seed, TAG_TRACE, e as u64]),
+                traffic: true,
+            },
+            Arc::clone(&recorder),
+        )?;
+        realized = outcome.scheme.clone();
+
+        // Boundary decision on the observed window.
+        let observed = truth.with_patterns(
+            outcome.observed_reads.clone(),
+            outcome.observed_writes.clone(),
+        )?;
+        let night = config.night_every > 0 && (e + 1) % config.night_every == 0;
+        let mut decide_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_DECIDE, e as u64]));
+        let mut adapted_objects = 0usize;
+        let mut rebuilt = false;
+        match config.policy {
+            Policy::Static => {}
+            Policy::Monitor => {
+                if night {
+                    monitor.nightly_rebuild_with(observed, &mut decide_rng)?;
+                    rebuilt = true;
+                    rebuilds += 1;
+                } else if let MonitorAction::Adapted {
+                    changed_objects, ..
+                } = monitor.ingest_statistics(observed, &mut decide_rng)?
+                {
+                    adapted_objects = changed_objects;
+                    adaptations += 1;
+                }
+                target = monitor.scheme().clone();
+            }
+            Policy::Adr => {
+                let next = Adr::default().solve(&observed, &mut decide_rng)?;
+                if next != target {
+                    adapted_objects = (0..truth.num_objects())
+                        .filter(|&k| {
+                            let k = drp_core::ObjectId::new(k);
+                            truth
+                                .sites()
+                                .any(|i| next.holds(i, k) != target.holds(i, k))
+                        })
+                        .count();
+                    adaptations += 1;
+                }
+                target = next;
+            }
+        }
+
+        let c = outcome.counters;
+        debug_assert_eq!(
+            outcome.shed_by_site.iter().sum::<u64>(),
+            c.shed,
+            "per-site backpressure counters must total the epoch's shed count"
+        );
+        let report = EpochReport {
+            epoch: e,
+            night,
+            adapted_objects,
+            rebuilt,
+            serving_ntc: outcome.serving_ntc,
+            migration_ntc: outcome.migration_ntc,
+            migration_planned: plan.as_ref().map_or(0, MigrationPlan::moves),
+            migration_installed: c.installed,
+            migration_deallocated: c.deallocated,
+            migration_deferred: c.deferred,
+            migration_retries: c.retries,
+            offered: c.offered,
+            admitted: c.admitted,
+            shed: c.shed,
+            reads_issued: c.reads_issued,
+            reads_served: c.reads_served,
+            reads_stale: c.reads_stale,
+            reads_lost: c.reads_issued.saturating_sub(c.reads_served),
+            writes_issued: c.writes_issued,
+            writes_committed: c.writes_committed,
+            writes_lost: c.writes_issued.saturating_sub(c.writes_committed),
+            replicas: realized.replica_count(),
+            savings_percent: truth.savings_percent(&realized),
+            crashes: outcome.fault_stats.crashes,
+            messages_lost: outcome.fault_stats.dropped_random
+                + outcome.fault_stats.dropped_partition
+                + outcome.fault_stats.lost_arrivals,
+            sim_events: outcome.sim_events,
+            completion_time: outcome.completion_time,
+        };
+        recorder.add_counter("serve.serving_ntc", report.serving_ntc);
+        recorder.add_counter("serve.migration_ntc", report.migration_ntc);
+        recorder.add_counter("serve.shed", report.shed);
+        if adapted_objects > 0 {
+            recorder.add_counter("serve.adaptations", 1);
+        }
+        if rebuilt {
+            recorder.add_counter("serve.rebuilds", 1);
+        }
+        epochs.push(report);
+    }
+
+    let totals = ServiceReport::tally(&epochs, adaptations, rebuilds);
+    Ok(ServiceReport {
+        policy: config.policy.name().to_string(),
+        seed: config.seed,
+        period: config.period,
+        admission_limit: config.admission_limit,
+        night_every: config.night_every,
+        epochs,
+        totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_algo::GraConfig;
+    use drp_core::telemetry::InMemoryRecorder;
+    use drp_workload::{trace, TopologyKind, WorkloadSpec};
+
+    fn monitor_config() -> MonitorConfig {
+        MonitorConfig {
+            gra: GraConfig {
+                population_size: 12,
+                generations: 20,
+                ..GraConfig::default()
+            },
+            ..MonitorConfig::default()
+        }
+    }
+
+    fn problem(seed: u64) -> Problem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        WorkloadSpec::paper(6, 8, 5.0, 30.0)
+            .generate(&mut rng)
+            .unwrap()
+    }
+
+    fn drift() -> PatternChange {
+        PatternChange {
+            change_percent: 600.0,
+            objects_percent: 50.0,
+            read_share: 0.9,
+        }
+    }
+
+    #[test]
+    fn static_epoch_ntc_matches_offline_replay() {
+        let problem = problem(5);
+        let config = ServeConfig {
+            policy: Policy::Static,
+            epochs: 1,
+            seed: 5,
+            monitor: monitor_config(),
+            ..ServeConfig::default()
+        };
+        let report = run_service(&problem, &config).unwrap();
+
+        // Replay the same window offline: identical scheme, identical
+        // timestamps, so the epoch's serving NTC must match data-unit for
+        // data-unit (and nothing may have been billed to migration).
+        let mut boot = StdRng::seed_from_u64(mix(&[config.seed, TAG_BOOT]));
+        let scheme = ReplicationMonitor::bootstrap(problem.clone(), monitor_config(), &mut boot)
+            .unwrap()
+            .scheme()
+            .clone();
+        let mut trace_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_TRACE, 0]));
+        let requests = trace::expand(&problem, config.period, &mut trace_rng);
+        let offline = trace::simulate(&problem, &scheme, &requests).unwrap();
+
+        let e = &report.epochs[0];
+        assert_eq!(e.serving_ntc, offline.transfer_cost);
+        assert_eq!(e.completion_time, offline.completion_time);
+        assert_eq!(e.migration_ntc, 0);
+        assert_eq!(e.offered, requests.len() as u64);
+        assert_eq!(e.shed, 0);
+        assert_eq!(e.reads_lost, 0);
+        assert_eq!(e.writes_lost, 0);
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_reproducible_with_and_without_telemetry() {
+        let problem = problem(9);
+        let config = ServeConfig {
+            policy: Policy::Monitor,
+            epochs: 3,
+            seed: 9,
+            night_every: 3,
+            monitor: monitor_config(),
+            drift: Some(drift()),
+            faults: Some(FaultSpec {
+                crashes: vec![(1, 10, 60)],
+                drop_probability: 0.02,
+                jitter: 2,
+            }),
+            ..ServeConfig::default()
+        };
+        let a = run_service(&problem, &config).unwrap();
+        let b = run_service(&problem, &config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let recorder = Arc::new(InMemoryRecorder::default());
+        let c = run_service_recorded(&problem, &config, recorder.clone()).unwrap();
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        assert_eq!(recorder.span_count("serve.epoch"), 3);
+        assert_eq!(recorder.span_count("serve.run"), 1);
+        assert_eq!(recorder.counter("serve.serving_ntc"), a.totals.serving_ntc);
+    }
+
+    #[test]
+    fn admission_limit_sheds_and_caps_issued_traffic() {
+        let problem = problem(3);
+        let base = ServeConfig {
+            policy: Policy::Static,
+            epochs: 1,
+            seed: 3,
+            monitor: monitor_config(),
+            ..ServeConfig::default()
+        };
+        let open = run_service(&problem, &base).unwrap();
+        let limited = run_service(
+            &problem,
+            &ServeConfig {
+                admission_limit: 5,
+                ..base
+            },
+        )
+        .unwrap();
+        let e = &limited.epochs[0];
+        assert_eq!(e.offered, open.epochs[0].offered);
+        assert!(e.shed > 0, "a 5-request cap must shed on a paper workload");
+        assert_eq!(e.admitted + e.shed, e.offered);
+        assert!(e.admitted <= 5 * problem.num_sites() as u64);
+        assert!(e.serving_ntc < open.epochs[0].serving_ntc);
+        // The observation window still sees the full offered pattern, so
+        // backpressure never starves the monitor.
+        assert_eq!(open.epochs[0].offered, e.offered);
+    }
+
+    #[test]
+    fn monitor_beats_frozen_static_under_drift() {
+        let problem = problem(21);
+        let base = ServeConfig {
+            policy: Policy::Static,
+            epochs: 4,
+            seed: 21,
+            monitor: monitor_config(),
+            drift: Some(drift()),
+            ..ServeConfig::default()
+        };
+        let frozen = run_service(&problem, &base).unwrap();
+        let adaptive = run_service(
+            &problem,
+            &ServeConfig {
+                policy: Policy::Monitor,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(
+            adaptive.totals.adaptations > 0,
+            "drift this strong must trigger AGRA"
+        );
+        assert!(
+            adaptive.totals.total_ntc < frozen.totals.total_ntc,
+            "monitor+AGRA (serving {} + migration {}) must beat frozen static ({})",
+            adaptive.totals.serving_ntc,
+            adaptive.totals.migration_ntc,
+            frozen.totals.serving_ntc,
+        );
+    }
+
+    #[test]
+    fn adr_policy_requires_a_tree_metric() {
+        let complete = problem(4);
+        let config = ServeConfig {
+            policy: Policy::Adr,
+            epochs: 2,
+            seed: 4,
+            monitor: monitor_config(),
+            ..ServeConfig::default()
+        };
+        let err = run_service(&complete, &config).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInstance { .. }));
+
+        let mut spec = WorkloadSpec::paper(7, 8, 5.0, 30.0);
+        spec.topology = TopologyKind::Tree { arity: 2 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = spec.generate(&mut rng).unwrap();
+        let report = run_service(&tree, &config).unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.policy, "adr");
+    }
+}

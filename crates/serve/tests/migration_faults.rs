@@ -1,0 +1,154 @@
+//! Property tests for the live migration executor under faults.
+//!
+//! Same style as the repair pipeline's property suite: plain seeded loops
+//! rather than `proptest!` generators, because the interesting inputs
+//! (schemes, plans, crash windows) are already deterministic functions of
+//! a seed and enumerating seeds reproduces failures by construction.
+//!
+//! The two properties the executor owes the rest of the runtime:
+//!
+//! 1. **Cost fidelity** — with no faults, the executed migration's NTC is
+//!    exactly the static [`MigrationPlan::transfer_cost`] computed by
+//!    `drp_core::migration`: one fetch per addition from the planned
+//!    source, nothing billed twice, retries never fire early.
+//! 2. **Crash convergence** — a crash window covering an addition's
+//!    planned source still converges to the same target directory: the
+//!    retry path re-sources the fetch from surviving holders, and whatever
+//!    stays deferred is re-planned in a later round.
+
+use drp_algo::Sra;
+use drp_core::migration::plan_migration;
+use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme};
+use drp_net::sim::FaultPlan;
+use drp_serve::{execute_migration, MigrationTuning};
+use drp_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(seed: u64) -> Problem {
+    WorkloadSpec::paper(8, 10, 6.0, 40.0)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .unwrap()
+}
+
+/// Old scheme = primaries only, new scheme = SRA's placement: the plan is
+/// pure additions, each sourced from the object's primary.
+fn expansion(seed: u64) -> (Problem, ReplicationScheme, ReplicationScheme) {
+    let problem = instance(seed);
+    let old = ReplicationScheme::primary_only(&problem);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5);
+    let new = Sra::new().solve(&problem, &mut rng).unwrap();
+    (problem, old, new)
+}
+
+#[test]
+fn fault_free_execution_costs_exactly_the_static_plan() {
+    let mut nontrivial = 0;
+    for seed in 0..12u64 {
+        let (problem, old, new) = expansion(seed);
+        let plan = plan_migration(&problem, &old, &new).unwrap();
+        if plan.moves() == 0 {
+            continue;
+        }
+        nontrivial += 1;
+        let out =
+            execute_migration(&problem, &old, &plan, None, MigrationTuning::default()).unwrap();
+        assert!(out.converged, "seed {seed}: fault-free migration must land");
+        assert_eq!(out.rounds, 1, "seed {seed}: one round suffices");
+        assert_eq!(
+            out.migration_ntc,
+            plan.transfer_cost(),
+            "seed {seed}: executed NTC must equal the planner's static cost"
+        );
+        assert_eq!(out.retries, 0, "seed {seed}: no retry may fire early");
+        assert_eq!(out.installed, plan.additions.len());
+        assert_eq!(out.deallocated, plan.removals.len());
+        assert_eq!(out.scheme, plan.apply(&problem, &old).unwrap());
+    }
+    assert!(nontrivial >= 8, "the seed sweep must exercise real plans");
+}
+
+#[test]
+fn pure_deallocation_moves_no_data() {
+    let (problem, old, new) = expansion(3);
+    // Migrate backwards: SRA scheme down to primaries only. Every move is
+    // a removal, so the executor must finish without any fetch traffic.
+    let plan = plan_migration(&problem, &new, &old).unwrap();
+    assert!(plan.additions.is_empty());
+    assert!(!plan.removals.is_empty());
+    let out = execute_migration(&problem, &new, &plan, None, MigrationTuning::default()).unwrap();
+    assert!(out.converged);
+    assert_eq!(out.migration_ntc, 0);
+    assert_eq!(out.installed, 0);
+    assert_eq!(out.deallocated, plan.removals.len());
+    assert_eq!(out.scheme, old);
+}
+
+#[test]
+fn crash_window_over_the_planned_source_still_converges() {
+    let mut crashed_runs = 0;
+    for seed in 0..12u64 {
+        let (problem, old, new) = expansion(seed);
+        let plan = plan_migration(&problem, &old, &new).unwrap();
+        let Some(first) = plan.additions.first() else {
+            continue;
+        };
+        crashed_runs += 1;
+        // Take the first addition's source down from the very start, long
+        // enough to outlast the initial fetch and its first retries.
+        let faults = FaultPlan::new(seed).crash(first.source.index(), 0, 5_000);
+        let out = execute_migration(
+            &problem,
+            &old,
+            &plan,
+            Some(faults),
+            MigrationTuning::default(),
+        )
+        .unwrap();
+        assert!(
+            out.converged,
+            "seed {seed}: migration must survive a crashed source"
+        );
+        assert_eq!(
+            out.scheme,
+            plan.apply(&problem, &old).unwrap(),
+            "seed {seed}: the directory must still reach the planned target"
+        );
+        assert!(
+            out.fault_stats.crashes >= 1,
+            "seed {seed}: the crash window must have fired"
+        );
+        assert!(
+            out.retries > 0 || out.rounds > 1,
+            "seed {seed}: a crashed source must force retries or another round"
+        );
+        assert_eq!(out.installed, plan.additions.len());
+        assert_eq!(out.deallocated, plan.removals.len());
+    }
+    assert!(crashed_runs >= 8, "the seed sweep must exercise real plans");
+}
+
+#[test]
+fn drop_probability_and_jitter_do_not_break_convergence() {
+    for seed in [1u64, 4, 7] {
+        let (problem, old, new) = expansion(seed);
+        let plan = plan_migration(&problem, &old, &new).unwrap();
+        if plan.moves() == 0 {
+            continue;
+        }
+        let faults = FaultPlan::new(seed).drop_probability(0.15).jitter(3);
+        let out = execute_migration(
+            &problem,
+            &old,
+            &plan,
+            Some(faults),
+            MigrationTuning::default(),
+        )
+        .unwrap();
+        assert!(out.converged, "seed {seed}: lossy links must not wedge");
+        assert_eq!(out.scheme, plan.apply(&problem, &old).unwrap());
+        // Lost fetch data is still paid for (the bandwidth was spent), so
+        // the executed cost can only meet or exceed the static plan.
+        assert!(out.migration_ntc >= plan.transfer_cost() || out.retries == 0);
+    }
+}

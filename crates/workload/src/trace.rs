@@ -3,7 +3,9 @@
 //! The paper's cost model is aggregate (per-period counts). For the
 //! simulator-driven examples we expand a pattern into a timestamped request
 //! stream, each read/write landing at a uniformly random instant of the
-//! period.
+//! period. [`stream`] yields the requests lazily for consumers that iterate
+//! period by period (the `drp-serve` runtime); [`expand`] materializes and
+//! time-orders one period for the small examples.
 
 use drp_core::{ObjectId, Problem, SiteId};
 use rand::{Rng, RngCore};
@@ -31,12 +33,115 @@ pub struct Request {
     pub kind: RequestKind,
 }
 
-/// Expands the aggregate pattern of `problem` into a time-ordered request
-/// stream over `[0, period)`.
+/// Lazy request generator over one period: yields the pattern's requests
+/// one at a time in deterministic `(site, object, reads-then-writes)`
+/// generation order, drawing each timestamp from the rng on demand.
 ///
-/// The stream length is the total number of reads and writes in the
-/// instance, so use this with small instances (it is meant for examples and
-/// simulator tests, not the large sweeps).
+/// This is the streaming form of [`expand`]: nothing is materialized, so a
+/// long-running consumer (the `drp-serve` runtime, a large sweep) can pull
+/// a period's worth of requests without ever holding the full vector. The
+/// items are *not* time-ordered — sorting requires materialization, which
+/// is exactly what this type avoids; callers that need a time-ordered
+/// batch use [`expand`], callers that bucket per site (the simulator
+/// drivers) sort their own, smaller queues.
+///
+/// The rng draws happen in the same order as `expand`'s, so for the same
+/// rng state the streamed requests are element-wise identical to
+/// `expand`'s pre-sort sequence (asserted by a test).
+#[derive(Debug)]
+pub struct RequestStream<'a, R: RngCore + ?Sized> {
+    problem: &'a Problem,
+    period: u64,
+    rng: &'a mut R,
+    site: usize,
+    object: usize,
+    reads_left: u64,
+    writes_left: u64,
+    remaining: u64,
+}
+
+impl<'a, R: RngCore + ?Sized> RequestStream<'a, R> {
+    fn new(problem: &'a Problem, period: u64, rng: &'a mut R) -> Self {
+        let remaining = problem
+            .objects()
+            .map(|k| problem.total_reads(k) + problem.total_writes(k))
+            .sum();
+        let first = (SiteId::new(0), ObjectId::new(0));
+        Self {
+            reads_left: problem.reads(first.0, first.1),
+            writes_left: problem.writes(first.0, first.1),
+            problem,
+            period,
+            rng,
+            site: 0,
+            object: 0,
+            remaining,
+        }
+    }
+
+    fn emit(&mut self, kind: RequestKind) -> Request {
+        self.remaining -= 1;
+        Request {
+            time: self.rng.random_range(0..self.period.max(1)),
+            site: SiteId::new(self.site),
+            object: ObjectId::new(self.object),
+            kind,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Iterator for RequestStream<'_, R> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        loop {
+            if self.reads_left > 0 {
+                self.reads_left -= 1;
+                return Some(self.emit(RequestKind::Read));
+            }
+            if self.writes_left > 0 {
+                self.writes_left -= 1;
+                return Some(self.emit(RequestKind::Write));
+            }
+            self.object += 1;
+            if self.object == self.problem.num_objects() {
+                self.object = 0;
+                self.site += 1;
+            }
+            if self.site == self.problem.num_sites() {
+                return None;
+            }
+            let (i, k) = (SiteId::new(self.site), ObjectId::new(self.object));
+            self.reads_left = self.problem.reads(i, k);
+            self.writes_left = self.problem.writes(i, k);
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl<R: RngCore + ?Sized> ExactSizeIterator for RequestStream<'_, R> {}
+
+/// Streams the aggregate pattern of `problem` as individual requests over
+/// `[0, period)` without materializing them. See [`RequestStream`].
+pub fn stream<'a, R: RngCore + ?Sized>(
+    problem: &'a Problem,
+    period: u64,
+    rng: &'a mut R,
+) -> RequestStream<'a, R> {
+    RequestStream::new(problem, period, rng)
+}
+
+/// Expands the aggregate pattern of `problem` into a time-ordered request
+/// stream over `[0, period)` — a thin wrapper that collects [`stream`] and
+/// sorts by timestamp.
+///
+/// The returned vector holds the total number of reads and writes in the
+/// instance, so use this with small instances; large consumers should pull
+/// from [`stream`] incrementally instead.
 ///
 /// # Examples
 ///
@@ -51,27 +156,7 @@ pub struct Request {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn expand<R: RngCore + ?Sized>(problem: &Problem, period: u64, rng: &mut R) -> Vec<Request> {
-    let mut requests = Vec::new();
-    for site in problem.sites() {
-        for object in problem.objects() {
-            for _ in 0..problem.reads(site, object) {
-                requests.push(Request {
-                    time: rng.random_range(0..period.max(1)),
-                    site,
-                    object,
-                    kind: RequestKind::Read,
-                });
-            }
-            for _ in 0..problem.writes(site, object) {
-                requests.push(Request {
-                    time: rng.random_range(0..period.max(1)),
-                    site,
-                    object,
-                    kind: RequestKind::Write,
-                });
-            }
-        }
-    }
+    let mut requests: Vec<Request> = stream(problem, period, rng).collect();
     requests.sort_by_key(|r| r.time);
     requests
 }
@@ -320,6 +405,40 @@ mod tests {
             kind: RequestKind::Read,
         }];
         assert!(simulate(&p, &scheme, &bad).is_err());
+    }
+
+    #[test]
+    fn stream_matches_expand_exactly() {
+        // Same rng state: the streamed requests, once sorted like `expand`
+        // sorts, are element-wise identical — `expand` is a thin wrapper.
+        let p = WorkloadSpec::paper(6, 5, 10.0, 25.0)
+            .generate(&mut StdRng::seed_from_u64(31))
+            .unwrap();
+        let expanded = expand(&p, 300, &mut StdRng::seed_from_u64(77));
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut streamed: Vec<Request> = stream(&p, 300, &mut rng).collect();
+        streamed.sort_by_key(|r| r.time);
+        assert_eq!(expanded, streamed);
+    }
+
+    #[test]
+    fn stream_is_exact_size_and_incremental() {
+        let p = WorkloadSpec::paper(4, 3, 10.0, 25.0)
+            .generate(&mut StdRng::seed_from_u64(32))
+            .unwrap();
+        let total: u64 = p
+            .objects()
+            .map(|k| p.total_reads(k) + p.total_writes(k))
+            .sum();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut it = stream(&p, 100, &mut rng);
+        assert_eq!(it.len() as u64, total);
+        // Pulling one request shrinks the exact size hint: the generator is
+        // incremental, not a drained buffer.
+        let first = it.next().unwrap();
+        assert!(first.time < 100);
+        assert_eq!(it.len() as u64, total - 1);
+        assert_eq!(it.count() as u64, total - 1);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   engine);
 //! * [`algo`] — SRA (greedy, plus its distributed token-passing variant),
 //!   GRA (genetic), AGRA (adaptive), baselines and an exact
-//!   branch-and-bound solver.
+//!   branch-and-bound solver;
+//! * [`serve`] — the closed-loop online adaptation runtime: streaming
+//!   traffic epochs on the simulator, windowed statistics into the
+//!   monitor, live staged migration of new schemes.
 //!
 //! The most common items are also re-exported at the top level.
 //!
@@ -45,6 +48,7 @@ pub use drp_algo as algo;
 pub use drp_core as core;
 pub use drp_ga as ga;
 pub use drp_net as net;
+pub use drp_serve as serve;
 pub use drp_workload as workload;
 
 pub use drp_algo::{baselines, distributed, exact, repair, Agra, AgraConfig, Gra, GraConfig, Sra};
