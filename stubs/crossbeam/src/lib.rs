@@ -1,0 +1,89 @@
+//! Offline stand-in for `crossbeam`: a minimal MPMC unbounded channel with
+//! the subset of the `crossbeam::channel` API this workspace uses.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+    }
+
+    pub struct Sender<T>(Arc<Inner<T>>);
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.0.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            st.buf.push_back(value);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.cv.wait(st).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`: the derive macros expand to nothing and the
+//! traits are empty markers. Only for typechecking without a registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
