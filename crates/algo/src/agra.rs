@@ -11,10 +11,12 @@
 //! Optionally, a short "mini-GRA" (5–10 generations) polishes the
 //! transcribed population.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use drp_core::telemetry::{self, Recorder};
-use drp_core::{kernels, CoreError, ObjectId, Problem, ReplicationScheme, Result, SiteId};
+use drp_core::{
+    kernels, CoreError, NarrowMirror, ObjectId, Problem, ReplicationScheme, Result, SiteId,
+};
 use drp_ga::{ops, BitString, Engine, GaConfig, GaSpec, SamplingSpace, SelectionScheme};
 use rand::{Rng, RngCore};
 
@@ -185,6 +187,9 @@ impl Agra {
         population[0] = current_bits.clone();
 
         let weights = link_weights(problem);
+        // One narrow mirror serves every micro-GA of this adaptation step;
+        // `None` (values too wide for u32) falls back to the u64 path.
+        let narrow = NarrowMirror::build(problem).map(Arc::new);
         let mut micro_evaluations = 0u64;
 
         for &object in changed {
@@ -192,7 +197,7 @@ impl Agra {
             // 1. Micro-GA over the object's replica set.
             let micro = {
                 let _span = telemetry::span(self.recorder.as_ref(), "agra.micro_ga");
-                self.run_micro_ga(problem, current, &population, object, rng)?
+                self.run_micro_ga(problem, current, &population, object, narrow.clone(), rng)?
             };
             micro_evaluations += micro.evaluations;
 
@@ -279,6 +284,7 @@ impl Agra {
         current: &ReplicationScheme,
         population: &[BitString],
         object: ObjectId,
+        narrow: Option<Arc<NarrowMirror>>,
         rng: &mut dyn RngCore,
     ) -> Result<drp_ga::GaOutcome> {
         let m = problem.num_sites();
@@ -300,8 +306,9 @@ impl Agra {
             initial.push(BitString::random(m, rng));
         }
 
-        let spec =
-            MicroSpec::new(problem, object).parallel_fitness(self.config.gra.parallel_fitness);
+        let spec = MicroSpec::new(problem, object)
+            .with_mirror(narrow)
+            .parallel_fitness(self.config.gra.parallel_fitness);
         for chromosome in &mut initial {
             chromosome.set(spec.primary_bit, true);
         }
@@ -424,6 +431,23 @@ fn repair_capacity(problem: &Problem, chromosome: &mut BitString, weights: &[f64
     }
 }
 
+/// Thread-local nearest-cost buffers of one micro-GA worker, recycled
+/// across generations through the [`MicroSpec`] arena.
+#[derive(Debug)]
+struct MicroScratch {
+    nearest: Vec<u64>,
+    nearest32: Vec<u32>,
+}
+
+impl MicroScratch {
+    fn new(num_sites: usize) -> Self {
+        Self {
+            nearest: vec![u64::MAX; num_sites],
+            nearest32: vec![u32::MAX; num_sites],
+        }
+    }
+}
+
 /// [`GaSpec`] of the per-object micro-GA: `M`-bit chromosomes scored by the
 /// unconstrained per-object NTC `V_k`.
 struct MicroSpec<'a> {
@@ -432,6 +456,12 @@ struct MicroSpec<'a> {
     primary_bit: usize,
     v_prime: u64,
     parallel: bool,
+    narrow: Option<Arc<NarrowMirror>>,
+    // Free-list of worker scratch, checked out once per chunk per
+    // generation: contention is one lock round-trip per worker, and the
+    // buffers are fully overwritten before use so recycling cannot affect
+    // results.
+    scratch: Mutex<Vec<MicroScratch>>,
 }
 
 impl<'a> MicroSpec<'a> {
@@ -442,7 +472,16 @@ impl<'a> MicroSpec<'a> {
             primary_bit: problem.primary(object).index(),
             v_prime: problem.v_prime(object),
             parallel: false,
+            narrow: None,
+            scratch: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attaches a pre-built u32 mirror of the instance; scoring then runs
+    /// the narrow kernels, bitwise-identical to the u64 path.
+    fn with_mirror(mut self, narrow: Option<Arc<NarrowMirror>>) -> Self {
+        self.narrow = narrow;
+        self
     }
 
     /// Scores batches on the shared [`WorkerPool`](drp_core::pool::WorkerPool)
@@ -451,6 +490,21 @@ impl<'a> MicroSpec<'a> {
     fn parallel_fitness(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    fn checkout(&self) -> MicroScratch {
+        self.scratch
+            .lock()
+            .expect("micro scratch mutex poisoned")
+            .pop()
+            .unwrap_or_else(|| MicroScratch::new(self.problem.num_sites()))
+    }
+
+    fn restore(&self, scratch: MicroScratch) {
+        self.scratch
+            .lock()
+            .expect("micro scratch mutex poisoned")
+            .push(scratch);
     }
 
     /// `V_k` of a replica set given as an M-bit string (capacity ignored —
@@ -483,13 +537,47 @@ impl<'a> MicroSpec<'a> {
             + problem.object_size(object) * (traffic - replica_writes)
     }
 
+    /// The u32-SoA twin of [`replica_set_cost_with`](Self::replica_set_cost_with):
+    /// same loop, narrow rows, every product widened through `u64::from` —
+    /// the mirror only exists when all values are exact u32 copies, so the
+    /// accumulators match the wide path bit for bit.
+    fn replica_set_cost_narrow(
+        &self,
+        narrow: &NarrowMirror,
+        bits: &BitString,
+        nearest: &mut [u32],
+    ) -> u64 {
+        let problem = self.problem;
+        let object = self.object;
+        let sp_row = narrow.cost_row(self.primary_bit);
+        let r_row = narrow.reads_row(object.index());
+        let w_row = narrow.writes_row(object.index());
+
+        let mut broadcast = 0u64;
+        let mut replica_writes = 0u64;
+        nearest.fill(u32::MAX);
+        for j in bits.iter_ones() {
+            broadcast += u64::from(sp_row[j]);
+            replica_writes += u64::from(w_row[j]) * u64::from(sp_row[j]);
+            kernels::min_scan_u32(nearest, narrow.cost_row(j));
+        }
+        let traffic = kernels::traffic_scan_u32(r_row, w_row, nearest, sp_row);
+        problem.write_volume(object) * broadcast
+            + problem.object_size(object) * (traffic - replica_writes)
+    }
+
     /// The micro-GA fitness `(V′_k − V_k) / V′_k` with the reset rule.
-    fn score(&self, chromosome: &mut BitString, nearest: &mut [u64]) -> f64 {
+    fn score(&self, chromosome: &mut BitString, scratch: &mut MicroScratch) -> f64 {
         chromosome.set(self.primary_bit, true);
         if self.v_prime == 0 {
             return 0.0;
         }
-        let v = self.replica_set_cost_with(chromosome, nearest);
+        let v = match &self.narrow {
+            Some(narrow) => {
+                self.replica_set_cost_narrow(narrow, chromosome, &mut scratch.nearest32)
+            }
+            None => self.replica_set_cost_with(chromosome, &mut scratch.nearest),
+        };
         let fitness = (self.v_prime as f64 - v as f64) / self.v_prime as f64;
         if fitness < 0.0 {
             // Reset to the primary-only replica set, as in GRA.
@@ -502,8 +590,10 @@ impl<'a> MicroSpec<'a> {
 
 impl GaSpec for MicroSpec<'_> {
     fn evaluate(&self, chromosome: &mut BitString) -> f64 {
-        let mut nearest = vec![u64::MAX; self.problem.num_sites()];
-        self.score(chromosome, &mut nearest)
+        let mut scratch = self.checkout();
+        let fitness = self.score(chromosome, &mut scratch);
+        self.restore(scratch);
+        fitness
     }
 
     fn evaluate_batch(&self, population: &mut [(BitString, f64)]) {
@@ -514,11 +604,12 @@ impl GaSpec for MicroSpec<'_> {
             1
         };
         if workers <= 1 {
-            // One nearest-cost buffer serves the whole batch.
-            let mut nearest = vec![u64::MAX; self.problem.num_sites()];
+            // One recycled scratch serves the whole batch.
+            let mut scratch = self.checkout();
             for (chromosome, fitness) in population.iter_mut() {
-                *fitness = self.score(chromosome, &mut nearest);
+                *fitness = self.score(chromosome, &mut scratch);
             }
+            self.restore(scratch);
             return;
         }
         // Chunk boundaries depend only on the batch length, and scoring is
@@ -526,10 +617,11 @@ impl GaSpec for MicroSpec<'_> {
         // deterministic for every pool size.
         let chunk = population.len().div_ceil(workers);
         pool.for_each_chunk_mut(population, chunk, |_, slice| {
-            let mut nearest = vec![u64::MAX; self.problem.num_sites()];
+            let mut scratch = self.checkout();
             for (chromosome, fitness) in slice.iter_mut() {
-                *fitness = self.score(chromosome, &mut nearest);
+                *fitness = self.score(chromosome, &mut scratch);
             }
+            self.restore(scratch);
         });
     }
 
@@ -723,6 +815,30 @@ mod tests {
         // positive or clamp to 0 under heavy writes, but never negative.
         let mut everywhere = BitString::from_fn(m, |_| true);
         assert!(spec.evaluate(&mut everywhere) >= 0.0);
+    }
+
+    #[test]
+    fn micro_costs_agree_across_widths() {
+        let (problem, _, _) = setup(15);
+        let narrow = NarrowMirror::build(&problem).map(Arc::new);
+        assert!(narrow.is_some(), "paper-scale instances fit in u32");
+        let mut rng = StdRng::seed_from_u64(16);
+        let m = problem.num_sites();
+        for object in problem.objects() {
+            let wide = MicroSpec::new(&problem, object);
+            let narrowed = MicroSpec::new(&problem, object).with_mirror(narrow.clone());
+            for _ in 0..20 {
+                let mut a = BitString::random(m, &mut rng);
+                a.set(wide.primary_bit, true);
+                let mut b = a.clone();
+                assert_eq!(
+                    wide.evaluate(&mut a),
+                    narrowed.evaluate(&mut b),
+                    "object {object}"
+                );
+                assert_eq!(a, b, "reset rule must fire identically");
+            }
+        }
     }
 
     #[test]

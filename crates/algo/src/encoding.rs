@@ -4,7 +4,9 @@
 //! `i·N + k` is `X_ik`. Keeping genes contiguous makes the crossover
 //! validity repair (per-gene capacity check) a local slice operation.
 
-use drp_core::{CoreError, ObjectId, Problem, ReplicationScheme, Result, SiteId};
+use std::sync::{Arc, Mutex};
+
+use drp_core::{CoreError, NarrowMirror, ObjectId, Problem, ReplicationScheme, Result, SiteId};
 use drp_ga::BitString;
 
 /// Encodes a replication scheme into the site-major chromosome layout.
@@ -56,11 +58,26 @@ pub struct EvalScratch {
     sites: Vec<usize>,
     replicas: Vec<usize>,
     nearest: Vec<u64>,
+    /// Narrow nearest-cost scratch, used when `narrow` is present.
+    nearest32: Vec<u32>,
+    /// Shared `u32` mirror of the instance's hot rows, when every value
+    /// fits 32 bits; `None` keeps the `u64` kernel path (identical
+    /// results, more memory traffic).
+    narrow: Option<Arc<NarrowMirror>>,
 }
 
 impl EvalScratch {
-    /// Buffers sized for `problem`.
+    /// Buffers sized for `problem`, including the `u32` fast-path mirror
+    /// when the instance narrows (built fresh — prefer
+    /// [`ScratchPool`] / [`Self::with_mirror`] to share one mirror
+    /// across many scratches).
     pub fn new(problem: &Problem) -> Self {
+        Self::with_mirror(problem, NarrowMirror::build(problem).map(Arc::new))
+    }
+
+    /// Buffers sized for `problem`, sharing a prebuilt narrow mirror
+    /// (pass `None` to force the `u64` path).
+    pub fn with_mirror(problem: &Problem, narrow: Option<Arc<NarrowMirror>>) -> Self {
         let m = problem.num_sites();
         let n = problem.num_objects();
         Self {
@@ -69,7 +86,65 @@ impl EvalScratch {
             sites: Vec::new(),
             replicas: Vec::with_capacity(m),
             nearest: vec![0; m],
+            nearest32: vec![0; m],
+            narrow,
         }
+    }
+}
+
+/// A checkout/restore arena of [`EvalScratch`] buffers for one instance.
+///
+/// The batched fitness paths hand the
+/// [`WorkerPool`](drp_core::pool::WorkerPool) one contiguous chromosome
+/// chunk per worker per generation; each task checks a scratch out,
+/// scores its chunk, and restores it, so in steady state **no**
+/// allocation happens per generation — the same buffers (and the same
+/// shared [`NarrowMirror`]) cycle for the whole GA run. Scratch contents
+/// never influence results (every buffer is overwritten before use), so
+/// reuse cannot perturb a seeded run.
+///
+/// One pool serves one problem: buffers are sized at construction.
+#[derive(Debug)]
+pub struct ScratchPool {
+    narrow: Option<Arc<NarrowMirror>>,
+    free: Mutex<Vec<EvalScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool for `problem`, building the shared narrow mirror
+    /// once (O(M² + N·M) — amortized over every evaluation of the run).
+    pub fn new(problem: &Problem) -> Self {
+        Self {
+            narrow: NarrowMirror::build(problem).map(Arc::new),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An empty pool that never narrows: every checkout scores through
+    /// the u64 kernels. This is the pre-mirror code path, kept callable
+    /// so benchmarks can measure the narrow kernels against it.
+    pub fn wide(_problem: &Problem) -> Self {
+        Self {
+            narrow: None,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a free scratch, or sizes a fresh one for `problem` (which
+    /// must be the instance the pool was built for).
+    pub fn checkout(&self, problem: &Problem) -> EvalScratch {
+        if let Some(scratch) = self.free.lock().expect("scratch pool poisoned").pop() {
+            return scratch;
+        }
+        EvalScratch::with_mirror(problem, self.narrow.clone())
+    }
+
+    /// Returns a scratch to the pool for reuse.
+    pub fn restore(&self, scratch: EvalScratch) {
+        self.free
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
     }
 }
 
@@ -148,7 +223,15 @@ pub fn chromosome_cost_with(
             total += problem.v_prime(object);
             continue;
         }
-        total += problem.object_cost_from_replicas(object, replicas, &mut scratch.nearest);
+        // The u32 SoA mirror halves the row traffic of the min/traffic
+        // scans; products widen to u64 before accumulation, so both
+        // branches produce the same integer.
+        total += match &scratch.narrow {
+            Some(narrow) => {
+                narrow.object_cost_from_replicas(problem, object, replicas, &mut scratch.nearest32)
+            }
+            None => problem.object_cost_from_replicas(object, replicas, &mut scratch.nearest),
+        };
     }
     total
 }
@@ -212,6 +295,44 @@ mod tests {
                 "round {round}"
             );
         }
+    }
+
+    #[test]
+    fn narrow_and_wide_scratch_agree_bitwise() {
+        let p = problem(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut wide = EvalScratch::with_mirror(&p, None);
+        let mut narrow = EvalScratch::new(&p);
+        assert!(narrow.narrow.is_some(), "paper instances narrow to u32");
+        for round in 0..10 {
+            let scheme = random_scheme(&p, &mut rng);
+            let bits = encode_scheme(&p, &scheme);
+            assert_eq!(
+                chromosome_cost_with(&p, &bits, &mut narrow),
+                chromosome_cost_with(&p, &bits, &mut wide),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_pool_cycles_buffers() {
+        let p = problem(9);
+        let pool = ScratchPool::new(&p);
+        let a = pool.checkout(&p);
+        let b = pool.checkout(&p);
+        pool.restore(a);
+        pool.restore(b);
+        assert_eq!(pool.free.lock().unwrap().len(), 2);
+        let _c = pool.checkout(&p);
+        assert_eq!(pool.free.lock().unwrap().len(), 1, "checkout reuses");
+        // A pooled scratch scores identically to a fresh one.
+        let bits = encode_scheme(&p, &ReplicationScheme::primary_only(&p));
+        let mut pooled = pool.checkout(&p);
+        assert_eq!(
+            chromosome_cost_with(&p, &bits, &mut pooled),
+            chromosome_cost(&p, &bits)
+        );
     }
 
     #[test]

@@ -5,7 +5,11 @@ use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme, Result, SiteId}
 use drp_ga::{ops, BitString, Engine, GaConfig, GaOutcome, GaSpec, SamplingSpace, SelectionScheme};
 use rand::{Rng, RngCore};
 
-use crate::encoding::{chromosome_cost_with, decode_scheme, encode_scheme, EvalScratch};
+use drp_core::pool::WorkerPool;
+
+use crate::encoding::{
+    chromosome_cost_with, decode_scheme, encode_scheme, EvalScratch, ScratchPool,
+};
 use crate::sra::{SiteOrder, Sra};
 use crate::RngAdapter;
 
@@ -314,7 +318,31 @@ fn try_flip(
 /// freely without perturbing a seeded run.
 pub fn evaluate_population(problem: &Problem, population: &mut [(BitString, f64)], parallel: bool) {
     let primary_only = encode_scheme(problem, &ReplicationScheme::primary_only(problem));
-    evaluate_population_with(problem, &primary_only, population, parallel);
+    let scratch = ScratchPool::new(problem);
+    evaluate_population_with(
+        problem,
+        &primary_only,
+        population,
+        &scratch,
+        WorkerPool::global(),
+        parallel,
+    );
+}
+
+/// [`evaluate_population`] against caller-owned worker and scratch pools
+/// — the form benchmarks and embedders use to pin the thread count
+/// (e.g. `WorkerPool::new(1)` for an honest serial baseline) and to
+/// amortize scratch/mirror construction across calls.
+///
+/// Results are bitwise identical for any pool size, including 1.
+pub fn evaluate_population_pooled(
+    problem: &Problem,
+    population: &mut [(BitString, f64)],
+    scratch: &ScratchPool,
+    pool: &WorkerPool,
+) {
+    let primary_only = encode_scheme(problem, &ReplicationScheme::primary_only(problem));
+    evaluate_population_with(problem, &primary_only, population, scratch, pool, true);
 }
 
 /// Don't fan out below this many chromosomes: hand-off overhead beats the
@@ -325,27 +353,35 @@ fn evaluate_population_with(
     problem: &Problem,
     primary_only: &BitString,
     population: &mut [(BitString, f64)],
+    scratch_pool: &ScratchPool,
+    pool: &WorkerPool,
     parallel: bool,
 ) {
-    let pool = drp_core::pool::WorkerPool::global();
     let workers = if parallel && population.len() >= MIN_PARALLEL_BATCH {
         pool.threads().min(population.len())
     } else {
         1
     };
     if workers <= 1 {
-        let mut scratch = EvalScratch::new(problem);
+        let mut scratch = scratch_pool.checkout(problem);
         for (chromosome, fitness) in population.iter_mut() {
             *fitness = score_chromosome(problem, primary_only, chromosome, &mut scratch);
         }
+        scratch_pool.restore(scratch);
         return;
     }
+    // One contiguous chunk per worker — the coarsest grain that still
+    // spreads the generation, so per-task hand-off cost is paid `workers`
+    // times, not `population` times. Chunk boundaries depend only on the
+    // population length and fitness is a pure per-chromosome function, so
+    // results are bitwise-identical to the serial path.
     let chunk = population.len().div_ceil(workers);
     pool.for_each_chunk_mut(population, chunk, |_, slice| {
-        let mut scratch = EvalScratch::new(problem);
+        let mut scratch = scratch_pool.checkout(problem);
         for (chromosome, fitness) in slice.iter_mut() {
             *fitness = score_chromosome(problem, primary_only, chromosome, &mut scratch);
         }
+        scratch_pool.restore(scratch);
     });
 }
 
@@ -376,6 +412,9 @@ pub(crate) struct GraSpec<'a> {
     crossover_op: CrossoverOp,
     primary_only: BitString,
     parallel: bool,
+    /// Thread-shared scratch arena: built once per run, reused by every
+    /// generation's fitness batch.
+    scratch: ScratchPool,
 }
 
 impl<'a> GraSpec<'a> {
@@ -386,6 +425,7 @@ impl<'a> GraSpec<'a> {
             crossover_op,
             primary_only,
             parallel: false,
+            scratch: ScratchPool::new(problem),
         }
     }
 
@@ -396,11 +436,14 @@ impl<'a> GraSpec<'a> {
 
     fn gene_is_valid(&self, bits: &BitString, gene: usize) -> bool {
         let n = self.problem.num_objects();
+        let start = gene * n;
+        // Word-wise scan of the gene's contiguous bit range: sparse genes
+        // cost O(n/64) word probes instead of n strided `get`s.
         let mut used = 0u64;
-        for k in 0..n {
-            if bits.get(gene * n + k) {
-                used += self.problem.object_size(drp_core::ObjectId::new(k));
-            }
+        for one in bits.iter_ones_in(start, start + n) {
+            used += self
+                .problem
+                .object_size(drp_core::ObjectId::new(one - start));
         }
         used <= self.problem.capacity(SiteId::new(gene))
     }
@@ -428,12 +471,21 @@ impl<'a> GraSpec<'a> {
 
 impl GaSpec for GraSpec<'_> {
     fn evaluate(&self, chromosome: &mut BitString) -> f64 {
-        let mut scratch = EvalScratch::new(self.problem);
-        score_chromosome(self.problem, &self.primary_only, chromosome, &mut scratch)
+        let mut scratch = self.scratch.checkout(self.problem);
+        let fitness = score_chromosome(self.problem, &self.primary_only, chromosome, &mut scratch);
+        self.scratch.restore(scratch);
+        fitness
     }
 
     fn evaluate_batch(&self, population: &mut [(BitString, f64)]) {
-        evaluate_population_with(self.problem, &self.primary_only, population, self.parallel);
+        evaluate_population_with(
+            self.problem,
+            &self.primary_only,
+            population,
+            &self.scratch,
+            WorkerPool::global(),
+            self.parallel,
+        );
     }
 
     fn crossover(

@@ -2,7 +2,11 @@
 //! scoring on worker threads must be bit-for-bit identical to the serial
 //! path — same fitness values, same repaired chromosomes, same GA runs.
 
-use drp_algo::{chromosome_cost, evaluate_population, Agra, AgraConfig, Gra, GraConfig};
+use drp_algo::{
+    chromosome_cost, evaluate_population, evaluate_population_pooled, Agra, AgraConfig, Gra,
+    GraConfig, ScratchPool,
+};
+use drp_core::pool::WorkerPool;
 use drp_ga::BitString;
 use drp_workload::{PatternChange, WorkloadSpec};
 use proptest::prelude::*;
@@ -104,6 +108,56 @@ proptest! {
         prop_assert_eq!(serial.population, parallel.population);
         prop_assert_eq!(serial.micro_evaluations, parallel.micro_evaluations);
         prop_assert_eq!(serial.mini_evaluations, parallel.mini_evaluations);
+    }
+}
+
+proptest! {
+    #[test]
+    fn pooled_scoring_is_identical_across_pool_sizes_and_widths(
+        instance_seed in 0u64..50,
+        pop_seed in 0u64..1000,
+        pop_size in 1usize..24,
+    ) {
+        // The in-process equivalent of running under DRP_THREADS ∈ {1,2,4}:
+        // the env var is latched once by the global pool, so thread-count
+        // parity is probed with explicit pools. The wide (u64-only) scratch
+        // on one thread is the pre-kernel reference; every other
+        // pool-size × scratch-width combination must reproduce it bitwise —
+        // fitness values AND repaired chromosomes.
+        let problem = paper_problem(instance_seed);
+        let len = problem.num_sites() * problem.num_objects();
+        let mut rng = StdRng::seed_from_u64(pop_seed);
+        let seed_population: Vec<(BitString, f64)> = (0..pop_size)
+            .map(|_| (BitString::random(len, &mut rng), -1.0))
+            .collect();
+
+        let mut reference = seed_population.clone();
+        evaluate_population_pooled(
+            &problem,
+            &mut reference,
+            &ScratchPool::wide(&problem),
+            &WorkerPool::new(1),
+        );
+
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            for narrow in [false, true] {
+                let scratch = if narrow {
+                    ScratchPool::new(&problem)
+                } else {
+                    ScratchPool::wide(&problem)
+                };
+                let mut population = seed_population.clone();
+                evaluate_population_pooled(&problem, &mut population, &scratch, &pool);
+                prop_assert_eq!(
+                    &population,
+                    &reference,
+                    "pool={} narrow={}",
+                    threads,
+                    narrow
+                );
+            }
+        }
     }
 }
 

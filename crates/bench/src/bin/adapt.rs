@@ -105,15 +105,17 @@ fn main() {
         .map(|triple| triple[1].total_ntc as f64 / (triple[0].total_ntc as f64).max(1.0))
         .fold(f64::MIN, f64::max);
 
-    let config = Fields::new()
-        .text("unit", "ntc")
-        .int("seed", SEED)
-        .int("epochs", EPOCHS as u64)
-        .int("period", PERIOD)
-        .int("night_every", NIGHT_EVERY as u64)
-        .float("drift_change_percent", drift().change_percent, 0)
-        .float("drift_objects_percent", drift().objects_percent, 0)
-        .float("drift_read_share", drift().read_share, 2);
+    let config = drp_bench::thread_fields(
+        Fields::new()
+            .text("unit", "ntc")
+            .int("seed", SEED)
+            .int("epochs", EPOCHS as u64)
+            .int("period", PERIOD)
+            .int("night_every", NIGHT_EVERY as u64)
+            .float("drift_change_percent", drift().change_percent, 0)
+            .float("drift_objects_percent", drift().objects_percent, 0)
+            .float("drift_read_share", drift().read_share, 2),
+    );
     let mut report = Report::new(
         "adapt",
         config,

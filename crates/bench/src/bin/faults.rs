@@ -107,9 +107,11 @@ fn main() {
         100.0 * (row.off_events_per_sec - row.empty_events_per_sec) / row.off_events_per_sec
     };
     let max_overhead = rows.iter().map(overhead).fold(f64::MIN, f64::max);
-    let config = Fields::new()
-        .text("unit", "events_per_sec")
-        .int("reps", u64::from(REPS));
+    let config = drp_bench::thread_fields(
+        Fields::new()
+            .text("unit", "events_per_sec")
+            .int("reps", u64::from(REPS)),
+    );
     let mut report = Report::new(
         "faults",
         config,

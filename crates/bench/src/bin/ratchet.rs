@@ -1,0 +1,108 @@
+//! The perf-ratchet CLI: `cargo run --release -p drp-bench --bin ratchet --
+//! [--refs DIR] [--current DIR] [--slack X] [--bless]`.
+//!
+//! Compares every `BENCH_*.json` in `--refs` (default `.`, the committed
+//! references at the repository root) against the same-named artifact in
+//! `--current` (default `target/bench-current`) and exits non-zero on any
+//! regression. `--bless` instead copies the current artifacts over the
+//! references — the sanctioned way to record an intentional change.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use drp_bench::ratchet::{self, Tolerance};
+
+struct Args {
+    refs: PathBuf,
+    current: PathBuf,
+    slack: f64,
+    bless: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        refs: PathBuf::from("."),
+        current: PathBuf::from("target/bench-current"),
+        slack: 1.0,
+        bless: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--refs" => args.refs = PathBuf::from(value("--refs")),
+            "--current" => args.current = PathBuf::from(value("--current")),
+            "--slack" => args.slack = value("--slack").parse().expect("--slack takes a number"),
+            "--bless" => args.bless = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(args.slack > 0.0, "--slack must be positive");
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.bless {
+        match ratchet::bless(&args.refs, &args.current) {
+            Ok(copied) if copied.is_empty() => {
+                eprintln!(
+                    "ratchet: nothing to bless — no BENCH_*.json in {}",
+                    args.current.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(copied) => {
+                for name in &copied {
+                    println!("blessed {name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(message) => {
+                eprintln!("ratchet: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let tolerance = Tolerance::with_slack(args.slack);
+    match ratchet::run(&args.refs, &args.current, &tolerance) {
+        Ok(outcome) => {
+            if outcome.checked.is_empty() {
+                eprintln!(
+                    "ratchet: no BENCH_*.json references in {}",
+                    args.refs.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            for name in &outcome.checked {
+                println!("checked {name}");
+            }
+            if outcome.violations.is_empty() {
+                println!(
+                    "ratchet holds: {} artifact(s), 0 regressions",
+                    outcome.checked.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for violation in &outcome.violations {
+                    eprintln!("REGRESSION {violation}");
+                }
+                eprintln!(
+                    "ratchet failed: {} regression(s); bench artifacts drifted — \
+                     fix the regression or re-bless with --bless",
+                    outcome.violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("ratchet: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

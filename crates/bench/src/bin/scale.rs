@@ -266,14 +266,17 @@ fn main() {
 
     let last = samples.last().expect("at least one sample");
     let speedup_at_largest = last.build_legacy_ms / last.build_par_ms;
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    let config = Fields::new()
-        .text("unit", "ms")
-        .int("objects", args.objects as u64)
-        .int("population", args.pop as u64)
-        .int("generations", args.gens as u64)
-        .int("available_parallelism", threads as u64)
-        .int("pool_threads", WorkerPool::global().threads() as u64);
+    // The serial columns are always one thread, the parallel columns run
+    // on `pool_threads`, so every sample carries a 1-thread and an
+    // N-thread reading of the same work; `thread_fields` records which N
+    // that actually was.
+    let config = drp_bench::thread_fields(
+        Fields::new()
+            .text("unit", "ms")
+            .int("objects", args.objects as u64)
+            .int("population", args.pop as u64)
+            .int("generations", args.gens as u64),
+    );
     let mut report = Report::new(
         "scale",
         config,
@@ -295,6 +298,7 @@ fn main() {
                 .float("sra_ms", s.sra_ms, 2)
                 .float("gra_serial_ms", s.gra_serial_ms, 2)
                 .float("gra_parallel_ms", s.gra_parallel_ms, 2)
+                .float("gra_thread_speedup", s.gra_serial_ms / s.gra_parallel_ms, 2)
                 .float("agra_serial_ms", s.agra_serial_ms, 2)
                 .float("agra_parallel_ms", s.agra_parallel_ms, 2)
                 .int("gra_cost", s.gra_cost)

@@ -12,6 +12,7 @@
 //! The machine-readable `BENCH_*.json` bins (`cost_eval`, `faults`,
 //! `telemetry`, `scale`, `adapt`) all emit the shared [`report`] shape.
 
+pub mod ratchet;
 pub mod report;
 
 use drp_core::Problem;
@@ -29,4 +30,21 @@ pub fn instance(sites: usize, objects: usize, update_percent: f64) -> Problem {
 /// A deterministic rng for solver runs.
 pub fn rng() -> StdRng {
     StdRng::seed_from_u64(0xfeed)
+}
+
+/// Appends the threading fields every artifact's config records: the
+/// cores the host offers, the pool size actually used (`DRP_THREADS`
+/// wins over auto-detection), and the raw `DRP_THREADS` value. The
+/// ratchet treats all three as environment, not benchmark identity.
+#[must_use]
+pub fn thread_fields(fields: report::Fields) -> report::Fields {
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    let drp_threads = std::env::var("DRP_THREADS").unwrap_or_else(|_| "unset".to_string());
+    fields
+        .int("available_parallelism", available as u64)
+        .int(
+            "pool_threads",
+            drp_core::pool::WorkerPool::global().threads() as u64,
+        )
+        .text("drp_threads", &drp_threads)
 }

@@ -95,6 +95,14 @@ pub struct CostEvaluator<'p> {
     /// Flattened `N × M`: second-nearest replicator site ([`NO_SITE`] when
     /// absent).
     second_site: Vec<u32>,
+    /// Flattened `N × ⌈M/64⌉` replica bitmask, object-major: bit `x` of
+    /// object `k`'s word row is `X_xk`. A word-granular mirror of the
+    /// scheme's membership used to prune non-replicator candidate loops
+    /// without per-site [`ReplicationScheme::holds`] probes (each of
+    /// which re-derives a site-major bit index with a multiply).
+    replica_mask: Vec<u64>,
+    /// Words per object row in `replica_mask` (`⌈M/64⌉`).
+    mask_words: usize,
     /// `V_k` per object.
     object_cost: Vec<u64>,
     /// Running total `D`.
@@ -125,6 +133,7 @@ impl<'p> CostEvaluator<'p> {
             scheme.num_sites(),
             scheme.num_objects(),
         );
+        let mask_words = m.div_ceil(64).max(1);
         let mut eval = Self {
             problem,
             scheme,
@@ -132,6 +141,8 @@ impl<'p> CostEvaluator<'p> {
             best_site: vec![NO_SITE; n * m],
             second_cost: vec![u64::MAX; n * m],
             second_site: vec![NO_SITE; n * m],
+            replica_mask: vec![0; n * mask_words],
+            mask_words,
             object_cost: vec![0; n],
             total: 0,
             log: Vec::new(),
@@ -283,16 +294,20 @@ impl<'p> CostEvaluator<'p> {
         let new_i = w_tot * o * c_isp;
         let mut delta = new_i as i64 - old_i as i64;
 
-        for (x, &c) in i_row.iter().enumerate() {
-            if x == i || self.scheme.holds(SiteId::new(x), object) {
-                // `x` is (or becomes) a replicator: reads stay local.
-                continue;
+        // Word-wise candidate pruning: only non-replicators can re-route
+        // reads to the new replica, and the mask row yields exactly those
+        // sites (`i` itself is among them — it was asserted non-replicating
+        // above — so it is skipped explicitly).
+        self.for_each_non_replicator(k, |x| {
+            if x == i {
+                return;
             }
+            let c = i_row[x];
             let bc = self.best_cost[base + x];
             if c < bc {
                 delta -= (r_row[x] * o * (bc - c)) as i64;
             }
-        }
+        });
         delta
     }
 
@@ -330,14 +345,14 @@ impl<'p> CostEvaluator<'p> {
         let new_i = o * (r_row[i] * self.second_cost[base + i] + w_i * c_isp);
         let mut delta = new_i as i64 - old_i as i64;
 
-        for (x, &r_x) in r_row.iter().enumerate().take(m) {
-            if x == i || self.scheme.holds(SiteId::new(x), object) {
-                continue;
-            }
+        // Word-wise candidate pruning over non-replicators; `i` is still a
+        // replicator here (asserted above), so the mask row excludes it.
+        self.for_each_non_replicator(k, |x| {
             if self.best_site[base + x] as usize == i {
-                delta += (r_x * o * (self.second_cost[base + x] - self.best_cost[base + x])) as i64;
+                delta +=
+                    (r_row[x] * o * (self.second_cost[base + x] - self.best_cost[base + x])) as i64;
             }
-        }
+        });
         delta
     }
 
@@ -412,6 +427,52 @@ impl<'p> CostEvaluator<'p> {
         object.index() * m + site.index()
     }
 
+    /// Object `k`'s replica membership words (bit `x` ⇔ site `x`
+    /// replicates `k`).
+    #[inline]
+    fn mask_row(&self, k: usize) -> &[u64] {
+        &self.replica_mask[k * self.mask_words..(k + 1) * self.mask_words]
+    }
+
+    #[inline]
+    fn set_mask_bit(&mut self, k: usize, x: usize) {
+        self.replica_mask[k * self.mask_words + x / 64] |= 1u64 << (x % 64);
+    }
+
+    #[inline]
+    fn clear_mask_bit(&mut self, k: usize, x: usize) {
+        self.replica_mask[k * self.mask_words + x / 64] &= !(1u64 << (x % 64));
+    }
+
+    /// Whether site `x` replicates object `k`, from the mask mirror.
+    #[inline]
+    fn is_replicator(&self, k: usize, x: usize) -> bool {
+        self.replica_mask[k * self.mask_words + x / 64] & (1u64 << (x % 64)) != 0
+    }
+
+    /// Calls `f(x)` for every *non*-replicator site of object `k`,
+    /// word-wise: fully-replicated words are skipped in one test and
+    /// candidate bits are popped with `trailing_zeros`, so the loop
+    /// never probes membership per site.
+    #[inline]
+    fn for_each_non_replicator(&self, k: usize, mut f: impl FnMut(usize)) {
+        let m = self.problem.num_sites();
+        let row = self.mask_row(k);
+        for (wi, &word) in row.iter().enumerate() {
+            let base = wi * 64;
+            let mut cand = !word;
+            if base + 64 > m {
+                // Mask off the bits past the last site in the tail word.
+                cand &= (1u64 << (m - base)) - 1;
+            }
+            while cand != 0 {
+                let x = base + cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                f(x);
+            }
+        }
+    }
+
     /// Rebuilds one object's top-2 arrays and `V_k` from the scheme.
     fn rebuild_object(&mut self, k: usize) {
         let m = self.problem.num_sites();
@@ -426,6 +487,11 @@ impl<'p> CostEvaluator<'p> {
         self.best_site[base..base + m].fill(NO_SITE);
         self.second_cost[base..base + m].fill(u64::MAX);
         self.second_site[base..base + m].fill(NO_SITE);
+        let mask_row = &mut self.replica_mask[k * self.mask_words..(k + 1) * self.mask_words];
+        mask_row.fill(0);
+        for &j in self.scheme.replicator_indices(k) {
+            mask_row[j / 64] |= 1u64 << (j % 64);
+        }
 
         let mut broadcast = 0u64;
         for &j in self.scheme.replicator_indices(k) {
@@ -499,6 +565,10 @@ impl<'p> CostEvaluator<'p> {
         let r_row = self.problem.object_reads(object);
         let w_i = self.problem.object_writes(object)[i];
 
+        // The scheme already contains the new replica: mirror it first so
+        // the membership probes below see coherent state.
+        self.set_mask_bit(k, i);
+
         let mut delta: i64 = 0;
         for (x, &c_ix) in i_row.iter().enumerate() {
             let idx = base + x;
@@ -515,7 +585,7 @@ impl<'p> CostEvaluator<'p> {
                 // Stops remote reads and write shipping, joins the broadcast.
                 delta +=
                     (w_tot * o * c_isp) as i64 - (o * (r_row[i] * old_best + w_i * c_isp)) as i64;
-            } else if replaced_best && !self.scheme.holds(SiteId::new(x), object) {
+            } else if replaced_best && !self.is_replicator(k, x) {
                 // A non-replicator re-routes its reads to the new replica.
                 delta -= (r_row[x] * o * (old_best - self.best_cost[idx])) as i64;
             }
@@ -537,6 +607,10 @@ impl<'p> CostEvaluator<'p> {
         let r_row = self.problem.object_reads(object);
         let w_i = self.problem.object_writes(object)[i];
 
+        // The scheme no longer contains the replica: mirror the removal
+        // before probing membership below.
+        self.clear_mask_bit(k, i);
+
         let mut delta: i64 = 0;
         for x in 0..m {
             let idx = base + x;
@@ -552,7 +626,7 @@ impl<'p> CostEvaluator<'p> {
                     // Resumes remote reads/writes, leaves the broadcast.
                     delta += (o * (r_row[i] * self.best_cost[idx] + w_i * c_isp)) as i64
                         - (w_tot * o * c_isp) as i64;
-                } else if !self.scheme.holds(SiteId::new(x), object) {
+                } else if !self.is_replicator(k, x) {
                     delta += (r_row[x] * o * (self.best_cost[idx] - old_best)) as i64;
                 }
             } else if self.second_site[idx] as usize == i {
@@ -707,6 +781,7 @@ mod tests {
         assert_eq!(eval.best_site, reference.best_site);
         assert_eq!(eval.second_cost, reference.second_cost);
         assert_eq!(eval.second_site, reference.second_site);
+        assert_eq!(eval.replica_mask, reference.replica_mask);
         assert_eq!(eval.object_cost, reference.object_cost);
         assert_coherent(&eval);
     }

@@ -47,6 +47,80 @@ pub fn traffic_scan(reads: &[u64], writes: &[u64], nearest: &[u64], sp_row: &[u6
     total
 }
 
+/// Narrow-word variant of [`min_scan`] over `u32` rows.
+///
+/// Same pointwise-minimum semantics, half the memory traffic: a `u32`
+/// cost matrix row streams twice as many lanes per cache line and per
+/// SIMD register, so the autovectorised scan (`vpminud`) covers `M`
+/// sites in half the passes. Used when the whole instance fits the
+/// [`NarrowMirror`](crate::narrow::NarrowMirror) width check; since the
+/// narrow values are exact copies of the wide ones, the surviving
+/// minima are bitwise identical to the `u64` path.
+#[inline]
+pub fn min_scan_u32(nearest: &mut [u32], row: &[u32]) {
+    for (slot, &cost) in nearest.iter_mut().zip(row) {
+        *slot = (*slot).min(cost);
+    }
+}
+
+/// Narrow-word variant of [`traffic_scan`]: `u32` inputs, `u64` sum.
+///
+/// Each product is computed in `u64` (`r·near` of two `u32` values
+/// cannot overflow 64 bits: `(2³²−1)² < 2⁶⁴`), and the accumulator is
+/// the same `u64` as the wide path, so for inputs that are exact `u32`
+/// copies of the `u64` rows the result is bitwise identical. The
+/// widening multiply keeps the loop a straight zip the compiler can
+/// unroll and vectorise (`vpmuludq`).
+#[inline]
+pub fn traffic_scan_u32(reads: &[u32], writes: &[u32], nearest: &[u32], sp_row: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for (((&r, &w), &near), &sp) in reads.iter().zip(writes).zip(nearest).zip(sp_row) {
+        total += u64::from(r) * u64::from(near) + u64::from(w) * u64::from(sp);
+    }
+    total
+}
+
+/// Total set bits across a packed `u64` word slice.
+///
+/// One `popcnt` per word; this is the whole-scheme replica count over
+/// [`ReplicationScheme`](crate::ReplicationScheme)'s bit matrix.
+#[inline]
+pub fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Set bits within the half-open bit range `[start, end)` of a packed
+/// little-endian `u64` word slice.
+///
+/// Interior words cost one `popcnt` each; the two boundary words are
+/// masked first. This makes per-site replica-degree scans over a
+/// contiguous bit row `O(range/64)` instead of one probe per bit.
+///
+/// # Panics
+///
+/// Panics if `end < start` or `end > words.len() * 64`.
+#[inline]
+pub fn popcount_range(words: &[u64], start: usize, end: usize) -> usize {
+    assert!(start <= end && end <= words.len() * 64, "bad bit range");
+    if start == end {
+        return 0;
+    }
+    let first = start / 64;
+    let last = (end - 1) / 64;
+    // Mask of bits >= the in-word offset of `start`.
+    let head = u64::MAX << (start % 64);
+    // Mask of bits < the in-word offset of `end` (inclusive last bit).
+    let tail = u64::MAX >> (63 - (end - 1) % 64);
+    if first == last {
+        return (words[first] & head & tail).count_ones() as usize;
+    }
+    let mut total = (words[first] & head).count_ones() as usize;
+    for &w in &words[first + 1..last] {
+        total += w.count_ones() as usize;
+    }
+    total + (words[last] & tail).count_ones() as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +144,86 @@ mod tests {
             .map(|i| reads[i] * nearest[i] + writes[i] * sp[i])
             .sum();
         assert_eq!(traffic_scan(&reads, &writes, &nearest, &sp), naive);
+    }
+
+    /// Runs both widths over the same values and demands bit-identical
+    /// results: the narrow kernels must be a pure representation change.
+    fn assert_widths_agree(reads: &[u32], writes: &[u32], nearest: &[u32], sp: &[u32]) {
+        let wide = |v: &[u32]| v.iter().map(|&x| u64::from(x)).collect::<Vec<u64>>();
+        let (r64, w64, n64, s64) = (wide(reads), wide(writes), wide(nearest), wide(sp));
+        assert_eq!(
+            traffic_scan_u32(reads, writes, nearest, sp),
+            traffic_scan(&r64, &w64, &n64, &s64),
+        );
+        let mut narrow = nearest.to_vec();
+        let mut wide_nearest = n64.clone();
+        min_scan_u32(&mut narrow, sp);
+        min_scan(&mut wide_nearest, &s64);
+        assert_eq!(wide(&narrow), wide_nearest);
+    }
+
+    #[test]
+    fn u32_kernels_match_u64_on_boundary_values() {
+        // Saturated u32 volumes: one product is (2^32-1)^2, just under
+        // u64::MAX — the widening multiply must not wrap. (Only one
+        // product may saturate: the u64 accumulator itself is covered by
+        // the Problem build-time overflow guard, not by the kernels.)
+        assert_widths_agree(
+            &[u32::MAX, 0, 1],
+            &[0, 3, 1],
+            &[u32::MAX, 3, 0],
+            &[5, 7, u32::MAX],
+        );
+        assert_eq!(
+            traffic_scan_u32(&[u32::MAX], &[0], &[u32::MAX], &[0]),
+            (u64::from(u32::MAX)) * (u64::from(u32::MAX)),
+        );
+    }
+
+    #[test]
+    fn u32_kernels_match_u64_on_zero_read_rows() {
+        // All-zero read row: traffic collapses to the write half.
+        assert_widths_agree(
+            &[0, 0, 0, 0],
+            &[7, 0, 2, u32::MAX],
+            &[9, 9, 9, 9],
+            &[1, 0, 3, 1],
+        );
+        assert_eq!(traffic_scan_u32(&[0; 4], &[0; 4], &[1; 4], &[1; 4]), 0);
+    }
+
+    #[test]
+    fn popcount_sums_word_populations() {
+        assert_eq!(popcount(&[]), 0);
+        assert_eq!(popcount(&[0, u64::MAX, 1 << 63]), 65);
+    }
+
+    #[test]
+    fn popcount_range_matches_per_bit_probes() {
+        let words = [0xdead_beef_0123_4567u64, 0xffff_0000_aaaa_5555, 0x1];
+        let total_bits = words.len() * 64;
+        let probe = |start: usize, end: usize| {
+            (start..end)
+                .filter(|&i| words[i / 64] & (1u64 << (i % 64)) != 0)
+                .count()
+        };
+        for start in [0, 1, 63, 64, 65, 100, 127, 128, 150, total_bits] {
+            for end in [start, start + 1, 64, 128, 129, total_bits] {
+                if end < start || end > total_bits {
+                    continue;
+                }
+                assert_eq!(
+                    popcount_range(&words, start, end),
+                    probe(start, end),
+                    "range [{start}, {end})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bit range")]
+    fn popcount_range_rejects_out_of_bounds() {
+        popcount_range(&[0], 0, 65);
     }
 }

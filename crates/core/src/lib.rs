@@ -64,6 +64,7 @@ pub mod kernels;
 mod matrix;
 mod metrics;
 pub mod migration;
+pub mod narrow;
 pub mod pool;
 mod problem;
 pub mod replay;
@@ -76,6 +77,7 @@ pub use evaluator::CostEvaluator;
 pub use ids::{ObjectId, SiteId};
 pub use matrix::DenseMatrix;
 pub use metrics::{DegradationReport, SolutionReport};
+pub use narrow::NarrowMirror;
 pub use problem::{Problem, ProblemBuilder};
 pub use scheme::ReplicationScheme;
 

@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{CoreError, ObjectId, Problem, Result, SiteId};
+use crate::{kernels, CoreError, ObjectId, Problem, Result, SiteId};
 
 /// A replication scheme: the boolean `M × N` matrix `X` of the paper, with
 /// `X_ik = 1` when site `i` holds a replica of object `k`.
@@ -162,8 +162,24 @@ impl ReplicationScheme {
     }
 
     /// Total number of replicas in the network, primaries included.
+    ///
+    /// One `popcnt` per bitset word — O(M·N/64) regardless of how many
+    /// replicas exist, instead of walking the per-object lists.
     pub fn replica_count(&self) -> usize {
-        self.replicas.iter().map(Vec::len).sum()
+        kernels::popcount(&self.bits)
+    }
+
+    /// Number of distinct objects replicated at `site` — the column sum
+    /// `Σ_k X_ik`, computed by masked popcount over the site's
+    /// contiguous bit row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn site_replica_count(&self, site: SiteId) -> usize {
+        let i = site.index();
+        assert!(i < self.num_sites, "site index out of range");
+        kernels::popcount_range(&self.bits, i * self.num_objects, (i + 1) * self.num_objects)
     }
 
     /// Number of replicas beyond the mandatory primaries — the paper's
@@ -191,14 +207,38 @@ impl ReplicationScheme {
     }
 
     /// The objects replicated at a site, in ascending object order.
+    ///
+    /// Word-wise: the site's row occupies the contiguous bit range
+    /// `[i·N, (i+1)·N)`, so empty words are skipped 64 objects at a time
+    /// and set bits are popped with `trailing_zeros`.
     pub fn objects_at(&self, site: SiteId) -> impl Iterator<Item = ObjectId> + '_ {
-        let i = site.index();
-        (0..self.num_objects)
-            .filter(move |&k| {
-                let (word, mask) = self.bit_index(i, k);
-                self.bits[word] & mask != 0
+        let start = site.index() * self.num_objects;
+        let end = start + self.num_objects;
+        let first_word = start / 64;
+        let words = &self.bits[first_word..end.div_ceil(64).max(first_word)];
+        words
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &word)| {
+                let base = (first_word + wi) * 64;
+                let mut bits = word;
+                // Mask off bits outside the site's row in boundary words.
+                if base < start {
+                    bits &= u64::MAX << (start - base);
+                }
+                if base + 64 > end {
+                    bits &= u64::MAX >> (base + 64 - end);
+                }
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(base + tz)
+                })
             })
-            .map(ObjectId::new)
+            .map(move |bit| ObjectId::new(bit - start))
     }
 
     fn check_pair(&self, problem: &Problem, site: SiteId, object: ObjectId) -> Result<()> {
@@ -498,6 +538,19 @@ mod tests {
         s.add_replica(&p, SiteId::new(0), ObjectId::new(1)).unwrap();
         let held: Vec<_> = s.objects_at(SiteId::new(0)).collect();
         assert_eq!(held, vec![ObjectId::new(0), ObjectId::new(1)]);
+    }
+
+    #[test]
+    fn popcount_scans_agree_with_list_walks() {
+        let p = problem();
+        let mut s = ReplicationScheme::primary_only(&p);
+        s.add_replica(&p, SiteId::new(2), ObjectId::new(0)).unwrap();
+        s.add_replica(&p, SiteId::new(0), ObjectId::new(1)).unwrap();
+        let list_total: usize = p.objects().map(|k| s.replica_degree(k)).sum();
+        assert_eq!(s.replica_count(), list_total);
+        for i in p.sites() {
+            assert_eq!(s.site_replica_count(i), s.objects_at(i).count(), "site {i}");
+        }
     }
 
     #[test]

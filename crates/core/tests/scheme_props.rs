@@ -1,0 +1,73 @@
+//! Property-based tests of the bit-packed scheme scans: the popcount
+//! fast paths (`replica_count`, `site_replica_count`, word-wise
+//! `objects_at`) must agree exactly with walking the `replicators()`
+//! iterator, under arbitrary add/remove sequences.
+
+use drp_core::{ObjectId, Problem, ReplicationScheme, SiteId};
+use drp_workload::WorkloadSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_problem(seed: u64) -> Problem {
+    WorkloadSpec::paper(9, 11, 5.0, 40.0)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .unwrap()
+}
+
+/// One step of a random walk over the scheme: flip the addressed
+/// replica if the move is legal, skip it otherwise.
+fn try_step(problem: &Problem, scheme: &mut ReplicationScheme, step: usize) {
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+    let site = SiteId::new(step % m);
+    let object = ObjectId::new((step / m) % n);
+    if scheme.holds(site, object) {
+        if problem.primary(object) != site {
+            scheme.remove_replica(problem, site, object).unwrap();
+        }
+    } else if problem.object_size(object) <= scheme.free_capacity(problem, site) {
+        scheme.add_replica(problem, site, object).unwrap();
+    }
+}
+
+proptest! {
+    #[test]
+    fn popcount_scans_agree_with_replicator_walks(
+        instance_seed in 0u64..20,
+        steps in prop::collection::vec(0usize..10_000, 1..80),
+    ) {
+        let problem = paper_problem(instance_seed);
+        let mut scheme = ReplicationScheme::primary_only(&problem);
+        for step in steps {
+            try_step(&problem, &mut scheme, step);
+
+            // Global popcount vs summing the per-object iterator.
+            let walked: usize = problem
+                .objects()
+                .map(|k| scheme.replicators(k).count())
+                .sum();
+            prop_assert_eq!(scheme.replica_count(), walked);
+
+            // Per-site ranged popcount vs the word-wise objects_at scan
+            // vs per-bit holds() probes.
+            for i in problem.sites() {
+                let listed: Vec<ObjectId> = scheme.objects_at(i).collect();
+                let probed: Vec<ObjectId> = problem
+                    .objects()
+                    .filter(|&k| scheme.holds(i, k))
+                    .collect();
+                prop_assert_eq!(&listed, &probed);
+                prop_assert_eq!(scheme.site_replica_count(i), probed.len());
+            }
+
+            // Replica degree stays consistent with the iterator too.
+            for k in problem.objects() {
+                prop_assert_eq!(
+                    scheme.replica_degree(k),
+                    scheme.replicators(k).count()
+                );
+            }
+        }
+    }
+}

@@ -119,6 +119,73 @@ impl BitString {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The backing little-endian words; bits past `len` are zero.
+    ///
+    /// Exposed so word-granular consumers (popcount scans, SoA decoders)
+    /// can stream the chromosome 64 genes at a time without per-bit
+    /// [`get`](Self::get) probes.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits within the half-open range `[start, end)` —
+    /// a masked popcount, O(range/64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or `end > len`.
+    pub fn count_ones_in(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.len, "bad bit range");
+        if start == end {
+            return 0;
+        }
+        let head = u64::MAX << (start % 64);
+        let tail = u64::MAX >> (63 - (end - 1) % 64);
+        let (first, last) = (start / 64, (end - 1) / 64);
+        if first == last {
+            return (self.words[first] & head & tail).count_ones() as usize;
+        }
+        let mut total = (self.words[first] & head).count_ones() as usize;
+        for &w in &self.words[first + 1..last] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[last] & tail).count_ones() as usize
+    }
+
+    /// Iterator over the indices of set bits within `[start, end)`,
+    /// ascending. Word-wise: zero words are skipped 64 bits at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or `end > len`.
+    pub fn iter_ones_in(&self, start: usize, end: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(start <= end && end <= self.len, "bad bit range");
+        let first_word = start / 64;
+        let end_word = end.div_ceil(64).max(first_word);
+        self.words[first_word..end_word]
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &word)| {
+                let base = (first_word + wi) * 64;
+                let mut bits = word;
+                if base < start {
+                    bits &= u64::MAX << (start - base);
+                }
+                if base + 64 > end {
+                    bits &= u64::MAX.checked_shr((base + 64 - end) as u32).unwrap_or(0);
+                }
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(base + tz)
+                })
+            })
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -229,6 +296,43 @@ mod tests {
     #[should_panic(expected = "bit index out of range")]
     fn out_of_range_get_panics() {
         BitString::zeros(4).get(4);
+    }
+
+    #[test]
+    fn ranged_scans_match_per_bit_probes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for len in [1, 63, 64, 65, 130, 200] {
+            let s = BitString::random(len, &mut rng);
+            for start in [0, 1, len / 3, len / 2, len.saturating_sub(1), len] {
+                for end in [start, (start + 7).min(len), (start + 64).min(len), len] {
+                    let probe: Vec<usize> = (start..end).filter(|&i| s.get(i)).collect();
+                    assert_eq!(
+                        s.iter_ones_in(start, end).collect::<Vec<_>>(),
+                        probe,
+                        "len {len} range [{start}, {end})"
+                    );
+                    assert_eq!(
+                        s.count_ones_in(start, end),
+                        probe.len(),
+                        "len {len} range [{start}, {end})"
+                    );
+                }
+            }
+            assert_eq!(s.count_ones_in(0, len), s.count_ones());
+            assert_eq!(
+                s.iter_ones_in(0, len).collect::<Vec<_>>(),
+                s.iter_ones().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn words_expose_clean_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = BitString::random(70, &mut rng);
+        let popcnt: usize = s.words().iter().map(|w| w.count_ones() as usize).sum();
+        assert_eq!(popcnt, s.count_ones(), "tail bits must be zero");
+        assert_eq!(s.words().len(), 2);
     }
 
     #[test]

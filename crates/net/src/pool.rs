@@ -229,7 +229,7 @@ impl WorkerPool {
             }
         }
         if latch.wait() {
-            panic!("a WorkerPool task panicked");
+            propagate_worker_panic();
         }
     }
 
@@ -272,6 +272,15 @@ impl WorkerPool {
             f(index, chunk);
         });
     }
+}
+
+/// Re-raises a worker panic on the caller. Kept out of line and marked
+/// cold so the panic machinery stays off the fork-join exit path every
+/// generation takes.
+#[cold]
+#[inline(never)]
+fn propagate_worker_panic() -> ! {
+    panic!("a WorkerPool task panicked");
 }
 
 impl Drop for WorkerPool {

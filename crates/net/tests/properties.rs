@@ -59,6 +59,37 @@ proptest! {
     }
 
     #[test]
+    fn chunked_fan_out_visits_every_element_exactly_once(
+        len in 0usize..200,
+        chunk in 1usize..40,
+        threads in 1usize..5,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Seed each slot with its own index so the closure can check that
+        // chunk `index` received exactly the slice `[index*chunk ..
+        // min(index*chunk + chunk, len))`, in order.
+        let mut data: Vec<u64> = (0..len as u64).collect();
+        let visited = AtomicUsize::new(0);
+        let pool = WorkerPool::new(threads);
+        pool.for_each_chunk_mut(&mut data, chunk, |index, slice| {
+            let start = index * chunk;
+            assert!(!slice.is_empty(), "empty chunk dispatched");
+            assert!(slice.len() <= chunk, "chunk overshoots requested grain");
+            for (offset, value) in slice.iter_mut().enumerate() {
+                assert_eq!(*value, (start + offset) as u64, "wrong slice bounds");
+                // Stamp the element so a double visit is detectable below.
+                *value = (index as u64) << 32 | (start + offset) as u64;
+            }
+            visited.fetch_add(slice.len(), Ordering::Relaxed);
+        });
+        prop_assert_eq!(visited.load(Ordering::Relaxed), len);
+        for (i, &value) in data.iter().enumerate() {
+            let expect = ((i / chunk) as u64) << 32 | i as u64;
+            prop_assert_eq!(value, expect, "element {} stamped wrong", i);
+        }
+    }
+
+    #[test]
     fn cost_matrix_is_metric(g in arb_connected_graph()) {
         let c = CostMatrix::from_graph(&g).unwrap();
         let m = c.num_sites();
