@@ -117,9 +117,49 @@ impl ReplicationMonitor {
         })
     }
 
+    /// Reassembles a monitor from externally persisted state, skipping the
+    /// bootstrap GRA run — the recovery path of a durable serving runtime
+    /// that checkpointed [`problem`](Self::problem), [`scheme`](Self::scheme)
+    /// and [`population`](Self::population).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInstance`] when the scheme does not
+    /// validate against the instance or a population chromosome has the
+    /// wrong length.
+    pub fn from_parts(
+        problem: Problem,
+        config: MonitorConfig,
+        scheme: ReplicationScheme,
+        population: Vec<BitString>,
+    ) -> Result<Self> {
+        scheme.validate(&problem)?;
+        let genome = problem.num_sites() * problem.num_objects();
+        if let Some(bad) = population.iter().find(|c| c.len() != genome) {
+            return Err(CoreError::InvalidInstance {
+                reason: format!(
+                    "population chromosome has {} bits, instance needs {genome}",
+                    bad.len()
+                ),
+            });
+        }
+        Ok(Self {
+            config,
+            problem,
+            scheme,
+            population,
+        })
+    }
+
     /// The statistics the current scheme was tuned for.
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// The GA population carried between rebuilds (seeded into AGRA's
+    /// transcription phase). Exposed so durable runtimes can checkpoint it.
+    pub fn population(&self) -> &[BitString] {
+        &self.population
     }
 
     /// The scheme currently realized on the network.

@@ -185,6 +185,12 @@ pub enum Command {
         report_out: Option<PathBuf>,
         /// Telemetry JSONL output file.
         trace_out: Option<PathBuf>,
+        /// Directory for the write-ahead log (None = in-memory run).
+        wal_dir: Option<PathBuf>,
+        /// Resume from an existing WAL instead of refusing it.
+        recover: bool,
+        /// Compact the WAL into a checkpoint every `n` epochs.
+        checkpoint_every: usize,
     },
     /// Adapt a scheme to a shifted instance with AGRA.
     Adapt {
@@ -465,6 +471,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut jitter = 0u64;
             let mut report_out = None;
             let mut trace_out = None;
+            let mut wal_dir = None;
+            let mut recover = false;
+            let mut checkpoint_every = drp_serve::WalTuning::default().checkpoint_every;
             stream.index = 1;
             while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
                 match flag {
@@ -487,6 +496,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--trace-out" => {
                         trace_out = Some(PathBuf::from(stream.next_value(flag)?));
                     }
+                    "--wal-dir" => wal_dir = Some(PathBuf::from(stream.next_value(flag)?)),
+                    "--recover" => {
+                        recover = true;
+                        stream.index += 1;
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = parse_num(stream.next_value(flag)?, flag)?;
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -497,6 +514,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError::Usage(format!(
                     "--drop must be a probability in [0, 1], got {drop}"
                 )));
+            }
+            if checkpoint_every == 0 {
+                return Err(CliError::Usage(
+                    "--checkpoint-every must be at least 1".into(),
+                ));
+            }
+            if recover && wal_dir.is_none() {
+                return Err(CliError::Usage("--recover needs --wal-dir".into()));
             }
             Ok(Command::Serve {
                 instance: instance
@@ -513,6 +538,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 jitter,
                 report_out,
                 trace_out,
+                wal_dir,
+                recover,
+                checkpoint_every,
             })
         }
         "evaluate" | "inspect" | "adapt" | "distributed" => {

@@ -11,7 +11,10 @@ use drp_core::format::{read_instance, read_scheme, write_instance, write_scheme}
 use drp_core::telemetry::{InMemoryRecorder, Recorder};
 use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme};
 use drp_net::sim::FaultPlan;
-use drp_serve::{run_service, run_service_recorded, FaultSpec, Policy, ServeConfig};
+use drp_serve::{
+    run_service, run_service_durable, run_service_durable_recorded, run_service_recorded,
+    FaultSpec, FileWalStore, Policy, ServeConfig, WalStore, WalTuning,
+};
 use drp_workload::{PatternChange, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -350,6 +353,9 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
             jitter,
             report_out,
             trace_out,
+            wal_dir,
+            recover,
+            checkpoint_every,
         } => {
             let problem = load_instance(&instance)?;
             for &(site, _, _) in &crashes {
@@ -388,18 +394,61 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                     },
                 ),
                 faults,
+                wal: WalTuning { checkpoint_every },
                 ..ServeConfig::default()
             };
             let trace = trace_out
                 .as_ref()
                 .map(|_| Arc::new(InMemoryRecorder::new()));
-            let report = match &trace {
-                Some(rec) => {
-                    run_service_recorded(&problem, &config, Arc::clone(rec) as Arc<dyn Recorder>)
+            let report = if let Some(dir) = &wal_dir {
+                let mut store =
+                    FileWalStore::open(dir).map_err(|e| CliError::Run(e.to_string()))?;
+                let existing = store.load().map_err(|e| CliError::Run(e.to_string()))?;
+                if !existing.is_empty() && !recover {
+                    return Err(CliError::Run(format!(
+                        "{} already holds a WAL; pass --recover to resume it or remove the file",
+                        store.path().display()
+                    )));
                 }
-                None => run_service(&problem, &config),
-            }
-            .map_err(|e| CliError::Run(e.to_string()))?;
+                let outcome = match &trace {
+                    Some(rec) => run_service_durable_recorded(
+                        &problem,
+                        &config,
+                        &mut store,
+                        Arc::clone(rec) as Arc<dyn Recorder>,
+                    ),
+                    None => run_service_durable(&problem, &config, &mut store),
+                }
+                .map_err(|e| CliError::Run(e.to_string()))?;
+                match &outcome.recovery {
+                    Some(info) => {
+                        let _ = writeln!(
+                            out,
+                            "recovered from {}: resumed at epoch {}, {} uncommitted record(s) dropped",
+                            store.path().display(),
+                            info.resumed_epoch,
+                            info.dropped_records
+                        );
+                        if let Some(damage) = &info.damage {
+                            let _ = writeln!(out, "wal damage: {damage}");
+                        }
+                    }
+                    None => {
+                        let _ = writeln!(out, "journaling to {}", store.path().display());
+                    }
+                }
+                outcome.report
+            } else {
+                match &trace {
+                    Some(rec) => run_service_recorded(
+                        &problem,
+                        &config,
+                        Arc::clone(rec) as Arc<dyn Recorder>,
+                    ),
+                    None => run_service(&problem, &config),
+                }
+                .map_err(|e| CliError::Run(e.to_string()))?
+            };
             let _ = writeln!(
                 out,
                 "policy {} | seed {} | {} epoch(s) x {} time units",
@@ -814,5 +863,56 @@ mod tests {
         assert!(run(&argv("serve --instance x.drp --epochs 0")).is_err());
         assert!(run(&argv("serve --instance x.drp --drift 1:2")).is_err());
         assert!(run(&argv("serve --instance x.drp --drop 1.5")).is_err());
+        assert!(run(&argv("serve --instance x.drp --checkpoint-every 0")).is_err());
+        assert!(run(&argv("serve --instance x.drp --recover")).is_err());
+    }
+
+    #[test]
+    fn serve_wal_dir_journals_refuses_stale_logs_and_recovers() {
+        let dir = tempdir("serve_wal");
+        let net = dir.join("net.drp");
+        let wal = dir.join("wal");
+        run(&argv(&format!(
+            "generate --sites 6 --objects 8 --capacity 30 --seed 9 -o {}",
+            net.display()
+        )))
+        .unwrap();
+
+        let serve = format!(
+            "serve --instance {} --policy monitor --epochs 2 --period 128 --seed 9 \
+             --drift 500:40:0.9",
+            net.display()
+        );
+        let fp = |text: &str| {
+            text.lines()
+                .find_map(|l| l.strip_prefix("fingerprint: ").map(str::to_string))
+                .unwrap()
+        };
+        let plain = run(&argv(&serve)).unwrap();
+
+        // Fresh durable run: journals, same fingerprint as the in-memory run.
+        let durable = run(&argv(&format!(
+            "{serve} --wal-dir {} --checkpoint-every 1",
+            wal.display()
+        )))
+        .unwrap();
+        assert!(durable.contains("journaling to"), "{durable}");
+        assert_eq!(fp(&plain), fp(&durable));
+        assert!(wal.join("wal.log").exists());
+
+        // A leftover log without --recover is an error, not a silent resume.
+        let err = run(&argv(&format!("{serve} --wal-dir {}", wal.display()))).unwrap_err();
+        assert!(err.to_string().contains("--recover"), "{err}");
+
+        // With --recover the completed log replays to the same report.
+        let resumed = run(&argv(&format!(
+            "{serve} --wal-dir {} --checkpoint-every 1 --recover",
+            wal.display()
+        )))
+        .unwrap();
+        assert!(resumed.contains("recovered from"), "{resumed}");
+        assert!(resumed.contains("resumed at epoch 2"), "{resumed}");
+        assert_eq!(fp(&plain), fp(&resumed));
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

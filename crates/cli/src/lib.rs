@@ -39,7 +39,8 @@ usage:
   drp serve    --instance FILE [--policy static|monitor|adr] [--epochs N]
                [--period T] [--seed N] [--night-every K] [--admission-limit N]
                [--drift CHANGE%:OBJECTS%:READSHARE] [--crash SITE@FROM..UNTIL]...
-               [--drop P] [--jitter J] [--report-out FILE] [--trace-out FILE]";
+               [--drop P] [--jitter J] [--report-out FILE] [--trace-out FILE]
+               [--wal-dir DIR [--recover] [--checkpoint-every K]]";
 
 /// Parses and executes one command line, returning its stdout text.
 ///

@@ -3,6 +3,71 @@ use std::fmt;
 
 use crate::{ObjectId, SiteId};
 
+/// Errors of the durable serving runtime's write-ahead log.
+///
+/// Recovery treats a torn tail as survivable: the reader stops at the last
+/// valid record and reports what was dropped through these variants instead
+/// of panicking, so a crash mid-append never bricks the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A WAL record failed its CRC or structural decode. Everything before
+    /// `record` is intact; the record itself and the rest of the log are
+    /// dropped by recovery.
+    WalCorrupt {
+        /// Zero-based index of the first unreadable record.
+        record: u64,
+        /// What the decoder rejected.
+        reason: String,
+    },
+    /// The WAL ends mid-record (a torn write at crash time). The valid
+    /// prefix is kept; the torn bytes are dropped by recovery.
+    WalTruncated {
+        /// Zero-based index of the record whose frame is incomplete.
+        record: u64,
+        /// Bytes of intact log preceding the torn frame.
+        valid_bytes: u64,
+        /// Torn trailing bytes that were discarded.
+        dropped_bytes: u64,
+    },
+    /// The WAL belongs to a different run: its `RunStart` header does not
+    /// match the configuration recovery was asked to resume.
+    WalMismatch {
+        /// Human-readable difference.
+        reason: String,
+    },
+    /// The WAL's backing store failed an I/O operation.
+    WalIo {
+        /// The underlying I/O failure, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::WalCorrupt { record, reason } => {
+                write!(f, "wal record {record} is corrupt: {reason}")
+            }
+            ServeError::WalTruncated {
+                record,
+                valid_bytes,
+                dropped_bytes,
+            } => write!(
+                f,
+                "wal truncated at record {record}: kept {valid_bytes} valid bytes, \
+                 dropped {dropped_bytes} torn bytes"
+            ),
+            ServeError::WalMismatch { reason } => {
+                write!(f, "wal does not match this run: {reason}")
+            }
+            ServeError::WalIo { reason } => write!(f, "wal i/o failed: {reason}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
 /// Errors produced when constructing or manipulating DRP instances.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -58,6 +123,8 @@ pub enum CoreError {
     },
     /// An error bubbled up from the network substrate.
     Net(drp_net::NetError),
+    /// An error from the durable serving runtime's write-ahead log.
+    Serve(ServeError),
 }
 
 impl fmt::Display for CoreError {
@@ -95,6 +162,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidInstance { reason } => write!(f, "invalid instance: {reason}"),
             CoreError::Net(e) => write!(f, "network error: {e}"),
+            CoreError::Serve(e) => write!(f, "serve error: {e}"),
         }
     }
 }
@@ -103,8 +171,15 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Net(e) => Some(e),
+            CoreError::Serve(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ServeError> for CoreError {
+    fn from(e: ServeError) -> Self {
+        CoreError::Serve(e)
     }
 }
 
@@ -146,5 +221,27 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
+        assert_send_sync::<ServeError>();
+    }
+
+    #[test]
+    fn serve_errors_convert_chain_and_describe_the_damage() {
+        let torn = ServeError::WalTruncated {
+            record: 7,
+            valid_bytes: 320,
+            dropped_bytes: 11,
+        };
+        let msg = torn.to_string();
+        assert!(
+            msg.contains('7') && msg.contains("320") && msg.contains("11"),
+            "{msg}"
+        );
+        let e: CoreError = torn.into();
+        assert!(e.source().is_some());
+        let corrupt = ServeError::WalCorrupt {
+            record: 3,
+            reason: "crc mismatch".into(),
+        };
+        assert!(corrupt.to_string().contains("crc mismatch"));
     }
 }

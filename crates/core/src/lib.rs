@@ -72,7 +72,7 @@ mod scheme;
 pub mod telemetry;
 
 pub use algorithm::ReplicationAlgorithm;
-pub use error::CoreError;
+pub use error::{CoreError, ServeError};
 pub use evaluator::CostEvaluator;
 pub use ids::{ObjectId, SiteId};
 pub use matrix::DenseMatrix;

@@ -56,6 +56,29 @@ impl Default for MigrationTuning {
     }
 }
 
+impl MigrationTuning {
+    /// Rejects degenerate timer settings: a zero-length RPC timeout makes
+    /// every fetch "time out" instantly (retry storms), and a zero retry
+    /// budget can never recover from a single lost fetch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`drp_core::CoreError::InvalidInstance`] naming the bad knob.
+    pub fn validate(&self) -> drp_core::Result<()> {
+        if self.rpc_timeout == 0 {
+            return Err(drp_core::CoreError::InvalidInstance {
+                reason: "MigrationTuning::rpc_timeout must be at least 1".into(),
+            });
+        }
+        if self.max_attempts == 0 {
+            return Err(drp_core::CoreError::InvalidInstance {
+                reason: "MigrationTuning::max_attempts must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Counters harvested from one epoch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct Counters {
@@ -73,6 +96,29 @@ pub(crate) struct Counters {
     pub retries: u64,
 }
 
+/// A migration-executor event in deterministic simulator order, harvested
+/// so the durable runtime can journal the epoch's stage/retry/cutover
+/// history into its write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MigEvent {
+    /// A fetch timer fired and the addition was retried (possibly
+    /// re-sourced).
+    Retry {
+        site: usize,
+        object: usize,
+        attempt: u32,
+    },
+    /// A fetched replica was installed at its target.
+    Install {
+        site: usize,
+        object: usize,
+        version: u64,
+    },
+    /// An object's last pending addition landed; its deferred removals
+    /// were applied.
+    Cutover { object: usize, removals: usize },
+}
+
 /// What one epoch run produced.
 #[derive(Debug, Clone)]
 pub(crate) struct EpochOutcome {
@@ -85,6 +131,10 @@ pub(crate) struct EpochOutcome {
     pub counters: Counters,
     /// Per-site backpressure: requests shed at each site's admission gate.
     pub shed_by_site: Vec<u64>,
+    /// Per-site admitted requests (the drained queue depths).
+    pub admitted_by_site: Vec<u64>,
+    /// Migration events in simulator order.
+    pub mig_events: Vec<MigEvent>,
     pub serving_ntc: u64,
     pub migration_ntc: u64,
     pub fault_stats: FaultStats,
@@ -165,6 +215,8 @@ struct LiveState {
     pending_by_object: Vec<usize>,
     /// Removals deferred until their object's cutover.
     removals_by_object: Vec<Vec<usize>>,
+    /// Migration events in simulator order.
+    events: Vec<MigEvent>,
     counters: Counters,
     migration_ntc: u64,
 }
@@ -281,14 +333,25 @@ impl ServeNode {
         state.holds[me * n + object] = true;
         let slot = &mut state.version[me * n + object];
         *slot = (*slot).max(version);
+        let installed_version = *slot;
         state.counters.installed += 1;
+        state.events.push(MigEvent::Install {
+            site: me,
+            object,
+            version: installed_version,
+        });
         state.pending_by_object[object] -= 1;
         if state.pending_by_object[object] == 0 {
             let removals = std::mem::take(&mut state.removals_by_object[object]);
+            let count = removals.len();
             for site in removals {
                 state.holds[site * n + object] = false;
                 state.counters.deallocated += 1;
             }
+            state.events.push(MigEvent::Cutover {
+                object,
+                removals: count,
+            });
         }
     }
 
@@ -352,6 +415,11 @@ impl Node<Msg> for ServeNode {
                         return; // already installed
                     }
                     state.counters.retries += 1;
+                    state.events.push(MigEvent::Retry {
+                        site: me,
+                        object,
+                        attempt,
+                    });
                     let candidates = self.fetch_candidates(&state, me, object);
                     candidates
                         .get(attempt as usize % candidates.len().max(1))
@@ -481,6 +549,7 @@ pub(crate) fn run_epoch(
         );
     }
     counters.admitted = counters.reads_issued + counters.writes_issued;
+    let admitted_by_site: Vec<u64> = queues.iter().map(|q| q.len() as u64).collect();
 
     // Directory bootstrap: current holders, plus the migration plan staged
     // as pending fetches. Objects with removals but no additions cut over
@@ -494,6 +563,7 @@ pub(crate) fn run_epoch(
     let mut pending: Vec<Vec<PendingFetch>> = vec![Vec::new(); m];
     let mut pending_by_object = vec![0usize; n];
     let mut removals_by_object: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut events: Vec<MigEvent> = Vec::new();
     if let Some(plan) = spec.plan {
         for addition in &plan.additions {
             pending[addition.site.index()].push(PendingFetch {
@@ -506,11 +576,16 @@ pub(crate) fn run_epoch(
             removals_by_object[object.index()].push(site.index());
         }
         for (object, removals) in removals_by_object.iter_mut().enumerate() {
-            if pending_by_object[object] == 0 {
+            if pending_by_object[object] == 0 && !removals.is_empty() {
+                let count = removals.len();
                 for site in removals.drain(..) {
                     holds[site * n + object] = false;
                     counters.deallocated += 1;
                 }
+                events.push(MigEvent::Cutover {
+                    object,
+                    removals: count,
+                });
             }
         }
     }
@@ -526,6 +601,7 @@ pub(crate) fn run_epoch(
             pending,
             pending_by_object,
             removals_by_object,
+            events,
             counters,
             migration_ntc: 0,
         }),
@@ -583,6 +659,8 @@ pub(crate) fn run_epoch(
         observed_writes,
         counters,
         shed_by_site,
+        admitted_by_site,
+        mig_events: state.events,
         serving_ntc: stats.transfer_cost.saturating_sub(state.migration_ntc),
         migration_ntc: state.migration_ntc,
         fault_stats,

@@ -77,12 +77,17 @@
 //! ```
 
 mod epoch;
+pub mod model;
+pub mod recovery;
 pub mod report;
 pub mod runtime;
+pub mod wal;
 
 pub use epoch::MigrationTuning;
+pub use recovery::{crash_points, RecoveryInfo};
 pub use report::{EpochReport, ServiceReport, ServiceTotals};
 pub use runtime::{
-    execute_migration, run_service, run_service_recorded, FaultSpec, MigrationOutcome, Policy,
-    ServeConfig,
+    execute_migration, run_service, run_service_durable, run_service_durable_recorded,
+    run_service_recorded, DurableOutcome, FaultSpec, MigrationOutcome, Policy, ServeConfig,
 };
+pub use wal::{FileWalStore, MemWalStore, TracingStore, WalStore, WalTuning};

@@ -1,0 +1,628 @@
+//! An explicit-state model checker for the staged-migration cutover
+//! protocol.
+//!
+//! The live migration executor in this crate stages replica additions,
+//! fetches them from surviving holders with retry/re-sourcing, and only
+//! applies an object's deallocations once every addition for that object
+//! has installed (the *cutover*). This module checks that protocol — as a
+//! small abstract model, not the simulator code — by exhaustive
+//! breadth-first enumeration of every interleaving of:
+//!
+//! * write issue/commit at the primary and asynchronous update delivery,
+//! * fetch start/complete/re-source for each planned addition,
+//! * site crash/recovery (storage survives a crash; only liveness is
+//!   affected),
+//! * per-object cutover.
+//!
+//! Three invariants are checked in every reachable state:
+//!
+//! 1. **No lost acknowledged write** — an acked version exists on some
+//!    site's storage.
+//! 2. **Never serve from a pre-cutover replica** — the serving directory
+//!    only points at sites that actually hold data.
+//! 3. **Capacity respected mid-migration** — staged copies never push a
+//!    site past its capacity.
+//!
+//! [`Bug`] seeds deliberate protocol mutations (cutover before fetch-ack,
+//! ack before commit, unguarded fetch) so tests can confirm the checker
+//! actually *catches* what it claims to check: each bug must produce a
+//! counterexample trace, and [`Bug::None`] must explore clean.
+//!
+//! The checker is hand-rolled (no external model-checking dependency):
+//! a BFS over canonically hashed states with parent pointers for
+//! counterexample reconstruction, in the style of stateright's
+//! `Model::check`.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// A deliberately seeded protocol mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Bug {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// Cutover fires as soon as every addition has *started* fetching,
+    /// instead of waiting for the fetch acknowledgements.
+    CutoverBeforeAck,
+    /// A write is acknowledged at issue time, before the primary commits.
+    AckBeforeCommit,
+    /// Fetch completion skips the capacity guard.
+    SkipCapacityGuard,
+}
+
+/// The migration scenario to check.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Number of sites.
+    pub sites: usize,
+    /// Number of objects.
+    pub objects: usize,
+    /// Per-site storage capacity.
+    pub capacity: Vec<u32>,
+    /// Per-object size.
+    pub size: Vec<u32>,
+    /// Per-object primary site (its copy is never removed).
+    pub primary: Vec<usize>,
+    /// Initial holder matrix, row-major `sites x objects`. Must include
+    /// the primaries.
+    pub initial: Vec<bool>,
+    /// Planned additions `(site, object, source)`.
+    pub additions: Vec<(usize, usize, usize)>,
+    /// Planned removals `(site, object)`, applied at the object's cutover.
+    pub removals: Vec<(usize, usize)>,
+    /// Total writes the clients may issue across the exploration.
+    pub max_writes: u8,
+    /// Total crash transitions to explore.
+    pub max_crashes: u8,
+    /// Seeded protocol mutation.
+    pub bug: Bug,
+}
+
+impl ModelConfig {
+    /// The canonical checking scenario: 2 objects on 3 sites, one staged
+    /// addition whose cutover removes the old replica, one migration that
+    /// must reclaim capacity, a write racing the migration and one crash.
+    ///
+    /// Site capacities are tight: site 2 can hold object 1 only after its
+    /// copy of object 0 is deallocated at cutover, so the capacity guard
+    /// is actually load-bearing.
+    pub fn canonical() -> Self {
+        Self {
+            sites: 3,
+            objects: 2,
+            capacity: vec![4, 2, 3],
+            size: vec![2, 2],
+            primary: vec![0, 1],
+            initial: vec![
+                true, true, // site 0: primary of 0, replica of 1
+                false, true, // site 1: primary of 1
+                true, false, // site 2: replica of 0
+            ],
+            // Move object 1's replica from site 0 to site 2; site 2 only
+            // fits it once its object-0 replica is removed at cutover of
+            // the *other* migration — so also move object 0 off site 2.
+            additions: vec![(2, 1, 1)],
+            removals: vec![(0, 1), (2, 0)],
+            max_writes: 2,
+            max_crashes: 1,
+            bug: Bug::None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let (m, n) = (self.sites, self.objects);
+        if self.capacity.len() != m
+            || self.size.len() != n
+            || self.primary.len() != n
+            || self.initial.len() != m * n
+        {
+            return Err("config vectors do not match sites x objects".into());
+        }
+        for (k, &p) in self.primary.iter().enumerate() {
+            if p >= m {
+                return Err(format!("primary of object {k} out of range"));
+            }
+            if !self.initial[p * n + k] {
+                return Err(format!("object {k}'s primary does not hold it"));
+            }
+            if self.removals.contains(&(p, k)) {
+                return Err(format!("object {k}'s primary copy is marked for removal"));
+            }
+        }
+        for &(site, object, source) in &self.additions {
+            if site >= m || object >= n || source >= m {
+                return Err("addition out of range".into());
+            }
+            if self.initial[site * n + object] {
+                return Err(format!("addition target {site} already holds {object}"));
+            }
+            if !self.initial[source * n + object] {
+                return Err(format!("addition source {source} does not hold {object}"));
+            }
+        }
+        for &(site, object) in &self.removals {
+            if site >= m || object >= n {
+                return Err("removal out of range".into());
+            }
+            if !self.initial[site * n + object] {
+                return Err(format!("removal site {site} does not hold {object}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Phase of one planned addition's fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Fetch {
+    Idle,
+    /// Requested from the current source.
+    Requested,
+    Done,
+}
+
+/// One canonical protocol state. Everything is small fixed-width data so
+/// the derived `Hash`/`Eq` give exact state identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Row-major `sites x objects`: stored version, or `None` (no data).
+    stored: Vec<Option<u64>>,
+    /// Row-major `sites x objects`: the serving directory.
+    serving: Vec<bool>,
+    /// Per-object committed version at the primary.
+    committed: Vec<u64>,
+    /// Per-object highest acknowledged write version.
+    acked: Vec<u64>,
+    /// Per-object write in flight (issued, not committed).
+    write_inflight: Vec<bool>,
+    /// Per-addition fetch phase.
+    fetch: Vec<Fetch>,
+    /// Per-addition current source (re-pointed by re-sourcing).
+    source: Vec<usize>,
+    /// Per-object cutover applied.
+    cutover: Vec<bool>,
+    /// Update messages in flight: `(site, object, version)`, sorted.
+    updates: Vec<(usize, usize, u64)>,
+    /// Per-site liveness.
+    up: Vec<bool>,
+    writes_used: u8,
+    crashes_used: u8,
+}
+
+/// Which invariant a counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// An acknowledged write version exists on no site's storage.
+    NoLostAckedWrite,
+    /// The serving directory points at a site without data.
+    NoServeWithoutData,
+    /// A site's stored bytes exceed its capacity.
+    CapacityRespected,
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Invariant::NoLostAckedWrite => write!(f, "no lost acknowledged write"),
+            Invariant::NoServeWithoutData => write!(f, "never serve without data"),
+            Invariant::CapacityRespected => write!(f, "capacity respected"),
+        }
+    }
+}
+
+/// A minimal counterexample: the action trace from the initial state to
+/// the violating state.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// Human-readable detail of the violation in the final state.
+    pub detail: String,
+    /// Action names from the initial state to the violation, in order.
+    pub trace: Vec<String>,
+}
+
+/// What an exhaustive check found.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Distinct states explored.
+    pub states: usize,
+    /// Transitions taken (including ones leading to known states).
+    pub transitions: usize,
+    /// The first (shallowest) violation, if any.
+    pub violation: Option<Violation>,
+}
+
+struct Checker<'a> {
+    config: &'a ModelConfig,
+}
+
+impl Checker<'_> {
+    fn initial(&self) -> State {
+        let c = self.config;
+        let (m, n) = (c.sites, c.objects);
+        State {
+            stored: (0..m * n)
+                .map(|i| if c.initial[i] { Some(0) } else { None })
+                .collect(),
+            serving: c.initial.clone(),
+            committed: vec![0; n],
+            acked: vec![0; n],
+            write_inflight: vec![false; n],
+            fetch: vec![Fetch::Idle; c.additions.len()],
+            source: c.additions.iter().map(|&(_, _, s)| s).collect(),
+            cutover: vec![false; n],
+            updates: Vec::new(),
+            up: vec![true; m],
+            writes_used: 0,
+            crashes_used: 0,
+        }
+    }
+
+    fn stored_bytes(&self, s: &State, site: usize) -> u32 {
+        let n = self.config.objects;
+        (0..n)
+            .filter(|&k| s.stored[site * n + k].is_some())
+            .map(|k| self.config.size[k])
+            .sum()
+    }
+
+    fn check_invariants(&self, s: &State) -> Option<(Invariant, String)> {
+        let c = self.config;
+        let n = c.objects;
+        for k in 0..n {
+            if s.acked[k] > 0 {
+                let exists = (0..c.sites).any(|i| s.stored[i * n + k] >= Some(s.acked[k]));
+                if !exists {
+                    return Some((
+                        Invariant::NoLostAckedWrite,
+                        format!("acked version {} of object {k} is on no site", s.acked[k]),
+                    ));
+                }
+            }
+        }
+        for i in 0..c.sites {
+            for k in 0..n {
+                if s.serving[i * n + k] && s.stored[i * n + k].is_none() {
+                    return Some((
+                        Invariant::NoServeWithoutData,
+                        format!("directory serves object {k} from site {i}, which has no data"),
+                    ));
+                }
+            }
+            let used = self.stored_bytes(s, i);
+            if used > c.capacity[i] {
+                return Some((
+                    Invariant::CapacityRespected,
+                    format!("site {i} stores {used} bytes, capacity {}", c.capacity[i]),
+                ));
+            }
+        }
+        None
+    }
+
+    /// All enabled actions from `s`, as `(name, successor)` in a fixed
+    /// deterministic order.
+    fn successors(&self, s: &State) -> Vec<(String, State)> {
+        let c = self.config;
+        let n = c.objects;
+        let mut out = Vec::new();
+
+        // WriteIssue(k): one write in flight per object, global budget.
+        for k in 0..n {
+            if s.writes_used < c.max_writes && !s.write_inflight[k] {
+                let mut t = s.clone();
+                t.write_inflight[k] = true;
+                t.writes_used += 1;
+                if c.bug == Bug::AckBeforeCommit {
+                    t.acked[k] = t.committed[k] + 1;
+                }
+                out.push((format!("WriteIssue(obj={k})"), t));
+            }
+        }
+        // WriteCommit(k): primary commits, acks, broadcasts updates.
+        for k in 0..n {
+            let p = c.primary[k];
+            if s.write_inflight[k] && s.up[p] {
+                let mut t = s.clone();
+                t.write_inflight[k] = false;
+                t.committed[k] += 1;
+                let version = t.committed[k];
+                t.stored[p * n + k] = Some(version);
+                t.acked[k] = t.acked[k].max(version);
+                for i in 0..c.sites {
+                    if i != p && t.stored[i * n + k].is_some() {
+                        t.updates.push((i, k, version));
+                    }
+                }
+                t.updates.sort_unstable();
+                out.push((format!("WriteCommit(obj={k})"), t));
+            }
+        }
+        // DeliverUpdate: any in-flight update to an up site.
+        for (index, &(site, object, version)) in s.updates.iter().enumerate() {
+            if s.up[site] {
+                let mut t = s.clone();
+                t.updates.remove(index);
+                if let Some(v) = t.stored[site * n + object] {
+                    t.stored[site * n + object] = Some(v.max(version));
+                }
+                out.push((
+                    format!("DeliverUpdate(site={site}, obj={object}, v={version})"),
+                    t,
+                ));
+            }
+        }
+        // Fetch actions per addition.
+        for (a, &(site, object, _)) in c.additions.iter().enumerate() {
+            match s.fetch[a] {
+                Fetch::Idle => {
+                    let src = s.source[a];
+                    if s.up[site] && s.up[src] && s.stored[src * n + object].is_some() {
+                        let mut t = s.clone();
+                        t.fetch[a] = Fetch::Requested;
+                        out.push((
+                            format!("FetchStart(site={site}, obj={object}, src={src})"),
+                            t,
+                        ));
+                    }
+                }
+                Fetch::Requested => {
+                    let src = s.source[a];
+                    // FetchComplete: the data lands, capacity-guarded.
+                    if s.up[site] && s.up[src] {
+                        if let Some(version) = s.stored[src * n + object] {
+                            let fits =
+                                self.stored_bytes(s, site) + c.size[object] <= c.capacity[site];
+                            if fits || c.bug == Bug::SkipCapacityGuard {
+                                let mut t = s.clone();
+                                t.stored[site * n + object] = Some(version);
+                                t.fetch[a] = Fetch::Done;
+                                out.push((
+                                    format!(
+                                        "FetchComplete(site={site}, obj={object}, v={version})"
+                                    ),
+                                    t,
+                                ));
+                            }
+                        }
+                    }
+                    // FetchResource: the source crashed; re-point to any
+                    // other up holder (the executor's failover, abstracted
+                    // from its cost-ordered retry).
+                    if !s.up[src] {
+                        for alt in 0..c.sites {
+                            if alt != src
+                                && alt != site
+                                && s.up[alt]
+                                && s.stored[alt * n + object].is_some()
+                            {
+                                let mut t = s.clone();
+                                t.source[a] = alt;
+                                out.push((
+                                    format!("FetchResource(site={site}, obj={object}, src={alt})"),
+                                    t,
+                                ));
+                            }
+                        }
+                    }
+                }
+                Fetch::Done => {}
+            }
+        }
+        // Cutover(k): all of k's additions done (or merely started, under
+        // the seeded bug) — flip the directory, apply removals.
+        for k in 0..n {
+            if s.cutover[k] {
+                continue;
+            }
+            let ready = c
+                .additions
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, object, _))| object == k)
+                .all(|(a, _)| match c.bug {
+                    Bug::CutoverBeforeAck => s.fetch[a] != Fetch::Idle,
+                    _ => s.fetch[a] == Fetch::Done,
+                });
+            if !ready {
+                continue;
+            }
+            let mut t = s.clone();
+            t.cutover[k] = true;
+            for &(site, object, _) in &c.additions {
+                if object == k {
+                    t.serving[site * n + k] = true;
+                }
+            }
+            for &(site, object) in &c.removals {
+                if object == k {
+                    t.serving[site * n + k] = false;
+                    t.stored[site * n + k] = None;
+                }
+            }
+            out.push((format!("Cutover(obj={k})"), t));
+        }
+        // Crash / Recover.
+        for i in 0..c.sites {
+            if s.up[i] && s.crashes_used < c.max_crashes {
+                let mut t = s.clone();
+                t.up[i] = false;
+                t.crashes_used += 1;
+                out.push((format!("Crash(site={i})"), t));
+            }
+            if !s.up[i] {
+                let mut t = s.clone();
+                t.up[i] = true;
+                out.push((format!("Recover(site={i})"), t));
+            }
+        }
+        out
+    }
+}
+
+/// Exhaustively explores `config`'s state space and checks every reachable
+/// state against the three invariants. Returns the first (shallowest)
+/// violation with its counterexample trace, or a clean report.
+///
+/// # Errors
+///
+/// Returns a description of the malformed scenario (shape mismatches,
+/// out-of-range plan entries, a primary marked for removal).
+pub fn check(config: &ModelConfig) -> Result<CheckReport, String> {
+    config.validate()?;
+    let checker = Checker { config };
+
+    // BFS arena: states by discovery index, parent pointers for traces.
+    let initial = checker.initial();
+    let mut index: HashMap<State, usize> = HashMap::new();
+    let mut arena: Vec<State> = Vec::new();
+    let mut parent: Vec<Option<(usize, String)>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut transitions = 0usize;
+
+    index.insert(initial.clone(), 0);
+    arena.push(initial);
+    parent.push(None);
+    queue.push_back(0);
+
+    let trace_of = |parent: &[Option<(usize, String)>], mut at: usize| {
+        let mut actions = Vec::new();
+        while let Some((from, action)) = &parent[at] {
+            actions.push(action.clone());
+            at = *from;
+        }
+        actions.reverse();
+        actions
+    };
+
+    if let Some((invariant, detail)) = checker.check_invariants(&arena[0]) {
+        return Ok(CheckReport {
+            states: 1,
+            transitions: 0,
+            violation: Some(Violation {
+                invariant,
+                detail,
+                trace: Vec::new(),
+            }),
+        });
+    }
+
+    while let Some(at) = queue.pop_front() {
+        let successors = checker.successors(&arena[at]);
+        for (action, next) in successors {
+            transitions += 1;
+            let entry = match index.entry(next) {
+                Entry::Occupied(_) => continue,
+                Entry::Vacant(v) => v,
+            };
+            let id = arena.len();
+            arena.push(entry.key().clone());
+            entry.insert(id);
+            parent.push(Some((at, action)));
+            if let Some((invariant, detail)) = checker.check_invariants(&arena[id]) {
+                let trace = trace_of(&parent, id);
+                return Ok(CheckReport {
+                    states: arena.len(),
+                    transitions,
+                    violation: Some(Violation {
+                        invariant,
+                        detail,
+                        trace,
+                    }),
+                });
+            }
+            queue.push_back(id);
+        }
+    }
+
+    Ok(CheckReport {
+        states: arena.len(),
+        transitions,
+        violation: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_scenario_is_clean_and_nontrivial() {
+        let report = check(&ModelConfig::canonical()).unwrap();
+        assert!(
+            report.violation.is_none(),
+            "correct protocol must verify: {:?}",
+            report.violation
+        );
+        // ≥ 2 sites x 2 objects x 1 crash, exhaustively: the space must be
+        // big enough to mean something.
+        assert!(
+            report.states > 1000,
+            "only {} states — scenario too trivial",
+            report.states
+        );
+    }
+
+    #[test]
+    fn cutover_before_ack_is_caught() {
+        let config = ModelConfig {
+            bug: Bug::CutoverBeforeAck,
+            ..ModelConfig::canonical()
+        };
+        let report = check(&config).unwrap();
+        let violation = report.violation.expect("seeded bug must be caught");
+        assert_eq!(violation.invariant, Invariant::NoServeWithoutData);
+        // The counterexample must actually exhibit the bug: a cutover with
+        // no completed fetch anywhere before it.
+        assert!(
+            violation.trace.iter().any(|a| a.starts_with("Cutover")),
+            "trace: {:?}",
+            violation.trace
+        );
+        assert!(
+            !violation
+                .trace
+                .iter()
+                .any(|a| a.starts_with("FetchComplete")),
+            "shallowest trace should cut over before any fetch completes: {:?}",
+            violation.trace
+        );
+    }
+
+    #[test]
+    fn ack_before_commit_is_caught() {
+        let config = ModelConfig {
+            bug: Bug::AckBeforeCommit,
+            ..ModelConfig::canonical()
+        };
+        let violation = check(&config).unwrap().violation.expect("must be caught");
+        assert_eq!(violation.invariant, Invariant::NoLostAckedWrite);
+    }
+
+    #[test]
+    fn skipping_the_capacity_guard_is_caught() {
+        let config = ModelConfig {
+            bug: Bug::SkipCapacityGuard,
+            ..ModelConfig::canonical()
+        };
+        let violation = check(&config).unwrap().violation.expect("must be caught");
+        assert_eq!(violation.invariant, Invariant::CapacityRespected);
+    }
+
+    #[test]
+    fn malformed_scenarios_are_rejected() {
+        let mut bad = ModelConfig::canonical();
+        bad.removals.push((0, 0)); // object 0's primary
+        assert!(check(&bad).is_err());
+
+        let mut bad = ModelConfig::canonical();
+        bad.capacity.pop();
+        assert!(check(&bad).is_err());
+
+        let mut bad = ModelConfig::canonical();
+        bad.additions.push((9, 0, 0));
+        assert!(check(&bad).is_err());
+    }
+}

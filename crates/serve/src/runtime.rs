@@ -33,17 +33,23 @@ use std::sync::Arc;
 
 use drp_algo::adr::{tree_adjacency, Adr};
 use drp_algo::monitor::{MonitorAction, MonitorConfig, ReplicationMonitor};
+use drp_core::format::{write_instance, write_scheme};
 use drp_core::migration::{plan_migration, MigrationPlan};
 use drp_core::telemetry::{self, Recorder};
-use drp_core::{CoreError, Problem, ReplicationAlgorithm, ReplicationScheme};
+use drp_core::{CoreError, Problem, ReplicationAlgorithm, ReplicationScheme, ServeError};
 use drp_net::sim::{FaultPlan, FaultStats};
 use drp_workload::PatternChange;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub use crate::epoch::MigrationTuning;
-use crate::epoch::{run_epoch, EpochSpec};
+use crate::epoch::{run_epoch, EpochSpec, MigEvent};
+use crate::recovery::{recover, RecoveryInfo, Resume};
 use crate::report::{EpochReport, ServiceReport};
+use crate::wal::{
+    decode_stream, Checkpoint, MonitorSnapshot, RetuneKind, WalRecord, WalStore, WalTuning,
+    WAL_VERSION,
+};
 
 /// How the service adapts at epoch boundaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +130,8 @@ pub struct ServeConfig {
     pub faults: Option<FaultSpec>,
     /// Migration executor timers.
     pub tuning: MigrationTuning,
+    /// Durability knobs (used by [`run_service_durable`] only).
+    pub wal: WalTuning,
 }
 
 impl Default for ServeConfig {
@@ -139,13 +147,14 @@ impl Default for ServeConfig {
             drift: None,
             faults: None,
             tuning: MigrationTuning::default(),
+            wal: WalTuning::default(),
         }
     }
 }
 
 /// FNV-1a over a word sequence: the seed-mixing scheme shared with the
 /// experiment harness, used to derive independent rng streams.
-fn mix(words: &[u64]) -> u64 {
+pub(crate) fn mix(words: &[u64]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &word in words {
         for byte in word.to_le_bytes() {
@@ -157,11 +166,35 @@ fn mix(words: &[u64]) -> u64 {
 }
 
 // Stream tags for `mix([seed, TAG, ...])`.
-const TAG_BOOT: u64 = 1;
-const TAG_DRIFT: u64 = 2;
+pub(crate) const TAG_BOOT: u64 = 1;
+pub(crate) const TAG_DRIFT: u64 = 2;
 const TAG_TRACE: u64 = 3;
 const TAG_DECIDE: u64 = 4;
 const TAG_FAULT: u64 = 5;
+
+/// FNV-1a binding a WAL to its run: hashes the instance's exact text
+/// rendering and the full config debug rendering, so recovery refuses to
+/// resume a log under a different problem, policy, seed derivation or
+/// tuning.
+pub(crate) fn config_hash(problem: &Problem, config: &ServeConfig) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(write_instance(problem).as_bytes());
+    eat(format!("{config:?}").as_bytes());
+    hash
+}
+
+fn wal_io(e: std::io::Error) -> CoreError {
+    ServeError::WalIo {
+        reason: e.to_string(),
+    }
+    .into()
+}
 
 /// What [`execute_migration`] did.
 #[derive(Debug, Clone)]
@@ -259,7 +292,8 @@ pub fn execute_migration(
 /// # Errors
 ///
 /// Propagates instance-shape, solver and simulator errors; rejects
-/// [`Policy::Adr`] on non-tree cost metrics up front.
+/// [`Policy::Adr`] on non-tree cost metrics and degenerate tuning up
+/// front.
 pub fn run_service(problem: &Problem, config: &ServeConfig) -> drp_core::Result<ServiceReport> {
     run_service_recorded(problem, config, telemetry::noop())
 }
@@ -274,6 +308,152 @@ pub fn run_service_recorded(
     config: &ServeConfig,
     recorder: Arc<dyn Recorder>,
 ) -> drp_core::Result<ServiceReport> {
+    run_loop(problem, config, recorder, None, None)
+}
+
+/// A [`ServiceReport`] plus what recovery found when the run resumed from
+/// an existing WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurableOutcome {
+    /// The complete run report — bitwise-identical to the report an
+    /// uncrashed in-memory run of the same `(problem, config)` produces.
+    pub report: ServiceReport,
+    /// `Some` when the store held a prior run's log and the run resumed
+    /// from it; `None` for a fresh log.
+    pub recovery: Option<RecoveryInfo>,
+}
+
+/// Runs the service in durable mode: every epoch is journaled to `store`
+/// (see [`crate::wal`] for the record grammar) and compacted into periodic
+/// checkpoints per [`ServeConfig::wal`]. If `store` already holds a log
+/// for this exact `(problem, config)`, the run *recovers*: committed
+/// epochs are restored from the log, a partially journaled epoch is
+/// re-run deterministically, and the final report is bitwise-identical to
+/// an uncrashed run — the crash-simulation suite enumerates every record
+/// boundary and torn prefix to certify exactly that.
+///
+/// # Errors
+///
+/// Everything [`run_service`] rejects, plus [`ServeError`] wrapped in
+/// [`CoreError::Serve`]: `WalMismatch` when the log belongs to a different
+/// run, `WalIo` on store failures. Torn or corrupt log tails are NOT
+/// errors — recovery truncates to the last commit point and reports the
+/// damage in [`DurableOutcome::recovery`].
+pub fn run_service_durable(
+    problem: &Problem,
+    config: &ServeConfig,
+    store: &mut dyn WalStore,
+) -> drp_core::Result<DurableOutcome> {
+    run_service_durable_recorded(problem, config, store, telemetry::noop())
+}
+
+/// [`run_service_durable`] with telemetry.
+///
+/// # Errors
+///
+/// See [`run_service_durable`].
+pub fn run_service_durable_recorded(
+    problem: &Problem,
+    config: &ServeConfig,
+    store: &mut dyn WalStore,
+    recorder: Arc<dyn Recorder>,
+) -> drp_core::Result<DurableOutcome> {
+    let bytes = store.load().map_err(wal_io)?;
+    let run_start = WalRecord::RunStart {
+        version: WAL_VERSION,
+        seed: config.seed,
+        config_hash: config_hash(problem, config),
+    }
+    .frame();
+    if bytes.is_empty() {
+        store.append(&run_start).map_err(wal_io)?;
+        let mut ctx = WalCtx {
+            store,
+            run_start,
+            since_checkpoint: 0,
+        };
+        let report = run_loop(problem, config, recorder, None, Some(&mut ctx))?;
+        return Ok(DurableOutcome {
+            report,
+            recovery: None,
+        });
+    }
+    let decoded = decode_stream(&bytes);
+    let recovered = recover(problem, config, &decoded.records, decoded.damage)?;
+    // Truncate to the commit point: re-framing the kept records is
+    // byte-identical to what was originally written.
+    let kept: Vec<u8> = decoded.records[..recovered.kept]
+        .iter()
+        .flat_map(WalRecord::frame)
+        .collect();
+    store.reset(&kept).map_err(wal_io)?;
+    let mut ctx = WalCtx {
+        store,
+        run_start,
+        since_checkpoint: recovered.since_checkpoint,
+    };
+    let report = run_loop(
+        problem,
+        config,
+        recorder,
+        Some(recovered.resume),
+        Some(&mut ctx),
+    )?;
+    Ok(DurableOutcome {
+        report,
+        recovery: Some(recovered.info),
+    })
+}
+
+/// Journaling context threaded through the durable loop.
+struct WalCtx<'a> {
+    store: &'a mut dyn WalStore,
+    /// Framed `RunStart`, re-written at every compaction.
+    run_start: Vec<u8>,
+    /// Epochs committed since the last checkpoint.
+    since_checkpoint: usize,
+}
+
+impl WalCtx<'_> {
+    fn append(&mut self, records: &[WalRecord]) -> drp_core::Result<()> {
+        let bytes: Vec<u8> = records.iter().flat_map(WalRecord::frame).collect();
+        self.store.append(&bytes).map_err(wal_io)
+    }
+
+    /// Compacts the log to `RunStart` + one checkpoint.
+    fn checkpoint(&mut self, cp: Checkpoint) -> drp_core::Result<()> {
+        let mut bytes = self.run_start.clone();
+        bytes.extend_from_slice(&WalRecord::Checkpoint(cp).frame());
+        self.store.reset(&bytes).map_err(wal_io)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+fn snapshot_monitor(monitor: &ReplicationMonitor) -> MonitorSnapshot {
+    MonitorSnapshot {
+        problem: write_instance(monitor.problem()).into_bytes(),
+        population: monitor
+            .population()
+            .iter()
+            .map(|c| {
+                (
+                    u32::try_from(c.len()).expect("genome fits u32"),
+                    c.words().to_vec(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// The shared serving loop: fresh and recovered, in-memory and durable.
+fn run_loop(
+    problem: &Problem,
+    config: &ServeConfig,
+    recorder: Arc<dyn Recorder>,
+    resume: Option<Resume>,
+    mut wal: Option<&mut WalCtx<'_>>,
+) -> drp_core::Result<ServiceReport> {
     let _run_span = telemetry::span(recorder.as_ref(), "serve.run");
     if config.policy == Policy::Adr && tree_adjacency(problem.costs()).is_none() {
         return Err(CoreError::InvalidInstance {
@@ -285,21 +465,55 @@ pub fn run_service_recorded(
             reason: format!("bad drift spec: {e}"),
         })?;
     }
+    config.tuning.validate()?;
+    config.wal.validate()?;
 
-    // Bootstrap: one GRA build shared by every policy, so all runs start
-    // from the same realized scheme and differ only in how they adapt.
-    let mut boot_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_BOOT]));
-    let mut monitor =
-        ReplicationMonitor::bootstrap(problem.clone(), config.monitor.clone(), &mut boot_rng)?;
-    let mut truth = problem.clone();
-    let mut realized = monitor.scheme().clone();
-    let mut target = realized.clone();
+    // Bootstrap (or resume): one GRA build shared by every policy, so all
+    // runs start from the same realized scheme and differ only in how they
+    // adapt. A recovered run restores the committed loop state instead.
+    let (
+        start_epoch,
+        mut truth,
+        mut monitor,
+        mut realized,
+        mut target,
+        mut epochs,
+        mut adaptations,
+        mut rebuilds,
+    ) = match resume {
+        Some(r) => (
+            r.start_epoch,
+            r.truth,
+            r.monitor,
+            r.realized,
+            r.target,
+            r.epochs,
+            r.adaptations,
+            r.rebuilds,
+        ),
+        None => {
+            let mut boot_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_BOOT]));
+            let monitor = ReplicationMonitor::bootstrap(
+                problem.clone(),
+                config.monitor.clone(),
+                &mut boot_rng,
+            )?;
+            let realized = monitor.scheme().clone();
+            let target = realized.clone();
+            (
+                0,
+                problem.clone(),
+                monitor,
+                realized,
+                target,
+                Vec::with_capacity(config.epochs),
+                0,
+                0,
+            )
+        }
+    };
 
-    let mut epochs: Vec<EpochReport> = Vec::with_capacity(config.epochs);
-    let mut adaptations = 0u64;
-    let mut rebuilds = 0u64;
-
-    for e in 0..config.epochs {
+    for e in start_epoch..config.epochs {
         let _epoch_span = telemetry::span(recorder.as_ref(), "serve.epoch");
         if e > 0 {
             if let Some(drift) = &config.drift {
@@ -318,6 +532,9 @@ pub fn run_service_recorded(
         } else {
             None
         };
+        if let Some(ctx) = wal.as_deref_mut() {
+            ctx.append(&[WalRecord::EpochStart { epoch: e as u64 }])?;
+        }
         let outcome = run_epoch(
             &EpochSpec {
                 problem: &truth,
@@ -346,6 +563,11 @@ pub fn run_service_recorded(
         let mut decide_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_DECIDE, e as u64]));
         let mut adapted_objects = 0usize;
         let mut rebuilt = false;
+        // What this boundary did, for the WAL's commit record. A monitor
+        // snapshot rides along exactly when the decision mutated the
+        // monitor — its state is untouched on the Keep path.
+        let mut kind = RetuneKind::Keep;
+        let mut monitor_changed = false;
         match config.policy {
             Policy::Static => {}
             Policy::Monitor => {
@@ -353,12 +575,16 @@ pub fn run_service_recorded(
                     monitor.nightly_rebuild_with(observed, &mut decide_rng)?;
                     rebuilt = true;
                     rebuilds += 1;
+                    kind = RetuneKind::Rebuild;
+                    monitor_changed = true;
                 } else if let MonitorAction::Adapted {
                     changed_objects, ..
                 } = monitor.ingest_statistics(observed, &mut decide_rng)?
                 {
                     adapted_objects = changed_objects;
                     adaptations += 1;
+                    kind = RetuneKind::Adapt;
+                    monitor_changed = true;
                 }
                 target = monitor.scheme().clone();
             }
@@ -374,6 +600,7 @@ pub fn run_service_recorded(
                         })
                         .count();
                     adaptations += 1;
+                    kind = RetuneKind::Adapt;
                 }
                 target = next;
             }
@@ -426,6 +653,92 @@ pub fn run_service_recorded(
             recorder.add_counter("serve.rebuilds", 1);
         }
         epochs.push(report);
+
+        if let Some(ctx) = wal.as_deref_mut() {
+            // Journal the epoch: drains and migration events for
+            // observability, then the EpochEnd/Retune pair that makes the
+            // epoch durable (Retune is the commit point).
+            let mut batch: Vec<WalRecord> = Vec::new();
+            for (site, (&admitted, &shed)) in outcome
+                .admitted_by_site
+                .iter()
+                .zip(&outcome.shed_by_site)
+                .enumerate()
+            {
+                if admitted + shed > 0 {
+                    batch.push(WalRecord::AdmissionDrain {
+                        epoch: e as u64,
+                        site: site as u64,
+                        admitted,
+                        shed,
+                    });
+                }
+            }
+            if let Some(plan) = &plan {
+                for addition in &plan.additions {
+                    batch.push(WalRecord::MigrationStage {
+                        epoch: e as u64,
+                        site: addition.site.index() as u64,
+                        object: addition.object.index() as u64,
+                        source: addition.source.index() as u64,
+                    });
+                }
+            }
+            for event in &outcome.mig_events {
+                batch.push(match *event {
+                    MigEvent::Retry {
+                        site,
+                        object,
+                        attempt,
+                    } => WalRecord::MigrationRetry {
+                        epoch: e as u64,
+                        site: site as u64,
+                        object: object as u64,
+                        attempt: u64::from(attempt),
+                    },
+                    MigEvent::Install {
+                        site,
+                        object,
+                        version,
+                    } => WalRecord::MigrationInstall {
+                        epoch: e as u64,
+                        site: site as u64,
+                        object: object as u64,
+                        version,
+                    },
+                    MigEvent::Cutover { object, removals } => WalRecord::Cutover {
+                        epoch: e as u64,
+                        object: object as u64,
+                        removals: removals as u64,
+                    },
+                });
+            }
+            batch.push(WalRecord::EpochEnd {
+                epoch: e as u64,
+                report: epochs.last().expect("just pushed").clone(),
+                realized: write_scheme(&realized).into_bytes(),
+            });
+            batch.push(WalRecord::Retune {
+                epoch: e as u64,
+                kind,
+                adapted_objects: adapted_objects as u64,
+                target: write_scheme(&target).into_bytes(),
+                monitor: monitor_changed.then(|| snapshot_monitor(&monitor)),
+            });
+            ctx.append(&batch)?;
+            ctx.since_checkpoint += 1;
+            if ctx.since_checkpoint >= config.wal.checkpoint_every {
+                ctx.checkpoint(Checkpoint {
+                    next_epoch: e as u64 + 1,
+                    adaptations,
+                    rebuilds,
+                    realized: write_scheme(&realized).into_bytes(),
+                    target: write_scheme(&target).into_bytes(),
+                    monitor: Some(snapshot_monitor(&monitor)),
+                    reports: epochs.clone(),
+                })?;
+            }
+        }
     }
 
     let totals = ServiceReport::tally(&epochs, adaptations, rebuilds);
