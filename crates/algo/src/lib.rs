@@ -20,6 +20,10 @@
 //! * [`baselines`] — primary-only, random placement and hill climbing;
 //!   [`exact`] — a branch-and-bound optimum for small instances, used to
 //!   measure heuristic optimality gaps.
+//! * [`shard`] — the sharded hierarchical driver for `M` in the
+//!   thousands: partition the network into connected clusters, solve each
+//!   as a small dense sub-problem with aggregated border traffic, then
+//!   reconcile and refine over sparse k-nearest cost structures.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ pub mod fault_tolerance;
 mod gra;
 pub mod monitor;
 pub mod repair;
+pub mod shard;
 mod sra;
 
 /// Newtype making `&mut dyn RngCore` usable where a sized `RngCore` is

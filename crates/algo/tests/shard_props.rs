@@ -1,0 +1,165 @@
+//! Sharded-vs-flat parity suite (ISSUE satellite 4): on instances small
+//! enough to solve both ways, the sharded hierarchical driver must produce
+//! feasible placements, stay within a bounded NTC ratio of the flat GRA,
+//! and be bitwise deterministic across the `parallel` fitness path.
+
+use drp_algo::shard::{ShardConfig, ShardSolver, ShardedSolver};
+use drp_algo::{Gra, GraConfig};
+use drp_core::ReplicationAlgorithm;
+use drp_workload::{TopologyKind, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hier_spec(m: usize, n: usize, clusters: usize) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::paper(m, n, 5.0, 30.0);
+    spec.topology = TopologyKind::Hierarchical {
+        clusters,
+        wan_factor: 10,
+    };
+    spec
+}
+
+#[test]
+fn sharded_placement_is_feasible_at_m_300() {
+    let sp = hier_spec(300, 12, 6)
+        .generate_sparse(&mut StdRng::seed_from_u64(3))
+        .unwrap();
+    let outcome = ShardedSolver::new(6).solve(&sp, 3).unwrap();
+    // Feasibility is re-validated from scratch: sorted lists, primaries
+    // present, capacities respected.
+    sp.validate_placement(&outcome.placement).unwrap();
+    assert_eq!(outcome.ntc, sp.total_cost(&outcome.placement).unwrap());
+    assert_eq!(outcome.d_prime, sp.d_prime());
+    assert!(
+        outcome.ntc <= outcome.d_prime,
+        "replication must not cost more than primary-only: {} > {}",
+        outcome.ntc,
+        outcome.d_prime
+    );
+    assert_eq!(outcome.report.clusters, 6);
+    assert_eq!(outcome.report.shard_sites.iter().sum::<usize>(), 300);
+    assert!(outcome.report.shard_sites.iter().all(|&s| s > 0));
+}
+
+#[test]
+fn sharded_tracks_flat_gra_within_budget() {
+    let spec = hier_spec(120, 16, 4);
+    let sp = spec
+        .generate_sparse(&mut StdRng::seed_from_u64(11))
+        .unwrap();
+    let dense = sp.to_dense().unwrap();
+
+    let flat_scheme = Gra::default()
+        .solve(&dense, &mut StdRng::seed_from_u64(11))
+        .unwrap();
+    let flat_ntc = dense.total_cost(&flat_scheme);
+
+    let sharded = ShardedSolver::new(4).solve(&sp, 11).unwrap();
+    let ratio = sharded.ntc as f64 / flat_ntc as f64;
+    assert!(
+        ratio <= 1.15,
+        "sharded NTC {} vs flat {} (ratio {ratio:.4}) exceeds the parity budget",
+        sharded.ntc,
+        flat_ntc
+    );
+}
+
+#[test]
+fn determinism_across_parallel_fitness_paths() {
+    let sp = hier_spec(90, 10, 3)
+        .generate_sparse(&mut StdRng::seed_from_u64(5))
+        .unwrap();
+    let serial = ShardedSolver::with_config(ShardConfig {
+        shards: 3,
+        gra: GraConfig {
+            population_size: 16,
+            generations: 24,
+            parallel_fitness: false,
+            ..GraConfig::default()
+        },
+        ..ShardConfig::default()
+    })
+    .solve(&sp, 5)
+    .unwrap();
+    let parallel = ShardedSolver::with_config(ShardConfig {
+        shards: 3,
+        gra: GraConfig {
+            population_size: 16,
+            generations: 24,
+            parallel_fitness: true,
+            ..GraConfig::default()
+        },
+        ..ShardConfig::default()
+    })
+    .solve(&sp, 5)
+    .unwrap();
+    assert_eq!(serial.placement, parallel.placement);
+    assert_eq!(serial.fingerprint(), parallel.fingerprint());
+    assert_eq!(serial.ntc, parallel.ntc);
+    // And the whole pipeline is a pure function of (instance, seed).
+    let again = ShardedSolver::with_config(ShardConfig {
+        shards: 3,
+        gra: GraConfig {
+            population_size: 16,
+            generations: 24,
+            parallel_fitness: false,
+            ..GraConfig::default()
+        },
+        ..ShardConfig::default()
+    })
+    .solve(&sp, 5)
+    .unwrap();
+    assert_eq!(serial.fingerprint(), again.fingerprint());
+}
+
+#[test]
+fn single_shard_degenerates_to_a_flat_solve() {
+    let sp = hier_spec(40, 8, 2)
+        .generate_sparse(&mut StdRng::seed_from_u64(9))
+        .unwrap();
+    let outcome = ShardedSolver::new(1).solve(&sp, 9).unwrap();
+    assert_eq!(outcome.report.clusters, 1);
+    assert_eq!(outcome.report.border_requested, 0);
+    assert_eq!(outcome.report.shard_sites, vec![40]);
+    sp.validate_placement(&outcome.placement).unwrap();
+    assert!(outcome.ntc <= outcome.d_prime);
+}
+
+#[test]
+fn tree_shards_use_the_exact_oracle() {
+    let mut spec = WorkloadSpec::paper(63, 8, 5.0, 30.0);
+    spec.topology = TopologyKind::Tree { arity: 2 };
+    let sp = spec
+        .generate_sparse(&mut StdRng::seed_from_u64(21))
+        .unwrap();
+    let outcome = ShardedSolver::new(4).solve(&sp, 21).unwrap();
+    // Connected cells of a tree are subtrees, and contracting subtrees
+    // keeps a tree: every shard metric is a tree, so ADR solves each one
+    // exactly.
+    assert!(
+        outcome
+            .report
+            .solvers
+            .iter()
+            .all(|&s| s == ShardSolver::Tree),
+        "tree instance must route every shard to ADR: {:?}",
+        outcome.report.solvers
+    );
+    sp.validate_placement(&outcome.placement).unwrap();
+}
+
+#[test]
+fn fingerprints_separate_distinct_seeds() {
+    let sp = hier_spec(80, 10, 4)
+        .generate_sparse(&mut StdRng::seed_from_u64(2))
+        .unwrap();
+    let a = ShardedSolver::new(4).solve(&sp, 1).unwrap();
+    let b = ShardedSolver::new(4).solve(&sp, 2).unwrap();
+    // Different solve seeds explore differently; identical outcomes would
+    // suggest the seed is ignored. (Equality of placements is possible in
+    // principle, so compare the richer pair.)
+    assert!(
+        a.fingerprint() != b.fingerprint() || a.ntc == b.ntc,
+        "same fingerprint should at least mean same cost"
+    );
+}

@@ -1,0 +1,207 @@
+//! Sharded-solver benchmark: `cargo run --release -p drp-bench --bin shard
+//! [out.json] [--parity-sites 1000] [--big-sites 10000] [--objects 80]
+//! [--shards 0] [--pop 16] [--gens 24] [--budget-ratio 1.05]
+//! [--budget-ms 60000]` writes `BENCH_shard.json`.
+//!
+//! Two samples on hierarchical (clustered LAN/WAN) topologies:
+//!
+//! * **parity** at `--parity-sites`: the instance is small enough to also
+//!   solve flat, so the sharded NTC is divided by the flat GRA's NTC and
+//!   the ratio must clear `--budget-ratio` — the "within a few percent"
+//!   contract from the paper-scale regime;
+//! * **big** at `--big-sites`: sharded-only territory where a dense
+//!   `M x M` cost matrix would not even fit; wall clock is the headline
+//!   and must clear `--budget-ms`.
+//!
+//! Placement fingerprints are identity fields: the ratchet pins them, so
+//! any nondeterminism across machines, thread counts or feature flags
+//! shows up as a CI regression.
+
+use drp_algo::shard::{ShardConfig, ShardedSolver};
+use drp_algo::{Gra, GraConfig};
+use drp_bench::report::{Budget, Fields, Report};
+use drp_core::ReplicationAlgorithm;
+use drp_workload::{TopologyKind, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Everything downstream of instance generation is seeded from here.
+const SEED: u64 = 0x5a4d;
+
+struct Args {
+    out_path: String,
+    parity_sites: usize,
+    big_sites: usize,
+    objects: usize,
+    shards: usize,
+    pop: usize,
+    gens: usize,
+    budget_ratio: f64,
+    budget_ms: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_path: "BENCH_shard.json".to_string(),
+        parity_sites: 1000,
+        big_sites: 10_000,
+        objects: 80,
+        shards: 0,
+        pop: 16,
+        gens: 24,
+        budget_ratio: 1.05,
+        budget_ms: 60_000.0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--parity-sites" => {
+                args.parity_sites = value("--parity-sites").parse().expect("--parity-sites");
+            }
+            "--big-sites" => args.big_sites = value("--big-sites").parse().expect("--big-sites"),
+            "--objects" => args.objects = value("--objects").parse().expect("--objects"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards"),
+            "--pop" => args.pop = value("--pop").parse().expect("--pop"),
+            "--gens" => args.gens = value("--gens").parse().expect("--gens"),
+            "--budget-ratio" => {
+                args.budget_ratio = value("--budget-ratio").parse().expect("--budget-ratio");
+            }
+            "--budget-ms" => args.budget_ms = value("--budget-ms").parse().expect("--budget-ms"),
+            other if !other.starts_with("--") => args.out_path = other.to_string(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Roughly 250 sites per shard, at least two shards, unless overridden.
+fn shard_count(m: usize, requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        (m / 250).max(2)
+    }
+}
+
+fn spec(m: usize, n: usize, clusters: usize) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::paper(m, n, 5.0, 30.0);
+    spec.topology = TopologyKind::Hierarchical {
+        clusters,
+        wan_factor: 10,
+    };
+    spec
+}
+
+fn solver(shards: usize, pop: usize, gens: usize) -> ShardedSolver {
+    ShardedSolver::with_config(ShardConfig {
+        shards,
+        gra: GraConfig {
+            population_size: pop,
+            generations: gens,
+            ..GraConfig::default()
+        },
+        ..ShardConfig::default()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Parity sample: flat GRA and the sharded driver on the same instance.
+    let parity_shards = shard_count(args.parity_sites, args.shards);
+    let sp = spec(args.parity_sites, args.objects, parity_shards)
+        .generate_sparse(&mut StdRng::seed_from_u64(SEED))
+        .expect("parity instance generates");
+    let started = Instant::now();
+    let dense = sp.to_dense().expect("dense view builds");
+    let flat_scheme = Gra::with_config(GraConfig {
+        population_size: args.pop,
+        generations: args.gens,
+        ..GraConfig::default()
+    })
+    .solve(&dense, &mut StdRng::seed_from_u64(SEED))
+    .expect("flat GRA solves");
+    let flat_ms = started.elapsed().as_secs_f64() * 1e3;
+    let flat_ntc = dense.total_cost(&flat_scheme);
+
+    let started = Instant::now();
+    let parity_outcome = solver(parity_shards, args.pop, args.gens)
+        .solve(&sp, SEED)
+        .expect("sharded solve at parity size");
+    let parity_ms = started.elapsed().as_secs_f64() * 1e3;
+    sp.validate_placement(&parity_outcome.placement)
+        .expect("parity placement is feasible");
+    let ntc_ratio = parity_outcome.ntc as f64 / flat_ntc as f64;
+
+    // Big sample: sharded only — a dense M x M matrix would be 100M cells.
+    let big_shards = shard_count(args.big_sites, args.shards);
+    let big_sp = spec(args.big_sites, args.objects, big_shards)
+        .generate_sparse(&mut StdRng::seed_from_u64(SEED ^ 1))
+        .expect("big instance generates");
+    let started = Instant::now();
+    let big_outcome = solver(big_shards, args.pop, args.gens)
+        .solve(&big_sp, SEED)
+        .expect("sharded solve at big size");
+    let big_ms = started.elapsed().as_secs_f64() * 1e3;
+    big_sp
+        .validate_placement(&big_outcome.placement)
+        .expect("big placement is feasible");
+
+    let config = drp_bench::thread_fields(
+        Fields::new()
+            .text("unit", "ms")
+            .int("objects", args.objects as u64)
+            .int("population", args.pop as u64)
+            .int("generations", args.gens as u64),
+    );
+    let mut report = Report::new(
+        "shard",
+        config,
+        Budget::at_most("sharded_solve_ms_at_largest_m", args.budget_ms, big_ms),
+    );
+    report.sample(
+        Fields::new()
+            .text("kind", "parity")
+            .int("sites", args.parity_sites as u64)
+            .int("shards", parity_shards as u64)
+            .float("flat_gra_ms", flat_ms, 2)
+            .float("sharded_ms", parity_ms, 2)
+            .int("flat_ntc", flat_ntc)
+            .int("sharded_ntc", parity_outcome.ntc)
+            .float("ntc_ratio", ntc_ratio, 4)
+            .flag("ntc_parity", ntc_ratio <= args.budget_ratio)
+            .float("savings", parity_outcome.savings_percent(), 2)
+            .int("refine_moves", parity_outcome.report.refine_moves as u64)
+            .text(
+                "fingerprint",
+                &format!("{:016x}", parity_outcome.fingerprint()),
+            ),
+    );
+    report.sample(
+        Fields::new()
+            .text("kind", "big")
+            .int("sites", args.big_sites as u64)
+            .int("shards", big_shards as u64)
+            .float("sharded_ms", big_ms, 2)
+            .int("sharded_ntc", big_outcome.ntc)
+            .float("savings", big_outcome.savings_percent(), 2)
+            .int("border_placed", big_outcome.report.border_placed as u64)
+            .int("refine_moves", big_outcome.report.refine_moves as u64)
+            .text(
+                "fingerprint",
+                &format!("{:016x}", big_outcome.fingerprint()),
+            ),
+    );
+    report.write(&args.out_path);
+    assert!(
+        ntc_ratio <= args.budget_ratio,
+        "sharded NTC at M={} is {ntc_ratio:.4}x the flat GRA's, over the {} budget",
+        args.parity_sites,
+        args.budget_ratio
+    );
+}

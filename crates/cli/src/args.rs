@@ -115,6 +115,8 @@ pub enum Command {
         output: Option<PathBuf>,
         /// Telemetry JSONL output file.
         trace_out: Option<PathBuf>,
+        /// Number of shards for the hierarchical driver (0 = flat solve).
+        shards: usize,
     },
     /// Evaluate a scheme against an instance.
     Evaluate {
@@ -246,9 +248,13 @@ fn parse_topology(value: &str) -> Result<TopologyKind, CliError> {
             alpha: 0.8,
             beta: 0.4,
         },
+        "hier" => TopologyKind::Hierarchical {
+            clusters: 8,
+            wan_factor: 10,
+        },
         other => {
             return Err(CliError::Usage(format!(
-                "unknown topology `{other}` (complete|ring|tree|grid|er|waxman)"
+                "unknown topology `{other}` (complete|ring|tree|grid|er|waxman|hier)"
             )))
         }
     })
@@ -384,6 +390,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut generations = 80usize;
             let mut output = None;
             let mut trace_out = None;
+            let mut shards = 0usize;
             stream.index = 1;
             while let Some(flag) = stream.args.get(stream.index).map(|s| s.as_str()) {
                 match flag {
@@ -392,6 +399,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--seed" => seed = parse_num(stream.next_value(flag)?, flag)?,
                     "--pop" => population = parse_num(stream.next_value(flag)?, flag)?,
                     "--gens" => generations = parse_num(stream.next_value(flag)?, flag)?,
+                    "--shards" => shards = parse_num(stream.next_value(flag)?, flag)?,
                     "-o" | "--output" => {
                         output = Some(PathBuf::from(stream.next_value(flag)?));
                     }
@@ -410,6 +418,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 generations,
                 output,
                 trace_out,
+                shards,
             })
         }
         "faults" => {
@@ -638,14 +647,32 @@ mod tests {
                 population,
                 generations,
                 output,
+                shards,
                 ..
             } => {
                 assert_eq!(solver, SolverKind::Gra);
                 assert_eq!((population, generations), (10, 20));
                 assert_eq!(output, Some(PathBuf::from("s.drp")));
+                assert_eq!(shards, 0, "flat solve is the default");
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_solve_with_shards() {
+        let cmd = parse(&argv(
+            "solve --instance net.drp --algorithm gra --shards 8 --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Solve { shards, seed, .. } => {
+                assert_eq!(shards, 8);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("solve --instance a.drp --algorithm gra --shards x")).is_err());
     }
 
     #[test]
@@ -742,7 +769,7 @@ mod tests {
 
     #[test]
     fn all_topologies_parse() {
-        for topo in ["complete", "ring", "tree", "grid", "er", "waxman"] {
+        for topo in ["complete", "ring", "tree", "grid", "er", "waxman", "hier"] {
             let line = format!("generate --sites 5 --objects 5 --topology {topo}");
             assert!(parse(&argv(&line)).is_ok(), "{topo}");
         }

@@ -24,10 +24,11 @@ pub use commands::run_command;
 pub const USAGE: &str = "\
 usage:
   drp generate --sites M --objects N [--update U%] [--capacity C%]
-               [--topology complete|ring|tree|grid|er|waxman] [--zipf S]
+               [--topology complete|ring|tree|grid|er|waxman|hier] [--zipf S]
                [--seed N] [-o FILE]
   drp solve    --instance FILE --algorithm sra|gra|hill|random|optimal|primary
-               [--seed N] [--pop N] [--gens N] [-o FILE] [--trace-out FILE]
+               [--seed N] [--pop N] [--gens N] [--shards K] [-o FILE]
+               [--trace-out FILE]
   drp evaluate --instance FILE --scheme FILE
   drp inspect  --instance FILE
   drp distributed --instance FILE [-o FILE]

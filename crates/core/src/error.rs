@@ -41,6 +41,17 @@ pub enum ServeError {
         /// The underlying I/O failure, rendered.
         reason: String,
     },
+    /// A value was too large for its fixed-width WAL frame (e.g. a monitor
+    /// genome longer than `u32::MAX` bits). The snapshot is refused with
+    /// this error instead of panicking mid-serve.
+    FrameOverflow {
+        /// What was being framed.
+        what: &'static str,
+        /// The value that did not fit.
+        value: u64,
+        /// The frame's maximum.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -62,6 +73,9 @@ impl fmt::Display for ServeError {
                 write!(f, "wal does not match this run: {reason}")
             }
             ServeError::WalIo { reason } => write!(f, "wal i/o failed: {reason}"),
+            ServeError::FrameOverflow { what, value, limit } => {
+                write!(f, "{what} {value} exceeds the wal frame limit {limit}")
+            }
         }
     }
 }

@@ -69,6 +69,7 @@ pub mod pool;
 mod problem;
 pub mod replay;
 mod scheme;
+mod sparse;
 pub mod telemetry;
 
 pub use algorithm::ReplicationAlgorithm;
@@ -80,6 +81,7 @@ pub use metrics::{DegradationReport, SolutionReport};
 pub use narrow::NarrowMirror;
 pub use problem::{Problem, ProblemBuilder};
 pub use scheme::ReplicationScheme;
+pub use sparse::{SparseEvaluator, SparseProblem};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -513,9 +513,17 @@ impl ProblemBuilder {
             .collect();
 
         // Eq. 4 multiplies a frequency total by an object size and a link
-        // cost, and the update broadcast repeats such a term up to M times.
-        // The cost kernels use plain arithmetic, so reject any instance
-        // whose extreme values could wrap u64 in release builds.
+        // cost, and the update broadcast repeats such a term once per
+        // replica. Per object that bounds V_k by
+        // max_rw · max_size · max_cost · M exactly (the broadcast sum has
+        // at most M − 1 nonzero terms since C(SP, SP) = 0, and the
+        // read/write traffic contributes at most one more
+        // max_rw · max_cost · max_size), and the total D accumulates N
+        // such objects. The cost kernels use plain arithmetic, so reject
+        // any instance whose extreme values could wrap u64 in release
+        // builds — the full M · N chain, not just one object's term:
+        // at M = 10k-scale traffic volumes the per-object guard alone
+        // leaves the cross-object sum unprotected.
         let max_rw = (0..n)
             .map(|k| total_reads[k].saturating_add(total_writes[k]))
             .max()
@@ -532,12 +540,13 @@ impl ProblemBuilder {
             .checked_mul(max_size)
             .and_then(|x| x.checked_mul(max_cost))
             .and_then(|x| x.checked_mul(m as u64))
+            .and_then(|x| x.checked_mul(n as u64))
             .is_some();
         if !fits {
             return Err(CoreError::InvalidInstance {
                 reason: format!(
                     "cost terms may overflow u64: max access total {max_rw} x max object \
-                     size {max_size} x max link cost {max_cost} x {m} sites"
+                     size {max_size} x max link cost {max_cost} x {m} sites x {n} objects"
                 ),
             });
         }
@@ -681,9 +690,9 @@ mod tests {
 
     #[test]
     fn build_rejects_instances_whose_costs_could_overflow() {
-        // max_rw · max_size · max_cost · M must fit in u64. With link cost 3,
-        // M = 3 and size 1 << 32, a read total of 1 << 31 pushes the product
-        // past u64::MAX (2^31 · 2^32 · 3 · 3 ≈ 2^66.2).
+        // max_rw · max_size · max_cost · M · N must fit in u64. With link
+        // cost 3, M = 3, N = 1 and size 1 << 32, a read total of 1 << 31
+        // pushes the product past u64::MAX (2^31 · 2^32 · 3 · 3 ≈ 2^66.2).
         let err = Problem::builder(line_costs())
             .capacities(vec![u64::MAX, u64::MAX, u64::MAX])
             .object(1 << 32, SiteId::new(0))
@@ -696,15 +705,29 @@ mod tests {
             other => panic!("expected InvalidInstance, got {other:?}"),
         }
 
-        // Just inside the limit builds fine: 2^30 · 2^32 · 1 · 3 < 2^64 with
-        // unit link costs.
+        // Just inside the limit builds fine: 2^30 · 2^32 · 1 · 3 · 1 < 2^64
+        // with unit link costs.
         let unit_costs = CostMatrix::from_rows(3, vec![0, 1, 1, 1, 0, 1, 1, 1, 0]).unwrap();
-        let ok = Problem::builder(unit_costs)
+        let ok = Problem::builder(unit_costs.clone())
             .capacities(vec![u64::MAX, u64::MAX, u64::MAX])
             .object(1 << 32, SiteId::new(0))
             .reads(vec![0, 1 << 30, 0])
             .build();
         assert!(ok.is_ok(), "near-limit instance should build: {ok:?}");
+
+        // The object axis is part of the guard: the same near-limit object
+        // plus one more (even a silent one) doubles the worst-case total D
+        // past u64::MAX, because D accumulates one V_k per object.
+        let err = Problem::builder(unit_costs)
+            .capacities(vec![u64::MAX, u64::MAX, u64::MAX])
+            .object(1 << 32, SiteId::new(0))
+            .reads(vec![0, 1 << 30, 0])
+            .object(1 << 32, SiteId::new(1))
+            .build();
+        assert!(
+            matches!(err, Err(CoreError::InvalidInstance { .. })),
+            "cross-object accumulation must be guarded: {err:?}"
+        );
     }
 
     #[test]

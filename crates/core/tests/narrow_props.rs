@@ -1,0 +1,123 @@
+//! Property-based tests that the [`NarrowMirror`] u32 fast path stays
+//! *bit-identical* to the wide u64 cost path at large magnitudes — the
+//! regime where a missing widening cast would silently wrap. Each profile
+//! pushes a different table to the top of the u32 range (costs,
+//! frequencies, or object sizes) while keeping the `Problem::build`
+//! overflow guard satisfied, then compares Eq. 4 per-object costs over
+//! random replica subsets.
+
+use drp_core::{NarrowMirror, ObjectId, Problem, SiteId};
+use drp_net::CostMatrix;
+use proptest::prelude::*;
+
+/// Builds a line-metric instance (`C(i, j) = |i - j| · step`) with the
+/// requested magnitudes. All values stay `<= u32::MAX` so the narrow
+/// mirror is eligible, while their Eq. 4 products exceed `u32::MAX` by
+/// orders of magnitude.
+fn instance(m: usize, step: u64, sizes: &[u64], rw: &[u64]) -> Problem {
+    let rows: Vec<u64> = (0..m)
+        .flat_map(|i| (0..m).map(move |j| (i as u64).abs_diff(j as u64) * step))
+        .collect();
+    let costs = CostMatrix::from_rows(m, rows).unwrap();
+    let mut builder = Problem::builder(costs);
+    builder.capacities(vec![u64::MAX / 4; m]);
+    let n = sizes.len();
+    builder.objects_bulk(sizes.to_vec(), (0..n).map(|k| SiteId::new(k % m)).collect());
+    let mut reads = drp_core::DenseMatrix::zeros(m, n);
+    let mut writes = drp_core::DenseMatrix::zeros(m, n);
+    for (slot, &v) in rw.iter().take(m * n).enumerate() {
+        let (i, k) = (slot / n, slot % n);
+        if slot % 2 == 0 {
+            reads.set(i, k, v);
+        } else {
+            writes.set(i, k, v);
+        }
+    }
+    builder.read_matrix(reads);
+    builder.write_matrix(writes);
+    builder.build().unwrap()
+}
+
+/// Decodes a replica-set bitmask into the sorted list the cost paths
+/// expect, forcing the primary in.
+fn replica_list(mask: u32, m: usize, primary: usize) -> Vec<usize> {
+    (0..m)
+        .filter(|&i| i == primary || mask & (1 << i) != 0)
+        .collect()
+}
+
+fn assert_paths_agree(problem: &Problem, masks: &[u32]) {
+    let mirror = NarrowMirror::build(problem)
+        .expect("all values fit u32, so the narrow mirror must be eligible");
+    let m = problem.num_sites();
+    let mut wide_scratch = vec![0u64; m];
+    let mut narrow_scratch = vec![0u32; m];
+    for k in 0..problem.num_objects() {
+        let object = ObjectId::new(k);
+        let primary = problem.primary(object).index();
+        for &mask in masks {
+            let replicas = replica_list(mask, m, primary);
+            let wide = problem.object_cost_from_replicas(object, &replicas, &mut wide_scratch);
+            let narrow =
+                mirror.object_cost_from_replicas(problem, object, &replicas, &mut narrow_scratch);
+            assert_eq!(
+                wide, narrow,
+                "object {k}, replicas {replicas:?}: wide {wide} != narrow {narrow}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Link costs near the top of the u32 range (pairwise up to
+    /// ~2^31): read/write · cost products overflow u32 ~500x over.
+    #[test]
+    fn huge_costs_stay_bit_identical(
+        step in (1u64 << 28)..(1u64 << 29),
+        sizes in prop::collection::vec(1u64..16, 2..4),
+        rw in prop::collection::vec(0u64..64, 15),
+        masks in prop::collection::vec(0u32..32, 4),
+    ) {
+        let problem = instance(5, step, &sizes, &rw);
+        assert_paths_agree(&problem, &masks);
+    }
+
+    /// Access frequencies near 2^30 per site against small costs: the
+    /// traffic sums cross u32 while every stored value still fits.
+    #[test]
+    fn huge_frequencies_stay_bit_identical(
+        step in 1u64..3,
+        sizes in prop::collection::vec(1u64..16, 2..4),
+        rw in prop::collection::vec((1u64 << 28)..(1u64 << 30), 15),
+        masks in prop::collection::vec(0u32..32, 4),
+    ) {
+        let problem = instance(5, step, &sizes, &rw);
+        assert_paths_agree(&problem, &masks);
+    }
+
+    /// Object sizes near 2^31: the `o · traffic` and update-volume
+    /// products are the overflow hazards.
+    #[test]
+    fn huge_sizes_stay_bit_identical(
+        step in 1u64..3,
+        sizes in prop::collection::vec((1u64 << 30)..(1u64 << 31), 2..4),
+        rw in prop::collection::vec(0u64..8, 15),
+        masks in prop::collection::vec(0u32..32, 4),
+    ) {
+        let problem = instance(5, step, &sizes, &rw);
+        assert_paths_agree(&problem, &masks);
+    }
+}
+
+/// One mirrored value just past u32 must disqualify the mirror rather
+/// than wrap. (Object sizes are never narrowed — they multiply already-
+/// widened sums — so the hazard tables are costs and frequencies.)
+#[test]
+fn narrow_mirror_rejects_values_past_u32() {
+    let over = u64::from(u32::MAX) + 1;
+    let problem = instance(3, 2, &[4], &[over, 0, 1]);
+    assert!(NarrowMirror::build(&problem).is_none());
+    // The same shape one unit narrower is eligible.
+    let problem = instance(3, 2, &[4], &[over - 1, 0, 1]);
+    assert!(NarrowMirror::build(&problem).is_some());
+}

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use drp_core::telemetry::{InMemoryRecorder, Recorder};
 use drp_experiments::figures::{
-    ablation, adapt, convergence, faults, fig1, fig2, fig3, fig4, gap, trees,
+    ablation, adapt, convergence, faults, fig1, fig2, fig3, fig4, gap, shard, trees,
 };
 use drp_experiments::{Scale, Table};
 
@@ -28,7 +28,7 @@ struct Args {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <all|fig1|fig1-sites|fig1-objects|fig2|fig3|fig4|ablation|gap|trees|convergence|faults|adapt|extras> [--full] [--seed N] [--out DIR] [--instances N]");
+    eprintln!("usage: repro <all|fig1|fig1-sites|fig1-objects|fig2|fig3|fig4|ablation|gap|trees|convergence|faults|adapt|shard|extras> [--full] [--seed N] [--out DIR] [--instances N]");
     ExitCode::from(2)
 }
 
@@ -42,7 +42,8 @@ fn parse_args() -> Result<Args, ExitCode> {
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "all" | "fig1" | "fig1-sites" | "fig1-objects" | "fig2" | "fig3" | "fig4"
-            | "ablation" | "gap" | "trees" | "convergence" | "faults" | "adapt" | "extras"
+            | "ablation" | "gap" | "trees" | "convergence" | "faults" | "adapt" | "shard"
+            | "extras"
                 if target.is_none() =>
             {
                 target = Some(arg);
@@ -199,6 +200,14 @@ fn main() -> ExitCode {
                 |p, n| p.instances = n,
             );
             emit(adapt::run_recorded(&params, dyn_recorder()), &args.out);
+        }
+        "shard" => {
+            let params = with_instances(
+                shard::Params::from_scale(args.scale, args.seed),
+                args.instances,
+                |p, n| p.instances = n,
+            );
+            emit(shard::run(&params), &args.out);
         }
         "extras" => {
             // The three reproduction extensions in one go.

@@ -11,6 +11,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod gap;
+pub mod shard;
 pub mod trees;
 
 /// Deterministic seed mixing: every (figure, sweep-point, instance) gets an

@@ -1,0 +1,168 @@
+//! Sharded-vs-flat comparison — a reproduction extension past the paper's
+//! sizes.
+//!
+//! On hierarchical (clustered LAN + WAN) networks the flat GRA and the
+//! sharded hierarchical driver solve the *same* instances; this experiment
+//! sweeps the site count and reports each side's NTC savings, their ratio,
+//! and wall clock. The sharded column keeps working where the dense side
+//! of the table would stop fitting in memory.
+
+use std::time::Instant;
+
+use drp_algo::shard::{ShardConfig, ShardedSolver};
+use drp_algo::{Gra, GraConfig};
+use drp_core::ReplicationAlgorithm;
+use drp_workload::{TopologyKind, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figures::mix_seed;
+use crate::table::fmt2;
+use crate::{aggregate, run_parallel, Scale, Table};
+
+/// Shard-comparison parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Site counts swept (objects fixed).
+    pub sites: Vec<usize>,
+    /// Objects per instance.
+    pub objects: usize,
+    /// Update ratio percentage.
+    pub update_ratio: f64,
+    /// Capacity percentage.
+    pub capacity: f64,
+    /// Instances averaged per data point.
+    pub instances: usize,
+    /// GRA settings shared by the flat run and the per-shard runs.
+    pub gra: GraConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The reproduction defaults for a scale.
+    pub fn from_scale(scale: Scale, seed: u64) -> Self {
+        let (sites, objects) = match scale {
+            Scale::Quick => (vec![120, 240], 16),
+            Scale::Full => (vec![300, 600, 1000], 60),
+        };
+        Self {
+            sites,
+            objects,
+            update_ratio: 5.0,
+            capacity: 30.0,
+            instances: scale.instances(),
+            gra: GraConfig {
+                population_size: 16,
+                generations: 24,
+                ..GraConfig::default()
+            },
+            seed,
+        }
+    }
+}
+
+/// Clusters scale with the network: one per ~60 sites, at least two.
+fn cluster_count(m: usize) -> usize {
+    (m / 60).max(2)
+}
+
+/// Runs the comparison: one row per site count.
+pub fn run(params: &Params) -> Vec<Table> {
+    let n = params.objects;
+    let mut table = Table::new(
+        "shard_vs_flat_gra",
+        vec![
+            "M".into(),
+            "K".into(),
+            "flat sav%".into(),
+            "shard sav%".into(),
+            "NTC ratio".into(),
+            "flat s".into(),
+            "shard s".into(),
+        ],
+    );
+    for &m in &params.sites {
+        let clusters = cluster_count(m);
+        let mut spec = WorkloadSpec::paper(m, n, params.update_ratio, params.capacity);
+        spec.topology = TopologyKind::Hierarchical {
+            clusters,
+            wan_factor: 10,
+        };
+        let gra_config = params.gra.clone();
+        let runs = run_parallel(params.instances, |instance| {
+            let seed = mix_seed(&[params.seed, 0x5a4d, m as u64, instance as u64]);
+            let sp = spec
+                .generate_sparse(&mut StdRng::seed_from_u64(seed))
+                .expect("valid spec");
+            let dense = sp.to_dense().expect("dense view builds");
+
+            let start = Instant::now();
+            let flat_scheme = Gra::with_config(gra_config.clone())
+                .solve(&dense, &mut StdRng::seed_from_u64(seed))
+                .expect("flat GRA solves");
+            let flat_secs = start.elapsed().as_secs_f64();
+            let flat_ntc = dense.total_cost(&flat_scheme);
+
+            let start = Instant::now();
+            let outcome = ShardedSolver::with_config(ShardConfig {
+                shards: clusters,
+                gra: gra_config.clone(),
+                ..ShardConfig::default()
+            })
+            .solve(&sp, seed)
+            .expect("sharded driver solves");
+            let shard_secs = start.elapsed().as_secs_f64();
+
+            (
+                dense.savings_percent(&flat_scheme),
+                outcome.savings_percent(),
+                outcome.ntc as f64 / flat_ntc as f64,
+                flat_secs,
+                shard_secs,
+            )
+        });
+        let mean = |pick: fn(&(f64, f64, f64, f64, f64)) -> f64| -> f64 {
+            aggregate(&runs.iter().map(pick).collect::<Vec<_>>()).mean
+        };
+        table.push_row(vec![
+            m.to_string(),
+            clusters.to_string(),
+            fmt2(mean(|r| r.0)),
+            fmt2(mean(|r| r.1)),
+            format!("{:.4}", mean(|r| r.2)),
+            format!("{:.4}", mean(|r| r.3)),
+            format!("{:.4}", mean(|r| r.4)),
+        ]);
+        eprintln!("  [shard] M={m} done");
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_runs_and_keeps_parity() {
+        let params = Params {
+            sites: vec![60],
+            objects: 8,
+            instances: 2,
+            gra: GraConfig {
+                population_size: 8,
+                generations: 8,
+                ..GraConfig::default()
+            },
+            ..Params::from_scale(Scale::Quick, 5)
+        };
+        let tables = run(&params);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 1);
+        let ratio: f64 = tables[0].rows[0][4].parse().unwrap();
+        assert!(
+            ratio <= 1.5,
+            "sharded should stay in the flat GRA's neighborhood: {ratio}"
+        );
+    }
+}

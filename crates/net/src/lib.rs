@@ -8,8 +8,12 @@
 //! * [`CostMatrix`] — the validated, symmetric per-unit transfer cost
 //!   `C(i, j)` used throughout the paper's cost model (cumulative cost of the
 //!   shortest path between sites `i` and `j`).
+//! * [`SparseCostRows`] — per-site k-nearest candidate lists (plus reverse
+//!   lists) over the graph metric, the `O(M·k)` substitute for the dense
+//!   matrix at scales where `M²` does not fit.
 //! * [`topology`] — random and regular topology generators, including the
-//!   paper's complete graph with Uniform(1, 10) link costs.
+//!   paper's complete graph with Uniform(1, 10) link costs and the
+//!   two-level [`topology::hierarchical`] clusters-over-backbone family.
 //! * [`pool`] — a persistent, deterministic worker pool that the parallel
 //!   kernels (all-pairs shortest paths here, population fitness in
 //!   `drp-algo`) share instead of re-spawning scoped threads.
@@ -41,6 +45,7 @@ pub mod pool;
 mod routes;
 pub mod shortest;
 pub mod sim;
+mod sparse;
 pub mod telemetry;
 pub mod topology;
 
@@ -48,6 +53,7 @@ pub use cost::CostMatrix;
 pub use error::NetError;
 pub use graph::{Edge, Graph};
 pub use routes::Routes;
+pub use sparse::SparseCostRows;
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, NetError>;

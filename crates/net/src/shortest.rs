@@ -87,6 +87,149 @@ fn dijkstra_into(
     }
 }
 
+/// Single-source shortest path costs in the flat representation: entry `j`
+/// is the cheapest path cost from `src` to `j`, or [`UNREACHABLE`]. The
+/// sparse-scale twin of [`dijkstra`] — callers that index by sentinel (the
+/// sharded solver, the sparse evaluator) avoid the `Option` boxing.
+///
+/// # Errors
+///
+/// Returns [`NetError::SiteOutOfRange`] if `src` is not a site of `graph`.
+pub fn dijkstra_flat(graph: &Graph, src: usize) -> Result<Vec<u64>> {
+    let m = graph.num_sites();
+    if src >= m {
+        return Err(NetError::SiteOutOfRange {
+            site: src,
+            num_sites: m,
+        });
+    }
+    let mut dist = vec![UNREACHABLE; m];
+    let mut heap = BinaryHeap::new();
+    dijkstra_into(graph, src, &mut dist, &mut heap);
+    Ok(dist)
+}
+
+/// Multi-source Dijkstra with ownership: for every site, the distance to
+/// the nearest source and the index *into `sources`* of the source whose
+/// shortest-path tree reached it.
+///
+/// Ownership propagates along tree edges — a site's owner is the owner of
+/// the neighbour that last improved its distance — so each owner's region
+/// is connected in `graph` (it is a union of shortest-path-tree branches).
+/// Ties are broken deterministically: an equal-distance relaxation never
+/// displaces an established owner, and the heap orders equal distances by
+/// `(owner rank, site)`. Unreachable sites report [`UNREACHABLE`] and an
+/// owner of `usize::MAX`.
+///
+/// # Errors
+///
+/// Returns [`NetError::EmptyNetwork`] when `sources` is empty and
+/// [`NetError::SiteOutOfRange`] when a source is not a site of `graph`.
+pub fn multi_source_owner(graph: &Graph, sources: &[usize]) -> Result<(Vec<u64>, Vec<usize>)> {
+    let m = graph.num_sites();
+    if sources.is_empty() {
+        return Err(NetError::EmptyNetwork);
+    }
+    let mut dist = vec![UNREACHABLE; m];
+    let mut owner = vec![usize::MAX; m];
+    let mut heap = BinaryHeap::new();
+    for (rank, &src) in sources.iter().enumerate() {
+        if src >= m {
+            return Err(NetError::SiteOutOfRange {
+                site: src,
+                num_sites: m,
+            });
+        }
+        // A duplicated source keeps its first rank (0 is not < 0).
+        if dist[src] > 0 {
+            dist[src] = 0;
+            owner[src] = rank;
+            heap.push(Reverse((0u64, rank, src)));
+        }
+    }
+    while let Some(Reverse((d, r, u))) = heap.pop() {
+        if dist[u] != d || owner[u] != r {
+            continue; // stale entry
+        }
+        for (v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                owner[v] = r;
+                heap.push(Reverse((nd, r, v)));
+            }
+        }
+    }
+    Ok((dist, owner))
+}
+
+/// Truncated Dijkstra: the `k` sites nearest to `src` — always including
+/// `src` itself at distance 0 — in nondecreasing `(cost, site)` order.
+/// Returns fewer than `k` entries when `src`'s component is smaller.
+///
+/// # Errors
+///
+/// Returns [`NetError::SiteOutOfRange`] if `src` is not a site of `graph`.
+pub fn k_nearest(graph: &Graph, src: usize, k: usize) -> Result<Vec<(usize, u64)>> {
+    let m = graph.num_sites();
+    if src >= m {
+        return Err(NetError::SiteOutOfRange {
+            site: src,
+            num_sites: m,
+        });
+    }
+    let mut dist = vec![UNREACHABLE; m];
+    let mut heap = BinaryHeap::new();
+    let mut out = Vec::new();
+    k_nearest_into(graph, src, k, &mut dist, &mut heap, &mut out);
+    Ok(out)
+}
+
+/// [`k_nearest`] into caller-owned scratch: `dist` must be all-
+/// [`UNREACHABLE`] on entry and is restored to that state on exit (only
+/// touched entries are reset), so a caller running one search per site
+/// pays O(settled) per search instead of O(M). `out` receives the settled
+/// `(site, cost)` pairs in nondecreasing `(cost, site)` order.
+pub(crate) fn k_nearest_into(
+    graph: &Graph,
+    src: usize,
+    k: usize,
+    dist: &mut [u64],
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    out: &mut Vec<(usize, u64)>,
+) {
+    out.clear();
+    heap.clear();
+    if k == 0 {
+        return;
+    }
+    dist[src] = 0;
+    let mut touched = vec![src];
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if dist[u] != d {
+            continue; // stale entry
+        }
+        out.push((u, d));
+        if out.len() == k {
+            break;
+        }
+        for (v, w) in graph.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                if dist[v] == UNREACHABLE {
+                    touched.push(v);
+                }
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    for t in touched {
+        dist[t] = UNREACHABLE;
+    }
+}
+
 /// Internal "infinity" of the narrow [`floyd_warshall_flat`] kernel:
 /// large enough that no real path cost comes near it (the kernel is only
 /// selected when every possible path provably stays below it), small
@@ -374,6 +517,65 @@ mod tests {
                 assert_eq!(flat[i * m + j], fw[i][j].unwrap(), "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn dijkstra_flat_matches_optional_form() {
+        let g = diamond();
+        let flat = dijkstra_flat(&g, 0).unwrap();
+        let boxed = dijkstra(&g, 0).unwrap();
+        for (f, b) in flat.iter().zip(&boxed) {
+            assert_eq!(*f, b.unwrap_or(UNREACHABLE));
+        }
+        assert!(dijkstra_flat(&g, 9).is_err());
+    }
+
+    #[test]
+    fn multi_source_owner_partitions_into_connected_cells() {
+        // Line 0-1-2-3-4-5 with unit costs; sources 0 and 5.
+        let mut g = Graph::new(6).unwrap();
+        for a in 0..5 {
+            g.add_edge(a, a + 1, 1).unwrap();
+        }
+        let (dist, owner) = multi_source_owner(&g, &[0, 5]).unwrap();
+        assert_eq!(dist, vec![0, 1, 2, 2, 1, 0]);
+        // Site 2 and 3 are equidistant-adjacent; whatever the tie rule
+        // picks, each owner's cell must be a contiguous run on the line.
+        assert_eq!(owner[0], 0);
+        assert_eq!(owner[5], 1);
+        let boundary = owner.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(boundary, 1, "cells must be contiguous: {owner:?}");
+    }
+
+    #[test]
+    fn multi_source_owner_rejects_bad_input() {
+        let g = diamond();
+        assert!(multi_source_owner(&g, &[]).is_err());
+        assert!(multi_source_owner(&g, &[0, 99]).is_err());
+    }
+
+    #[test]
+    fn multi_source_owner_keeps_first_rank_for_duplicates() {
+        let g = diamond();
+        let (dist, owner) = multi_source_owner(&g, &[2, 2]).unwrap();
+        assert_eq!(dist[2], 0);
+        assert_eq!(owner[2], 0);
+    }
+
+    #[test]
+    fn k_nearest_settles_in_cost_order() {
+        let g = diamond();
+        // From 0: self (0), 1 (1), 3 (2), 2 (3).
+        assert_eq!(k_nearest(&g, 0, 3).unwrap(), vec![(0, 0), (1, 1), (3, 2)]);
+        assert_eq!(k_nearest(&g, 0, 99).unwrap().len(), 4);
+        assert!(k_nearest(&g, 9, 2).is_err());
+    }
+
+    #[test]
+    fn k_nearest_stops_at_component_boundary() {
+        let mut g = Graph::new(4).unwrap();
+        g.add_edge(0, 1, 3).unwrap();
+        assert_eq!(k_nearest(&g, 0, 4).unwrap(), vec![(0, 0), (1, 3)]);
     }
 
     #[test]

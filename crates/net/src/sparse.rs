@@ -1,0 +1,249 @@
+//! Sparse k-nearest cost rows — the at-scale substitute for [`CostMatrix`].
+//!
+//! A dense [`CostMatrix`] stores all `M²` shortest-path costs; at
+//! `M = 10 000` that is 800 MB and an all-pairs computation besides. Most
+//! of the cost model only ever asks "which replica is *nearest* to site
+//! `i`?", and on realistic (locality-bearing) networks the answer is almost
+//! always one of `i`'s few nearest sites. [`SparseCostRows`] stores, for
+//! every site, its `k` nearest sites by truncated Dijkstra — `O(M·k)`
+//! memory — plus the reverse lists ("who considers `j` near?") that let an
+//! evaluator propagate a replica flip in `O(k)` instead of touching a full
+//! `M`-row.
+//!
+//! [`CostMatrix`]: crate::CostMatrix
+
+use std::collections::BinaryHeap;
+
+use crate::shortest::{self, UNREACHABLE};
+use crate::{Graph, NetError, Result};
+
+/// Per-site k-nearest candidate lists over a graph metric, with reverse
+/// lists for incremental updates.
+///
+/// Every forward row includes the site itself at distance 0 and is sorted
+/// by nondecreasing `(cost, site)`; rows are shorter than `k` only when the
+/// site's connected component is. The reverse row of `j` lists every site
+/// `x` whose forward row contains `j` (in ascending `x`), carrying the same
+/// cost — so `j ∈ rev(j)` at cost 0, and a flip at `j` reaches exactly the
+/// sites whose nearest-candidate picture it can change.
+///
+/// # Examples
+///
+/// ```
+/// use drp_net::{Graph, SparseCostRows};
+///
+/// let mut g = Graph::new(4)?;
+/// g.add_edge(0, 1, 1)?;
+/// g.add_edge(1, 2, 1)?;
+/// g.add_edge(2, 3, 1)?;
+/// let rows = SparseCostRows::from_graph(&g, 2)?;
+/// let (sites, costs) = rows.row(1);
+/// assert_eq!(sites[0], 1); // self at distance 0
+/// assert_eq!(costs[0], 0);
+/// assert_eq!(costs[1], 1); // nearest neighbour
+/// # Ok::<(), drp_net::NetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseCostRows {
+    num_sites: usize,
+    k: usize,
+    fwd_offsets: Vec<usize>,
+    fwd_sites: Vec<u32>,
+    fwd_costs: Vec<u64>,
+    rev_offsets: Vec<usize>,
+    rev_sites: Vec<u32>,
+    rev_costs: Vec<u64>,
+}
+
+impl SparseCostRows {
+    /// Builds the k-nearest rows of `graph` — one truncated Dijkstra per
+    /// site, `O(M · k log k + E)` total on bounded-degree graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidMatrix`] when `k == 0` or the graph has
+    /// more than `u32::MAX` sites, [`NetError::EmptyNetwork`] when it has
+    /// none.
+    pub fn from_graph(graph: &Graph, k: usize) -> Result<Self> {
+        let m = graph.num_sites();
+        if m == 0 {
+            return Err(NetError::EmptyNetwork);
+        }
+        if k == 0 {
+            return Err(NetError::InvalidMatrix {
+                reason: "k-nearest rows need k >= 1".into(),
+            });
+        }
+        if u32::try_from(m).is_err() {
+            return Err(NetError::InvalidMatrix {
+                reason: format!("{m} sites exceed the u32 site-index range"),
+            });
+        }
+        let k = k.min(m);
+        let mut dist = vec![UNREACHABLE; m];
+        let mut heap = BinaryHeap::new();
+        let mut settled = Vec::with_capacity(k);
+        let mut fwd_offsets = Vec::with_capacity(m + 1);
+        let mut fwd_sites = Vec::with_capacity(m * k);
+        let mut fwd_costs = Vec::with_capacity(m * k);
+        fwd_offsets.push(0);
+        for src in 0..m {
+            shortest::k_nearest_into(graph, src, k, &mut dist, &mut heap, &mut settled);
+            for &(site, cost) in &settled {
+                fwd_sites.push(site as u32);
+                fwd_costs.push(cost);
+            }
+            fwd_offsets.push(fwd_sites.len());
+        }
+
+        // Reverse lists by counting sort over target sites; filling in
+        // ascending source order keeps each reverse row sorted by source.
+        let mut counts = vec![0usize; m + 1];
+        for &j in &fwd_sites {
+            counts[j as usize + 1] += 1;
+        }
+        for j in 0..m {
+            counts[j + 1] += counts[j];
+        }
+        let rev_offsets = counts.clone();
+        let mut rev_sites = vec![0u32; fwd_sites.len()];
+        let mut rev_costs = vec![0u64; fwd_sites.len()];
+        let mut cursor = counts;
+        for x in 0..m {
+            for idx in fwd_offsets[x]..fwd_offsets[x + 1] {
+                let j = fwd_sites[idx] as usize;
+                let slot = cursor[j];
+                cursor[j] += 1;
+                rev_sites[slot] = x as u32;
+                rev_costs[slot] = fwd_costs[idx];
+            }
+        }
+        Ok(Self {
+            num_sites: m,
+            k,
+            fwd_offsets,
+            fwd_sites,
+            fwd_costs,
+            rev_offsets,
+            rev_sites,
+            rev_costs,
+        })
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// The candidate-list width (clamped to the site count).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Forward row of `site`: its nearest sites and their costs, sorted by
+    /// nondecreasing `(cost, site)`, starting with `site` itself at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn row(&self, site: usize) -> (&[u32], &[u64]) {
+        let (a, b) = (self.fwd_offsets[site], self.fwd_offsets[site + 1]);
+        (&self.fwd_sites[a..b], &self.fwd_costs[a..b])
+    }
+
+    /// Reverse row of `site`: every site whose forward row contains `site`,
+    /// in ascending site order, with the corresponding costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn reverse_row(&self, site: usize) -> (&[u32], &[u64]) {
+        let (a, b) = (self.rev_offsets[site], self.rev_offsets[site + 1]);
+        (&self.rev_sites[a..b], &self.rev_costs[a..b])
+    }
+
+    /// The cost from `i` to `j` if `j` is among `i`'s candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cost(&self, i: usize, j: usize) -> Option<u64> {
+        let (sites, costs) = self.row(i);
+        sites
+            .iter()
+            .position(|&s| s as usize == j)
+            .map(|p| costs[p])
+    }
+
+    /// Total stored entries (≤ `M·k`; smaller on small components).
+    pub fn num_entries(&self) -> usize {
+        self.fwd_sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(m: usize) -> Graph {
+        let mut g = Graph::new(m).unwrap();
+        for a in 0..m - 1 {
+            g.add_edge(a, a + 1, 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn rows_are_sorted_and_start_with_self() {
+        let rows = SparseCostRows::from_graph(&line(8), 3).unwrap();
+        for i in 0..8 {
+            let (sites, costs) = rows.row(i);
+            assert_eq!(sites[0] as usize, i);
+            assert_eq!(costs[0], 0);
+            assert!(costs.windows(2).all(|w| w[0] <= w[1]), "row {i}");
+            assert!(sites.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn reverse_rows_invert_forward_rows() {
+        let rows = SparseCostRows::from_graph(&line(10), 4).unwrap();
+        for j in 0..10 {
+            let (srcs, costs) = rows.reverse_row(j);
+            assert!(srcs.windows(2).all(|w| w[0] < w[1]), "rev row {j} sorted");
+            for (&x, &c) in srcs.iter().zip(costs) {
+                assert_eq!(rows.cost(x as usize, j), Some(c));
+            }
+        }
+        let total: usize = (0..10).map(|j| rows.reverse_row(j).0.len()).sum();
+        assert_eq!(total, rows.num_entries());
+    }
+
+    #[test]
+    fn k_clamps_to_component_and_site_count() {
+        let rows = SparseCostRows::from_graph(&line(3), 99).unwrap();
+        assert_eq!(rows.k(), 3);
+        let mut g = Graph::new(3).unwrap();
+        g.add_edge(0, 1, 2).unwrap();
+        let rows = SparseCostRows::from_graph(&g, 3).unwrap();
+        assert_eq!(rows.row(2).0, &[2]);
+        assert_eq!(rows.row(0).0.len(), 2);
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        assert!(SparseCostRows::from_graph(&line(3), 0).is_err());
+    }
+
+    #[test]
+    fn costs_match_true_shortest_paths() {
+        let g = line(6);
+        let rows = SparseCostRows::from_graph(&g, 6).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = (i as i64 - j as i64).unsigned_abs();
+                assert_eq!(rows.cost(i, j), Some(expect), "({i}, {j})");
+            }
+        }
+    }
+}

@@ -171,6 +171,79 @@ pub fn grid<R: Rng + ?Sized>(
     Ok(g)
 }
 
+/// A two-level "LAN clusters over a WAN backbone" topology: `clusters`
+/// contiguous, near-equal groups of sites, each internally wired as a ring
+/// (plus `size / 2` random chords) with link costs in `[lo, hi]`, and one
+/// hub per cluster — its first site — joined to the other hubs through a
+/// balanced binary tree of long-haul links costing `wan_factor` times an
+/// intra-cluster draw.
+///
+/// This is the natural habitat of the sharded solver: intra-cluster paths
+/// are cheap and plentiful, inter-cluster paths are expensive and funnel
+/// through hubs, so a partition along cluster lines loses almost nothing.
+///
+/// # Errors
+///
+/// Returns an error when `m < clusters`, `clusters == 0`,
+/// `wan_factor == 0`, the cost range is invalid, or `hi · wan_factor`
+/// overflows.
+pub fn hierarchical<R: Rng + ?Sized>(
+    m: usize,
+    clusters: usize,
+    lo: u64,
+    hi: u64,
+    wan_factor: u64,
+    rng: &mut R,
+) -> Result<Graph> {
+    check_cost_range(lo, hi)?;
+    if clusters == 0 || m < clusters {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("{m} sites cannot form {clusters} non-empty clusters"),
+        });
+    }
+    if wan_factor == 0 || hi.checked_mul(wan_factor).is_none() {
+        return Err(NetError::BadTopologyParams {
+            reason: format!("wan factor {wan_factor} must be in [1, u64::MAX / hi]"),
+        });
+    }
+    let mut g = Graph::new(m)?;
+    let bound = |c: usize| c * m / clusters;
+    for c in 0..clusters {
+        let (start, end) = (bound(c), bound(c + 1));
+        let size = end - start;
+        // Ring (or single edge) keeps the cluster connected; chords give
+        // Dijkstra some route diversity without densifying the graph.
+        match size {
+            0 | 1 => {}
+            2 => g.add_edge(start, start + 1, uniform_cost(lo, hi, rng))?,
+            _ => {
+                for a in start..end {
+                    let b = if a + 1 == end { start } else { a + 1 };
+                    g.add_edge(a, b, uniform_cost(lo, hi, rng))?;
+                }
+            }
+        }
+        for _ in 0..size / 2 {
+            let a = start + rng.random_range(0..size);
+            let b = start + rng.random_range(0..size);
+            if a != b {
+                g.add_edge(a, b, uniform_cost(lo, hi, rng))?;
+            }
+        }
+    }
+    // Hub backbone: cluster c's first site attaches to cluster
+    // ((c - 1) / 2)'s first site, a balanced binary tree of WAN links.
+    for c in 1..clusters {
+        let parent = (c - 1) / 2;
+        g.add_edge(
+            bound(c),
+            bound(parent),
+            uniform_cost(lo, hi, rng) * wan_factor,
+        )?;
+    }
+    Ok(g)
+}
+
 /// An Erdős–Rényi random graph `G(m, p)` with uniform random link costs,
 /// made connected by threading a random spanning line through all sites
 /// before sampling the independent edges.
@@ -340,6 +413,27 @@ mod tests {
         assert!(g.edges().iter().all(|e| e.cost >= 1));
         assert!(waxman(5, 0.0, 0.3, 1, 10, &mut rng()).is_err());
         assert!(waxman(5, 0.5, 1.3, 1, 10, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn hierarchical_is_connected_with_expensive_backbone() {
+        let g = hierarchical(40, 5, 1, 10, 20, &mut rng()).unwrap();
+        assert!(g.is_connected());
+        // Exactly clusters − 1 WAN links, each costing at least lo·factor.
+        let wan: Vec<_> = g.edges().iter().filter(|e| e.cost >= 20).collect();
+        assert_eq!(wan.len(), 4);
+        assert!(hierarchical(3, 5, 1, 10, 20, &mut rng()).is_err());
+        assert!(hierarchical(10, 0, 1, 10, 20, &mut rng()).is_err());
+        assert!(hierarchical(10, 2, 1, 10, 0, &mut rng()).is_err());
+        assert!(hierarchical(10, 2, 1, 10, u64::MAX, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn hierarchical_handles_tiny_clusters() {
+        // m == clusters degenerates to a pure hub tree.
+        let g = hierarchical(6, 6, 1, 10, 3, &mut rng()).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 5);
     }
 
     #[test]

@@ -530,7 +530,10 @@ pub(crate) fn run_epoch(
         let limit = if spec.admission_limit == 0 {
             list.len()
         } else {
-            spec.admission_limit as usize
+            // On 32-bit targets a plain `as usize` would truncate a large
+            // u64 limit and shed requests that were admitted; saturating
+            // keeps "limit >= queue length" meaning "admit everything".
+            usize::try_from(spec.admission_limit).unwrap_or(usize::MAX)
         };
         shed_by_site[site] = list.len().saturating_sub(limit) as u64;
         counters.shed += shed_by_site[site];

@@ -430,20 +430,23 @@ impl WalCtx<'_> {
     }
 }
 
-fn snapshot_monitor(monitor: &ReplicationMonitor) -> MonitorSnapshot {
-    MonitorSnapshot {
+fn snapshot_monitor(monitor: &ReplicationMonitor) -> drp_core::Result<MonitorSnapshot> {
+    let population = monitor
+        .population()
+        .iter()
+        .map(|c| {
+            let bits = u32::try_from(c.len()).map_err(|_| ServeError::FrameOverflow {
+                what: "monitor genome bits",
+                value: c.len() as u64,
+                limit: u64::from(u32::MAX),
+            })?;
+            Ok((bits, c.words().to_vec()))
+        })
+        .collect::<drp_core::Result<Vec<_>>>()?;
+    Ok(MonitorSnapshot {
         problem: write_instance(monitor.problem()).into_bytes(),
-        population: monitor
-            .population()
-            .iter()
-            .map(|c| {
-                (
-                    u32::try_from(c.len()).expect("genome fits u32"),
-                    c.words().to_vec(),
-                )
-            })
-            .collect(),
-    }
+        population,
+    })
 }
 
 /// The shared serving loop: fresh and recovered, in-memory and durable.
@@ -654,7 +657,7 @@ fn run_loop(
         }
         epochs.push(report);
 
-        if let Some(ctx) = wal.as_deref_mut() {
+        if let (Some(ctx), Some(epoch_report)) = (wal.as_deref_mut(), epochs.last()) {
             // Journal the epoch: drains and migration events for
             // observability, then the EpochEnd/Retune pair that makes the
             // epoch durable (Retune is the commit point).
@@ -715,15 +718,20 @@ fn run_loop(
             }
             batch.push(WalRecord::EpochEnd {
                 epoch: e as u64,
-                report: epochs.last().expect("just pushed").clone(),
+                report: epoch_report.clone(),
                 realized: write_scheme(&realized).into_bytes(),
             });
+            let snapshot = if monitor_changed {
+                Some(snapshot_monitor(&monitor)?)
+            } else {
+                None
+            };
             batch.push(WalRecord::Retune {
                 epoch: e as u64,
                 kind,
                 adapted_objects: adapted_objects as u64,
                 target: write_scheme(&target).into_bytes(),
-                monitor: monitor_changed.then(|| snapshot_monitor(&monitor)),
+                monitor: snapshot,
             });
             ctx.append(&batch)?;
             ctx.since_checkpoint += 1;
@@ -734,7 +742,7 @@ fn run_loop(
                     rebuilds,
                     realized: write_scheme(&realized).into_bytes(),
                     target: write_scheme(&target).into_bytes(),
-                    monitor: Some(snapshot_monitor(&monitor)),
+                    monitor: Some(snapshot_monitor(&monitor)?),
                     reports: epochs.clone(),
                 })?;
             }
@@ -784,6 +792,51 @@ mod tests {
             objects_percent: 50.0,
             read_share: 0.9,
         }
+    }
+
+    #[test]
+    fn oversized_admission_limit_sheds_nothing() {
+        // Regression (32-bit truncation): an admission limit past u32::MAX
+        // must mean "admit everything", exactly like the 0 sentinel — a
+        // plain `as usize` cast would wrap it to a tiny quota and shed
+        // admitted requests on 32-bit targets.
+        let problem = problem(7);
+        let unlimited = ServeConfig {
+            policy: Policy::Static,
+            epochs: 2,
+            seed: 7,
+            admission_limit: 0,
+            monitor: monitor_config(),
+            ..ServeConfig::default()
+        };
+        let huge = ServeConfig {
+            admission_limit: u64::from(u32::MAX) + 7,
+            ..unlimited.clone()
+        };
+        let a = run_service(&problem, &unlimited).unwrap();
+        let b = run_service(&problem, &huge).unwrap();
+        assert_eq!(b.totals.shed, 0);
+        assert_eq!(a.epochs, b.epochs);
+    }
+
+    #[test]
+    fn monitor_snapshots_are_fallible_not_panicking() {
+        // Regression (serve-path panic sweep): snapshotting a healthy
+        // monitor succeeds through the typed-error path, and the overflow
+        // case maps into `ServeError::FrameOverflow` rather than a panic.
+        let problem = problem(3);
+        let mut boot = StdRng::seed_from_u64(1);
+        let monitor =
+            ReplicationMonitor::bootstrap(problem.clone(), monitor_config(), &mut boot).unwrap();
+        let snapshot = snapshot_monitor(&monitor).unwrap();
+        assert!(!snapshot.population.is_empty());
+
+        let err = CoreError::from(ServeError::FrameOverflow {
+            what: "monitor genome bits",
+            value: u64::from(u32::MAX) + 1,
+            limit: u64::from(u32::MAX),
+        });
+        assert!(err.to_string().contains("exceeds the wal frame limit"));
     }
 
     #[test]

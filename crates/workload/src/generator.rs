@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use drp_core::{CoreError, DenseMatrix, Problem, SiteId};
+use drp_core::{CoreError, DenseMatrix, Problem, SiteId, SparseProblem};
 use drp_net::{topology, CostMatrix, Graph, NetError};
 use rand::{Rng, RngCore};
 
@@ -84,8 +84,94 @@ fn build_graph<R: RngCore + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Result<
         }
         TopologyKind::ErdosRenyi { p } => topology::erdos_renyi(m, p, lo, hi, rng)?,
         TopologyKind::Waxman { alpha, beta } => topology::waxman(m, alpha, beta, lo, hi, rng)?,
+        TopologyKind::Hierarchical {
+            clusters,
+            wan_factor,
+        } => topology::hierarchical(m, clusters, lo, hi, wan_factor, rng)?,
     };
     Ok(graph)
+}
+
+/// Everything an instance needs except the distance representation: the
+/// common output of [`WorkloadSpec::generate`] (which densifies it into a
+/// [`CostMatrix`]-backed [`Problem`]) and [`WorkloadSpec::generate_sparse`]
+/// (which keeps the graph). Both paths draw from the RNG in exactly the
+/// same order, so per seed they describe the *same* instance.
+struct RawInstance {
+    graph: Graph,
+    sizes: Vec<u64>,
+    primaries: Vec<SiteId>,
+    reads: DenseMatrix<u64>,
+    writes: DenseMatrix<u64>,
+    capacities: Vec<u64>,
+}
+
+fn draw_instance<R: RngCore + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Result<RawInstance> {
+    spec.validate()?;
+    let m = spec.num_sites;
+    let n = spec.num_objects;
+
+    let graph = build_graph(spec, rng)?;
+
+    // Primary copies land on random sites.
+    let primaries: Vec<SiteId> = (0..n)
+        .map(|_| SiteId::new(rng.random_range(0..m)))
+        .collect();
+
+    // Object sizes: uniform, mean 35 with the paper's defaults.
+    let sizes: Vec<u64> = (0..n)
+        .map(|_| uniform_u64(spec.size_range.0, spec.size_range.1, rng))
+        .collect();
+
+    // Reads: Uniform(1, 40) per (site, object); the Zipf extension then
+    // scales each object's column by its popularity.
+    let mut reads = DenseMatrix::zeros(m, n);
+    for k in 0..n {
+        for i in 0..m {
+            reads.set(
+                i,
+                k,
+                uniform_u64(spec.reads_range.0, spec.reads_range.1, rng),
+            );
+        }
+    }
+    if let Some(skew) = spec.zipf_skew {
+        zipf::apply_popularity(&mut reads, skew, rng);
+    }
+
+    // Updates: U% of each object's total reads, jittered ×[½, 3⁄2],
+    // scattered one by one over random sites.
+    let mut writes = DenseMatrix::zeros(m, n);
+    for k in 0..n {
+        let total_reads: u64 = reads.column_sum(k);
+        let target = (spec.update_ratio_percent / 100.0 * total_reads as f64).round() as u64;
+        let total_updates = half_to_threehalves(target, rng);
+        for _ in 0..total_updates {
+            let i = rng.random_range(0..m);
+            *writes.get_mut(i, k) += 1;
+        }
+    }
+
+    // Capacities: Uniform(C·S/2, 3C·S/2), raised to fit primary copies.
+    let total_size: u64 = sizes.iter().sum();
+    let target = (spec.capacity_percent / 100.0 * total_size as f64).round() as u64;
+    let mut primary_load = vec![0u64; m];
+    for (k, p) in primaries.iter().enumerate() {
+        primary_load[p.index()] += sizes[k];
+    }
+    let capacities: Vec<u64> = primary_load
+        .iter()
+        .map(|&load| half_to_threehalves(target, rng).max(load))
+        .collect();
+
+    Ok(RawInstance {
+        graph,
+        sizes,
+        primaries,
+        reads,
+        writes,
+        capacities,
+    })
 }
 
 impl WorkloadSpec {
@@ -112,70 +198,50 @@ impl WorkloadSpec {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn generate<R: RngCore + ?Sized>(&self, rng: &mut R) -> Result<Problem> {
-        self.validate()?;
-        let m = self.num_sites;
-        let n = self.num_objects;
-
-        let graph = build_graph(self, rng)?;
-        let costs = CostMatrix::from_graph(&graph)?;
-
-        // Primary copies land on random sites.
-        let primaries: Vec<SiteId> = (0..n)
-            .map(|_| SiteId::new(rng.random_range(0..m)))
-            .collect();
-
-        // Object sizes: uniform, mean 35 with the paper's defaults.
-        let sizes: Vec<u64> = (0..n)
-            .map(|_| uniform_u64(self.size_range.0, self.size_range.1, rng))
-            .collect();
-
-        // Reads: Uniform(1, 40) per (site, object); the Zipf extension then
-        // scales each object's column by its popularity.
-        let mut reads = DenseMatrix::zeros(m, n);
-        for k in 0..n {
-            for i in 0..m {
-                reads.set(
-                    i,
-                    k,
-                    uniform_u64(self.reads_range.0, self.reads_range.1, rng),
-                );
-            }
-        }
-        if let Some(skew) = self.zipf_skew {
-            zipf::apply_popularity(&mut reads, skew, rng);
-        }
-
-        // Updates: U% of each object's total reads, jittered ×[½, 3⁄2],
-        // scattered one by one over random sites.
-        let mut writes = DenseMatrix::zeros(m, n);
-        for k in 0..n {
-            let total_reads: u64 = reads.column_sum(k);
-            let target = (self.update_ratio_percent / 100.0 * total_reads as f64).round() as u64;
-            let total_updates = half_to_threehalves(target, rng);
-            for _ in 0..total_updates {
-                let i = rng.random_range(0..m);
-                *writes.get_mut(i, k) += 1;
-            }
-        }
-
-        // Capacities: Uniform(C·S/2, 3C·S/2), raised to fit primary copies.
-        let total_size: u64 = sizes.iter().sum();
-        let target = (self.capacity_percent / 100.0 * total_size as f64).round() as u64;
-        let mut primary_load = vec![0u64; m];
-        for (k, p) in primaries.iter().enumerate() {
-            primary_load[p.index()] += sizes[k];
-        }
-        let capacities: Vec<u64> = primary_load
-            .iter()
-            .map(|&load| half_to_threehalves(target, rng).max(load))
-            .collect();
-
+        let raw = draw_instance(self, rng)?;
+        let costs = CostMatrix::from_graph(&raw.graph)?;
         let mut builder = Problem::builder(costs);
-        builder.objects_bulk(sizes, primaries);
-        builder.capacities(capacities);
-        builder.read_matrix(reads);
-        builder.write_matrix(writes);
+        builder.objects_bulk(raw.sizes, raw.primaries);
+        builder.capacities(raw.capacities);
+        builder.read_matrix(raw.reads);
+        builder.write_matrix(raw.writes);
         Ok(builder.build()?)
+    }
+
+    /// Generates the same instance as [`generate`](Self::generate) — the
+    /// RNG draw order is shared, so per seed the two describe identical
+    /// workloads — but keeps the network as a graph-backed
+    /// [`SparseProblem`] instead of materializing the `M²` cost matrix.
+    /// This is the entry point for at-scale (`M` in the thousands) runs
+    /// where the dense path would not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::BadSpec`] for invalid parameters, or
+    /// wrapped substrate errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drp_workload::WorkloadSpec;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let spec = WorkloadSpec::paper(10, 20, 5.0, 15.0);
+    /// let sparse = spec.generate_sparse(&mut StdRng::seed_from_u64(42))?;
+    /// let dense = spec.generate(&mut StdRng::seed_from_u64(42))?;
+    /// assert_eq!(sparse.d_prime(), dense.d_prime());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn generate_sparse<R: RngCore + ?Sized>(&self, rng: &mut R) -> Result<SparseProblem> {
+        let raw = draw_instance(self, rng)?;
+        Ok(SparseProblem::new(
+            raw.graph,
+            raw.sizes,
+            raw.primaries,
+            raw.capacities,
+            raw.reads,
+            raw.writes,
+        )?)
     }
 
     /// Generates `count` independent instances (the paper averages over 15
@@ -261,6 +327,19 @@ mod tests {
     }
 
     #[test]
+    fn sparse_and_dense_share_the_rng_stream() {
+        let mut spec = WorkloadSpec::paper(14, 12, 5.0, 20.0);
+        spec.topology = TopologyKind::Hierarchical {
+            clusters: 3,
+            wan_factor: 10,
+        };
+        let sparse = spec.generate_sparse(&mut StdRng::seed_from_u64(9)).unwrap();
+        let dense = spec.generate(&mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(sparse.d_prime(), dense.d_prime());
+        assert_eq!(sparse.to_dense().unwrap(), dense);
+    }
+
+    #[test]
     fn alternative_topologies_generate() {
         let mut r = rng();
         for topo in [
@@ -271,6 +350,10 @@ mod tests {
             TopologyKind::Waxman {
                 alpha: 0.7,
                 beta: 0.4,
+            },
+            TopologyKind::Hierarchical {
+                clusters: 3,
+                wan_factor: 10,
             },
         ] {
             let mut spec = WorkloadSpec::paper(12, 10, 5.0, 20.0);

@@ -34,6 +34,16 @@ pub enum TopologyKind {
         /// Waxman β (distance decay).
         beta: f64,
     },
+    /// Two-level clusters-over-backbone topology: dense intra-cluster
+    /// rings with chords, hub sites joined by a WAN tree whose links cost
+    /// `wan_factor` times a LAN link. The shape the sharded solver is
+    /// built for.
+    Hierarchical {
+        /// Number of clusters (≥ 1, ≤ `num_sites`).
+        clusters: usize,
+        /// WAN-to-LAN cost multiplier (≥ 1).
+        wan_factor: u64,
+    },
 }
 
 /// Declarative description of a synthetic workload, mirroring the paper's
@@ -137,6 +147,17 @@ impl WorkloadSpec {
             {
                 fail(format!("waxman parameters ({alpha}, {beta}) out of (0, 1]"))
             }
+            TopologyKind::Hierarchical { clusters, .. }
+                if clusters == 0 || clusters > self.num_sites =>
+            {
+                fail(format!(
+                    "hierarchical clusters {clusters} out of [1, {}]",
+                    self.num_sites
+                ))
+            }
+            TopologyKind::Hierarchical { wan_factor: 0, .. } => {
+                fail("hierarchical wan_factor must be at least 1".into())
+            }
             _ => Ok(()),
         }
     }
@@ -177,8 +198,20 @@ mod tests {
         let mut s = base.clone();
         s.zipf_skew = Some(0.0);
         assert!(s.validate().is_err());
-        let mut s = base;
+        let mut s = base.clone();
         s.topology = TopologyKind::Tree { arity: 0 };
+        assert!(s.validate().is_err());
+        let mut s = base.clone();
+        s.topology = TopologyKind::Hierarchical {
+            clusters: 11,
+            wan_factor: 10,
+        };
+        assert!(s.validate().is_err());
+        let mut s = base;
+        s.topology = TopologyKind::Hierarchical {
+            clusters: 4,
+            wan_factor: 0,
+        };
         assert!(s.validate().is_err());
     }
 }
