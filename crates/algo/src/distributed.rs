@@ -340,7 +340,7 @@ pub fn distributed_sra(problem: &Problem) -> Result<DistributedRun> {
     let nodes: Vec<Box<dyn Node<SraMsg>>> = (0..problem.num_sites())
         .map(|id| Box::new(SraNode::new(Arc::clone(&shared), id, id == 0)) as Box<dyn Node<SraMsg>>)
         .collect();
-    let mut sim = Simulator::new(problem.costs().clone(), nodes)?;
+    let mut sim = Simulator::new(problem.costs(), nodes)?;
     sim.run_to_completion()?;
 
     let decisions = shared

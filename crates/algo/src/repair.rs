@@ -782,7 +782,7 @@ pub fn run_faulted_recorded(
                 as Box<dyn Node<RepairMsg> + '_>
         })
         .collect();
-    let mut sim = Simulator::new(problem.costs().clone(), nodes)?;
+    let mut sim = Simulator::new(problem.costs(), nodes)?;
     sim.set_recorder(Arc::clone(&recorder));
     if let Some(plan) = plan {
         sim.set_fault_plan(plan);

@@ -1,0 +1,299 @@
+//! Ingestion front-end benchmark: `cargo run --release -p drp-bench --bin
+//! serve_throughput [out.json] [--sites 1000] [--objects 40] [--reps 3]
+//! [--budget-reqs 1e6]` writes `BENCH_serve_throughput.json`.
+//!
+//! Drives [`drp_serve::ingest_epoch`] directly — the streaming driver,
+//! the sharded routing over bounded channels and the per-site admission
+//! sort, without the serving simulator behind it — at the paper-scale
+//! M=1000 and reports requests per second for 1, 2 and 4 shard workers.
+//! The budget asserts the headline claim: at least `--budget-reqs`
+//! requests per second with two workers.
+//!
+//! Two determinism certificates ride along as ratchet identity:
+//!
+//! * the FNV hash of the admitted queues plus the admission report must
+//!   be identical across every thread count (`ingest_parity`);
+//! * a small closed-loop service run with the hot-object fast path on
+//!   must fingerprint identically at `threads` 1 and 2
+//!   (`service_thread_parity`), bill no more total NTC than the same run
+//!   with the fast path off (`hot_ntc_ok`), and its promotion/demotion
+//!   counts are pinned exactly.
+
+use drp_bench::report::{Budget, Fields, Report};
+use drp_core::{DenseMatrix, Problem};
+use drp_serve::{
+    ingest_epoch, run_service, HotKeyConfig, IngestScratch, IngestSpec, Policy, ServeConfig,
+};
+use drp_workload::{PatternChange, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const SEED: u64 = 0x1463;
+
+struct Args {
+    out_path: String,
+    sites: usize,
+    objects: usize,
+    period: u64,
+    reps: usize,
+    budget_reqs: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_path: "BENCH_serve_throughput.json".to_string(),
+        sites: 1000,
+        objects: 40,
+        period: 512,
+        reps: 3,
+        budget_reqs: 1e6,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--sites" => args.sites = value("--sites").parse().expect("--sites"),
+            "--objects" => args.objects = value("--objects").parse().expect("--objects"),
+            "--period" => args.period = value("--period").parse().expect("--period"),
+            "--reps" => args.reps = value("--reps").parse().expect("--reps"),
+            "--budget-reqs" => {
+                args.budget_reqs = value("--budget-reqs").parse().expect("--budget-reqs");
+            }
+            other if !other.starts_with("--") => args.out_path = other.to_string(),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// FNV-1a over the admitted queues and the per-site admission report: the
+/// cross-thread-count determinism certificate.
+fn ingest_hash(scratch: &IngestScratch, outcome: &drp_serve::IngestOutcome) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for queue in &scratch.queues {
+        eat(queue.len() as u64);
+        for &(time, object, write) in queue {
+            eat(time);
+            eat(object as u64);
+            eat(u64::from(write));
+        }
+    }
+    for site in 0..outcome.report.offered_by_site.len() {
+        eat(outcome.report.offered_by_site[site]);
+        eat(outcome.report.shed_by_site[site]);
+        eat(outcome.report.admitted_by_site[site]);
+    }
+    eat(outcome.admitted_reads);
+    eat(outcome.admitted_writes);
+    hash
+}
+
+struct IngestRow {
+    threads: usize,
+    offered: u64,
+    shed: u64,
+    elapsed_ms: f64,
+    req_per_sec: f64,
+    hash: u64,
+}
+
+/// Times `reps` ingested epochs at one worker count. The first rep's hash
+/// certifies the run; all reps share it (same seed, asserted).
+fn bench_ingest(problem: &Problem, args: &Args, threads: usize, admission_limit: u64) -> IngestRow {
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+    let spec = IngestSpec {
+        problem,
+        period: args.period,
+        seed: SEED,
+        admission_limit,
+        threads,
+        batch: 0,
+        depth: 0,
+    };
+    let mut scratch = IngestScratch::new();
+    let mut reads = DenseMatrix::zeros(m, n);
+    let mut writes = DenseMatrix::zeros(m, n);
+    // Warm-up: grow the scratch buffers outside the timed region.
+    let warm = ingest_epoch(&spec, &mut scratch, &mut reads, &mut writes);
+    let hash = ingest_hash(&scratch, &warm);
+
+    let mut offered = 0u64;
+    let mut shed = 0u64;
+    let started = Instant::now();
+    for _ in 0..args.reps {
+        let mut reads = DenseMatrix::zeros(m, n);
+        let mut writes = DenseMatrix::zeros(m, n);
+        let out = ingest_epoch(&spec, &mut scratch, &mut reads, &mut writes);
+        offered += out.report.offered();
+        shed += out.report.shed();
+        assert_eq!(
+            ingest_hash(&scratch, &out),
+            hash,
+            "ingest drifted across reps"
+        );
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    IngestRow {
+        threads,
+        offered,
+        shed,
+        elapsed_ms: elapsed * 1e3,
+        req_per_sec: offered as f64 / elapsed.max(1e-9),
+        hash,
+    }
+}
+
+/// A per-site admission cap that sheds the top decile of sites, so the
+/// backpressure accounting is exercised with a deterministic shed count.
+fn shedding_limit(problem: &Problem, args: &Args) -> u64 {
+    let spec = IngestSpec {
+        problem,
+        period: args.period,
+        seed: SEED,
+        admission_limit: 0,
+        threads: 1,
+        batch: 0,
+        depth: 0,
+    };
+    let mut scratch = IngestScratch::new();
+    let mut reads = DenseMatrix::zeros(problem.num_sites(), problem.num_objects());
+    let mut writes = DenseMatrix::zeros(problem.num_sites(), problem.num_objects());
+    let out = ingest_epoch(&spec, &mut scratch, &mut reads, &mut writes);
+    let mut by_site = out.report.offered_by_site.clone();
+    by_site.sort_unstable();
+    by_site[by_site.len() * 9 / 10].max(1)
+}
+
+struct ServiceRow {
+    total_ntc: u64,
+    hot_promotions: u64,
+    hot_demotions: u64,
+    fingerprint: u64,
+}
+
+/// One small closed-loop service run under drift; `hot` toggles the
+/// fast path, `threads` the ingestion workers.
+fn bench_service(hot: bool, threads: usize) -> ServiceRow {
+    let spec = WorkloadSpec::paper(24, 16, 6.0, 35.0);
+    let problem = spec
+        .generate(&mut StdRng::seed_from_u64(SEED))
+        .expect("service instance generates");
+    let config = ServeConfig {
+        policy: Policy::Monitor,
+        epochs: 4,
+        period: 256,
+        seed: SEED,
+        night_every: 3,
+        drift: Some(PatternChange {
+            change_percent: 500.0,
+            objects_percent: 40.0,
+            read_share: 0.9,
+        }),
+        threads,
+        hot: hot.then(HotKeyConfig::default),
+        ..ServeConfig::default()
+    };
+    let report = run_service(&problem, &config).expect("service runs");
+    ServiceRow {
+        total_ntc: report.totals.total_ntc,
+        hot_promotions: report.totals.hot_promotions,
+        hot_demotions: report.totals.hot_demotions,
+        fingerprint: report.fingerprint(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let problem = WorkloadSpec::paper(args.sites, args.objects, 10.0, 25.0)
+        .generate(&mut StdRng::seed_from_u64(SEED))
+        .expect("ingest instance generates");
+    let admission_limit = shedding_limit(&problem, &args);
+
+    let rows: Vec<IngestRow> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| bench_ingest(&problem, &args, t, admission_limit))
+        .collect();
+    let parity = rows.iter().all(|r| r.hash == rows[0].hash);
+    let budget_row = &rows[1]; // threads == 2, the headline configuration
+
+    let hot_on = bench_service(true, 1);
+    let hot_on_t2 = bench_service(true, 2);
+    let hot_off = bench_service(false, 1);
+
+    let config = drp_bench::thread_fields(
+        Fields::new()
+            .text("unit", "req/s")
+            .int("seed", SEED)
+            .int("sites", args.sites as u64)
+            .int("objects", args.objects as u64)
+            .int("period", args.period)
+            .int("reps", args.reps as u64)
+            .int("admission_limit", admission_limit),
+    );
+    let mut report = Report::new(
+        "serve_throughput",
+        config,
+        Budget::at_least(
+            "ingest_req_per_sec_two_workers",
+            args.budget_reqs,
+            budget_row.req_per_sec,
+        ),
+    );
+    for row in &rows {
+        report.sample(
+            Fields::new()
+                .text("kind", "ingest")
+                .int("threads", row.threads as u64)
+                .int("offered", row.offered)
+                .int("shed", row.shed)
+                .float("elapsed_ms", row.elapsed_ms, 2)
+                .float("req_per_sec", row.req_per_sec, 0)
+                .text("queue_hash", &format!("{:016x}", row.hash))
+                .flag("ingest_parity", parity),
+        );
+    }
+    report.sample(
+        Fields::new()
+            .text("kind", "hot_service")
+            .int("sites", 24)
+            .int("objects", 16)
+            .int("epochs", 4)
+            .int("hot_promotions", hot_on.hot_promotions)
+            .int("hot_demotions", hot_on.hot_demotions)
+            .int("total_ntc_hot", hot_on.total_ntc)
+            .int("total_ntc_baseline", hot_off.total_ntc)
+            .flag("hot_ntc_ok", hot_on.total_ntc <= hot_off.total_ntc)
+            .text("fingerprint_hot", &format!("{:016x}", hot_on.fingerprint))
+            .text(
+                "fingerprint_baseline",
+                &format!("{:016x}", hot_off.fingerprint),
+            )
+            .flag(
+                "service_thread_parity",
+                hot_on.fingerprint == hot_on_t2.fingerprint,
+            ),
+    );
+    report.write(&args.out_path);
+    assert!(parity, "ingest hash differs across worker counts");
+    assert_eq!(
+        hot_on.fingerprint, hot_on_t2.fingerprint,
+        "service fingerprint differs across ingestion worker counts"
+    );
+    assert!(
+        budget_row.req_per_sec >= args.budget_reqs,
+        "two-worker ingest ran at {:.0} req/s, under the {:.0} floor",
+        budget_row.req_per_sec,
+        args.budget_reqs
+    );
+}

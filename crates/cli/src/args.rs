@@ -175,6 +175,8 @@ pub enum Command {
         night_every: usize,
         /// Per-site admitted-request cap per epoch (0 = unlimited).
         admission_limit: u64,
+        /// Ingestion worker threads (0 = auto from `DRP_THREADS`/cores).
+        threads: usize,
         /// Pattern drift as `(change%, objects%, read share)`.
         drift: Option<(f64, f64, f64)>,
         /// Crash windows as `(site, from, until)`.
@@ -474,6 +476,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut seed = 0u64;
             let mut night_every = 0usize;
             let mut admission_limit = 0u64;
+            let mut threads = 0usize;
             let mut drift = None;
             let mut crashes = Vec::new();
             let mut drop = 0.0f64;
@@ -495,6 +498,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--admission-limit" => {
                         admission_limit = parse_num(stream.next_value(flag)?, flag)?;
                     }
+                    "--threads" => threads = parse_num(stream.next_value(flag)?, flag)?,
                     "--drift" => drift = Some(parse_drift(stream.next_value(flag)?)?),
                     "--crash" => crashes.push(parse_crash(stream.next_value(flag)?)?),
                     "--drop" => drop = parse_num(stream.next_value(flag)?, flag)?,
@@ -541,6 +545,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 night_every,
                 admission_limit,
+                threads,
                 drift,
                 crashes,
                 drop,
@@ -742,6 +747,30 @@ mod tests {
             other => panic!("wrong command: {other:?}"),
         }
         assert!(parse(&argv("solve --instance a.drp --algorithm sra --trace-out")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_threads_round_trip() {
+        let cmd = parse(&argv(
+            "serve --instance net.drp --policy monitor --epochs 4 --threads 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                epochs, threads, ..
+            } => {
+                assert_eq!(epochs, 4);
+                assert_eq!(threads, 3);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Omitted flag means 0 = auto-detect from DRP_THREADS / core count.
+        match parse(&argv("serve --instance net.drp")).unwrap() {
+            Command::Serve { threads, .. } => assert_eq!(threads, 0),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&argv("serve --instance net.drp --threads")).is_err());
+        assert!(parse(&argv("serve --instance net.drp --threads x")).is_err());
     }
 
     #[test]

@@ -392,6 +392,7 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
             seed,
             night_every,
             admission_limit,
+            threads,
             drift,
             crashes,
             drop,
@@ -431,6 +432,7 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                 seed,
                 night_every,
                 admission_limit,
+                threads,
                 drift: drift.map(
                     |(change_percent, objects_percent, read_share)| PatternChange {
                         change_percent,

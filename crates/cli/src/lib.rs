@@ -39,6 +39,7 @@ usage:
                [--mini N] [--threshold PCT] [--seed N] [-o FILE]
   drp serve    --instance FILE [--policy static|monitor|adr] [--epochs N]
                [--period T] [--seed N] [--night-every K] [--admission-limit N]
+               [--threads N]
                [--drift CHANGE%:OBJECTS%:READSHARE] [--crash SITE@FROM..UNTIL]...
                [--drop P] [--jitter J] [--report-out FILE] [--trace-out FILE]
                [--wal-dir DIR [--recover] [--checkpoint-every K]]";

@@ -111,6 +111,21 @@ impl<T> DenseMatrix<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
         self.data.iter()
     }
+
+    /// The backing row-major storage as one slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The backing row-major storage as one mutable slice.
+    ///
+    /// Rows occupy disjoint `cols`-sized runs, so callers can
+    /// `split_at_mut` the slice at row boundaries and hand each piece to a
+    /// different worker — the ingestion shards fill their observed-traffic
+    /// rows this way without locking.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
 }
 
 impl DenseMatrix<u64> {

@@ -181,6 +181,73 @@ impl fmt::Display for DegradationReport {
     }
 }
 
+/// Admission accounting for one ingested epoch, per site and in total.
+///
+/// Produced by the `drp-serve` ingestion front end: every offered request
+/// is either admitted (handed to the epoch engine) or shed at the site's
+/// admission limit, so `offered[i] == admitted[i] + shed[i]` holds for
+/// every site — asserted by the ingestion property tests. All counts are
+/// integral and independent of how many ingestion threads ran.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Requests the trace offered to each site this epoch.
+    pub offered_by_site: Vec<u64>,
+    /// Requests admitted into each site's epoch queue.
+    pub admitted_by_site: Vec<u64>,
+    /// Requests shed at each site's admission limit.
+    pub shed_by_site: Vec<u64>,
+    /// Batches the producer pulled from the trace stream.
+    pub batches: u64,
+}
+
+impl IngestReport {
+    /// Creates an all-zero report for `num_sites` sites.
+    pub fn zeros(num_sites: usize) -> Self {
+        Self {
+            offered_by_site: vec![0; num_sites],
+            admitted_by_site: vec![0; num_sites],
+            shed_by_site: vec![0; num_sites],
+            batches: 0,
+        }
+    }
+
+    /// Total requests offered across all sites.
+    pub fn offered(&self) -> u64 {
+        self.offered_by_site.iter().sum()
+    }
+
+    /// Total requests admitted across all sites.
+    pub fn admitted(&self) -> u64 {
+        self.admitted_by_site.iter().sum()
+    }
+
+    /// Total requests shed across all sites.
+    pub fn shed(&self) -> u64 {
+        self.shed_by_site.iter().sum()
+    }
+
+    /// Does `offered == admitted + shed` hold at every site?
+    pub fn balanced(&self) -> bool {
+        self.offered_by_site.len() == self.admitted_by_site.len()
+            && self.offered_by_site.len() == self.shed_by_site.len()
+            && (0..self.offered_by_site.len())
+                .all(|i| self.offered_by_site[i] == self.admitted_by_site[i] + self.shed_by_site[i])
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingest: offered={} admitted={} shed={} batches={}",
+            self.offered(),
+            self.admitted(),
+            self.shed(),
+            self.batches
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +270,25 @@ mod tests {
         assert_eq!(report.extra_replicas, 0);
         let text = report.to_string();
         assert!(text.contains("test") && text.contains("savings=0.00%"));
+    }
+
+    #[test]
+    fn ingest_report_balances_and_displays() {
+        let mut r = IngestReport::zeros(3);
+        assert!(r.balanced());
+        r.offered_by_site = vec![5, 0, 7];
+        r.admitted_by_site = vec![5, 0, 4];
+        r.shed_by_site = vec![0, 0, 3];
+        r.batches = 2;
+        assert!(r.balanced());
+        assert_eq!(r.offered(), 12);
+        assert_eq!(r.admitted(), 9);
+        assert_eq!(r.shed(), 3);
+        r.shed_by_site[0] = 1;
+        assert!(!r.balanced());
+        r.shed_by_site[0] = 0;
+        let text = r.to_string();
+        assert!(text.contains("offered=12") && text.contains("batches=2"));
     }
 
     #[test]

@@ -212,7 +212,7 @@ pub fn replay_verified(problem: &Problem, scheme: &ReplicationScheme) -> Result<
             }) as Box<dyn Node<ReplayMsg>>
         })
         .collect();
-    let mut sim = Simulator::new(problem.costs().clone(), nodes)?;
+    let mut sim = Simulator::new(problem.costs(), nodes)?;
     sim.run_to_completion()?;
 
     let received = shared

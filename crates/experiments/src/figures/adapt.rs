@@ -75,7 +75,17 @@ impl Params {
     }
 }
 
-const POLICIES: [Policy; 3] = [Policy::Static, Policy::Monitor, Policy::Adr];
+/// `(label, policy, hot fast path)` rows of the study. `monitor+hot`
+/// runs the same monitor policy with the windowed hot-object detector
+/// issuing capacity-checked replica boosts between retunes; every boost
+/// must pay for its own fetch, so its total NTC can only improve on
+/// plain `monitor`.
+const VARIANTS: [(&str, Policy, bool); 4] = [
+    ("static", Policy::Static, false),
+    ("monitor", Policy::Monitor, false),
+    ("monitor+hot", Policy::Monitor, true),
+    ("adr", Policy::Adr, false),
+];
 
 /// Runs the adaptation study: cumulative NTC per policy under drift.
 pub fn run(params: &Params) -> Vec<Table> {
@@ -101,10 +111,11 @@ pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> 
             "rebuilds".into(),
             "moves".into(),
             "stale reads".into(),
+            "hot promos".into(),
         ],
     );
     let mut static_total = None;
-    for policy in POLICIES {
+    for (label, policy, hot) in VARIANTS {
         let _point = telemetry::span(recorder.as_ref(), "adapt.policy");
         let runs = run_parallel(params.instances, |instance| {
             let seed = mix_seed(&[params.seed, 0xADA7, instance as u64]);
@@ -117,6 +128,7 @@ pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> 
                 seed,
                 night_every: params.night_every,
                 drift: Some(params.drift),
+                hot: hot.then(drp_serve::HotKeyConfig::default),
                 ..ServeConfig::default()
             };
             let report =
@@ -130,6 +142,7 @@ pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> 
                 t.rebuilds as f64,
                 t.migration_moves as f64,
                 t.reads_stale as f64,
+                t.hot_promotions as f64,
             ]
         });
         let mean = |metric: usize| {
@@ -139,7 +152,7 @@ pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> 
         let total = mean(2);
         let baseline = *static_total.get_or_insert(total);
         table.push_row(vec![
-            policy.name().into(),
+            label.into(),
             fmt2(mean(0)),
             fmt2(mean(1)),
             fmt2(total),
@@ -148,8 +161,9 @@ pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> 
             fmt2(mean(4)),
             fmt2(mean(5)),
             fmt2(mean(6)),
+            fmt2(mean(7)),
         ]);
-        eprintln!("  [adapt] policy {} done", policy.name());
+        eprintln!("  [adapt] policy {label} done");
     }
     vec![table]
 }
@@ -179,15 +193,22 @@ mod tests {
     fn adaptive_policies_beat_the_frozen_baseline() {
         let tables = run(&tiny_params());
         let rows = &tables[0].rows;
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         let total = |row: &[String]| -> f64 { row[3].parse().unwrap() };
         let static_total = total(&rows[0]);
         let monitor_total = total(&rows[1]);
+        let hot_total = total(&rows[2]);
         assert_eq!(rows[0][0], "static");
         assert_eq!(rows[1][0], "monitor");
+        assert_eq!(rows[2][0], "monitor+hot");
+        assert_eq!(rows[3][0], "adr");
         assert!(
             monitor_total < static_total,
             "monitor {monitor_total} must beat static {static_total} under drift"
+        );
+        assert!(
+            hot_total <= monitor_total,
+            "the hot fast path billed {hot_total} vs plain monitor {monitor_total}"
         );
         assert!(
             rows[1][5].parse::<f64>().unwrap() > 0.0,

@@ -124,7 +124,7 @@ impl<P> Context<'_, P> {
 ///
 /// See the [module documentation](crate::sim) for an example.
 pub struct Simulator<'a, P> {
-    costs: CostMatrix,
+    costs: &'a CostMatrix,
     nodes: Vec<Box<dyn Node<P> + 'a>>,
     queue: EventQueue<P>,
     stats: TrafficStats,
@@ -159,7 +159,7 @@ impl<'a, P> Simulator<'a, P> {
     ///
     /// Returns [`NetError::BadTopologyParams`] if the number of nodes does
     /// not match the number of sites in `costs`.
-    pub fn new(costs: CostMatrix, nodes: Vec<Box<dyn Node<P> + 'a>>) -> Result<Self> {
+    pub fn new(costs: &'a CostMatrix, nodes: Vec<Box<dyn Node<P> + 'a>>) -> Result<Self> {
         if nodes.len() != costs.num_sites() {
             return Err(NetError::BadTopologyParams {
                 reason: format!(
@@ -576,8 +576,9 @@ mod tests {
 
     #[test]
     fn request_reply_accounts_only_data_traffic() -> TestResult {
+        let costs = two_site_costs()?;
         let mut sim = Simulator::new(
-            two_site_costs()?,
+            &costs,
             vec![Box::new(Client::default()), Box::new(Server::default())],
         )?;
         sim.run_to_completion()?;
@@ -592,7 +593,8 @@ mod tests {
 
     #[test]
     fn node_count_must_match_sites() -> TestResult {
-        let err = Simulator::<P>::new(two_site_costs()?, vec![Box::new(Client::default())]);
+        let costs = two_site_costs()?;
+        let err = Simulator::<P>::new(&costs, vec![Box::new(Client::default())]);
         assert!(err.is_err());
         Ok(())
     }
@@ -615,8 +617,9 @@ mod tests {
                 self.arrived_at = Some(ctx.now());
             }
         }
+        let costs = two_site_costs()?;
         let mut sim = Simulator::new(
-            two_site_costs()?,
+            &costs,
             vec![Box::new(Probe), Box::new(Sink { arrived_at: None })],
         )?;
         sim.run_to_completion()?;
@@ -635,7 +638,8 @@ mod tests {
                 ctx.send(msg.src, 1, ());
             }
         }
-        let mut sim = Simulator::new(two_site_costs()?, vec![Box::new(Looper), Box::new(Looper)])?;
+        let costs = two_site_costs()?;
+        let mut sim = Simulator::new(&costs, vec![Box::new(Looper), Box::new(Looper)])?;
         match sim.run_for_events(10) {
             Err(SimError::EventBudgetExhausted {
                 budget,
@@ -657,7 +661,8 @@ mod tests {
         impl Node<()> for Quiet {
             fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _msg: Message<()>) {}
         }
-        let mut sim = Simulator::new(two_site_costs()?, vec![Box::new(Quiet), Box::new(Quiet)])?;
+        let costs = two_site_costs()?;
+        let mut sim = Simulator::new(&costs, vec![Box::new(Quiet), Box::new(Quiet)])?;
         assert!(!sim.step());
         assert_eq!(sim.events_processed(), 0);
         Ok(())
@@ -714,8 +719,9 @@ mod tests {
 
     #[test]
     fn crashed_destination_loses_arrivals() -> TestResult {
+        let costs = two_site_costs()?;
         let mut sim = Simulator::new(
-            two_site_costs()?,
+            &costs,
             vec![
                 Box::new(Ticker::new(1, 10)),
                 Box::new(Ticker::new(0, 0)), // silent peer
@@ -735,8 +741,9 @@ mod tests {
 
     #[test]
     fn crash_suppresses_timers_and_effects_until_recovery() -> TestResult {
+        let costs = two_site_costs()?;
         let mut sim = Simulator::new(
-            two_site_costs()?,
+            &costs,
             vec![Box::new(Ticker::new(1, 1_000)), Box::new(Ticker::new(0, 0))],
         )?;
         // Node 0 crashes mid-run and recovers: its tick chain stops (the
@@ -757,8 +764,9 @@ mod tests {
 
     #[test]
     fn partitions_block_without_charging() -> TestResult {
+        let costs = two_site_costs()?;
         let mut sim = Simulator::new(
-            two_site_costs()?,
+            &costs,
             vec![Box::new(Ticker::new(1, 5)), Box::new(Ticker::new(0, 0))],
         )?;
         sim.set_fault_plan(FaultPlan::new(0).partition(0, 1, 0, 1_000));
@@ -771,8 +779,9 @@ mod tests {
 
     #[test]
     fn jitter_delays_but_delivers_everything() -> TestResult {
+        let costs = two_site_costs()?;
         let mut sim = Simulator::new(
-            two_site_costs()?,
+            &costs,
             vec![Box::new(Ticker::new(1, 8)), Box::new(Ticker::new(0, 0))],
         )?;
         sim.set_fault_plan(FaultPlan::new(11).jitter(9));
@@ -785,8 +794,9 @@ mod tests {
     fn recorder_publishes_event_and_fault_counters() -> TestResult {
         use crate::telemetry::InMemoryRecorder;
 
+        let costs = two_site_costs()?;
         let mut sim = Simulator::new(
-            two_site_costs()?,
+            &costs,
             vec![Box::new(Ticker::new(1, 10)), Box::new(Ticker::new(0, 0))],
         )?;
         sim.set_fault_plan(FaultPlan::new(0).crash(1, 0, 1_000));
@@ -811,8 +821,9 @@ mod tests {
     #[test]
     fn identical_plans_give_identical_runs() -> TestResult {
         let run = |seed: u64| -> Result<(TrafficStats, FaultStats, Time)> {
+            let costs = two_site_costs()?;
             let mut sim = Simulator::new(
-                two_site_costs()?,
+                &costs,
                 vec![Box::new(Ticker::new(1, 50)), Box::new(Ticker::new(0, 50))],
             )?;
             sim.set_fault_plan(

@@ -44,7 +44,7 @@
 //! }
 //!
 //! let costs = CostMatrix::from_rows(2, vec![0, 3, 3, 0])?;
-//! let mut sim = Simulator::new(costs, vec![Box::new(Ping), Box::new(Pong)])?;
+//! let mut sim = Simulator::new(&costs, vec![Box::new(Ping), Box::new(Pong)])?;
 //! sim.run_to_completion()?;
 //! assert_eq!(sim.stats().transfer_cost, 2 * 3); // one unit × C=3, both ways
 //! # Ok::<(), drp_net::NetError>(())

@@ -31,9 +31,8 @@ use drp_core::migration::MigrationPlan;
 use drp_core::telemetry::Recorder;
 use drp_core::{DenseMatrix, ObjectId, Problem, ReplicationScheme};
 use drp_net::sim::{Context, FaultPlan, FaultStats, Message, Node, Simulator};
-use drp_workload::trace::{self, RequestKind};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+use crate::ingest::{self, IngestScratch};
 
 /// Timer/retry knobs of the migration executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +155,8 @@ pub(crate) struct EpochSpec<'a> {
     pub seed: u64,
     /// `false` runs migration only (no serving traffic).
     pub traffic: bool,
+    /// Ingestion worker threads (1 = inline on the caller's thread).
+    pub threads: usize,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -221,15 +222,16 @@ struct LiveState {
     migration_ntc: u64,
 }
 
-struct Shared {
-    problem: Problem,
-    /// Per-site admitted request queues: `(time, object, is_write)`.
-    queues: Vec<Vec<(u64, usize, bool)>>,
+struct Shared<'a> {
+    problem: &'a Problem,
+    /// Per-site admitted request queues: `(time, object, is_write)`,
+    /// borrowed from the caller's reusable [`IngestScratch`].
+    queues: &'a [Vec<(u64, usize, bool)>],
     tuning: MigrationTuning,
     state: Mutex<LiveState>,
 }
 
-impl Shared {
+impl Shared<'_> {
     fn cost(&self, a: usize, b: usize) -> u64 {
         self.problem.costs().cost(a, b)
     }
@@ -239,11 +241,11 @@ impl Shared {
     }
 }
 
-struct ServeNode {
-    shared: Arc<Shared>,
+struct ServeNode<'a> {
+    shared: Arc<Shared<'a>>,
 }
 
-impl ServeNode {
+impl ServeNode<'_> {
     /// Nearest current holder of `object` as seen from `me`: min link cost,
     /// site id as the deterministic tie-break.
     fn nearest_holder(&self, state: &LiveState, me: usize, object: usize) -> Option<usize> {
@@ -364,7 +366,7 @@ impl ServeNode {
     }
 }
 
-impl Node<Msg> for ServeNode {
+impl Node<Msg> for ServeNode<'_> {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
         for (index, &(time, _, _)) in self.shared.queues[ctx.node_id()].iter().enumerate() {
             ctx.set_timer(time, Msg::Fire { index });
@@ -386,11 +388,14 @@ impl Node<Msg> for ServeNode {
             }
             Msg::MigrateKick => {
                 let me = ctx.node_id();
+                // Take the pending list instead of cloning it; `ctx` calls
+                // only enqueue events (no reentrant state access), so the
+                // list can be put back untouched after the sends.
                 let fetches = {
-                    let state = self.shared.state.lock().expect("state lock");
-                    state.pending[me].clone()
+                    let mut state = self.shared.state.lock().expect("state lock");
+                    std::mem::take(&mut state.pending[me])
                 };
-                for fetch in fetches {
+                for fetch in &fetches {
                     ctx.send(
                         fetch.source,
                         0,
@@ -406,6 +411,7 @@ impl Node<Msg> for ServeNode {
                         },
                     );
                 }
+                self.shared.state.lock().expect("state lock").pending[me] = fetches;
             }
             Msg::FetchRetry { object, attempt } => {
                 let me = ctx.node_id();
@@ -493,66 +499,59 @@ impl Node<Msg> for ServeNode {
     }
 }
 
-/// Runs one epoch and harvests its outcome.
+/// Runs one epoch and harvests its outcome. The caller owns the
+/// [`IngestScratch`] so its buffers amortize across epochs; the admitted
+/// queues it holds stay valid (and borrowed) for the whole epoch.
 pub(crate) fn run_epoch(
     spec: &EpochSpec<'_>,
+    scratch: &mut IngestScratch,
     recorder: Arc<dyn Recorder>,
 ) -> drp_core::Result<EpochOutcome> {
     let problem = spec.problem;
     let m = problem.num_sites();
     let n = problem.num_objects();
 
-    // Streaming driver: pull this period's requests incrementally, count
-    // them into the observation window, and admit up to the per-site limit
-    // in arrival order.
+    // Ingestion front end: stream this period's requests in batches
+    // through the sharded admission pipeline (see [`crate::ingest`]),
+    // leaving the admitted per-site queues in the scratch.
     let mut observed_reads = DenseMatrix::zeros(m, n);
     let mut observed_writes = DenseMatrix::zeros(m, n);
-    let mut arrivals: Vec<Vec<(u64, u64, usize, bool)>> = vec![Vec::new(); m];
     let mut counters = Counters::default();
-    if spec.traffic {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
-        for (seq, request) in trace::stream(problem, spec.period, &mut rng).enumerate() {
-            counters.offered += 1;
-            let (i, k) = (request.site.index(), request.object.index());
-            let is_write = request.kind == RequestKind::Write;
-            if is_write {
-                *observed_writes.get_mut(i, k) += 1;
-            } else {
-                *observed_reads.get_mut(i, k) += 1;
-            }
-            arrivals[i].push((request.time, seq as u64, k, is_write));
-        }
-    }
     let mut shed_by_site = vec![0u64; m];
-    let mut queues: Vec<Vec<(u64, usize, bool)>> = Vec::with_capacity(m);
-    for (site, mut list) in arrivals.into_iter().enumerate() {
-        list.sort_unstable();
-        let limit = if spec.admission_limit == 0 {
-            list.len()
-        } else {
-            // On 32-bit targets a plain `as usize` would truncate a large
-            // u64 limit and shed requests that were admitted; saturating
-            // keeps "limit >= queue length" meaning "admit everything".
-            usize::try_from(spec.admission_limit).unwrap_or(usize::MAX)
-        };
-        shed_by_site[site] = list.len().saturating_sub(limit) as u64;
-        counters.shed += shed_by_site[site];
-        list.truncate(limit);
-        for &(_, _, _, is_write) in &list {
-            if is_write {
-                counters.writes_issued += 1;
-            } else {
-                counters.reads_issued += 1;
-            }
-        }
-        queues.push(
-            list.into_iter()
-                .map(|(time, _, object, is_write)| (time, object, is_write))
-                .collect(),
+    let mut admitted_by_site = vec![0u64; m];
+    if spec.traffic {
+        let ingested = ingest::ingest_epoch(
+            &ingest::IngestSpec {
+                problem,
+                period: spec.period,
+                seed: spec.seed,
+                admission_limit: spec.admission_limit,
+                threads: spec.threads,
+                batch: 0,
+                depth: 0,
+            },
+            scratch,
+            &mut observed_reads,
+            &mut observed_writes,
         );
+        counters.offered = ingested.report.offered();
+        counters.shed = ingested.report.shed();
+        counters.reads_issued = ingested.admitted_reads;
+        counters.writes_issued = ingested.admitted_writes;
+        counters.admitted = ingested.admitted_reads + ingested.admitted_writes;
+        shed_by_site.copy_from_slice(&ingested.report.shed_by_site);
+        admitted_by_site.copy_from_slice(&ingested.report.admitted_by_site);
+        if recorder.enabled() {
+            recorder.add_counter("ingest.offered", counters.offered);
+            recorder.add_counter("ingest.admitted", counters.admitted);
+            recorder.add_counter("ingest.shed", counters.shed);
+            recorder.add_counter("ingest.batches", ingested.report.batches);
+        }
+    } else {
+        // Migration-only epoch: make sure no stale queues from a previous
+        // epoch leak into the simulator.
+        scratch.reset(m);
     }
-    counters.admitted = counters.reads_issued + counters.writes_issued;
-    let admitted_by_site: Vec<u64> = queues.iter().map(|q| q.len() as u64).collect();
 
     // Directory bootstrap: current holders, plus the migration plan staged
     // as pending fetches. Objects with removals but no additions cut over
@@ -594,8 +593,8 @@ pub(crate) fn run_epoch(
     }
 
     let shared = Arc::new(Shared {
-        problem: problem.clone(),
-        queues,
+        problem,
+        queues: &scratch.queues,
         tuning: spec.tuning,
         state: Mutex::new(LiveState {
             holds,
@@ -609,15 +608,14 @@ pub(crate) fn run_epoch(
             migration_ntc: 0,
         }),
     });
-    let nodes: Vec<Box<dyn Node<Msg>>> = (0..m)
+    let nodes: Vec<Box<dyn Node<Msg> + '_>> = (0..m)
         .map(|_| {
             Box::new(ServeNode {
                 shared: Arc::clone(&shared),
-            }) as Box<dyn Node<Msg>>
+            }) as Box<dyn Node<Msg> + '_>
         })
         .collect();
-    let mut sim =
-        Simulator::new(problem.costs().clone(), nodes).map_err(drp_core::CoreError::from)?;
+    let mut sim = Simulator::new(problem.costs(), nodes).map_err(drp_core::CoreError::from)?;
     sim.set_recorder(recorder);
     if let Some(plan) = spec.faults.clone() {
         sim.set_fault_plan(plan);

@@ -1,0 +1,458 @@
+//! Thread-per-core ingestion front end for the serving runtime.
+//!
+//! One epoch's request trace is pulled from [`drp_workload::trace::stream`]
+//! in fixed-size batches by a single producer (the rng draw order is the
+//! serial, determinism-bearing part) and routed to shard workers over
+//! *bounded* channels — a worker that falls behind blocks the producer,
+//! which is the backpressure contract. Sites are partitioned into
+//! contiguous shard ranges, so each worker owns a disjoint set of per-site
+//! queues and a disjoint block of rows in the observed-traffic matrices:
+//! no locks anywhere on the hot path.
+//!
+//! Determinism: a site's arrival buffer receives exactly the producer's
+//! sub-sequence for that site, in producer order, no matter how many
+//! workers run (each site has one owner, and the per-worker channel is
+//! FIFO). Sorting by `(time, per-site sequence)` therefore reproduces the
+//! single-threaded `(time, global sequence)` order restricted to the site,
+//! and the admitted queues — and everything downstream of them — are
+//! bitwise-identical across `threads` ∈ {1, 2, 4, …}. The shed accounting
+//! satisfies `offered == admitted + shed` per site, asserted by property
+//! tests.
+//!
+//! With `threads == 1` the whole pipeline runs inline on the caller's
+//! thread: no channels, no spawns, same code for counting and finalizing.
+
+use drp_core::{DenseMatrix, IngestReport, Problem};
+use drp_workload::trace::{self, Request, RequestKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Requests per producer pull from the trace stream.
+pub const DEFAULT_BATCH: usize = 8_192;
+/// Bounded-channel depth, in batches, before the producer blocks.
+pub const DEFAULT_DEPTH: usize = 4;
+
+/// Inputs of one ingested epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestSpec<'a> {
+    /// The instance whose aggregate pattern is streamed.
+    pub problem: &'a Problem,
+    /// Period length in simulator time units.
+    pub period: u64,
+    /// Stream seed for the request timestamps.
+    pub seed: u64,
+    /// Per-site admitted-request cap (0 = unlimited).
+    pub admission_limit: u64,
+    /// Ingestion worker threads (values < 1 mean 1; capped at the site
+    /// count). Any value yields bitwise-identical queues and reports.
+    pub threads: usize,
+    /// Requests per producer batch (0 = [`DEFAULT_BATCH`]).
+    pub batch: usize,
+    /// Channel depth in batches (0 = [`DEFAULT_DEPTH`]).
+    pub depth: usize,
+}
+
+/// One routed arrival in a site's buffer. `seq` is the site-local arrival
+/// index — the restriction of the producer's global order to this site —
+/// which makes the admission sort thread-count-independent.
+#[derive(Debug, Clone, Copy)]
+struct SiteReq {
+    time: u64,
+    seq: u32,
+    object: u32,
+    write: bool,
+}
+
+/// Reusable per-epoch buffers: arrival staging per site, the admitted
+/// queues the epoch engine mounts, and the producer's pull buffer. Hold
+/// one per serving loop and every epoch reuses the allocations.
+#[derive(Debug, Default)]
+pub struct IngestScratch {
+    sites: Vec<Vec<SiteReq>>,
+    /// Admitted per-site queues: `(time, object, is_write)`, time-ordered.
+    /// Valid until the next [`ingest_epoch`] call overwrites them.
+    pub queues: Vec<Vec<(u64, usize, bool)>>,
+    pull: Vec<Request>,
+}
+
+impl IngestScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn reset(&mut self, num_sites: usize) {
+        self.sites.resize_with(num_sites, Vec::new);
+        self.queues.resize_with(num_sites, Vec::new);
+        for buf in &mut self.sites {
+            buf.clear();
+        }
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.pull.clear();
+    }
+}
+
+/// What one ingested epoch produced, besides the queues in the scratch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Per-site admission accounting (`offered == admitted + shed`).
+    pub report: IngestReport,
+    /// Reads among the admitted requests.
+    pub admitted_reads: u64,
+    /// Writes among the admitted requests.
+    pub admitted_writes: u64,
+}
+
+/// The per-site admission cap as a queue length, saturating so an
+/// oversized u64 limit means "admit everything" on every target width.
+fn site_limit(admission_limit: u64, offered: usize) -> usize {
+    if admission_limit == 0 {
+        offered
+    } else {
+        usize::try_from(admission_limit).unwrap_or(usize::MAX)
+    }
+}
+
+/// Routes one request into its site buffer and the observation window.
+/// `base` is the first site of the owning shard; `reads`/`writes` are that
+/// shard's rows of the observed matrices.
+#[inline]
+fn absorb(
+    r: &Request,
+    base: usize,
+    n: usize,
+    sites: &mut [Vec<SiteReq>],
+    reads: &mut [u64],
+    writes: &mut [u64],
+) {
+    let local = r.site.index() - base;
+    let object = r.object.index();
+    let is_write = r.kind == RequestKind::Write;
+    if is_write {
+        writes[local * n + object] += 1;
+    } else {
+        reads[local * n + object] += 1;
+    }
+    let buf = &mut sites[local];
+    let seq = buf.len() as u32;
+    buf.push(SiteReq {
+        time: r.time,
+        seq,
+        object: object as u32,
+        write: is_write,
+    });
+}
+
+/// Sorts, sheds and drains one site's arrivals into its admitted queue.
+/// Returns `(offered, shed, admitted_reads, admitted_writes)`.
+fn finalize_site(
+    buf: &mut Vec<SiteReq>,
+    queue: &mut Vec<(u64, usize, bool)>,
+    admission_limit: u64,
+) -> (u64, u64, u64, u64) {
+    buf.sort_unstable_by_key(|r| (r.time, r.seq));
+    let offered = buf.len();
+    let limit = site_limit(admission_limit, offered);
+    let shed = offered.saturating_sub(limit);
+    buf.truncate(limit);
+    let (mut reads, mut writes) = (0u64, 0u64);
+    queue.reserve(buf.len());
+    for r in buf.drain(..) {
+        if r.write {
+            writes += 1;
+        } else {
+            reads += 1;
+        }
+        queue.push((r.time, r.object as usize, r.write));
+    }
+    (offered as u64, shed as u64, reads, writes)
+}
+
+/// Contiguous site ranges: shard `w` of `t` owns `[lo, hi)`.
+fn shard_ranges(num_sites: usize, threads: usize) -> Vec<(usize, usize)> {
+    let t = threads.max(1).min(num_sites.max(1));
+    (0..t)
+        .map(|w| (w * num_sites / t, (w + 1) * num_sites / t))
+        .collect()
+}
+
+/// Splits a row-major matrix slice into per-shard row blocks.
+fn split_rows<'x>(
+    mut slice: &'x mut [u64],
+    ranges: &[(usize, usize)],
+    cols: usize,
+) -> Vec<&'x mut [u64]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    for &(lo, hi) in ranges {
+        let (head, tail) = slice.split_at_mut((hi - lo) * cols);
+        out.push(head);
+        slice = tail;
+    }
+    out
+}
+
+/// Splits a per-site vector into per-shard blocks.
+fn split_sites<'x, T>(mut slice: &'x mut [T], ranges: &[(usize, usize)]) -> Vec<&'x mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    for &(lo, hi) in ranges {
+        let (head, tail) = slice.split_at_mut(hi - lo);
+        out.push(head);
+        slice = tail;
+    }
+    out
+}
+
+/// Streams one period's trace into per-site admitted queues (left in
+/// `scratch.queues`) and the observed-traffic matrices, using up to
+/// `spec.threads` shard workers. The matrices must be `m x n` and are
+/// *incremented*, not cleared — pass zeroed matrices for a fresh window.
+///
+/// Every offered request lands in the observation window; only admitted
+/// ones survive into the queues. All outputs are bitwise-identical for
+/// any `threads` value.
+pub fn ingest_epoch(
+    spec: &IngestSpec<'_>,
+    scratch: &mut IngestScratch,
+    observed_reads: &mut DenseMatrix<u64>,
+    observed_writes: &mut DenseMatrix<u64>,
+) -> IngestOutcome {
+    let problem = spec.problem;
+    let m = problem.num_sites();
+    let n = problem.num_objects();
+    assert_eq!(observed_reads.rows(), m, "observed_reads shape");
+    assert_eq!(observed_writes.rows(), m, "observed_writes shape");
+    scratch.reset(m);
+
+    let batch = if spec.batch == 0 {
+        DEFAULT_BATCH
+    } else {
+        spec.batch
+    };
+    let depth = if spec.depth == 0 {
+        DEFAULT_DEPTH
+    } else {
+        spec.depth
+    };
+    let threads = spec.threads.max(1).min(m.max(1));
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut stream = trace::stream(problem, spec.period, &mut rng);
+    let mut batches = 0u64;
+
+    if threads == 1 {
+        let reads = observed_reads.as_mut_slice();
+        let writes = observed_writes.as_mut_slice();
+        loop {
+            scratch.pull.clear();
+            if stream.fill(&mut scratch.pull, batch) == 0 {
+                break;
+            }
+            batches += 1;
+            for r in &scratch.pull {
+                absorb(r, 0, n, &mut scratch.sites, reads, writes);
+            }
+        }
+    } else {
+        let ranges = shard_ranges(m, threads);
+        let read_blocks = split_rows(observed_reads.as_mut_slice(), &ranges, n);
+        let write_blocks = split_rows(observed_writes.as_mut_slice(), &ranges, n);
+        let site_blocks = split_sites(&mut scratch.sites, &ranges);
+
+        let mut senders = Vec::with_capacity(ranges.len());
+        let mut workers = Vec::with_capacity(ranges.len());
+        for (((&(lo, _), sites), reads), writes) in ranges
+            .iter()
+            .zip(site_blocks)
+            .zip(read_blocks)
+            .zip(write_blocks)
+        {
+            let (tx, rx) = crossbeam::channel::bounded::<Vec<Request>>(depth);
+            senders.push(tx);
+            workers.push((lo, rx, sites, reads, writes));
+        }
+
+        std::thread::scope(|scope| {
+            for (lo, rx, sites, reads, writes) in workers {
+                scope.spawn(move || {
+                    while let Ok(sub) = rx.recv() {
+                        for r in &sub {
+                            absorb(r, lo, n, sites, reads, writes);
+                        }
+                    }
+                });
+            }
+
+            // Producer: pull a batch, partition it by shard, send each
+            // shard its sub-batch. `send` blocks while a shard's channel
+            // is full — bounded-queue backpressure.
+            let mut subs: Vec<Vec<Request>> = ranges.iter().map(|_| Vec::new()).collect();
+            loop {
+                scratch.pull.clear();
+                if stream.fill(&mut scratch.pull, batch) == 0 {
+                    break;
+                }
+                batches += 1;
+                for sub in &mut subs {
+                    sub.clear();
+                }
+                for &r in &scratch.pull {
+                    // Contiguous equal ranges: the owner index is direct.
+                    let w = (r.site.index() * ranges.len()) / m;
+                    let w = if r.site.index() < ranges[w].0 {
+                        w - 1
+                    } else if r.site.index() >= ranges[w].1 {
+                        w + 1
+                    } else {
+                        w
+                    };
+                    subs[w].push(r);
+                }
+                for (sub, tx) in subs.iter_mut().zip(&senders) {
+                    if !sub.is_empty() {
+                        tx.send(std::mem::take(sub)).expect("worker alive");
+                    }
+                }
+            }
+            drop(senders); // hang up: workers drain and exit
+        });
+    }
+
+    // Finalize per site on the caller's thread, in site order, so the
+    // report's aggregation order never depends on worker scheduling.
+    let mut report = IngestReport::zeros(m);
+    report.batches = batches;
+    let mut outcome = IngestOutcome::default();
+    for site in 0..m {
+        let (offered, shed, reads, writes) = finalize_site(
+            &mut scratch.sites[site],
+            &mut scratch.queues[site],
+            spec.admission_limit,
+        );
+        report.offered_by_site[site] = offered;
+        report.shed_by_site[site] = shed;
+        report.admitted_by_site[site] = offered - shed;
+        outcome.admitted_reads += reads;
+        outcome.admitted_writes += writes;
+    }
+    outcome.report = report;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drp_workload::WorkloadSpec;
+
+    fn problem(m: usize, n: usize, seed: u64) -> Problem {
+        WorkloadSpec::paper(m, n, 10.0, 25.0)
+            .generate(&mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    fn spec(problem: &Problem, threads: usize, admission_limit: u64) -> IngestSpec<'_> {
+        IngestSpec {
+            problem,
+            period: 500,
+            seed: 42,
+            admission_limit,
+            threads,
+            batch: 64, // small batches so multi-batch paths are exercised
+            depth: 2,
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_the_legacy_materialized_path() {
+        // Reference: the old run_epoch ingestion — materialize the whole
+        // stream with global sequence numbers, sort, shed.
+        let p = problem(7, 5, 3);
+        let s = spec(&p, 1, 6);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        let mut arrivals: Vec<Vec<(u64, u64, usize, bool)>> = vec![Vec::new(); 7];
+        for (seq, r) in trace::stream(&p, s.period, &mut rng).enumerate() {
+            arrivals[r.site.index()].push((
+                r.time,
+                seq as u64,
+                r.object.index(),
+                r.kind == RequestKind::Write,
+            ));
+        }
+        let mut want: Vec<Vec<(u64, usize, bool)>> = Vec::new();
+        for mut list in arrivals {
+            list.sort_unstable();
+            list.truncate(6);
+            want.push(list.into_iter().map(|(t, _, o, w)| (t, o, w)).collect());
+        }
+
+        let mut scratch = IngestScratch::new();
+        let mut reads = DenseMatrix::zeros(7, 5);
+        let mut writes = DenseMatrix::zeros(7, 5);
+        let out = ingest_epoch(&s, &mut scratch, &mut reads, &mut writes);
+        assert_eq!(scratch.queues, want);
+        assert!(out.report.balanced());
+    }
+
+    #[test]
+    fn queues_and_reports_are_identical_across_thread_counts() {
+        type Snapshot = (Vec<Vec<(u64, usize, bool)>>, IngestOutcome, Vec<u64>);
+        let p = problem(9, 6, 4);
+        let mut base: Option<Snapshot> = None;
+        for threads in [1usize, 2, 4, 9, 16] {
+            let s = spec(&p, threads, 11);
+            let mut scratch = IngestScratch::new();
+            let mut reads = DenseMatrix::zeros(9, 6);
+            let mut writes = DenseMatrix::zeros(9, 6);
+            let out = ingest_epoch(&s, &mut scratch, &mut reads, &mut writes);
+            assert!(out.report.balanced());
+            let observed: Vec<u64> = reads.iter().chain(writes.iter()).copied().collect();
+            match &base {
+                None => base = Some((scratch.queues.clone(), out, observed)),
+                Some((q, o, obs)) => {
+                    assert_eq!(&scratch.queues, q, "queues differ at threads={threads}");
+                    assert_eq!(&out, o, "outcome differs at threads={threads}");
+                    assert_eq!(&observed, obs, "window differs at threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_stable() {
+        let p = problem(5, 4, 7);
+        let s = spec(&p, 3, 0);
+        let mut scratch = IngestScratch::new();
+        let mut first = None;
+        for _ in 0..3 {
+            let mut reads = DenseMatrix::zeros(5, 4);
+            let mut writes = DenseMatrix::zeros(5, 4);
+            let out = ingest_epoch(&s, &mut scratch, &mut reads, &mut writes);
+            match &first {
+                None => first = Some((scratch.queues.clone(), out)),
+                Some((q, o)) => {
+                    assert_eq!(&scratch.queues, q);
+                    assert_eq!(&out, o);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_admission_sheds_nothing_and_counts_everything() {
+        let p = problem(6, 4, 9);
+        let s = spec(&p, 2, 0);
+        let mut scratch = IngestScratch::new();
+        let mut reads = DenseMatrix::zeros(6, 4);
+        let mut writes = DenseMatrix::zeros(6, 4);
+        let out = ingest_epoch(&s, &mut scratch, &mut reads, &mut writes);
+        let total: u64 = p
+            .objects()
+            .map(|k| p.total_reads(k) + p.total_writes(k))
+            .sum();
+        assert_eq!(out.report.offered(), total);
+        assert_eq!(out.report.shed(), 0);
+        assert_eq!(out.admitted_reads + out.admitted_writes, total);
+        let window: u64 = reads.iter().chain(writes.iter()).sum();
+        assert_eq!(window, total);
+    }
+}

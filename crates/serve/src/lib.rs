@@ -77,6 +77,8 @@
 //! ```
 
 mod epoch;
+pub mod hotkey;
+pub mod ingest;
 pub mod model;
 pub mod recovery;
 pub mod report;
@@ -84,6 +86,8 @@ pub mod runtime;
 pub mod wal;
 
 pub use epoch::MigrationTuning;
+pub use hotkey::{HotKeyConfig, HotKeyDetector, HotSnapshot};
+pub use ingest::{ingest_epoch, IngestOutcome, IngestScratch, IngestSpec};
 pub use recovery::{crash_points, RecoveryInfo};
 pub use report::{EpochReport, ServiceReport, ServiceTotals};
 pub use runtime::{

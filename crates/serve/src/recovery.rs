@@ -26,6 +26,7 @@ use drp_ga::BitString;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::hotkey::HotSnapshot;
 use crate::report::EpochReport;
 use crate::runtime::{config_hash, mix, ServeConfig, TAG_BOOT, TAG_DRIFT};
 use crate::wal::{MonitorSnapshot, RetuneKind, WalOp, WalRecord, WAL_VERSION};
@@ -52,6 +53,9 @@ pub(crate) struct Resume {
     pub epochs: Vec<EpochReport>,
     pub adaptations: u64,
     pub rebuilds: u64,
+    /// Hot-object detector state at the commit point (present iff the run
+    /// journaled the hot path).
+    pub hot: Option<HotSnapshot>,
 }
 
 /// [`Resume`] plus the log bookkeeping the durable runtime needs.
@@ -195,6 +199,7 @@ pub(crate) fn recover(
     let mut realized_text: Option<&[u8]> = None;
     let mut target_text: Option<&[u8]> = None;
     let mut snapshot: Option<&MonitorSnapshot> = None;
+    let mut hot_snap: Option<&HotSnapshot> = None;
     let mut next_epoch = 0usize;
     if let Some(cp) = checkpoint {
         epochs = cp.reports.clone();
@@ -203,6 +208,7 @@ pub(crate) fn recover(
         realized_text = Some(&cp.realized);
         target_text = Some(&cp.target);
         snapshot = cp.monitor.as_ref();
+        hot_snap = cp.hot.as_ref();
         next_epoch = usize::try_from(cp.next_epoch)
             .map_err(|_| mismatch("checkpoint next_epoch overflows usize".into()))?;
     }
@@ -213,6 +219,7 @@ pub(crate) fn recover(
             kind,
             target,
             monitor,
+            hot,
             ..
         } = retune
         else {
@@ -233,6 +240,9 @@ pub(crate) fn recover(
         }
         if let Some(snap) = monitor {
             snapshot = Some(snap);
+        }
+        if let Some(h) = hot {
+            hot_snap = Some(h);
         }
         next_epoch += 1;
     }
@@ -299,6 +309,7 @@ pub(crate) fn recover(
             epochs,
             adaptations,
             rebuilds,
+            hot: hot_snap.cloned(),
         },
         kept,
         since_checkpoint,

@@ -44,6 +44,8 @@ use rand::SeedableRng;
 
 pub use crate::epoch::MigrationTuning;
 use crate::epoch::{run_epoch, EpochSpec, MigEvent};
+use crate::hotkey::{self, HotKeyConfig, HotKeyDetector};
+use crate::ingest::IngestScratch;
 use crate::recovery::{recover, RecoveryInfo, Resume};
 use crate::report::{EpochReport, ServiceReport};
 use crate::wal::{
@@ -132,6 +134,14 @@ pub struct ServeConfig {
     pub tuning: MigrationTuning,
     /// Durability knobs (used by [`run_service_durable`] only).
     pub wal: WalTuning,
+    /// Ingestion worker threads per epoch (0 = size from the global
+    /// worker pool, i.e. `DRP_THREADS` or the core count). Purely a
+    /// throughput knob: every value produces the same report bitwise, so
+    /// it is excluded from [`config_hash`] and WAL binding.
+    pub threads: usize,
+    /// Hot-object fast path: windowed demand detector plus capacity-checked
+    /// replica boosts between retunes. `None` disables it.
+    pub hot: Option<HotKeyConfig>,
 }
 
 impl Default for ServeConfig {
@@ -148,6 +158,8 @@ impl Default for ServeConfig {
             faults: None,
             tuning: MigrationTuning::default(),
             wal: WalTuning::default(),
+            threads: 0,
+            hot: None,
         }
     }
 }
@@ -173,10 +185,16 @@ const TAG_DECIDE: u64 = 4;
 const TAG_FAULT: u64 = 5;
 
 /// FNV-1a binding a WAL to its run: hashes the instance's exact text
-/// rendering and the full config debug rendering, so recovery refuses to
+/// rendering and the config's debug rendering, so recovery refuses to
 /// resume a log under a different problem, policy, seed derivation or
-/// tuning.
+/// tuning. [`ServeConfig::threads`] is canonicalized to 0 first — thread
+/// count changes throughput, never results, so a log written under
+/// `--threads 4` must resume cleanly under `--threads 1`.
 pub(crate) fn config_hash(problem: &Problem, config: &ServeConfig) -> u64 {
+    let canon = ServeConfig {
+        threads: 0,
+        ..config.clone()
+    };
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |bytes: &[u8]| {
         for &byte in bytes {
@@ -185,7 +203,7 @@ pub(crate) fn config_hash(problem: &Problem, config: &ServeConfig) -> u64 {
         }
     };
     eat(write_instance(problem).as_bytes());
-    eat(format!("{config:?}").as_bytes());
+    eat(format!("{canon:?}").as_bytes());
     hash
 }
 
@@ -250,6 +268,7 @@ pub fn execute_migration(
         fault_stats: FaultStats::default(),
     };
     const MAX_ROUNDS: usize = 16;
+    let mut scratch = IngestScratch::new();
     for round in 0..MAX_ROUNDS {
         let step = plan_migration(problem, &current, &target)?;
         if step.moves() == 0 {
@@ -267,7 +286,9 @@ pub fn execute_migration(
                 faults: if round == 0 { faults.clone() } else { None },
                 seed: 0,
                 traffic: false,
+                threads: 1,
             },
+            &mut scratch,
             telemetry::noop(),
         )?;
         outcome.rounds += 1;
@@ -470,6 +491,14 @@ fn run_loop(
     }
     config.tuning.validate()?;
     config.wal.validate()?;
+    if let Some(hot) = &config.hot {
+        hot.validate()?;
+    }
+    let threads = if config.threads == 0 {
+        drp_net::pool::WorkerPool::global().threads()
+    } else {
+        config.threads
+    };
 
     // Bootstrap (or resume): one GRA build shared by every policy, so all
     // runs start from the same realized scheme and differ only in how they
@@ -483,6 +512,7 @@ fn run_loop(
         mut epochs,
         mut adaptations,
         mut rebuilds,
+        resumed_hot,
     ) = match resume {
         Some(r) => (
             r.start_epoch,
@@ -493,6 +523,7 @@ fn run_loop(
             r.epochs,
             r.adaptations,
             r.rebuilds,
+            r.hot,
         ),
         None => {
             let mut boot_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_BOOT]));
@@ -512,9 +543,24 @@ fn run_loop(
                 Vec::with_capacity(config.epochs),
                 0,
                 0,
+                None,
             )
         }
     };
+
+    // Hot-object fast path: detector plus the overlay of boosted replicas
+    // it currently maintains on the target. Restored exactly from the WAL
+    // snapshot on recovery.
+    let mut hot_state: Option<(HotKeyDetector, Vec<(usize, usize)>)> =
+        config.hot.map(|hcfg| match &resumed_hot {
+            Some(snap) => HotKeyDetector::restore(hcfg, snap),
+            None => (HotKeyDetector::new(hcfg, problem.num_objects()), Vec::new()),
+        });
+
+    // One scratch for the whole run: arrival buffers, admitted queues and
+    // the producer's pull buffer are reused epoch after epoch instead of
+    // re-materializing the full trace each time.
+    let mut scratch = IngestScratch::new();
 
     for e in start_epoch..config.epochs {
         let _epoch_span = telemetry::span(recorder.as_ref(), "serve.epoch");
@@ -552,16 +598,16 @@ fn run_loop(
                     .map(|f| f.plan(mix(&[config.seed, TAG_FAULT, e as u64]))),
                 seed: mix(&[config.seed, TAG_TRACE, e as u64]),
                 traffic: true,
+                threads,
             },
+            &mut scratch,
             Arc::clone(&recorder),
         )?;
         realized = outcome.scheme.clone();
 
-        // Boundary decision on the observed window.
-        let observed = truth.with_patterns(
-            outcome.observed_reads.clone(),
-            outcome.observed_writes.clone(),
-        )?;
+        // Boundary decision on the observed window. The matrices move out
+        // of the outcome — no clone; nothing downstream reads them again.
+        let observed = truth.with_patterns(outcome.observed_reads, outcome.observed_writes)?;
         let night = config.night_every > 0 && (e + 1) % config.night_every == 0;
         let mut decide_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_DECIDE, e as u64]));
         let mut adapted_objects = 0usize;
@@ -609,6 +655,29 @@ fn run_loop(
             }
         }
 
+        // Hot-object fast path: fold this epoch's demand into the windowed
+        // EWMA, re-decide the hot set, and layer capacity-checked replica
+        // boosts onto whatever target the policy just picked — fast-track
+        // adaptation between (or on top of) retunes.
+        let mut hot_promotions = 0u64;
+        let mut hot_demotions = 0u64;
+        if let Some((detector, boosted)) = hot_state.as_mut() {
+            let hcfg = config.hot.as_ref().expect("hot state implies hot config");
+            // The streaming driver offers exactly the truth's pattern and
+            // demand is counted pre-shed, so the truth's per-object read
+            // totals ARE the observed window's demand vector — no extra
+            // observed-problem materialization needed.
+            let demand: Vec<u64> = truth.objects().map(|k| truth.total_reads(k)).collect();
+            let step = detector.observe(&demand);
+            hot_promotions = step.promotions;
+            hot_demotions = step.demotions;
+            let boost = hotkey::apply_boosts(&truth, &realized, target, detector, boosted, hcfg);
+            target = boost.target;
+            *boosted = boost.boosted;
+            recorder.add_counter("serve.hot_boosts_added", boost.added);
+            recorder.add_counter("serve.hot_boosts_removed", boost.removed);
+        }
+
         let c = outcome.counters;
         debug_assert_eq!(
             outcome.shed_by_site.iter().sum::<u64>(),
@@ -620,6 +689,8 @@ fn run_loop(
             night,
             adapted_objects,
             rebuilt,
+            hot_promotions,
+            hot_demotions,
             serving_ntc: outcome.serving_ntc,
             migration_ntc: outcome.migration_ntc,
             migration_planned: plan.as_ref().map_or(0, MigrationPlan::moves),
@@ -732,6 +803,7 @@ fn run_loop(
                 adapted_objects: adapted_objects as u64,
                 target: write_scheme(&target).into_bytes(),
                 monitor: snapshot,
+                hot: hot_state.as_ref().map(|(d, b)| d.snapshot(b)),
             });
             ctx.append(&batch)?;
             ctx.since_checkpoint += 1;
@@ -743,6 +815,7 @@ fn run_loop(
                     realized: write_scheme(&realized).into_bytes(),
                     target: write_scheme(&target).into_bytes(),
                     monitor: Some(snapshot_monitor(&monitor)?),
+                    hot: hot_state.as_ref().map(|(d, b)| d.snapshot(b)),
                     reports: epochs.clone(),
                 })?;
             }

@@ -41,10 +41,15 @@ use std::path::{Path, PathBuf};
 
 use drp_core::{CoreError, ServeError};
 
+use crate::hotkey::HotSnapshot;
 use crate::report::EpochReport;
 
 /// On-disk format version inside `RunStart`.
-pub const WAL_VERSION: u32 = 1;
+///
+/// v2 added the hot-object fast path: `hot_promotions`/`hot_demotions` in
+/// every journaled [`EpochReport`] and an optional [`HotSnapshot`] on
+/// `Retune` and `Checkpoint`. v1 logs are refused cleanly by recovery.
+pub const WAL_VERSION: u32 = 2;
 
 /// Durability knobs of the serving runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +143,8 @@ pub struct Checkpoint {
     /// Monitor state (absent only if the run never snapshotted one —
     /// checkpoints written by the runtime always carry it).
     pub monitor: Option<MonitorSnapshot>,
+    /// Hot-object detector state (present iff the hot path is enabled).
+    pub hot: Option<HotSnapshot>,
     /// Reports of every committed epoch, in order.
     pub reports: Vec<EpochReport>,
 }
@@ -233,6 +240,10 @@ pub enum WalRecord {
         target: Vec<u8>,
         /// New monitor state when the decision changed it.
         monitor: Option<MonitorSnapshot>,
+        /// Hot-object detector state after this boundary's observe/boost
+        /// step (present iff the hot path is enabled — the detector
+        /// advances every boundary).
+        hot: Option<HotSnapshot>,
     },
     /// A compacting checkpoint.
     Checkpoint(Checkpoint),
@@ -362,6 +373,8 @@ fn put_report(enc: &mut Enc, r: &EpochReport) {
     enc.bool(r.night);
     enc.u64(r.adapted_objects as u64);
     enc.bool(r.rebuilt);
+    enc.u64(r.hot_promotions);
+    enc.u64(r.hot_demotions);
     enc.u64(r.serving_ntc);
     enc.u64(r.migration_ntc);
     enc.u64(r.migration_planned as u64);
@@ -393,6 +406,8 @@ fn take_report(dec: &mut Dec<'_>) -> Result<EpochReport, String> {
         night: dec.bool()?,
         adapted_objects: dec.u64()? as usize,
         rebuilt: dec.bool()?,
+        hot_promotions: dec.u64()?,
+        hot_demotions: dec.u64()?,
         serving_ntc: dec.u64()?,
         migration_ntc: dec.u64()?,
         migration_planned: dec.u64()? as usize,
@@ -456,6 +471,78 @@ fn take_monitor(dec: &mut Dec<'_>) -> Result<Option<MonitorSnapshot>, String> {
     Ok(Some(MonitorSnapshot {
         problem,
         population,
+    }))
+}
+
+fn put_hot(enc: &mut Enc, snapshot: &Option<HotSnapshot>) {
+    match snapshot {
+        None => enc.bool(false),
+        Some(s) => {
+            enc.bool(true);
+            enc.u32(u32::try_from(s.windows.len()).expect("hot windows fit u32"));
+            for w in &s.windows {
+                enc.u32(u32::try_from(w.len()).expect("hot window fits u32"));
+                for &v in w {
+                    enc.u64(v);
+                }
+            }
+            enc.u32(u32::try_from(s.ewma.len()).expect("hot ewma fits u32"));
+            for &v in &s.ewma {
+                enc.u64(v);
+            }
+            enc.u32(u32::try_from(s.promoted.len()).expect("hot flags fit u32"));
+            for &p in &s.promoted {
+                enc.bool(p);
+            }
+            enc.u32(u32::try_from(s.boosted.len()).expect("hot boosts fit u32"));
+            for &(site, object) in &s.boosted {
+                enc.u64(site);
+                enc.u64(object);
+            }
+            enc.u64(s.promotions);
+            enc.u64(s.demotions);
+        }
+    }
+}
+
+fn take_hot(dec: &mut Dec<'_>) -> Result<Option<HotSnapshot>, String> {
+    if !dec.bool()? {
+        return Ok(None);
+    }
+    let window_count = dec.u32()? as usize;
+    let mut windows = Vec::with_capacity(window_count);
+    for _ in 0..window_count {
+        let len = dec.u32()? as usize;
+        let mut w = Vec::with_capacity(len);
+        for _ in 0..len {
+            w.push(dec.u64()?);
+        }
+        windows.push(w);
+    }
+    let ewma_len = dec.u32()? as usize;
+    let mut ewma = Vec::with_capacity(ewma_len);
+    for _ in 0..ewma_len {
+        ewma.push(dec.u64()?);
+    }
+    let flag_len = dec.u32()? as usize;
+    let mut promoted = Vec::with_capacity(flag_len);
+    for _ in 0..flag_len {
+        promoted.push(dec.bool()?);
+    }
+    let boost_len = dec.u32()? as usize;
+    let mut boosted = Vec::with_capacity(boost_len);
+    for _ in 0..boost_len {
+        let site = dec.u64()?;
+        let object = dec.u64()?;
+        boosted.push((site, object));
+    }
+    Ok(Some(HotSnapshot {
+        windows,
+        ewma,
+        promoted,
+        boosted,
+        promotions: dec.u64()?,
+        demotions: dec.u64()?,
     }))
 }
 
@@ -563,6 +650,7 @@ impl WalRecord {
                 adapted_objects,
                 target,
                 monitor,
+                hot,
             } => {
                 enc.u8(TAG_RETUNE);
                 enc.u64(*epoch);
@@ -570,6 +658,7 @@ impl WalRecord {
                 enc.u64(*adapted_objects);
                 enc.bytes(target);
                 put_monitor(&mut enc, monitor);
+                put_hot(&mut enc, hot);
             }
             WalRecord::Checkpoint(cp) => {
                 enc.u8(TAG_CHECKPOINT);
@@ -579,6 +668,7 @@ impl WalRecord {
                 enc.bytes(&cp.realized);
                 enc.bytes(&cp.target);
                 put_monitor(&mut enc, &cp.monitor);
+                put_hot(&mut enc, &cp.hot);
                 enc.u32(u32::try_from(cp.reports.len()).expect("reports fit u32"));
                 for r in &cp.reports {
                     put_report(&mut enc, r);
@@ -654,6 +744,7 @@ impl WalRecord {
                 adapted_objects: dec.u64()?,
                 target: dec.bytes()?,
                 monitor: take_monitor(&mut dec)?,
+                hot: take_hot(&mut dec)?,
             },
             TAG_CHECKPOINT => {
                 let next_epoch = dec.u64()?;
@@ -662,6 +753,7 @@ impl WalRecord {
                 let realized = dec.bytes()?;
                 let target = dec.bytes()?;
                 let monitor = take_monitor(&mut dec)?;
+                let hot = take_hot(&mut dec)?;
                 let count = dec.u32()? as usize;
                 let mut reports = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -674,6 +766,7 @@ impl WalRecord {
                     realized,
                     target,
                     monitor,
+                    hot,
                     reports,
                 })
             }
@@ -969,6 +1062,8 @@ mod tests {
             night: epoch % 2 == 1,
             adapted_objects: 2,
             rebuilt: false,
+            hot_promotions: 1,
+            hot_demotions: 0,
             serving_ntc: 1000 + epoch as u64,
             migration_ntc: 50,
             migration_planned: 3,
@@ -1046,6 +1141,14 @@ mod tests {
                     problem: b"drp-instance v1\n".to_vec(),
                     population: vec![(9, vec![0x1ff]), (9, vec![0x0aa])],
                 }),
+                hot: Some(HotSnapshot {
+                    windows: vec![vec![3, 0, 9], vec![1, 1, 1]],
+                    ewma: vec![4 << 10, 1 << 10, 7 << 10],
+                    promoted: vec![false, false, true],
+                    boosted: vec![(1, 2)],
+                    promotions: 2,
+                    demotions: 1,
+                }),
             },
             WalRecord::Checkpoint(Checkpoint {
                 next_epoch: 1,
@@ -1057,6 +1160,7 @@ mod tests {
                     problem: b"drp-instance v1\n".to_vec(),
                     population: vec![],
                 }),
+                hot: None,
                 reports: vec![sample_report(0)],
             }),
         ]

@@ -79,6 +79,22 @@ impl<'a, R: RngCore + ?Sized> RequestStream<'a, R> {
         }
     }
 
+    /// Appends up to `max` requests to `buf`, returning how many were
+    /// written. Batched form of the iterator for consumers that refill a
+    /// reusable buffer instead of pulling one request at a time — the
+    /// ingestion front end drains the period in fixed-size batches through
+    /// this without the per-item iterator plumbing in its hot loop.
+    pub fn fill(&mut self, buf: &mut Vec<Request>, max: usize) -> usize {
+        let take = max.min(self.remaining as usize);
+        buf.reserve(take);
+        for _ in 0..take {
+            // `remaining` exactly counts what the pattern still owes, so
+            // the iterator cannot run dry inside the batch.
+            buf.push(self.next().expect("remaining bounds the stream"));
+        }
+        take
+    }
+
     fn emit(&mut self, kind: RequestKind) -> Request {
         self.remaining -= 1;
         Request {
@@ -204,19 +220,22 @@ pub fn simulate(
         },
     }
 
-    struct Shared {
-        problem: Problem,
-        scheme: drp_core::ReplicationScheme,
+    // Nodes borrow the problem and scheme for the lifetime of the run —
+    // the simulator is lifetime-parameterized, so no dense-matrix or
+    // scheme copy is paid per invocation.
+    struct Shared<'p> {
+        problem: &'p Problem,
+        scheme: &'p drp_core::ReplicationScheme,
         /// Per-site request queues: (time, object, is_write).
         queues: Vec<Vec<(u64, usize, bool)>>,
     }
 
-    struct TraceNode {
-        shared: Arc<Shared>,
+    struct TraceNode<'p> {
+        shared: Arc<Shared<'p>>,
         served_reads: u64,
     }
 
-    impl TraceNode {
+    impl TraceNode<'_> {
         fn broadcast(&self, ctx: &mut Context<'_, Msg>, object: usize) {
             let k = ObjectId::new(object);
             let size = self.shared.problem.object_size(k);
@@ -236,7 +255,7 @@ pub fn simulate(
         fn issue(&self, ctx: &mut Context<'_, Msg>, object: usize, is_write: bool) {
             let me = SiteId::new(ctx.node_id());
             let k = ObjectId::new(object);
-            let shared = &self.shared;
+            let shared = &*self.shared;
             if is_write {
                 let sp = shared.problem.primary(k);
                 if sp == me {
@@ -250,7 +269,7 @@ pub fn simulate(
                     ctx.send(sp.index(), size, Msg::WriteShip { object });
                 }
             } else {
-                let (sn, _) = shared.scheme.nearest_replica(&shared.problem, me, k);
+                let (sn, _) = shared.scheme.nearest_replica(shared.problem, me, k);
                 if sn != me {
                     ctx.send(sn.index(), 0, Msg::ReadRequest { object });
                 }
@@ -258,7 +277,7 @@ pub fn simulate(
         }
     }
 
-    impl Node<Msg> for TraceNode {
+    impl Node<Msg> for TraceNode<'_> {
         fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
             for (index, &(time, _, _)) in self.shared.queues[ctx.node_id()].iter().enumerate() {
                 ctx.set_timer(time, Msg::Fire { index });
@@ -294,20 +313,19 @@ pub fn simulate(
         ));
     }
     let shared = Arc::new(Shared {
-        problem: problem.clone(),
-        scheme: scheme.clone(),
+        problem,
+        scheme,
         queues,
     });
-    let nodes: Vec<Box<dyn Node<Msg>>> = (0..problem.num_sites())
+    let nodes: Vec<Box<dyn Node<Msg> + '_>> = (0..problem.num_sites())
         .map(|_| {
             Box::new(TraceNode {
                 shared: Arc::clone(&shared),
                 served_reads: 0,
-            }) as Box<dyn Node<Msg>>
+            }) as Box<dyn Node<Msg> + '_>
         })
         .collect();
-    let mut sim =
-        Simulator::new(problem.costs().clone(), nodes).map_err(drp_core::CoreError::from)?;
+    let mut sim = Simulator::new(problem.costs(), nodes).map_err(drp_core::CoreError::from)?;
     sim.run_to_completion().map_err(drp_core::CoreError::from)?;
     Ok(TraceReport {
         transfer_cost: sim.stats().transfer_cost,
@@ -439,6 +457,27 @@ mod tests {
         assert!(first.time < 100);
         assert_eq!(it.len() as u64, total - 1);
         assert_eq!(it.count() as u64, total - 1);
+    }
+
+    #[test]
+    fn fill_batches_concatenate_to_the_full_stream() {
+        let p = WorkloadSpec::paper(5, 4, 10.0, 25.0)
+            .generate(&mut StdRng::seed_from_u64(33))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let whole: Vec<Request> = stream(&p, 250, &mut rng).collect();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut it = stream(&p, 250, &mut rng);
+        let mut batched = Vec::new();
+        loop {
+            let got = it.fill(&mut batched, 7);
+            if got == 0 {
+                break;
+            }
+            assert!(got <= 7);
+        }
+        assert_eq!(whole, batched);
+        assert_eq!(it.len(), 0);
     }
 
     #[test]

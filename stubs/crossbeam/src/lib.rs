@@ -1,5 +1,7 @@
-//! Offline stand-in for `crossbeam`: a minimal MPMC unbounded channel with
-//! the subset of the `crossbeam::channel` API this workspace uses.
+//! Offline stand-in for `crossbeam`: a minimal MPMC channel with the subset
+//! of the `crossbeam::channel` API this workspace uses — `unbounded` plus a
+//! `bounded` variant whose `send` blocks while the buffer is full, which is
+//! what gives the ingestion front end its backpressure.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -7,12 +9,18 @@ pub mod channel {
 
     struct Inner<T> {
         state: Mutex<State<T>>,
-        cv: Condvar,
+        /// Signalled when an item arrives or the last sender hangs up.
+        not_empty: Condvar,
+        /// Signalled when space frees up in a bounded buffer.
+        not_full: Condvar,
+        /// `None` = unbounded. `Some(0)` is rounded up to one slot.
+        cap: Option<usize>,
     }
 
     struct State<T> {
         buf: VecDeque<T>,
         senders: usize,
+        receivers: usize,
     }
 
     pub struct Sender<T>(Arc<Inner<T>>);
@@ -29,15 +37,27 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 buf: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
             }),
-            cv: Condvar::new(),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
         });
         (Sender(inner.clone()), Receiver(inner))
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Channel holding at most `cap` queued items; `send` blocks while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
     }
 
     impl<T> Clone for Sender<T> {
@@ -52,22 +72,49 @@ pub mod channel {
             let mut st = self.0.state.lock().unwrap();
             st.senders -= 1;
             if st.senders == 0 {
-                self.0.cv.notify_all();
+                self.0.not_empty.notify_all();
             }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
             Receiver(self.0.clone())
         }
     }
 
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake senders blocked on a full buffer so they can error
+                // out instead of deadlocking.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
     impl<T> Sender<T> {
+        /// Enqueues `value`, blocking while a bounded buffer is at capacity.
+        ///
+        /// Fails (returning the value) only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.0.state.lock().unwrap();
+            if let Some(cap) = self.0.cap {
+                while st.buf.len() >= cap {
+                    if st.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    st = self.0.not_full.wait(st).unwrap();
+                }
+            }
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
             st.buf.push_back(value);
-            self.0.cv.notify_one();
+            self.0.not_empty.notify_one();
             Ok(())
         }
     }
@@ -77,13 +124,57 @@ pub mod channel {
             let mut st = self.0.state.lock().unwrap();
             loop {
                 if let Some(v) = st.buf.pop_front() {
+                    if self.0.cap.is_some() {
+                        self.0.not_full.notify_one();
+                    }
                     return Ok(v);
                 }
                 if st.senders == 0 {
                     return Err(RecvError);
                 }
-                st = self.0.cv.wait(st).unwrap();
+                st = self.0.not_empty.wait(st).unwrap();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let handle = std::thread::spawn(move || {
+            // Third send must wait for the receiver to drain a slot.
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_dropped() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.recv(), Err(channel::RecvError));
     }
 }
