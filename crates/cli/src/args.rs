@@ -2,7 +2,7 @@ use std::error::Error;
 use std::fmt;
 use std::path::PathBuf;
 
-use drp_workload::TopologyKind;
+use drp_workload::{Scenario, TopologyKind};
 
 /// CLI-level errors with human-readable messages.
 #[derive(Debug)]
@@ -58,6 +58,10 @@ pub enum ServePolicy {
     Monitor,
     /// Re-run ADR every boundary (tree metrics only).
     Adr,
+    /// Monitor loop driven by EWMA demand forecasts.
+    PredictiveEwma,
+    /// Monitor loop driven by windowed linear-regression forecasts.
+    PredictiveRegression,
 }
 
 /// Which solver `drp solve` runs.
@@ -179,6 +183,10 @@ pub enum Command {
         threads: usize,
         /// Pattern drift as `(change%, objects%, read share)`.
         drift: Option<(f64, f64, f64)>,
+        /// Named workload scenario (mutually exclusive with drift/faults).
+        scenario: Option<Scenario>,
+        /// Score the run against the offline-optimal replay oracle.
+        oracle: bool,
         /// Crash windows as `(site, from, until)`.
         crashes: Vec<(usize, u64, u64)>,
         /// Per-message drop probability.
@@ -284,12 +292,19 @@ fn parse_policy(value: &str) -> Result<ServePolicy, CliError> {
         "static" => ServePolicy::Static,
         "monitor" => ServePolicy::Monitor,
         "adr" => ServePolicy::Adr,
+        "predictive-ewma" => ServePolicy::PredictiveEwma,
+        "predictive-regression" => ServePolicy::PredictiveRegression,
         other => {
             return Err(CliError::Usage(format!(
-                "unknown policy `{other}` (expected static, monitor or adr)"
+                "unknown policy `{other}` (expected static, monitor, adr, \
+                 predictive-ewma or predictive-regression)"
             )))
         }
     })
+}
+
+fn parse_scenario(value: &str) -> Result<Scenario, CliError> {
+    Scenario::parse(value).map_err(|e| CliError::Usage(e.to_string()))
 }
 
 fn parse_drift(value: &str) -> Result<(f64, f64, f64), CliError> {
@@ -478,6 +493,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut admission_limit = 0u64;
             let mut threads = 0usize;
             let mut drift = None;
+            let mut scenario = None;
+            let mut oracle = false;
             let mut crashes = Vec::new();
             let mut drop = 0.0f64;
             let mut jitter = 0u64;
@@ -500,6 +517,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--threads" => threads = parse_num(stream.next_value(flag)?, flag)?,
                     "--drift" => drift = Some(parse_drift(stream.next_value(flag)?)?),
+                    "--scenario" => scenario = Some(parse_scenario(stream.next_value(flag)?)?),
+                    "--oracle" => {
+                        oracle = true;
+                        stream.index += 1;
+                    }
                     "--crash" => crashes.push(parse_crash(stream.next_value(flag)?)?),
                     "--drop" => drop = parse_num(stream.next_value(flag)?, flag)?,
                     "--jitter" => jitter = parse_num(stream.next_value(flag)?, flag)?,
@@ -536,6 +558,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if recover && wal_dir.is_none() {
                 return Err(CliError::Usage("--recover needs --wal-dir".into()));
             }
+            if scenario.is_some()
+                && (drift.is_some() || !crashes.is_empty() || drop > 0.0 || jitter > 0)
+            {
+                return Err(CliError::Usage(
+                    "--scenario is mutually exclusive with --drift/--crash/--drop/--jitter \
+                     (the scenario supplies its own drift and faults)"
+                        .into(),
+                ));
+            }
+            if oracle && wal_dir.is_some() {
+                return Err(CliError::Usage(
+                    "--oracle is an offline analysis and cannot run with --wal-dir \
+                     (durable reports must stay bitwise across crash/recover)"
+                        .into(),
+                ));
+            }
             Ok(Command::Serve {
                 instance: instance
                     .ok_or_else(|| CliError::Usage("--instance is required".into()))?,
@@ -547,6 +585,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 admission_limit,
                 threads,
                 drift,
+                scenario,
+                oracle,
                 crashes,
                 drop,
                 jitter,
@@ -771,6 +811,76 @@ mod tests {
         }
         assert!(parse(&argv("serve --instance net.drp --threads")).is_err());
         assert!(parse(&argv("serve --instance net.drp --threads x")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_policy_and_scenario_round_trip() {
+        for (name, want) in [
+            ("static", ServePolicy::Static),
+            ("monitor", ServePolicy::Monitor),
+            ("adr", ServePolicy::Adr),
+            ("predictive-ewma", ServePolicy::PredictiveEwma),
+            ("predictive-regression", ServePolicy::PredictiveRegression),
+        ] {
+            let line = format!("serve --instance net.drp --policy {name}");
+            match parse(&argv(&line)).unwrap() {
+                Command::Serve { policy, .. } => assert_eq!(policy, want, "{name}"),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        for name in [
+            "diurnal",
+            "flash-crowd",
+            "regional-failover",
+            "partition-drift",
+            "read-write-inversion",
+        ] {
+            let line = format!("serve --instance net.drp --scenario {name}");
+            match parse(&argv(&line)).unwrap() {
+                Command::Serve { scenario, .. } => {
+                    assert_eq!(scenario.unwrap().name(), name, "{name}");
+                }
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        // Omitted flags keep their defaults.
+        match parse(&argv("serve --instance net.drp")).unwrap() {
+            Command::Serve {
+                scenario, oracle, ..
+            } => {
+                assert_eq!(scenario, None);
+                assert!(!oracle);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // --oracle is a boolean flag like --recover.
+        match parse(&argv("serve --instance net.drp --oracle --seed 3")).unwrap() {
+            Command::Serve { oracle, seed, .. } => {
+                assert!(oracle);
+                assert_eq!(seed, 3);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_policy_and_scenario() {
+        let err = parse(&argv("serve --instance net.drp --policy warp")).unwrap_err();
+        assert!(err.to_string().contains("predictive-ewma"), "{err}");
+        let err = parse(&argv("serve --instance net.drp --scenario tsunami")).unwrap_err();
+        assert!(err.to_string().contains("flash-crowd"), "{err}");
+        assert!(err.to_string().contains("diurnal"), "{err}");
+        // A scenario brings its own drift and faults.
+        assert!(parse(&argv(
+            "serve --instance net.drp --scenario diurnal --drift 600:30:0.8"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "serve --instance net.drp --scenario diurnal --crash 1@2..9"
+        ))
+        .is_err());
+        // The oracle re-scores the run offline; durable runs must not see it.
+        assert!(parse(&argv("serve --instance net.drp --oracle --wal-dir w")).is_err());
     }
 
     #[test]

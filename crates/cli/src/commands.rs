@@ -14,7 +14,7 @@ use drp_core::{Problem, ReplicationAlgorithm, ReplicationScheme, SparseProblem};
 use drp_net::sim::FaultPlan;
 use drp_serve::{
     run_service, run_service_durable, run_service_durable_recorded, run_service_recorded,
-    FaultSpec, FileWalStore, Policy, ServeConfig, WalStore, WalTuning,
+    run_service_with_oracle, FaultSpec, FileWalStore, Policy, ServeConfig, WalStore, WalTuning,
 };
 use drp_workload::{PatternChange, WorkloadSpec};
 use rand::rngs::StdRng;
@@ -394,6 +394,8 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
             admission_limit,
             threads,
             drift,
+            scenario,
+            oracle,
             crashes,
             drop,
             jitter,
@@ -426,6 +428,8 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                     ServePolicy::Static => Policy::Static,
                     ServePolicy::Monitor => Policy::Monitor,
                     ServePolicy::Adr => Policy::Adr,
+                    ServePolicy::PredictiveEwma => Policy::PredictiveEwma,
+                    ServePolicy::PredictiveRegression => Policy::PredictiveRegression,
                 },
                 epochs,
                 period,
@@ -441,12 +445,14 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                     },
                 ),
                 faults,
+                scenario,
                 wal: WalTuning { checkpoint_every },
                 ..ServeConfig::default()
             };
             let trace = trace_out
                 .as_ref()
                 .map(|_| Arc::new(InMemoryRecorder::new()));
+            let mut oracle_info = None;
             let report = if let Some(dir) = &wal_dir {
                 let mut store =
                     FileWalStore::open(dir).map_err(|e| CliError::Run(e.to_string()))?;
@@ -485,6 +491,11 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                     }
                 }
                 outcome.report
+            } else if oracle {
+                let (report, oracle_report) = run_service_with_oracle(&problem, &config)
+                    .map_err(|e| CliError::Run(e.to_string()))?;
+                oracle_info = Some(oracle_report);
+                report
             } else {
                 match &trace {
                     Some(rec) => run_service_recorded(
@@ -543,6 +554,13 @@ pub fn run_command(command: Command) -> Result<String, CliError> {
                 "totals: serving NTC {} + migration NTC {} = {} | {} adaptation(s), {} rebuild(s), {} move(s)",
                 t.serving_ntc, t.migration_ntc, t.total_ntc, t.adaptations, t.rebuilds, t.migration_moves
             );
+            if let Some(o) = &oracle_info {
+                let _ = writeln!(
+                    out,
+                    "oracle: online NTC {} vs OPT {} | competitive ratio {:.4} | hindsight won {} epoch(s)",
+                    o.online_ntc, o.opt_ntc, o.competitive_ratio, o.hindsight_epochs
+                );
+            }
             let _ = writeln!(out, "fingerprint: {:016x}", report.fingerprint());
             if let Some(path) = &report_out {
                 write_file(path, &report.render_json())?;
@@ -942,6 +960,46 @@ mod tests {
         assert!(run(&argv("serve --instance x.drp --drop 1.5")).is_err());
         assert!(run(&argv("serve --instance x.drp --checkpoint-every 0")).is_err());
         assert!(run(&argv("serve --instance x.drp --recover")).is_err());
+        assert!(run(&argv("serve --instance x.drp --scenario bogus")).is_err());
+        assert!(run(&argv(
+            "serve --instance x.drp --scenario diurnal --drift 1:2:0.5"
+        ))
+        .is_err());
+        assert!(run(&argv("serve --instance x.drp --oracle --wal-dir w")).is_err());
+    }
+
+    #[test]
+    fn serve_predictive_scenario_with_oracle_end_to_end() {
+        let dir = tempdir("serve_predict");
+        let net = dir.join("net.drp");
+        run(&argv(&format!(
+            "generate --sites 6 --objects 8 --capacity 30 --seed 9 -o {}",
+            net.display()
+        )))
+        .unwrap();
+
+        let serve = format!(
+            "serve --instance {} --policy predictive-ewma --scenario flash-crowd \
+             --epochs 3 --period 128 --seed 9 --oracle",
+            net.display()
+        );
+        let out = run(&argv(&serve)).unwrap();
+        assert!(out.contains("policy predictive-ewma"), "{out}");
+        assert!(out.contains("competitive ratio "), "{out}");
+        let ratio: f64 = out
+            .lines()
+            .find(|l| l.starts_with("oracle: "))
+            .and_then(|l| l.split("competitive ratio ").nth(1))
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(ratio >= 1.0, "{out}");
+
+        // Deterministic end to end, oracle included.
+        let again = run(&argv(&serve)).unwrap();
+        assert_eq!(out, again);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -19,8 +19,8 @@
 use std::sync::Arc;
 
 use drp_core::telemetry::{self, Recorder};
-use drp_serve::{run_service_recorded, Policy, ServeConfig};
-use drp_workload::{PatternChange, TopologyKind, WorkloadSpec};
+use drp_serve::{run_service_recorded, run_service_with_oracle, Policy, ServeConfig};
+use drp_workload::{PatternChange, Scenario, TopologyKind, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,7 +87,19 @@ const VARIANTS: [(&str, Policy, bool); 4] = [
     ("adr", Policy::Adr, false),
 ];
 
-/// Runs the adaptation study: cumulative NTC per policy under drift.
+/// `(label, policy, hot fast path)` rows of the policy × scenario matrix.
+/// The predictive policies run with the hot fast path enabled — forecast
+/// pre-staging of replica boosts is part of the predictive family.
+const MATRIX_POLICIES: [(&str, Policy, bool); 5] = [
+    ("monitor", Policy::Monitor, false),
+    ("static", Policy::Static, false),
+    ("monitor+hot", Policy::Monitor, true),
+    ("predictive-ewma", Policy::PredictiveEwma, true),
+    ("predictive-regression", Policy::PredictiveRegression, true),
+];
+
+/// Runs the adaptation study: cumulative NTC per policy under drift, then
+/// the policy × scenario matrix scored against the offline oracle.
 pub fn run(params: &Params) -> Vec<Table> {
     run_recorded(params, telemetry::noop())
 }
@@ -96,6 +108,14 @@ pub fn run(params: &Params) -> Vec<Table> {
 /// `adapt.policy` span per policy plus the `serve.*` telemetry of every
 /// epoch).
 pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> {
+    vec![
+        drift_table(params, Arc::clone(&recorder)),
+        matrix_table(params, recorder),
+    ]
+}
+
+/// The original drift study: cumulative NTC per policy under uniform drift.
+fn drift_table(params: &Params, recorder: Arc<dyn Recorder>) -> Table {
     let (m, n) = params.size;
     let mut spec = WorkloadSpec::paper(m, n, 6.0, params.capacity);
     spec.topology = TopologyKind::Tree { arity: 2 };
@@ -165,7 +185,100 @@ pub fn run_recorded(params: &Params, recorder: Arc<dyn Recorder>) -> Vec<Table> 
         ]);
         eprintln!("  [adapt] policy {label} done");
     }
-    vec![table]
+    table
+}
+
+/// The policy × scenario matrix: every adaptation policy on every named
+/// scenario, each run scored against the offline-optimal replay oracle.
+/// The `offline-opt` row anchors each scenario block at OPT itself
+/// (competitive ratio 1.0 by definition), taken from the monitor cell's
+/// oracle.
+fn matrix_table(params: &Params, recorder: Arc<dyn Recorder>) -> Table {
+    let (m, n) = params.size;
+    let mut spec = WorkloadSpec::paper(m, n, 6.0, params.capacity);
+    spec.topology = TopologyKind::Tree { arity: 2 };
+    let mut table = Table::new(
+        "policy_x_scenario_competitive",
+        vec![
+            "scenario".into(),
+            "policy".into(),
+            "serving NTC".into(),
+            "migration NTC".into(),
+            "total NTC".into(),
+            "vs monitor %".into(),
+            "competitive ratio".into(),
+            "adaptations".into(),
+            "rebuilds".into(),
+        ],
+    );
+    for scenario in Scenario::ALL {
+        let _point = telemetry::span(recorder.as_ref(), "adapt.scenario");
+        let mut monitor_total = None;
+        let mut monitor_opt = 0.0f64;
+        for (label, policy, hot) in MATRIX_POLICIES {
+            let runs = run_parallel(params.instances, |instance| {
+                let seed = mix_seed(&[params.seed, 0xADA7, instance as u64]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let problem = spec.generate(&mut rng).expect("valid spec");
+                let config = ServeConfig {
+                    policy,
+                    epochs: params.epochs,
+                    period: params.period,
+                    seed,
+                    night_every: params.night_every,
+                    scenario: Some(scenario),
+                    hot: hot.then(drp_serve::HotKeyConfig::default),
+                    ..ServeConfig::default()
+                };
+                let (report, oracle) =
+                    run_service_with_oracle(&problem, &config).expect("serve runs");
+                let t = report.totals;
+                [
+                    t.serving_ntc as f64,
+                    t.migration_ntc as f64,
+                    t.total_ntc as f64,
+                    oracle.competitive_ratio,
+                    t.adaptations as f64,
+                    t.rebuilds as f64,
+                    oracle.opt_ntc as f64,
+                ]
+            });
+            let mean = |metric: usize| {
+                let values: Vec<f64> = runs.iter().map(|r| r[metric]).collect();
+                aggregate(&values).mean
+            };
+            let total = mean(2);
+            if label == "monitor" {
+                monitor_total = Some(total);
+                monitor_opt = mean(6);
+            }
+            let baseline = monitor_total.unwrap_or(total);
+            table.push_row(vec![
+                scenario.name().into(),
+                label.into(),
+                fmt2(mean(0)),
+                fmt2(mean(1)),
+                fmt2(total),
+                fmt2(100.0 * total / baseline.max(1.0)),
+                fmt2(mean(3)),
+                fmt2(mean(4)),
+                fmt2(mean(5)),
+            ]);
+            eprintln!("  [adapt] scenario {} policy {label} done", scenario.name());
+        }
+        table.push_row(vec![
+            scenario.name().into(),
+            "offline-opt".into(),
+            "-".into(),
+            "-".into(),
+            fmt2(monitor_opt),
+            fmt2(100.0 * monitor_opt / monitor_total.unwrap_or(monitor_opt).max(1.0)),
+            fmt2(1.0),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    table
 }
 
 #[cfg(test)]
@@ -191,8 +304,8 @@ mod tests {
 
     #[test]
     fn adaptive_policies_beat_the_frozen_baseline() {
-        let tables = run(&tiny_params());
-        let rows = &tables[0].rows;
+        let table = drift_table(&tiny_params(), telemetry::noop());
+        let rows = &table.rows;
         assert_eq!(rows.len(), 4);
         let total = |row: &[String]| -> f64 { row[3].parse().unwrap() };
         let static_total = total(&rows[0]);
@@ -216,5 +329,35 @@ mod tests {
         );
         // The relative column anchors at the frozen baseline.
         assert_eq!(rows[0][4], "100.00");
+    }
+
+    #[test]
+    fn matrix_covers_every_scenario_and_ratios_stay_feasible() {
+        let params = Params {
+            instances: 1,
+            epochs: 2,
+            size: (6, 7),
+            ..tiny_params()
+        };
+        let table = matrix_table(&params, telemetry::noop());
+        // 5 policies + the offline-opt anchor per scenario.
+        assert_eq!(table.rows.len(), Scenario::ALL.len() * 6);
+        for row in &table.rows {
+            let ratio: f64 = row[6].parse().unwrap();
+            assert!(
+                ratio >= 1.0,
+                "competitive ratio must be >= 1.0, got {ratio} for {}/{}",
+                row[0],
+                row[1]
+            );
+        }
+        // Every scenario block anchors its OPT row at ratio 1.0.
+        for block in table.rows.chunks(6) {
+            assert_eq!(block[0][1], "monitor");
+            assert_eq!(block[5][1], "offline-opt");
+            assert_eq!(block[5][6], "1.00");
+            // "vs monitor %" anchors at the reactive monitor.
+            assert_eq!(block[0][5], "100.00");
+        }
     }
 }

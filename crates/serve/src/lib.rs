@@ -80,6 +80,8 @@ mod epoch;
 pub mod hotkey;
 pub mod ingest;
 pub mod model;
+pub mod oracle;
+pub mod predict;
 pub mod recovery;
 pub mod report;
 pub mod runtime;
@@ -88,10 +90,13 @@ pub mod wal;
 pub use epoch::MigrationTuning;
 pub use hotkey::{HotKeyConfig, HotKeyDetector, HotSnapshot};
 pub use ingest::{ingest_epoch, IngestOutcome, IngestScratch, IngestSpec};
+pub use oracle::OracleReport;
+pub use predict::{DemandPredictor, PredictConfig, PredictSnapshot, Predictor, PredictorKind};
 pub use recovery::{crash_points, RecoveryInfo};
 pub use report::{EpochReport, ServiceReport, ServiceTotals};
 pub use runtime::{
     execute_migration, run_service, run_service_durable, run_service_durable_recorded,
-    run_service_recorded, DurableOutcome, FaultSpec, MigrationOutcome, Policy, ServeConfig,
+    run_service_recorded, run_service_with_oracle, DurableOutcome, FaultSpec, MigrationOutcome,
+    Policy, ServeConfig,
 };
 pub use wal::{FileWalStore, MemWalStore, TracingStore, WalStore, WalTuning};

@@ -27,8 +27,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::hotkey::HotSnapshot;
+use crate::predict::PredictSnapshot;
 use crate::report::EpochReport;
-use crate::runtime::{config_hash, mix, ServeConfig, TAG_BOOT, TAG_DRIFT};
+use crate::runtime::{config_hash, mix, ServeConfig, ShiftPlan, TAG_BOOT};
 use crate::wal::{MonitorSnapshot, RetuneKind, WalOp, WalRecord, WAL_VERSION};
 
 /// What recovery found in the log, reported alongside the resumed run.
@@ -56,6 +57,9 @@ pub(crate) struct Resume {
     /// Hot-object detector state at the commit point (present iff the run
     /// journaled the hot path).
     pub hot: Option<HotSnapshot>,
+    /// Demand forecaster state at the commit point (present iff the policy
+    /// is predictive).
+    pub predictor: Option<PredictSnapshot>,
 }
 
 /// [`Resume`] plus the log bookkeeping the durable runtime needs.
@@ -200,6 +204,7 @@ pub(crate) fn recover(
     let mut target_text: Option<&[u8]> = None;
     let mut snapshot: Option<&MonitorSnapshot> = None;
     let mut hot_snap: Option<&HotSnapshot> = None;
+    let mut pred_snap: Option<&PredictSnapshot> = None;
     let mut next_epoch = 0usize;
     if let Some(cp) = checkpoint {
         epochs = cp.reports.clone();
@@ -209,6 +214,7 @@ pub(crate) fn recover(
         target_text = Some(&cp.target);
         snapshot = cp.monitor.as_ref();
         hot_snap = cp.hot.as_ref();
+        pred_snap = cp.predictor.as_ref();
         next_epoch = usize::try_from(cp.next_epoch)
             .map_err(|_| mismatch("checkpoint next_epoch overflows usize".into()))?;
     }
@@ -220,6 +226,7 @@ pub(crate) fn recover(
             target,
             monitor,
             hot,
+            predictor,
             ..
         } = retune
         else {
@@ -244,6 +251,9 @@ pub(crate) fn recover(
         if let Some(h) = hot {
             hot_snap = Some(h);
         }
+        if let Some(p) = predictor {
+            pred_snap = Some(p);
+        }
         next_epoch += 1;
     }
     if epochs.len() != next_epoch {
@@ -253,20 +263,13 @@ pub(crate) fn recover(
         )));
     }
 
-    // Re-derive the drifting truth: drift is a seeded per-epoch stream, so
-    // replaying it is exact. Epoch `next_epoch`'s own drift is applied by
-    // the loop itself.
+    // Re-derive the drifting truth: drift (plain or scenario-compiled) is
+    // a seeded per-epoch stream, so replaying it is exact. Epoch
+    // `next_epoch`'s own drift is applied by the loop itself.
+    let shift_plan = ShiftPlan::new(problem, config)?;
     let mut truth = problem.clone();
-    if let Some(drift) = &config.drift {
-        for e in 1..next_epoch {
-            let mut rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_DRIFT, e as u64]));
-            truth = drift
-                .apply(&truth, &mut rng)
-                .map_err(|err| CoreError::InvalidInstance {
-                    reason: format!("drift replay failed: {err}"),
-                })?
-                .problem;
-        }
+    for e in 1..next_epoch {
+        shift_plan.advance(&mut truth, config, e)?;
     }
 
     // Monitor: from its latest snapshot if the run ever changed it, else a
@@ -310,6 +313,7 @@ pub(crate) fn recover(
             adaptations,
             rebuilds,
             hot: hot_snap.cloned(),
+            predictor: pred_snap.cloned(),
         },
         kept,
         since_checkpoint,

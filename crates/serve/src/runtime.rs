@@ -38,7 +38,7 @@ use drp_core::migration::{plan_migration, MigrationPlan};
 use drp_core::telemetry::{self, Recorder};
 use drp_core::{CoreError, Problem, ReplicationAlgorithm, ReplicationScheme, ServeError};
 use drp_net::sim::{FaultPlan, FaultStats};
-use drp_workload::PatternChange;
+use drp_workload::{zipf, PatternChange, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,6 +46,7 @@ pub use crate::epoch::MigrationTuning;
 use crate::epoch::{run_epoch, EpochSpec, MigEvent};
 use crate::hotkey::{self, HotKeyConfig, HotKeyDetector};
 use crate::ingest::IngestScratch;
+use crate::predict::{DemandPredictor, PredictConfig, PredictSnapshot, Predictor, PredictorKind};
 use crate::recovery::{recover, RecoveryInfo, Resume};
 use crate::report::{EpochReport, ServiceReport};
 use crate::wal::{
@@ -62,6 +63,12 @@ pub enum Policy {
     Monitor,
     /// Re-run the ADR tree heuristic on every window.
     Adr,
+    /// The monitor loop driven by EWMA demand forecasts: retunes act on the
+    /// predicted next window and must pass the migration payback gate.
+    PredictiveEwma,
+    /// Like [`Policy::PredictiveEwma`] with windowed linear regression —
+    /// the only forecaster that anticipates a ramp before its peak.
+    PredictiveRegression,
 }
 
 impl Policy {
@@ -71,6 +78,18 @@ impl Policy {
             Policy::Static => "static",
             Policy::Monitor => "monitor",
             Policy::Adr => "adr",
+            Policy::PredictiveEwma => "predictive-ewma",
+            Policy::PredictiveRegression => "predictive-regression",
+        }
+    }
+
+    /// The forecaster a predictive policy runs (`None` for the reactive
+    /// policies).
+    pub fn predictor_kind(self) -> Option<PredictorKind> {
+        match self {
+            Policy::PredictiveEwma => Some(PredictorKind::Ewma),
+            Policy::PredictiveRegression => Some(PredictorKind::Regression),
+            _ => None,
         }
     }
 }
@@ -130,6 +149,11 @@ pub struct ServeConfig {
     pub drift: Option<PatternChange>,
     /// Faults injected into every epoch.
     pub faults: Option<FaultSpec>,
+    /// A scenario compiled into per-epoch drift and fault windows. Mutually
+    /// exclusive with `drift`/`faults`.
+    pub scenario: Option<Scenario>,
+    /// Forecaster knobs for the predictive policies (ignored otherwise).
+    pub predict: PredictConfig,
     /// Migration executor timers.
     pub tuning: MigrationTuning,
     /// Durability knobs (used by [`run_service_durable`] only).
@@ -156,6 +180,8 @@ impl Default for ServeConfig {
             monitor: MonitorConfig::default(),
             drift: None,
             faults: None,
+            scenario: None,
+            predict: PredictConfig::default(),
             tuning: MigrationTuning::default(),
             wal: WalTuning::default(),
             threads: 0,
@@ -180,9 +206,10 @@ pub(crate) fn mix(words: &[u64]) -> u64 {
 // Stream tags for `mix([seed, TAG, ...])`.
 pub(crate) const TAG_BOOT: u64 = 1;
 pub(crate) const TAG_DRIFT: u64 = 2;
-const TAG_TRACE: u64 = 3;
+pub(crate) const TAG_TRACE: u64 = 3;
 const TAG_DECIDE: u64 = 4;
 const TAG_FAULT: u64 = 5;
+pub(crate) const TAG_ORACLE: u64 = 6;
 
 /// FNV-1a binding a WAL to its run: hashes the instance's exact text
 /// rendering and the config's debug rendering, so recovery refuses to
@@ -212,6 +239,162 @@ fn wal_io(e: std::io::Error) -> CoreError {
         reason: e.to_string(),
     }
     .into()
+}
+
+/// The run's per-epoch truth shifts: either the plain [`ServeConfig::drift`]
+/// applied every epoch, or a [`Scenario`] compiled into one shift per
+/// epoch. Shared by the loop and recovery's replay so both derive the same
+/// truth from the same seed streams.
+pub(crate) struct ShiftPlan {
+    shifts: Option<Vec<drp_workload::EpochShift>>,
+}
+
+impl ShiftPlan {
+    pub(crate) fn new(problem: &Problem, config: &ServeConfig) -> drp_core::Result<Self> {
+        let shifts = match config.scenario {
+            Some(scenario) => Some(
+                scenario
+                    .compile(config.epochs, problem.num_sites(), config.period)
+                    .map_err(|e| CoreError::InvalidInstance {
+                        reason: format!("bad scenario: {e}"),
+                    })?,
+            ),
+            None => None,
+        };
+        Ok(ShiftPlan { shifts })
+    }
+
+    /// Applies epoch `e`'s shift to the truth in place (`e > 0`). The
+    /// deterministic surges go first, then one TAG_DRIFT stream per shifted
+    /// epoch feeds the Zipf re-skew and the pattern drift, so the replay in
+    /// recovery is exact.
+    pub(crate) fn advance(
+        &self,
+        truth: &mut Problem,
+        config: &ServeConfig,
+        e: usize,
+    ) -> drp_core::Result<()> {
+        static NO_SURGES: Vec<drp_workload::ObjectSurge> = Vec::new();
+        let (drift, zipf_exponent, surges) = match &self.shifts {
+            Some(plan) => (
+                plan[e].drift.as_ref(),
+                plan[e].zipf_exponent,
+                &plan[e].surges,
+            ),
+            None => (config.drift.as_ref(), None, &NO_SURGES),
+        };
+        if !surges.is_empty() {
+            let mut reads = truth.read_matrix().clone();
+            for surge in surges {
+                surge.apply(&mut reads);
+            }
+            *truth = truth.with_patterns(reads, truth.write_matrix().clone())?;
+        }
+        if drift.is_none() && zipf_exponent.is_none() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_DRIFT, e as u64]));
+        if let Some(s) = zipf_exponent {
+            let mut reads = truth.read_matrix().clone();
+            zipf::apply_popularity(&mut reads, s, &mut rng);
+            *truth = truth.with_patterns(reads, truth.write_matrix().clone())?;
+        }
+        if let Some(drift) = drift {
+            *truth = drift
+                .apply(truth, &mut rng)
+                .map_err(|err| CoreError::InvalidInstance {
+                    reason: format!("drift failed: {err}"),
+                })?
+                .problem;
+        }
+        Ok(())
+    }
+
+    /// The fault spec active during epoch `e`.
+    fn fault_spec(&self, config: &ServeConfig, e: usize) -> Option<FaultSpec> {
+        match &self.shifts {
+            Some(plan) => plan[e].faults.as_ref().map(|f| FaultSpec {
+                crashes: f.crashes.clone(),
+                drop_probability: f.drop_probability,
+                jitter: f.jitter,
+            }),
+            None => config.faults.clone(),
+        }
+    }
+}
+
+/// Forecaster state of a predictive policy: the demand predictor plus any
+/// retune candidate the payback gate has parked for a later boundary.
+struct PredictState {
+    predictor: DemandPredictor,
+    deferred: Option<ReplicationScheme>,
+}
+
+impl PredictState {
+    fn fresh(kind: PredictorKind, config: &ServeConfig, problem: &Problem) -> Self {
+        PredictState {
+            predictor: DemandPredictor::new(
+                kind,
+                config.predict,
+                problem.num_objects(),
+                problem.num_sites(),
+            ),
+            deferred: None,
+        }
+    }
+
+    fn restore(
+        kind: PredictorKind,
+        config: &ServeConfig,
+        snap: &PredictSnapshot,
+        truth: &Problem,
+    ) -> drp_core::Result<Self> {
+        let deferred = match &snap.deferred {
+            None => None,
+            Some(text) => {
+                let text = std::str::from_utf8(text).map_err(|e| ServeError::WalMismatch {
+                    reason: format!("deferred scheme is not utf-8: {e}"),
+                })?;
+                Some(drp_core::format::read_scheme(text, truth).map_err(|e| {
+                    CoreError::from(ServeError::WalMismatch {
+                        reason: format!("deferred scheme: {e}"),
+                    })
+                })?)
+            }
+        };
+        Ok(PredictState {
+            predictor: DemandPredictor::restore(kind, config.predict, snap),
+            deferred,
+        })
+    }
+
+    fn snapshot(&self) -> PredictSnapshot {
+        self.predictor.snapshot(
+            self.deferred
+                .as_ref()
+                .map(|scheme| write_scheme(scheme).into_bytes()),
+        )
+    }
+}
+
+/// Rescales the observed window's read pattern so each object's column
+/// totals the forecast demand (site proportions preserved, u128 interim to
+/// dodge overflow). The write pattern is untouched: the forecasters track
+/// read demand, which is what drives replica placement.
+fn forecast_problem(observed: &Problem, forecast: &[u64]) -> drp_core::Result<Problem> {
+    let mut reads = observed.read_matrix().clone();
+    for (k, &demand) in forecast.iter().enumerate().take(observed.num_objects()) {
+        let current: u64 = (0..observed.num_sites()).map(|i| *reads.get(i, k)).sum();
+        let predicted = demand.max(1);
+        if current == 0 || predicted == current {
+            continue;
+        }
+        for i in 0..observed.num_sites() {
+            let v = reads.get_mut(i, k);
+            *v = (u128::from(*v) * u128::from(predicted) / u128::from(current)) as u64;
+        }
+    }
+    observed.with_patterns(reads, observed.write_matrix().clone())
 }
 
 /// What [`execute_migration`] did.
@@ -329,7 +512,37 @@ pub fn run_service_recorded(
     config: &ServeConfig,
     recorder: Arc<dyn Recorder>,
 ) -> drp_core::Result<ServiceReport> {
-    run_loop(problem, config, recorder, None, None)
+    run_loop(problem, config, recorder, None, None, None)
+}
+
+/// Runs the service and scores it against the offline-optimal replay
+/// oracle: the run's epoch-start schemes are re-costed under the oracle's
+/// clean replay model and compared against the cheapest trajectory a
+/// full-knowledge scheduler could have taken (see [`crate::oracle`]). The
+/// returned report carries the resulting
+/// [`competitive_ratio`](ServiceReport::competitive_ratio), which is
+/// `>= 1.0` by construction.
+///
+/// # Errors
+///
+/// See [`run_service`]; additionally propagates solver errors from the
+/// oracle's hindsight re-solves.
+pub fn run_service_with_oracle(
+    problem: &Problem,
+    config: &ServeConfig,
+) -> drp_core::Result<(ServiceReport, crate::oracle::OracleReport)> {
+    let mut schemes = Vec::with_capacity(config.epochs);
+    let mut report = run_loop(
+        problem,
+        config,
+        telemetry::noop(),
+        None,
+        None,
+        Some(&mut schemes),
+    )?;
+    let oracle = crate::oracle::evaluate(problem, config, &schemes)?;
+    report.competitive_ratio = oracle.competitive_ratio;
+    Ok((report, oracle))
 }
 
 /// A [`ServiceReport`] plus what recovery found when the run resumed from
@@ -393,7 +606,7 @@ pub fn run_service_durable_recorded(
             run_start,
             since_checkpoint: 0,
         };
-        let report = run_loop(problem, config, recorder, None, Some(&mut ctx))?;
+        let report = run_loop(problem, config, recorder, None, Some(&mut ctx), None)?;
         return Ok(DurableOutcome {
             report,
             recovery: None,
@@ -419,6 +632,7 @@ pub fn run_service_durable_recorded(
         recorder,
         Some(recovered.resume),
         Some(&mut ctx),
+        None,
     )?;
     Ok(DurableOutcome {
         report,
@@ -471,12 +685,15 @@ fn snapshot_monitor(monitor: &ReplicationMonitor) -> drp_core::Result<MonitorSna
 }
 
 /// The shared serving loop: fresh and recovered, in-memory and durable.
+/// `schemes_out`, when present, collects the realized scheme at the start
+/// of every epoch — the online trajectory the oracle scores.
 fn run_loop(
     problem: &Problem,
     config: &ServeConfig,
     recorder: Arc<dyn Recorder>,
     resume: Option<Resume>,
     mut wal: Option<&mut WalCtx<'_>>,
+    mut schemes_out: Option<&mut Vec<ReplicationScheme>>,
 ) -> drp_core::Result<ServiceReport> {
     let _run_span = telemetry::span(recorder.as_ref(), "serve.run");
     if config.policy == Policy::Adr && tree_adjacency(problem.costs()).is_none() {
@@ -489,11 +706,20 @@ fn run_loop(
             reason: format!("bad drift spec: {e}"),
         })?;
     }
+    if config.scenario.is_some() && (config.drift.is_some() || config.faults.is_some()) {
+        return Err(CoreError::InvalidInstance {
+            reason: "a scenario is mutually exclusive with explicit drift/faults".into(),
+        });
+    }
+    if config.policy.predictor_kind().is_some() {
+        config.predict.validate()?;
+    }
     config.tuning.validate()?;
     config.wal.validate()?;
     if let Some(hot) = &config.hot {
         hot.validate()?;
     }
+    let shift_plan = ShiftPlan::new(problem, config)?;
     let threads = if config.threads == 0 {
         drp_net::pool::WorkerPool::global().threads()
     } else {
@@ -513,6 +739,7 @@ fn run_loop(
         mut adaptations,
         mut rebuilds,
         resumed_hot,
+        resumed_predictor,
     ) = match resume {
         Some(r) => (
             r.start_epoch,
@@ -524,6 +751,7 @@ fn run_loop(
             r.adaptations,
             r.rebuilds,
             r.hot,
+            r.predictor,
         ),
         None => {
             let mut boot_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_BOOT]));
@@ -544,6 +772,7 @@ fn run_loop(
                 0,
                 0,
                 None,
+                None,
             )
         }
     };
@@ -557,6 +786,17 @@ fn run_loop(
             None => (HotKeyDetector::new(hcfg, problem.num_objects()), Vec::new()),
         });
 
+    // Forecaster state for the predictive policies, restored bitwise from
+    // the WAL snapshot on recovery (including any payback-deferred retune
+    // candidate).
+    let mut predict_state: Option<PredictState> = match config.policy.predictor_kind() {
+        Some(kind) => Some(match &resumed_predictor {
+            Some(snap) => PredictState::restore(kind, config, snap, &truth)?,
+            None => PredictState::fresh(kind, config, problem),
+        }),
+        None => None,
+    };
+
     // One scratch for the whole run: arrival buffers, admitted queues and
     // the producer's pull buffer are reused epoch after epoch instead of
     // re-materializing the full trace each time.
@@ -565,15 +805,10 @@ fn run_loop(
     for e in start_epoch..config.epochs {
         let _epoch_span = telemetry::span(recorder.as_ref(), "serve.epoch");
         if e > 0 {
-            if let Some(drift) = &config.drift {
-                let mut drift_rng = StdRng::seed_from_u64(mix(&[config.seed, TAG_DRIFT, e as u64]));
-                truth = drift
-                    .apply(&truth, &mut drift_rng)
-                    .map_err(|err| CoreError::InvalidInstance {
-                        reason: format!("drift failed: {err}"),
-                    })?
-                    .problem;
-            }
+            shift_plan.advance(&mut truth, config, e)?;
+        }
+        if let Some(out) = schemes_out.as_deref_mut() {
+            out.push(realized.clone());
         }
 
         let plan = if realized != target {
@@ -592,9 +827,8 @@ fn run_loop(
                 period: config.period,
                 admission_limit: config.admission_limit,
                 tuning: config.tuning,
-                faults: config
-                    .faults
-                    .as_ref()
+                faults: shift_plan
+                    .fault_spec(config, e)
                     .map(|f| f.plan(mix(&[config.seed, TAG_FAULT, e as u64]))),
                 seed: mix(&[config.seed, TAG_TRACE, e as u64]),
                 traffic: true,
@@ -617,6 +851,9 @@ fn run_loop(
         // monitor — its state is untouched on the Keep path.
         let mut kind = RetuneKind::Keep;
         let mut monitor_changed = false;
+        // Predictive policies pre-stage the hot detector with next-window
+        // forecasts instead of this window's realized demand.
+        let mut prestage: Option<Vec<u64>> = None;
         match config.policy {
             Policy::Static => {}
             Policy::Monitor => {
@@ -653,6 +890,73 @@ fn run_loop(
                 }
                 target = next;
             }
+            Policy::PredictiveEwma | Policy::PredictiveRegression => {
+                let ps = predict_state
+                    .as_mut()
+                    .expect("predictive policy implies predictor state");
+                // Fold this window's realized demand into the forecaster,
+                // then predict the next window.
+                let demand: Vec<u64> = truth.objects().map(|k| truth.total_reads(k)).collect();
+                let site_demand: Vec<u64> = truth
+                    .sites()
+                    .map(|i| truth.objects().map(|k| truth.reads(i, k)).sum())
+                    .collect();
+                ps.predictor.observe(&demand, &site_demand);
+                let forecast = ps.predictor.forecast_objects();
+                // The retune input is the observed window rescaled to the
+                // forecast demand: the monitor tunes for the window it is
+                // about to serve, not the one that just ended.
+                let predicted = forecast_problem(&observed, &forecast)?;
+                if night {
+                    monitor.nightly_rebuild_with(predicted, &mut decide_rng)?;
+                    rebuilt = true;
+                    rebuilds += 1;
+                    kind = RetuneKind::Rebuild;
+                    monitor_changed = true;
+                    ps.deferred = None;
+                    target = monitor.scheme().clone();
+                } else {
+                    let mut acted_objects = 0usize;
+                    let candidate = if let MonitorAction::Adapted {
+                        changed_objects, ..
+                    } =
+                        monitor.ingest_statistics(predicted.clone(), &mut decide_rng)?
+                    {
+                        acted_objects = changed_objects;
+                        monitor_changed = true;
+                        ps.deferred = None;
+                        Some(monitor.scheme().clone())
+                    } else {
+                        ps.deferred.take()
+                    };
+                    if let Some(cand) = candidate {
+                        if cand != target {
+                            // Payback gate: a retune must save enough NTC
+                            // on the predicted window to amortize its
+                            // migration traffic within `payback_epochs`.
+                            let saving = predicted
+                                .total_cost(&target)
+                                .saturating_sub(predicted.total_cost(&cand));
+                            let migration =
+                                plan_migration(&truth, &realized, &cand)?.transfer_cost();
+                            if saving > 0
+                                && migration <= saving.saturating_mul(config.predict.payback_epochs)
+                            {
+                                target = cand;
+                                adaptations += 1;
+                                kind = RetuneKind::Adapt;
+                                adapted_objects = acted_objects;
+                            } else if saving > 0 {
+                                // Predicted to pay off eventually, just not
+                                // fast enough yet — park it for a cheaper
+                                // boundary.
+                                ps.deferred = Some(cand);
+                            }
+                        }
+                    }
+                }
+                prestage = Some(forecast);
+            }
         }
 
         // Hot-object fast path: fold this epoch's demand into the windowed
@@ -666,8 +970,13 @@ fn run_loop(
             // The streaming driver offers exactly the truth's pattern and
             // demand is counted pre-shed, so the truth's per-object read
             // totals ARE the observed window's demand vector — no extra
-            // observed-problem materialization needed.
-            let demand: Vec<u64> = truth.objects().map(|k| truth.total_reads(k)).collect();
+            // observed-problem materialization needed. Predictive policies
+            // feed the *forecast* vector instead, pre-staging boosts ahead
+            // of predicted hot windows.
+            let demand: Vec<u64> = match prestage {
+                Some(forecast) => forecast,
+                None => truth.objects().map(|k| truth.total_reads(k)).collect(),
+            };
             let step = detector.observe(&demand);
             hot_promotions = step.promotions;
             hot_demotions = step.demotions;
@@ -804,6 +1113,7 @@ fn run_loop(
                 target: write_scheme(&target).into_bytes(),
                 monitor: snapshot,
                 hot: hot_state.as_ref().map(|(d, b)| d.snapshot(b)),
+                predictor: predict_state.as_ref().map(PredictState::snapshot),
             });
             ctx.append(&batch)?;
             ctx.since_checkpoint += 1;
@@ -816,6 +1126,7 @@ fn run_loop(
                     target: write_scheme(&target).into_bytes(),
                     monitor: Some(snapshot_monitor(&monitor)?),
                     hot: hot_state.as_ref().map(|(d, b)| d.snapshot(b)),
+                    predictor: predict_state.as_ref().map(PredictState::snapshot),
                     reports: epochs.clone(),
                 })?;
             }
@@ -831,6 +1142,7 @@ fn run_loop(
         night_every: config.night_every,
         epochs,
         totals,
+        competitive_ratio: 0.0,
     })
 }
 

@@ -42,14 +42,18 @@ use std::path::{Path, PathBuf};
 use drp_core::{CoreError, ServeError};
 
 use crate::hotkey::HotSnapshot;
+use crate::predict::PredictSnapshot;
 use crate::report::EpochReport;
 
 /// On-disk format version inside `RunStart`.
 ///
-/// v2 added the hot-object fast path: `hot_promotions`/`hot_demotions` in
-/// every journaled [`EpochReport`] and an optional [`HotSnapshot`] on
-/// `Retune` and `Checkpoint`. v1 logs are refused cleanly by recovery.
-pub const WAL_VERSION: u32 = 2;
+/// v3 added the predictive policy family: an optional [`PredictSnapshot`]
+/// (forecaster windows, EWMAs, and any deferred retune candidate) on
+/// `Retune` and `Checkpoint`. v2 added the hot-object fast path:
+/// `hot_promotions`/`hot_demotions` in every journaled [`EpochReport`] and
+/// an optional [`HotSnapshot`] on `Retune` and `Checkpoint`. Older logs
+/// are refused cleanly by recovery.
+pub const WAL_VERSION: u32 = 3;
 
 /// Durability knobs of the serving runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +149,8 @@ pub struct Checkpoint {
     pub monitor: Option<MonitorSnapshot>,
     /// Hot-object detector state (present iff the hot path is enabled).
     pub hot: Option<HotSnapshot>,
+    /// Demand forecaster state (present iff the policy is predictive).
+    pub predictor: Option<PredictSnapshot>,
     /// Reports of every committed epoch, in order.
     pub reports: Vec<EpochReport>,
 }
@@ -244,6 +250,10 @@ pub enum WalRecord {
         /// step (present iff the hot path is enabled — the detector
         /// advances every boundary).
         hot: Option<HotSnapshot>,
+        /// Demand forecaster state after this boundary's observe/forecast
+        /// step (present iff the policy is predictive — the forecaster
+        /// advances every boundary).
+        predictor: Option<PredictSnapshot>,
     },
     /// A compacting checkpoint.
     Checkpoint(Checkpoint),
@@ -546,6 +556,78 @@ fn take_hot(dec: &mut Dec<'_>) -> Result<Option<HotSnapshot>, String> {
     }))
 }
 
+fn put_u64_list(enc: &mut Enc, values: &[u64]) {
+    enc.u32(u32::try_from(values.len()).expect("list fits u32"));
+    for &v in values {
+        enc.u64(v);
+    }
+}
+
+fn take_u64_list(dec: &mut Dec<'_>) -> Result<Vec<u64>, String> {
+    let len = dec.u32()? as usize;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(dec.u64()?);
+    }
+    Ok(values)
+}
+
+fn put_predictor(enc: &mut Enc, snapshot: &Option<PredictSnapshot>) {
+    match snapshot {
+        None => enc.bool(false),
+        Some(s) => {
+            enc.bool(true);
+            enc.u32(u32::try_from(s.windows.len()).expect("predict windows fit u32"));
+            for w in &s.windows {
+                put_u64_list(enc, w);
+            }
+            put_u64_list(enc, &s.ewma);
+            enc.u32(u32::try_from(s.site_windows.len()).expect("predict windows fit u32"));
+            for w in &s.site_windows {
+                put_u64_list(enc, w);
+            }
+            put_u64_list(enc, &s.site_ewma);
+            match &s.deferred {
+                None => enc.bool(false),
+                Some(scheme) => {
+                    enc.bool(true);
+                    enc.bytes(scheme);
+                }
+            }
+        }
+    }
+}
+
+fn take_predictor(dec: &mut Dec<'_>) -> Result<Option<PredictSnapshot>, String> {
+    if !dec.bool()? {
+        return Ok(None);
+    }
+    let window_count = dec.u32()? as usize;
+    let mut windows = Vec::with_capacity(window_count);
+    for _ in 0..window_count {
+        windows.push(take_u64_list(dec)?);
+    }
+    let ewma = take_u64_list(dec)?;
+    let site_count = dec.u32()? as usize;
+    let mut site_windows = Vec::with_capacity(site_count);
+    for _ in 0..site_count {
+        site_windows.push(take_u64_list(dec)?);
+    }
+    let site_ewma = take_u64_list(dec)?;
+    let deferred = if dec.bool()? {
+        Some(dec.bytes()?)
+    } else {
+        None
+    };
+    Ok(Some(PredictSnapshot {
+        windows,
+        ewma,
+        site_windows,
+        site_ewma,
+        deferred,
+    }))
+}
+
 const TAG_RUN_START: u8 = 1;
 const TAG_EPOCH_START: u8 = 2;
 const TAG_ADMISSION_DRAIN: u8 = 3;
@@ -651,6 +733,7 @@ impl WalRecord {
                 target,
                 monitor,
                 hot,
+                predictor,
             } => {
                 enc.u8(TAG_RETUNE);
                 enc.u64(*epoch);
@@ -659,6 +742,7 @@ impl WalRecord {
                 enc.bytes(target);
                 put_monitor(&mut enc, monitor);
                 put_hot(&mut enc, hot);
+                put_predictor(&mut enc, predictor);
             }
             WalRecord::Checkpoint(cp) => {
                 enc.u8(TAG_CHECKPOINT);
@@ -669,6 +753,7 @@ impl WalRecord {
                 enc.bytes(&cp.target);
                 put_monitor(&mut enc, &cp.monitor);
                 put_hot(&mut enc, &cp.hot);
+                put_predictor(&mut enc, &cp.predictor);
                 enc.u32(u32::try_from(cp.reports.len()).expect("reports fit u32"));
                 for r in &cp.reports {
                     put_report(&mut enc, r);
@@ -745,6 +830,7 @@ impl WalRecord {
                 target: dec.bytes()?,
                 monitor: take_monitor(&mut dec)?,
                 hot: take_hot(&mut dec)?,
+                predictor: take_predictor(&mut dec)?,
             },
             TAG_CHECKPOINT => {
                 let next_epoch = dec.u64()?;
@@ -754,6 +840,7 @@ impl WalRecord {
                 let target = dec.bytes()?;
                 let monitor = take_monitor(&mut dec)?;
                 let hot = take_hot(&mut dec)?;
+                let predictor = take_predictor(&mut dec)?;
                 let count = dec.u32()? as usize;
                 let mut reports = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -767,6 +854,7 @@ impl WalRecord {
                     target,
                     monitor,
                     hot,
+                    predictor,
                     reports,
                 })
             }
@@ -1149,6 +1237,13 @@ mod tests {
                     promotions: 2,
                     demotions: 1,
                 }),
+                predictor: Some(PredictSnapshot {
+                    windows: vec![vec![5, 0, 2], vec![6, 1, 2]],
+                    ewma: vec![5 << 10, 1 << 10, 2 << 10],
+                    site_windows: vec![vec![4, 3], vec![5, 4]],
+                    site_ewma: vec![4 << 10, 3 << 10],
+                    deferred: Some(b"drp-scheme v1\n".to_vec()),
+                }),
             },
             WalRecord::Checkpoint(Checkpoint {
                 next_epoch: 1,
@@ -1161,6 +1256,13 @@ mod tests {
                     population: vec![],
                 }),
                 hot: None,
+                predictor: Some(PredictSnapshot {
+                    windows: vec![vec![5, 0, 2]],
+                    ewma: vec![5 << 10, 0, 2 << 10],
+                    site_windows: vec![vec![4, 3]],
+                    site_ewma: vec![4 << 10, 3 << 10],
+                    deferred: None,
+                }),
                 reports: vec![sample_report(0)],
             }),
         ]

@@ -1,0 +1,167 @@
+//! Property tests of the prediction subsystem.
+//!
+//! The contracts under test:
+//!
+//! * predictive runs are bitwise deterministic — the [`ServiceReport`]
+//!   fingerprint does not move across ingest `threads` ∈ {1, 2, 4} for
+//!   either forecaster on any scenario;
+//! * scoring a run against the offline-optimal replay oracle never
+//!   perturbs the run itself, and every policy × scenario cell has a
+//!   competitive ratio ≥ 1.0 (the oracle replays the online trajectory as
+//!   one of its own candidate paths, so OPT can never cost more);
+//! * forecaster state survives WAL crash-recovery bitwise: a predictive
+//!   run resumed from any prefix of the log finishes with the same
+//!   fingerprint as the uninterrupted run.
+//!
+//! [`ServiceReport`]: drp_serve::ServiceReport
+
+use drp_core::Problem;
+use drp_serve::{
+    crash_points, run_service, run_service_durable, run_service_with_oracle, HotKeyConfig,
+    MemWalStore, Policy, ServeConfig, TracingStore, WalTuning,
+};
+use drp_workload::{Scenario, TopologyKind, WorkloadSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn problem(sites: usize, objects: usize, seed: u64) -> Problem {
+    WorkloadSpec::paper(sites, objects, 8.0, 30.0)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .unwrap()
+}
+
+fn small_monitor() -> drp_algo::monitor::MonitorConfig {
+    drp_algo::monitor::MonitorConfig {
+        gra: drp_algo::GraConfig {
+            population_size: 8,
+            generations: 6,
+            ..drp_algo::GraConfig::default()
+        },
+        ..drp_algo::monitor::MonitorConfig::default()
+    }
+}
+
+fn scenario_config(policy: Policy, scenario: Scenario, seed: u64, threads: usize) -> ServeConfig {
+    ServeConfig {
+        policy,
+        epochs: 4,
+        period: 128,
+        seed,
+        night_every: 3,
+        monitor: small_monitor(),
+        scenario: Some(scenario),
+        threads,
+        hot: Some(HotKeyConfig::default()),
+        ..ServeConfig::default()
+    }
+}
+
+const PREDICTIVE: [Policy; 2] = [Policy::PredictiveEwma, Policy::PredictiveRegression];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn predictive_fingerprints_do_not_move_across_threads(
+        seed in 0u64..1000,
+        which in 0usize..5,
+    ) {
+        let p = problem(6, 8, seed);
+        let scenario = Scenario::ALL[which];
+        for policy in PREDICTIVE {
+            let base = run_service(&p, &scenario_config(policy, scenario, seed, 1)).unwrap();
+            for threads in [2usize, 4] {
+                let other =
+                    run_service(&p, &scenario_config(policy, scenario, seed, threads)).unwrap();
+                prop_assert_eq!(
+                    base.fingerprint(),
+                    other.fingerprint(),
+                    "{:?}/{} drifted at threads={}",
+                    policy,
+                    scenario.name(),
+                    threads
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn every_policy_scenario_cell_scores_ratio_at_least_one(seed in 0u64..1000) {
+        // A tree metric so the ADR heuristic is admissible too.
+        let mut spec = WorkloadSpec::paper(5, 6, 8.0, 30.0);
+        spec.topology = TopologyKind::Tree { arity: 2 };
+        let p = spec.generate(&mut StdRng::seed_from_u64(seed)).unwrap();
+        for scenario in Scenario::ALL {
+            for policy in [
+                Policy::Static,
+                Policy::Monitor,
+                Policy::Adr,
+                Policy::PredictiveEwma,
+                Policy::PredictiveRegression,
+            ] {
+                let config = ServeConfig {
+                    epochs: 3,
+                    hot: None,
+                    ..scenario_config(policy, scenario, seed, 1)
+                };
+                let (mut report, oracle) = run_service_with_oracle(&p, &config).unwrap();
+                prop_assert!(
+                    oracle.competitive_ratio >= 1.0,
+                    "{:?}/{}: ratio {} < 1",
+                    policy,
+                    scenario.name(),
+                    oracle.competitive_ratio
+                );
+                // The oracle replays a clean model (no faults, no
+                // shedding), so its online figure is self-consistent with
+                // OPT rather than with the live billing.
+                prop_assert!(oracle.opt_ntc <= oracle.online_ntc);
+                prop_assert!(oracle.online_ntc > 0);
+                // Scoring is an offline replay: apart from the ratio field
+                // it writes, the run itself is untouched.
+                let plain = run_service(&p, &config).unwrap();
+                report.competitive_ratio = 0.0;
+                prop_assert_eq!(plain.fingerprint(), report.fingerprint());
+            }
+        }
+    }
+}
+
+#[test]
+fn forecaster_state_survives_crash_recovery_bitwise() {
+    let p = problem(8, 8, 29);
+    for policy in PREDICTIVE {
+        let config = ServeConfig {
+            wal: WalTuning {
+                checkpoint_every: 2,
+            },
+            ..scenario_config(policy, Scenario::FlashCrowd, 29, 1)
+        };
+        let mut tracing = TracingStore::default();
+        let baseline = run_service_durable(&p, &config, &mut tracing).unwrap();
+        let t = &baseline.report.totals;
+        assert!(
+            t.adaptations + t.rebuilds > 0,
+            "{policy:?}: the run under test must retune so the WAL carries forecaster state"
+        );
+        let fingerprint = baseline.report.fingerprint();
+
+        let points = crash_points(tracing.ops());
+        assert!(points.len() > 10, "only {} crash points", points.len());
+        // Every third boundary keeps the suite fast; the full sweep lives
+        // in crash_sim.rs.
+        for &(op, cut) in points.iter().step_by(3) {
+            let mut store = MemWalStore::from_bytes(tracing.contents_at(op, cut));
+            let recovered = run_service_durable(&p, &config, &mut store)
+                .unwrap_or_else(|e| panic!("{policy:?} crash point (op {op}, cut {cut}): {e}"));
+            assert_eq!(
+                recovered.report.fingerprint(),
+                fingerprint,
+                "{policy:?} crash point (op {op}, cut {cut}) diverged"
+            );
+        }
+    }
+}

@@ -74,10 +74,10 @@ impl PatternChange {
     ///
     /// Returns [`WorkloadError::BadSpec`] on the first violation.
     pub fn validate(&self) -> Result<()> {
-        if self.change_percent < 0.0 {
+        if !self.change_percent.is_finite() || self.change_percent < 0.0 {
             return Err(WorkloadError::BadSpec {
                 reason: format!(
-                    "change percent {} must be non-negative",
+                    "change percent {} must be finite and non-negative",
                     self.change_percent
                 ),
             });

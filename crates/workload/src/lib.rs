@@ -38,12 +38,14 @@
 mod change;
 mod generator;
 pub mod rngutil;
+mod scenario;
 mod spec;
 pub mod trace;
 pub mod zipf;
 
 pub use change::{ChangeKind, PatternChange, PatternShift};
 pub use generator::WorkloadError;
+pub use scenario::{EpochShift, ObjectSurge, Scenario, ScenarioFaults};
 pub use spec::{TopologyKind, WorkloadSpec};
 
 /// Convenience alias for results in this crate.

@@ -1,6 +1,6 @@
 //! Property-based tests of the workload generators.
 
-use drp_workload::{PatternChange, WorkloadSpec};
+use drp_workload::{PatternChange, Scenario, WorkloadSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,6 +65,35 @@ proptest! {
         }
         // The network itself is untouched.
         prop_assert_eq!(problem.costs(), shift.problem.costs());
+    }
+
+    #[test]
+    fn scenario_compilation_is_deterministic_and_validated(
+        which in 0usize..5,
+        epochs in 1usize..12,
+        sites in 1usize..20,
+        period in 1u64..2048,
+    ) {
+        let scenario = Scenario::ALL[which];
+        let plan = scenario.compile(epochs, sites, period).unwrap();
+        prop_assert_eq!(plan.len(), epochs);
+        // Pure compilation: same inputs, same plan, no hidden RNG.
+        prop_assert_eq!(&plan, &scenario.compile(epochs, sites, period).unwrap());
+        // Epoch 0 is always the unshifted boot workload.
+        prop_assert!(plan[0].drift.is_none());
+        prop_assert!(plan[0].zipf_exponent.is_none());
+        prop_assert!(plan[0].surges.is_empty());
+        for shift in &plan {
+            if let Some(drift) = &shift.drift {
+                prop_assert!(drift.validate().is_ok());
+            }
+            for surge in &shift.surges {
+                prop_assert!(surge.validate().is_ok());
+            }
+            if let Some(faults) = &shift.faults {
+                prop_assert!(faults.validate(sites).is_ok());
+            }
+        }
     }
 
     #[test]
